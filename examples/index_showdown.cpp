@@ -1,0 +1,112 @@
+// Index showdown: builds every index in the library over the same
+// TIGER-like dataset and prints a mini version of the paper's Table V —
+// build time, size, and window/disk query throughput per method.
+//
+//   ./index_showdown [cardinality]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "block/block_index.h"
+#include "common/timer.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "datagen/query_gen.h"
+#include "datagen/tiger_like.h"
+#include "grid/one_layer_grid.h"
+#include "quadtree/mxcif_quad_tree.h"
+#include "quadtree/quad_tree.h"
+#include "rtree/rtree.h"
+
+namespace {
+
+using namespace tlp;
+
+const Box kUnit{0, 0, 1, 1};
+
+std::unique_ptr<SpatialIndex> MakeIndex(int which, const GridLayout& layout) {
+  switch (which) {
+    case 0:
+      return std::make_unique<TwoLayerGrid>(layout);
+    case 1:
+      return std::make_unique<TwoLayerPlusGrid>(layout);
+    case 2:
+      return std::make_unique<OneLayerGrid>(layout);
+    case 3:
+      return std::make_unique<QuadTree>(kUnit, QuadTreeMode::kReferencePoint);
+    case 4:
+      return std::make_unique<QuadTree>(kUnit, QuadTreeMode::kTwoLayer);
+    case 5:
+      return std::make_unique<RTree>(RTreeVariant::kStr);
+    case 6:
+      return std::make_unique<RTree>(RTreeVariant::kRStar);
+    case 7:
+      return std::make_unique<BlockIndex>(kUnit);
+    default:
+      return std::make_unique<MxcifQuadTree>(kUnit);
+  }
+}
+
+void Build(SpatialIndex& index, const std::vector<BoxEntry>& data) {
+  // Each concrete type has an optimized bulk Build; dispatch by probing.
+  if (auto* g = dynamic_cast<TwoLayerGrid*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<TwoLayerPlusGrid*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<OneLayerGrid*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<QuadTree*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<RTree*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<BlockIndex*>(&index)) return g->Build(data);
+  if (auto* g = dynamic_cast<MxcifQuadTree*>(&index)) return g->Build(data);
+  for (const BoxEntry& e : data) index.Insert(e);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cardinality = 300000;
+  if (argc > 1) cardinality = std::strtoull(argv[1], nullptr, 10);
+
+  TigerConfig config;
+  config.flavor = TigerFlavor::kTiger;
+  config.cardinality = cardinality;
+  const std::vector<BoxEntry> data = GenerateTigerLikeEntries(config);
+
+  const auto windows = GenerateWindowQueries(data, 2000, 0.001);
+  const auto disks = GenerateDiskQueries(data, 500, 0.001);
+  const auto dim =
+      std::max<std::uint32_t>(64, std::sqrt(double(data.size())) / 4);
+  const GridLayout layout(kUnit, dim, dim);
+
+  std::printf("%zu objects, %zu window + %zu disk queries (0.1%% area)\n\n",
+              data.size(), windows.size(), disks.size());
+  std::printf("%-18s %10s %9s %14s %14s\n", "method", "build[ms]", "size[MB]",
+              "windows[q/s]", "disks[q/s]");
+
+  for (int which = 0; which < 9; ++which) {
+    auto index = MakeIndex(which, layout);
+    Stopwatch build;
+    Build(*index, data);
+    const double build_ms = build.ElapsedMillis();
+
+    std::vector<ObjectId> out;
+    Stopwatch wq;
+    for (const Box& w : windows) {
+      out.clear();
+      index->WindowQuery(w, &out);
+    }
+    const double window_qps = windows.size() / wq.ElapsedSeconds();
+
+    Stopwatch dq;
+    for (const DiskQuerySpec& d : disks) {
+      out.clear();
+      index->DiskQuery(d.center, d.radius, &out);
+    }
+    const double disk_qps = disks.size() / dq.ElapsedSeconds();
+
+    std::printf("%-18s %10.1f %9.1f %14.0f %14.0f\n", index->name().c_str(),
+                build_ms, index->SizeBytes() / (1024.0 * 1024.0), window_qps,
+                disk_qps);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Sequential driver for the remaining paper-experiment benchmarks; each one
+# tees its console table and JSON into results/.
+set -x
+cd /root/repo
+for b in bench_fig6_refinement bench_fig10_batch bench_fig11_parallel \
+         bench_fig12_distsim bench_table6_updates bench_fig7_tuning \
+         bench_fig8_real bench_fig9_synthetic; do
+  ./build/bench/$b --benchmark_out=results/$b.json \
+      --benchmark_out_format=json > results/$b.txt 2>&1
+done
+echo ALL_BENCHES_DONE

@@ -1,0 +1,75 @@
+#ifndef TLP_API_SPATIAL_INDEX_H_
+#define TLP_API_SPATIAL_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace tlp {
+
+/// Common interface of every index in this library (2-layer grids, 1-layer
+/// grid, quad-trees, R-trees, BLOCK). Benchmarks and integration tests treat
+/// all indices through this interface.
+///
+/// Contract (filtering step, paper §II-A):
+///  * WindowQuery appends the ids of all objects whose MBR intersects `w`
+///    (closed-interval semantics), each id exactly once, order unspecified.
+///  * DiskQuery appends the ids of all objects whose MBR lies within
+///    (minimum) distance `radius` of `q`, each id exactly once.
+///  * Insert adds one (MBR, id) entry; queries afterwards must reflect it.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  virtual void WindowQuery(const Box& w, std::vector<ObjectId>* out) const = 0;
+  virtual void DiskQuery(const Point& q, Coord radius,
+                         std::vector<ObjectId>* out) const = 0;
+  virtual void Insert(const BoxEntry& entry) = 0;
+
+  /// Approximate main-memory footprint of the index structure in bytes
+  /// (entries + directory; excludes the GeometryStore).
+  virtual std::size_t SizeBytes() const = 0;
+
+  /// Human-readable method name as used in the paper's tables.
+  virtual std::string name() const = 0;
+};
+
+/// Reference implementation of the query contract by exhaustive scan; the
+/// correctness oracle for every index in tests.
+class BruteForceIndex final : public SpatialIndex {
+ public:
+  BruteForceIndex() = default;
+  explicit BruteForceIndex(std::vector<BoxEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override {
+    for (const BoxEntry& e : entries_) {
+      if (e.box.Intersects(w)) out->push_back(e.id);
+    }
+  }
+
+  void DiskQuery(const Point& q, Coord radius,
+                 std::vector<ObjectId>* out) const override {
+    for (const BoxEntry& e : entries_) {
+      if (e.box.MinDistanceTo(q) <= radius) out->push_back(e.id);
+    }
+  }
+
+  void Insert(const BoxEntry& entry) override { entries_.push_back(entry); }
+
+  std::size_t SizeBytes() const override {
+    return entries_.capacity() * sizeof(BoxEntry);
+  }
+
+  std::string name() const override { return "brute-force"; }
+
+ private:
+  std::vector<BoxEntry> entries_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_API_SPATIAL_INDEX_H_

@@ -1,0 +1,174 @@
+#include "batch/batch_executor.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace tlp {
+
+namespace {
+
+/// Per-tile subtask index built by counting sort: subtasks of tile t are the
+/// queries in `query_of[tile_offset[t] .. tile_offset[t+1])`. Counting sort
+/// (not comparison sort) keeps the accumulation step linear in the number of
+/// subtasks, which matters for large batches of large queries.
+struct SubtaskIndex {
+  std::vector<std::size_t> tile_offset;  // size tile_count + 1
+  std::vector<std::uint32_t> query_of;   // size = total subtasks
+};
+
+void BuildSubtasks(const GridLayout& layout, const std::vector<Box>& queries,
+                   SubtaskIndex* index, std::vector<TileRange>* ranges) {
+  ranges->resize(queries.size());
+  index->tile_offset.assign(layout.tile_count() + 1, 0);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    (*ranges)[k] = layout.TilesFor(queries[k]);
+    const TileRange& r = (*ranges)[k];
+    for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+      for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+        ++index->tile_offset[layout.TileId(i, j) + 1];
+      }
+    }
+  }
+  for (std::size_t t = 1; t < index->tile_offset.size(); ++t) {
+    index->tile_offset[t] += index->tile_offset[t - 1];
+  }
+  index->query_of.resize(index->tile_offset.back());
+  std::vector<std::size_t> cursor(index->tile_offset.begin(),
+                                  index->tile_offset.end() - 1);
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    const TileRange& r = (*ranges)[k];
+    for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+      for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+        index->query_of[cursor[layout.TileId(i, j)]++] =
+            static_cast<std::uint32_t>(k);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> BatchExecutor::RunQueriesBased(
+    const TwoLayerGrid& grid, const std::vector<Box>& queries,
+    std::size_t num_threads) {
+  std::vector<std::uint32_t> counts(queries.size(), 0);
+  if (num_threads <= 1) {
+    std::vector<ObjectId> out;
+    for (std::size_t k = 0; k < queries.size(); ++k) {
+      out.clear();
+      grid.WindowQuery(queries[k], &out);
+      counts[k] = static_cast<std::uint32_t>(out.size());
+    }
+    return counts;
+  }
+  ThreadPool pool(num_threads);
+  // Round-robin assignment (paper §VI): thread t evaluates queries
+  // t, t + T, t + 2T, ...
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    pool.Submit([&, t] {
+      std::vector<ObjectId> out;
+      for (std::size_t k = t; k < queries.size(); k += num_threads) {
+        out.clear();
+        grid.WindowQuery(queries[k], &out);
+        counts[k] = static_cast<std::uint32_t>(out.size());
+      }
+    });
+  }
+  pool.Wait();
+  return counts;
+}
+
+std::vector<std::uint32_t> BatchExecutor::RunTilesBased(
+    const TwoLayerGrid& grid, const std::vector<Box>& queries,
+    std::size_t num_threads) {
+  const GridLayout& layout = grid.layout();
+  SubtaskIndex index;
+  std::vector<TileRange> ranges;
+  BuildSubtasks(layout, queries, &index, &ranges);
+
+  std::vector<std::uint32_t> counts(queries.size(), 0);
+  // Processes the subtasks of tiles [tile_begin, tile_end); one reusable
+  // output buffer keeps each tile's secondary partitions hot across all of
+  // its subtasks.
+  auto process = [&](std::size_t tile_begin, std::size_t tile_end,
+                     std::vector<std::uint32_t>& local_counts) {
+    std::vector<ObjectId> out;
+    for (std::size_t t = tile_begin; t < tile_end; ++t) {
+      const std::size_t begin = index.tile_offset[t];
+      const std::size_t end = index.tile_offset[t + 1];
+      if (begin == end) continue;
+      const auto i = static_cast<std::uint32_t>(t % layout.nx());
+      const auto j = static_cast<std::uint32_t>(t / layout.nx());
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::uint32_t q = index.query_of[s];
+        out.clear();
+        grid.WindowQueryTile(i, j, queries[q], ranges[q], &out);
+        local_counts[q] += static_cast<std::uint32_t>(out.size());
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    process(0, layout.tile_count(), counts);
+    return counts;
+  }
+
+  // Partition tiles into spans with balanced subtask counts; a tile is never
+  // shared between threads.
+  const std::size_t total = index.query_of.size();
+  const std::size_t target = (total + num_threads - 1) / num_threads;
+  std::vector<std::size_t> cuts{0};
+  for (std::size_t t = 1; t < num_threads; ++t) {
+    const auto it = std::lower_bound(index.tile_offset.begin(),
+                                     index.tile_offset.end(), t * target);
+    cuts.push_back(static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - index.tile_offset.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     layout.tile_count()))));
+  }
+  cuts.push_back(layout.tile_count());
+
+  std::vector<std::vector<std::uint32_t>> local(
+      cuts.size() - 1, std::vector<std::uint32_t>(queries.size(), 0));
+  ThreadPool pool(num_threads);
+  for (std::size_t t = 0; t + 1 < cuts.size(); ++t) {
+    if (cuts[t] >= cuts[t + 1]) continue;
+    pool.Submit([&, t] { process(cuts[t], cuts[t + 1], local[t]); });
+  }
+  pool.Wait();
+  for (const auto& l : local) {
+    for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += l[k];
+  }
+  return counts;
+}
+
+std::vector<std::vector<ObjectId>> BatchExecutor::CollectQueriesBased(
+    const TwoLayerGrid& grid, const std::vector<Box>& queries) {
+  std::vector<std::vector<ObjectId>> results(queries.size());
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    grid.WindowQuery(queries[k], &results[k]);
+  }
+  return results;
+}
+
+std::vector<std::vector<ObjectId>> BatchExecutor::CollectTilesBased(
+    const TwoLayerGrid& grid, const std::vector<Box>& queries) {
+  const GridLayout& layout = grid.layout();
+  SubtaskIndex index;
+  std::vector<TileRange> ranges;
+  BuildSubtasks(layout, queries, &index, &ranges);
+  std::vector<std::vector<ObjectId>> results(queries.size());
+  for (std::size_t t = 0; t < layout.tile_count(); ++t) {
+    const auto i = static_cast<std::uint32_t>(t % layout.nx());
+    const auto j = static_cast<std::uint32_t>(t / layout.nx());
+    for (std::size_t s = index.tile_offset[t]; s < index.tile_offset[t + 1];
+         ++s) {
+      const std::uint32_t q = index.query_of[s];
+      grid.WindowQueryTile(i, j, queries[q], ranges[q], &results[q]);
+    }
+  }
+  return results;
+}
+
+}  // namespace tlp

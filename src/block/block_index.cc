@@ -1,0 +1,91 @@
+#include "block/block_index.h"
+
+#include <algorithm>
+
+namespace tlp {
+
+BlockIndex::BlockIndex(const Box& domain, int max_level)
+    : domain_(domain), max_level_(max_level) {
+  levels_.reserve(max_level_ + 1);
+  for (int l = 0; l <= max_level_; ++l) {
+    const auto n = static_cast<std::uint32_t>(1u << l);
+    levels_.push_back(Level{GridLayout(domain, n, n), {}});
+    levels_.back().cells.resize(levels_.back().layout.tile_count());
+  }
+}
+
+int BlockIndex::LevelFor(const Box& b) const {
+  // Finest level whose cell still covers the object's extent; the home cell
+  // (of the object's center) then overhangs by at most one cell per side.
+  for (int l = max_level_; l >= 0; --l) {
+    const Level& level = levels_[l];
+    if (b.width() <= level.layout.tile_width() &&
+        b.height() <= level.layout.tile_height()) {
+      return l;
+    }
+  }
+  return 0;
+}
+
+void BlockIndex::Build(const std::vector<BoxEntry>& entries) {
+  for (const BoxEntry& e : entries) Insert(e);
+}
+
+void BlockIndex::Insert(const BoxEntry& entry) {
+  Level& level = levels_[LevelFor(entry.box)];
+  const TileCoord t = level.layout.TileOf(entry.box.center());
+  level.cells[level.layout.TileId(t)].push_back(entry);
+}
+
+void BlockIndex::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
+  for (const Level& level : levels_) {
+    const GridLayout& g = level.layout;
+    TileRange range = g.TilesFor(w);
+    // Expand by one cell per side: an object stored at this level can stick
+    // out of its home cell by at most one cell.
+    if (range.i0 > 0) --range.i0;
+    if (range.j0 > 0) --range.j0;
+    range.i1 = std::min(range.i1 + 1, g.nx() - 1);
+    range.j1 = std::min(range.j1 + 1, g.ny() - 1);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        for (const BoxEntry& e : level.cells[g.TileId(i, j)]) {
+          if (e.box.Intersects(w)) out->push_back(e.id);
+        }
+      }
+    }
+  }
+}
+
+void BlockIndex::DiskQuery(const Point& q, Coord radius,
+                           std::vector<ObjectId>* out) const {
+  for (const Level& level : levels_) {
+    const GridLayout& g = level.layout;
+    const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
+    TileRange range = g.TilesFor(mbr);
+    if (range.i0 > 0) --range.i0;
+    if (range.j0 > 0) --range.j0;
+    range.i1 = std::min(range.i1 + 1, g.nx() - 1);
+    range.j1 = std::min(range.j1 + 1, g.ny() - 1);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        for (const BoxEntry& e : level.cells[g.TileId(i, j)]) {
+          if (e.box.MinDistanceTo(q) <= radius) out->push_back(e.id);
+        }
+      }
+    }
+  }
+}
+
+std::size_t BlockIndex::SizeBytes() const {
+  std::size_t bytes = 0;
+  for (const Level& level : levels_) {
+    bytes += level.cells.capacity() * sizeof(level.cells[0]);
+    for (const auto& cell : level.cells) {
+      bytes += cell.capacity() * sizeof(BoxEntry);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tlp

@@ -1,0 +1,27 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace tlp {
+
+std::int64_t EnvInt64(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+double DatasetScale() { return EnvDouble("TLP_SCALE", 1.0); }
+
+}  // namespace tlp

@@ -1,0 +1,23 @@
+#ifndef TLP_COMMON_ENV_H_
+#define TLP_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tlp {
+
+/// Reads an environment variable as int64, returning `fallback` when unset or
+/// unparsable. Benchmarks use this (TLP_SCALE, TLP_QUERIES, ...) so the whole
+/// suite can be scaled up towards paper-sized runs on bigger machines.
+std::int64_t EnvInt64(const std::string& name, std::int64_t fallback);
+
+/// Reads an environment variable as double with a fallback.
+double EnvDouble(const std::string& name, double fallback);
+
+/// Global dataset scale multiplier (TLP_SCALE, default 1.0). Benchmarks
+/// multiply their default cardinalities by this factor.
+double DatasetScale();
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_ENV_H_

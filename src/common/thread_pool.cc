@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t n = pool.num_threads();
+  if (n <= 1) {
+    body(0, count);
+    return;
+  }
+  // Over-decompose 4x so uneven per-chunk work still balances.
+  const std::size_t chunks = std::min(count, n * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+    const std::size_t end = std::min(count, begin + chunk_size);
+    pool.Submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.Wait();
+}
+
+}  // namespace tlp

@@ -1,0 +1,58 @@
+#ifndef TLP_COMMON_THREAD_POOL_H_
+#define TLP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tlp {
+
+/// Fixed-size worker pool. The paper uses OpenMP; we use std::thread so the
+/// library has no compiler-extension dependency. Used by the batch executors
+/// (§VI) and the distributed-execution simulator.
+///
+/// Not copyable or movable: workers capture `this`.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not themselves block on Wait().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, count) into contiguous chunks and runs `body(begin, end)` for
+/// each chunk on the pool, blocking until all chunks complete. When the pool
+/// has one worker this degenerates to a sequential loop with no queuing.
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#ifndef TLP_COMMON_TIMER_H_
+#define TLP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tlp {
+
+/// Monotonic wall-clock stopwatch used by benchmark harnesses and the
+/// distributed-execution simulator.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_TIMER_H_

@@ -1,0 +1,25 @@
+#ifndef TLP_COMMON_TYPES_H_
+#define TLP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tlp {
+
+/// Coordinate type. The paper normalizes all datasets to [0,1] per dimension;
+/// we use double throughout so TIGER-scale coordinates keep full precision.
+using Coord = double;
+
+/// Identifier of a spatial object. Object geometries are stored once in a
+/// GeometryStore and referenced by id from every index partition (paper §III).
+using ObjectId = std::uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// Dimensions handled by the 2D index family in this library.
+enum class Dim : int { kX = 0, kY = 1 };
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_TYPES_H_

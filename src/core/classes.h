@@ -1,0 +1,70 @@
+#ifndef TLP_CORE_CLASSES_H_
+#define TLP_CORE_CLASSES_H_
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "grid/grid_layout.h"
+
+namespace tlp {
+
+/// The four secondary partitions of a tile (paper §III). For a rectangle r
+/// assigned to tile T with lower corner (T.xl, T.yl):
+///   A: r starts inside T in both dimensions   (T.xl <= r.xl and T.yl <= r.yl)
+///   B: r starts inside T in x, before T in y  (T.xl <= r.xl and T.yl >  r.yl)
+///   C: r starts before T in x, inside T in y  (T.xl >  r.xl and T.yl <= r.yl)
+///   D: r starts before T in both dimensions   (T.xl >  r.xl and T.yl >  r.yl)
+///
+/// A rectangle belongs to class A of exactly one tile (the tile containing
+/// its lower corner) and may appear in classes B/C/D of other tiles.
+enum class ObjectClass : unsigned char { kA = 0, kB = 1, kC = 2, kD = 3 };
+
+inline constexpr int kNumClasses = 4;
+
+/// Classifies rectangle `r` relative to the tile whose lower corner is
+/// `tile_origin`. Two comparisons, as promised in the paper.
+inline ObjectClass ClassifyEntry(const Point& tile_origin, const Box& r) {
+  const bool before_x = tile_origin.x > r.xl;
+  const bool before_y = tile_origin.y > r.yl;
+  return static_cast<ObjectClass>((before_x ? 2 : 0) | (before_y ? 1 : 0));
+}
+
+/// Classifies rectangle `r` relative to tile (i, j) of `grid` using the
+/// grid's own cell mapping. This — not the raw-coordinate ClassifyEntry —
+/// must be used for grid tiles: tile origins are derived by multiplication
+/// and can differ from the floor-based ColumnOf/RowOf mapping by one ulp on
+/// cell boundaries, and classification must agree exactly with tile
+/// assignment for the duplicate-avoidance lemmas to hold.
+inline ObjectClass ClassifyEntryInTile(const GridLayout& grid,
+                                       std::uint32_t i, std::uint32_t j,
+                                       const Box& r) {
+  const bool before_x = grid.ColumnOf(r.xl) < i;
+  const bool before_y = grid.RowOf(r.yl) < j;
+  return static_cast<ObjectClass>((before_x ? 2 : 0) | (before_y ? 1 : 0));
+}
+
+/// Storage segment of a class within a tile's segmented entry vector.
+/// Segments are laid out D|C|B|A: class A is the only class every object
+/// belongs to exactly once (by far the most populated), so putting it last
+/// makes the common-case insert a plain append (cf. TwoLayerGrid::Insert).
+inline constexpr int SegmentOf(ObjectClass c) {
+  return kNumClasses - 1 - static_cast<int>(c);
+}
+
+/// True iff the class starts before the tile in x (classes C and D).
+inline bool StartsBeforeX(ObjectClass c) {
+  return (static_cast<unsigned>(c) & 2u) != 0;
+}
+
+/// True iff the class starts before the tile in y (classes B and D).
+inline bool StartsBeforeY(ObjectClass c) {
+  return (static_cast<unsigned>(c) & 1u) != 0;
+}
+
+inline const char* ClassName(ObjectClass c) {
+  constexpr const char* kNames[kNumClasses] = {"A", "B", "C", "D"};
+  return kNames[static_cast<int>(c)];
+}
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_CLASSES_H_

@@ -1,0 +1,87 @@
+#include "core/convex_range_query.h"
+
+#include <algorithm>
+
+namespace tlp {
+
+namespace {
+
+struct RowRange {
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 0;
+  bool empty() const { return lo > hi; }
+};
+
+}  // namespace
+
+void ConvexRangeQuery(const TwoLayerGrid& grid, const ConvexPolygon& range,
+                      std::vector<ObjectId>* out) {
+  const GridLayout& g = grid.layout();
+  const Box& mbr = range.bounding_box();
+  const TileRange tiles = g.TilesFor(mbr);
+
+  // Per-row contiguous column ranges of tiles touching the region. A tile
+  // row is a horizontal slab; the convex region's x-extent within the slab
+  // is contiguous, and every tile covering part of that extent intersects
+  // the region.
+  const std::uint32_t num_rows = tiles.j1 - tiles.j0 + 1;
+  std::vector<RowRange> rows(num_rows);
+  for (std::uint32_t j = tiles.j0; j <= tiles.j1; ++j) {
+    const Coord row_yl = g.domain().yl + j * g.tile_height();
+    const Coord row_yu = row_yl + g.tile_height();
+    Coord x_min = 0, x_max = 0;
+    if (!range.SlabXExtent(row_yl, row_yu, &x_min, &x_max)) continue;
+    RowRange& row = rows[j - tiles.j0];
+    row.lo = g.ColumnOf(x_min);
+    row.hi = g.ColumnOf(x_max);
+  }
+  std::uint32_t first_row = tiles.j0;
+  while (first_row <= tiles.j1 && rows[first_row - tiles.j0].empty()) {
+    ++first_row;
+  }
+
+  // Row-minimality dedup for classes that start before the tile in y,
+  // exactly as in TwoLayerGrid::DiskQuery.
+  auto seen_in_earlier_row = [&](const Box& b, std::uint32_t j) {
+    const std::uint32_t cj0 = std::max(g.RowOf(b.yl), first_row);
+    const std::uint32_t ci0 = g.ColumnOf(b.xl);
+    const std::uint32_t ci1 = g.ColumnOf(b.xu);
+    for (std::uint32_t jj = cj0; jj < j; ++jj) {
+      const RowRange& rr = rows[jj - tiles.j0];
+      if (!rr.empty() && rr.lo <= ci1 && rr.hi >= ci0) return true;
+    }
+    return false;
+  };
+
+  for (std::uint32_t j = first_row; j <= tiles.j1; ++j) {
+    const RowRange& row = rows[j - tiles.j0];
+    if (row.empty()) break;  // Nonempty rows are contiguous (convexity).
+    const RowRange* prev_row = j > first_row ? &rows[j - 1 - tiles.j0] : nullptr;
+    for (std::uint32_t i = row.lo; i <= row.hi; ++i) {
+      const Box tile_box = g.TileBox(i, j);
+      const bool covered = range.Contains(tile_box);
+      const bool west_missing = i == row.lo;
+      const bool north_missing =
+          prev_row == nullptr || i < prev_row->lo || i > prev_row->hi;
+
+      auto scan = [&](ObjectClass c, bool dedup_rows) {
+        const auto [p, n] = grid.ClassSpan(i, j, c);
+        for (std::size_t s = 0; s < n; ++s) {
+          const BoxEntry& e = p[s];
+          if (!covered && !range.Intersects(e.box)) continue;
+          if (dedup_rows && seen_in_earlier_row(e.box, j)) continue;
+          out->push_back(e.id);
+        }
+      };
+
+      scan(ObjectClass::kA, /*dedup_rows=*/false);
+      if (north_missing) scan(ObjectClass::kB, /*dedup_rows=*/true);
+      if (west_missing) scan(ObjectClass::kC, /*dedup_rows=*/false);
+      if (west_missing && north_missing) {
+        scan(ObjectClass::kD, /*dedup_rows=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace tlp

@@ -1,0 +1,27 @@
+#ifndef TLP_CORE_CONVEX_RANGE_QUERY_H_
+#define TLP_CORE_CONVEX_RANGE_QUERY_H_
+
+#include <vector>
+
+#include "core/two_layer_grid.h"
+#include "geometry/convex.h"
+
+namespace tlp {
+
+/// Generalized non-rectangular range query of paper §IV-E ("the method
+/// described above for disk queries can be generalized for any
+/// non-rectangular query"): finds all objects whose MBR intersects a convex
+/// polygon region, each exactly once, with no deduplication pass.
+///
+/// The evaluation mirrors the disk query: per grid row, the region's tiles
+/// form one contiguous column range (convexity); class C/D partitions are
+/// scanned only in tiles whose west neighbour is outside the region, B/D
+/// only where the north neighbour is outside, with the row-minimality rule
+/// breaking the remaining staircase ties; tiles fully contained in the
+/// region skip all exact tests.
+void ConvexRangeQuery(const TwoLayerGrid& grid, const ConvexPolygon& range,
+                      std::vector<ObjectId>* out);
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_CONVEX_RANGE_QUERY_H_

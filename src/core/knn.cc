@@ -1,0 +1,52 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp {
+
+std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
+                                std::size_t k) {
+  std::vector<KnnResult> results;
+  if (k == 0 || grid.entry_count() == 0) return results;
+
+  const GridLayout& g = grid.layout();
+  const Box& domain = g.domain();
+  // Any point of the domain is within this radius of any query point, so a
+  // disk this large sees every object (queries may lie outside the domain).
+  const Coord max_radius =
+      std::max(std::abs(q.x - domain.xl), std::abs(domain.xu - q.x)) +
+      std::max(std::abs(q.y - domain.yl), std::abs(domain.yu - q.y));
+
+  // Seed radius: a few tiles usually hold enough candidates; grow
+  // geometrically on miss. Every probe is a duplicate-free §IV-E disk
+  // query.
+  Coord radius = 2 * std::max(g.tile_width(), g.tile_height()) *
+                 std::sqrt(static_cast<double>(k));
+  std::vector<BoxEntry> candidates;
+  for (;;) {
+    candidates.clear();
+    grid.DiskQueryEntries(q, radius, &candidates);
+    if (candidates.size() >= k || radius >= max_radius) break;
+    radius = std::min(max_radius, radius * 2);
+  }
+
+  results.reserve(candidates.size());
+  for (const BoxEntry& e : candidates) {
+    results.push_back(KnnResult{e.box.MinDistanceTo(q), e.id});
+  }
+  auto by_distance = [](const KnnResult& a, const KnnResult& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  };
+  if (results.size() > k) {
+    // All candidates within `radius` are present and the k-th smallest
+    // distance is <= radius, so the k smallest are the exact answer.
+    std::nth_element(results.begin(), results.begin() + k, results.end(),
+                     by_distance);
+    results.resize(k);
+  }
+  std::sort(results.begin(), results.end(), by_distance);
+  return results;
+}
+
+}  // namespace tlp

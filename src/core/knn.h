@@ -1,0 +1,36 @@
+#ifndef TLP_CORE_KNN_H_
+#define TLP_CORE_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/two_layer_grid.h"
+
+namespace tlp {
+
+/// One k-nearest-neighbor result: (MBR minimum distance, object id).
+struct KnnResult {
+  Coord distance = 0;
+  ObjectId id = kInvalidObjectId;
+
+  friend bool operator==(const KnnResult& a, const KnnResult& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// k-nearest-neighbor query over a two-layer grid (the paper's §VIII
+/// "future work" query type), at the filtering level: nearest by MBR
+/// minimum distance.
+///
+/// Strategy: duplicate-free expanding disk queries (§IV-E machinery) with
+/// geometrically growing radius, seeded from the grid granularity. Once a
+/// radius returns >= k candidates, the k-th smallest candidate distance
+/// d_k <= radius bounds the true answer, so the first k candidates by
+/// distance are exact. Returns fewer than k results only when the dataset
+/// holds fewer than k objects; ties beyond position k are cut by id order.
+std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
+                                std::size_t k);
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_KNN_H_

@@ -1,0 +1,133 @@
+#include "core/refinement.h"
+
+#include "common/timer.h"
+#include "geometry/geometry.h"
+
+namespace tlp {
+
+bool RefinementEngine::WindowGuaranteed(const Box& r, const Box& w,
+                                        bool x_implied, bool y_implied) {
+  const bool covered_x = (x_implied || w.xl <= r.xl) && r.xu <= w.xu;
+  if (covered_x) return true;
+  const bool covered_y = (y_implied || w.yl <= r.yl) && r.yu <= w.yu;
+  return covered_y;
+}
+
+bool RefinementEngine::DiskGuaranteed(const Box& r, const Point& q,
+                                      Coord radius) {
+  const Point corners[4] = {Point{r.xl, r.yl}, Point{r.xu, r.yl},
+                            Point{r.xl, r.yu}, Point{r.xu, r.yu}};
+  int inside = 0;
+  for (const Point& c : corners) {
+    const Coord dx = c.x - q.x;
+    const Coord dy = c.y - q.y;
+    if (dx * dx + dy * dy <= radius * radius) {
+      if (++inside == 2) return true;
+    }
+  }
+  return false;
+}
+
+void RefinementEngine::WindowQueryExact(const Box& w, RefinementMode mode,
+                                        std::vector<ObjectId>* out,
+                                        RefinementBreakdown* breakdown) const {
+  RefinementBreakdown local;
+  RefinementBreakdown& bd = breakdown != nullptr ? *breakdown : local;
+  Stopwatch watch;
+
+  if (mode == RefinementMode::kSimple) {
+    std::vector<ObjectId> candidates;
+    grid_->WindowQuery(w, &candidates);
+    bd.filter_seconds += watch.ElapsedSeconds();
+    bd.candidates += candidates.size();
+
+    watch.Reset();
+    for (const ObjectId id : candidates) {
+      if (GeometryIntersectsBox(store_->geometry(id), w)) out->push_back(id);
+      ++bd.refined;
+    }
+    bd.refine_seconds += watch.ElapsedSeconds();
+    bd.results = out->size();
+    return;
+  }
+
+  const bool use_implied = mode == RefinementMode::kRefAvoidPlus;
+  std::vector<Candidate> candidates;
+  grid_->WindowCandidates(w, &candidates);
+  bd.filter_seconds += watch.ElapsedSeconds();
+  bd.candidates += candidates.size();
+
+  // Secondary filtering: split candidates into guaranteed results and ones
+  // that still need the exact test.
+  watch.Reset();
+  std::vector<ObjectId> to_refine;
+  for (const Candidate& c : candidates) {
+    if (WindowGuaranteed(c.box, w, use_implied && c.x_start_implied,
+                         use_implied && c.y_start_implied)) {
+      out->push_back(c.id);
+      ++bd.guaranteed;
+    } else {
+      to_refine.push_back(c.id);
+    }
+  }
+  bd.secondary_seconds += watch.ElapsedSeconds();
+
+  watch.Reset();
+  for (const ObjectId id : to_refine) {
+    if (GeometryIntersectsBox(store_->geometry(id), w)) out->push_back(id);
+    ++bd.refined;
+  }
+  bd.refine_seconds += watch.ElapsedSeconds();
+  bd.results = out->size();
+}
+
+void RefinementEngine::DiskQueryExact(const Point& q, Coord radius,
+                                      RefinementMode mode,
+                                      std::vector<ObjectId>* out,
+                                      RefinementBreakdown* breakdown) const {
+  RefinementBreakdown local;
+  RefinementBreakdown& bd = breakdown != nullptr ? *breakdown : local;
+  Stopwatch watch;
+
+  std::vector<ObjectId> candidates;
+  grid_->DiskQuery(q, radius, &candidates);
+  bd.filter_seconds += watch.ElapsedSeconds();
+  bd.candidates += candidates.size();
+
+  if (mode == RefinementMode::kSimple) {
+    watch.Reset();
+    for (const ObjectId id : candidates) {
+      if (GeometryIntersectsDisk(store_->geometry(id), q, radius)) {
+        out->push_back(id);
+      }
+      ++bd.refined;
+    }
+    bd.refine_seconds += watch.ElapsedSeconds();
+    bd.results = out->size();
+    return;
+  }
+
+  watch.Reset();
+  std::vector<ObjectId> to_refine;
+  for (const ObjectId id : candidates) {
+    if (DiskGuaranteed(store_->mbr(id), q, radius)) {
+      out->push_back(id);
+      ++bd.guaranteed;
+    } else {
+      to_refine.push_back(id);
+    }
+  }
+  bd.secondary_seconds += watch.ElapsedSeconds();
+
+  watch.Reset();
+  for (const ObjectId id : to_refine) {
+    if (GeometryIntersectsDisk(store_->geometry(id), q, radius)) {
+      out->push_back(id);
+    }
+    ++bd.refined;
+  }
+  bd.refine_seconds += watch.ElapsedSeconds();
+  bd.results = out->size();
+}
+
+}  // namespace tlp

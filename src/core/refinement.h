@@ -1,0 +1,78 @@
+#ifndef TLP_CORE_REFINEMENT_H_
+#define TLP_CORE_REFINEMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/two_layer_grid.h"
+#include "geometry/geometry_store.h"
+
+namespace tlp {
+
+/// The three refinement strategies of the paper's Fig. 6 experiment.
+enum class RefinementMode {
+  /// Every candidate from the filtering step goes through the exact
+  /// geometry test.
+  kSimple,
+  /// Lemma 5 secondary filtering: a candidate whose MBR has a full side
+  /// inside the query range is guaranteed to intersect it; only the rest
+  /// are refined.
+  kRefAvoid,
+  /// RefAvoid plus the §V class-aware shortcut: comparisons already implied
+  /// by the accessed secondary partition are skipped. Windows only.
+  kRefAvoidPlus,
+};
+
+/// Per-phase wall-clock breakdown accumulated over a query batch (Fig. 6).
+struct RefinementBreakdown {
+  double filter_seconds = 0;     // filtering step (index scan)
+  double secondary_seconds = 0;  // Lemma 5 MBR tests
+  double refine_seconds = 0;     // exact geometry tests
+  std::size_t candidates = 0;    // MBRs passing the filtering step
+  std::size_t guaranteed = 0;    // accepted by Lemma 5 without refinement
+  std::size_t refined = 0;       // candidates that needed the exact test
+  std::size_t results = 0;       // exact query results
+
+  double total_seconds() const {
+    return filter_seconds + secondary_seconds + refine_seconds;
+  }
+};
+
+/// Evaluates exact (filter + refine) range queries over a two-layer grid and
+/// the geometry store holding the exact object representations.
+class RefinementEngine {
+ public:
+  RefinementEngine(const TwoLayerGrid& grid, const GeometryStore& store)
+      : grid_(&grid), store_(&store) {}
+
+  /// Exact window query. Appends ids of objects whose geometry intersects
+  /// `w`; accumulates phase timings into `breakdown` when non-null.
+  void WindowQueryExact(const Box& w, RefinementMode mode,
+                        std::vector<ObjectId>* out,
+                        RefinementBreakdown* breakdown = nullptr) const;
+
+  /// Exact disk query (kRefAvoidPlus is not applicable; it falls back to
+  /// kRefAvoid, as in the paper).
+  void DiskQueryExact(const Point& q, Coord radius, RefinementMode mode,
+                      std::vector<ObjectId>* out,
+                      RefinementBreakdown* breakdown = nullptr) const;
+
+  /// Lemma 5 for windows: true iff MBR `r` (known to intersect `w`) has a
+  /// whole side inside `w`, i.e., one of its projections is covered by the
+  /// corresponding projection of `w`. `x_implied`/`y_implied` skip the
+  /// lower-bound comparison the two-layer evaluation already implies (§V).
+  static bool WindowGuaranteed(const Box& r, const Box& w, bool x_implied,
+                               bool y_implied);
+
+  /// Lemma 5 for disks: true iff at least two corners of `r` are within
+  /// `radius` of `q` (then a whole MBR side lies inside the disk).
+  static bool DiskGuaranteed(const Box& r, const Point& q, Coord radius);
+
+ private:
+  const TwoLayerGrid* grid_;
+  const GeometryStore* store_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_REFINEMENT_H_

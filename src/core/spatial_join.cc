@@ -1,0 +1,92 @@
+#include "core/spatial_join.h"
+
+#include <cassert>
+
+namespace tlp {
+
+namespace {
+
+/// True iff a pair from classes (cl, cr) can be the non-duplicate copy of a
+/// result in this tile: at least one of the two starts inside the tile in
+/// each dimension (the pair's intersection corner then lies here).
+bool ClassPairAllowed(ObjectClass cl, ObjectClass cr) {
+  if (StartsBeforeX(cl) && StartsBeforeX(cr)) return false;
+  if (StartsBeforeY(cl) && StartsBeforeY(cr)) return false;
+  return true;
+}
+
+void JoinSpans(const BoxEntry* l, std::size_t nl, const BoxEntry* r,
+               std::size_t nr, std::vector<JoinPair>* out) {
+  for (std::size_t a = 0; a < nl; ++a) {
+    const Box& lb = l[a].box;
+    for (std::size_t b = 0; b < nr; ++b) {
+      if (lb.Intersects(r[b].box)) {
+        out->push_back(JoinPair{l[a].id, r[b].id});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinPair> TwoLayerJoin::Join(const TwoLayerGrid& left,
+                                         const TwoLayerGrid& right) {
+  const GridLayout& g = left.layout();
+  assert(g.nx() == right.layout().nx() && g.ny() == right.layout().ny());
+  std::vector<JoinPair> out;
+  for (std::uint32_t j = 0; j < g.ny(); ++j) {
+    for (std::uint32_t i = 0; i < g.nx(); ++i) {
+      for (int cl = 0; cl < kNumClasses; ++cl) {
+        const auto [lp, ln] =
+            left.ClassSpan(i, j, static_cast<ObjectClass>(cl));
+        if (ln == 0) continue;
+        for (int cr = 0; cr < kNumClasses; ++cr) {
+          if (!ClassPairAllowed(static_cast<ObjectClass>(cl),
+                                static_cast<ObjectClass>(cr))) {
+            continue;
+          }
+          const auto [rp, rn] =
+              right.ClassSpan(i, j, static_cast<ObjectClass>(cr));
+          if (rn == 0) continue;
+          JoinSpans(lp, ln, rp, rn, &out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<JoinPair> TwoLayerJoin::JoinReferencePoint(
+    const TwoLayerGrid& left, const TwoLayerGrid& right) {
+  const GridLayout& g = left.layout();
+  assert(g.nx() == right.layout().nx() && g.ny() == right.layout().ny());
+  std::vector<JoinPair> out;
+  for (std::uint32_t j = 0; j < g.ny(); ++j) {
+    for (std::uint32_t i = 0; i < g.nx(); ++i) {
+      // All classes on both sides, followed by the reference-point test on
+      // each candidate pair (the classic PBSM-style dedup [9]).
+      for (int cl = 0; cl < kNumClasses; ++cl) {
+        const auto [lp, ln] =
+            left.ClassSpan(i, j, static_cast<ObjectClass>(cl));
+        for (std::size_t a = 0; a < ln; ++a) {
+          for (int cr = 0; cr < kNumClasses; ++cr) {
+            const auto [rp, rn] =
+                right.ClassSpan(i, j, static_cast<ObjectClass>(cr));
+            for (std::size_t b = 0; b < rn; ++b) {
+              const Box& lb = lp[a].box;
+              const Box& rb = rp[b].box;
+              if (!lb.Intersects(rb)) continue;
+              const Point ref = ReferencePoint(lb, rb);
+              if (g.ColumnOf(ref.x) == i && g.RowOf(ref.y) == j) {
+                out.push_back(JoinPair{lp[a].id, rp[b].id});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tlp

@@ -1,0 +1,305 @@
+#include "core/two_layer_grid.h"
+
+#include <cmath>
+
+#include "grid/scan.h"
+
+namespace tlp {
+
+TwoLayerGrid::TwoLayerGrid(const GridLayout& layout)
+    : layout_(layout), tiles_(layout.tile_count()) {}
+
+void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries) {
+  // Pass 1: count entries per (tile, class) so each tile allocates exactly
+  // once and classes end up contiguous.
+  std::vector<std::array<std::uint32_t, kNumClasses>> counts(tiles_.size(),
+                                                             {0, 0, 0, 0});
+  for (const BoxEntry& e : entries) {
+    const TileRange range = layout_.TilesFor(e.box);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        const ObjectClass c = ClassifyEntryInTile(layout_, i, j, e.box);
+        ++counts[layout_.TileId(i, j)][SegmentOf(c)];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    Tile& tile = tiles_[t];
+    std::uint32_t total = 0;
+    for (int c = 0; c < kNumClasses; ++c) {
+      tile.begin[c] = total;
+      total += counts[t][c];
+    }
+    tile.begin[kNumClasses] = total;
+    tile.entries.resize(total);
+  }
+  // Pass 2: place entries at per-(tile, class) cursors.
+  std::vector<std::array<std::uint32_t, kNumClasses>> cursors(
+      tiles_.size(), {0, 0, 0, 0});
+  for (const BoxEntry& e : entries) {
+    const TileRange range = layout_.TilesFor(e.box);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        const std::size_t t = layout_.TileId(i, j);
+        const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, e.box));
+        Tile& tile = tiles_[t];
+        tile.entries[tile.begin[seg] + cursors[t][seg]++] = e;
+      }
+    }
+  }
+}
+
+void TwoLayerGrid::Insert(const BoxEntry& entry) {
+  const TileRange range = layout_.TilesFor(entry.box);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      Tile& tile = tiles_[layout_.TileId(i, j)];
+      const int seg =
+          SegmentOf(ClassifyEntryInTile(layout_, i, j, entry.box));
+      // O(1) insertion into the segmented vector: grow by one slot, then
+      // relocate only the first element of each later segment to its
+      // segment's new end (order within a segment does not matter). With
+      // the D|C|B|A layout, the dominant class-A case is a plain append,
+      // keeping grid updates as cheap as the 1-layer baseline's (Table VI).
+      auto& v = tile.entries;
+      v.push_back(entry);
+      for (int k = kNumClasses; k > seg + 1; --k) {
+        v[tile.begin[k]] = v[tile.begin[k - 1]];
+      }
+      v[tile.begin[seg + 1]] = entry;
+      for (int k = seg + 1; k <= kNumClasses; ++k) ++tile.begin[k];
+    }
+  }
+}
+
+bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
+  const TileRange range = layout_.TilesFor(box);
+  bool found = false;
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      Tile& tile = tiles_[layout_.TileId(i, j)];
+      const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, box));
+      auto& v = tile.entries;
+      for (std::uint32_t k = tile.begin[seg]; k < tile.begin[seg + 1]; ++k) {
+        if (v[k].id != id) continue;
+        // Swap-remove within the segment, then close the one-slot gap by
+        // rotating each later segment's last element into its front
+        // (inverse of the Insert relocation).
+        v[k] = v[tile.begin[seg + 1] - 1];
+        for (int t = seg + 1; t < kNumClasses; ++t) {
+          v[tile.begin[t] - 1] = v[tile.begin[t + 1] - 1];
+        }
+        v.pop_back();
+        for (int t = seg + 1; t <= kNumClasses; ++t) --tile.begin[t];
+        found = true;
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+template <typename Emit>
+void TwoLayerGrid::ScanTile(const Tile& tile, const Box& w, unsigned base_mask,
+                            bool first_col, bool first_row,
+                            Emit&& emit) const {
+  const BoxEntry* data = tile.entries.data();
+  auto class_span = [&](ObjectClass c, const BoxEntry*& p, std::size_t& n) {
+    const int k = SegmentOf(c);
+    p = data + tile.begin[k];
+    n = tile.begin[k + 1] - tile.begin[k];
+  };
+  const BoxEntry* p = nullptr;
+  std::size_t n = 0;
+
+  // Class A is always relevant (Lemmas 1-2 never exclude it).
+  class_span(ObjectClass::kA, p, n);
+  ScanPartitionDispatch(base_mask, p, n, w, emit);
+
+  // Class B (starts before the tile in y) is relevant only in the window's
+  // first row (Lemma 2). Its r.yl < T.yl <= W.yl makes the upper-end y
+  // comparison redundant (cf. Table II).
+  if (first_row) {
+    class_span(ObjectClass::kB, p, n);
+    ScanPartitionDispatch(base_mask & ~kCmpYlLeWyu, p, n, w, emit);
+  }
+  // Class C: only in the first column (Lemma 1); x upper-end comparison is
+  // redundant.
+  if (first_col) {
+    class_span(ObjectClass::kC, p, n);
+    ScanPartitionDispatch(base_mask & ~kCmpXlLeWxu, p, n, w, emit);
+  }
+  // Class D: only in the single tile containing the window's start corner.
+  if (first_col && first_row) {
+    class_span(ObjectClass::kD, p, n);
+    ScanPartitionDispatch(base_mask & ~(kCmpXlLeWxu | kCmpYlLeWyu), p, n, w,
+                          emit);
+  }
+}
+
+void TwoLayerGrid::WindowQueryTile(std::uint32_t i, std::uint32_t j,
+                                   const Box& w, const TileRange& range,
+                                   std::vector<ObjectId>* out) const {
+  const Tile& tile = tiles_[layout_.TileId(i, j)];
+  if (tile.empty()) return;
+  const bool first_col = i == range.i0;
+  const bool first_row = j == range.j0;
+  const unsigned mask =
+      TileComparisonMask(first_col, i == range.i1, first_row, j == range.j1);
+  ScanTile(tile, w, mask, first_col, first_row,
+           [&](const BoxEntry& e) { out->push_back(e.id); });
+}
+
+void TwoLayerGrid::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
+  const TileRange range = layout_.TilesFor(w);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      WindowQueryTile(i, j, w, range, out);
+    }
+  }
+}
+
+void TwoLayerGrid::WindowCandidates(const Box& w,
+                                    std::vector<Candidate>* out) const {
+  const TileRange range = layout_.TilesFor(w);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      const Tile& tile = tiles_[layout_.TileId(i, j)];
+      if (tile.empty()) continue;
+      const bool first_col = i == range.i0;
+      const bool first_row = j == range.j0;
+      const unsigned mask = TileComparisonMask(first_col, i == range.i1,
+                                               first_row, j == range.j1);
+      // In a non-first column only classes starting inside the tile in x are
+      // accessed, so W.xl < r.xl is implied for every candidate; likewise
+      // for rows (paper §V).
+      const bool x_implied = !first_col;
+      const bool y_implied = !first_row;
+      ScanTile(tile, w, mask, first_col, first_row, [&](const BoxEntry& e) {
+        out->push_back(Candidate{e.id, e.box, x_implied, y_implied});
+      });
+    }
+  }
+}
+
+template <typename Emit>
+void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
+                                     Emit&& emit) const {
+  const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
+  const TileRange range = layout_.TilesFor(mbr);
+
+  // Per-row contiguous column ranges of tiles touching the disk (the tile
+  // set S of §IV-E). Row j's nearest y-distance to q decides how far the
+  // disk extends in x within that row.
+  const std::uint32_t num_rows = range.j1 - range.j0 + 1;
+  std::vector<RowRange> rows(num_rows);
+  const Coord r2 = radius * radius;
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    const Coord row_yl = layout_.domain().yl + j * layout_.tile_height();
+    const Coord row_yu = row_yl + layout_.tile_height();
+    const Coord dy = std::max({row_yl - q.y, Coord{0}, q.y - row_yu});
+    if (dy > radius) continue;  // Row misses the disk: range stays empty.
+    const Coord half_width = std::sqrt(std::max(Coord{0}, r2 - dy * dy));
+    RowRange& row = rows[j - range.j0];
+    row.lo = layout_.ColumnOf(q.x - half_width);
+    row.hi = layout_.ColumnOf(q.x + half_width);
+  }
+  std::uint32_t first_row = range.j0;
+  while (first_row <= range.j1 && rows[first_row - range.j0].empty()) {
+    ++first_row;
+  }
+
+  // Examined in an earlier row of S? Classes that start before the tile in y
+  // (B, D) use this to report each object exactly once: the object is
+  // handled in the row-major-minimal tile of S it overlaps.
+  auto seen_in_earlier_row = [&](const Box& b, std::uint32_t j) {
+    const std::uint32_t cj0 = std::max(layout_.RowOf(b.yl), first_row);
+    const std::uint32_t ci0 = layout_.ColumnOf(b.xl);
+    const std::uint32_t ci1 = layout_.ColumnOf(b.xu);
+    for (std::uint32_t jj = cj0; jj < j; ++jj) {
+      const RowRange& rr = rows[jj - range.j0];
+      if (!rr.empty() && rr.lo <= ci1 && rr.hi >= ci0) return true;
+    }
+    return false;
+  };
+
+  for (std::uint32_t j = first_row; j <= range.j1; ++j) {
+    const RowRange& row = rows[j - range.j0];
+    if (row.empty()) break;  // Nonempty rows are contiguous.
+    const RowRange* prev_row =
+        j > first_row ? &rows[j - 1 - range.j0] : nullptr;
+    for (std::uint32_t i = row.lo; i <= row.hi; ++i) {
+      const Tile& tile = tiles_[layout_.TileId(i, j)];
+      if (tile.empty()) continue;
+      const Box tile_box = layout_.TileBox(i, j);
+      // Tiles totally covered by the disk skip all distance verification
+      // (§IV-E).
+      const bool covered = tile_box.MaxDistanceTo(q) <= radius;
+      const bool west_missing = i == row.lo;
+      const bool north_missing =
+          prev_row == nullptr || i < prev_row->lo || i > prev_row->hi;
+
+      const BoxEntry* data = tile.entries.data();
+      auto scan = [&](ObjectClass c, bool dedup_rows) {
+        const int k = SegmentOf(c);
+        const BoxEntry* p = data + tile.begin[k];
+        const std::size_t n = tile.begin[k + 1] - tile.begin[k];
+        for (std::size_t s = 0; s < n; ++s) {
+          const BoxEntry& e = p[s];
+          if (!covered && e.box.MinDistanceTo(q) > radius) continue;
+          if (dedup_rows && seen_in_earlier_row(e.box, j)) continue;
+          emit(e);
+        }
+      };
+
+      scan(ObjectClass::kA, /*dedup_rows=*/false);
+      if (north_missing) scan(ObjectClass::kB, /*dedup_rows=*/true);
+      if (west_missing) scan(ObjectClass::kC, /*dedup_rows=*/false);
+      if (west_missing && north_missing) {
+        scan(ObjectClass::kD, /*dedup_rows=*/true);
+      }
+    }
+  }
+}
+
+void TwoLayerGrid::DiskQuery(const Point& q, Coord radius,
+                             std::vector<ObjectId>* out) const {
+  ForEachDiskResult(q, radius,
+                    [&](const BoxEntry& e) { out->push_back(e.id); });
+}
+
+void TwoLayerGrid::DiskQueryEntries(const Point& q, Coord radius,
+                                    std::vector<BoxEntry>* out) const {
+  ForEachDiskResult(q, radius, [&](const BoxEntry& e) { out->push_back(e); });
+}
+
+std::size_t TwoLayerGrid::SizeBytes() const {
+  std::size_t bytes = tiles_.capacity() * sizeof(Tile);
+  for (const Tile& tile : tiles_) {
+    bytes += tile.entries.capacity() * sizeof(BoxEntry);
+  }
+  return bytes;
+}
+
+std::size_t TwoLayerGrid::entry_count() const {
+  std::size_t n = 0;
+  for (const Tile& tile : tiles_) n += tile.entries.size();
+  return n;
+}
+
+std::size_t TwoLayerGrid::ClassCount(std::uint32_t i, std::uint32_t j,
+                                     ObjectClass c) const {
+  const Tile& tile = tiles_[layout_.TileId(i, j)];
+  const int k = SegmentOf(c);
+  return tile.begin[k + 1] - tile.begin[k];
+}
+
+std::pair<const BoxEntry*, std::size_t> TwoLayerGrid::ClassSpan(
+    std::uint32_t i, std::uint32_t j, ObjectClass c) const {
+  const Tile& tile = tiles_[layout_.TileId(i, j)];
+  const int k = SegmentOf(c);
+  return {tile.entries.data() + tile.begin[k],
+          tile.begin[k + 1] - tile.begin[k]};
+}
+
+}  // namespace tlp

@@ -1,0 +1,126 @@
+#ifndef TLP_CORE_TWO_LAYER_GRID_H_
+#define TLP_CORE_TWO_LAYER_GRID_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "core/classes.h"
+#include "grid/grid_layout.h"
+
+namespace tlp {
+
+/// A candidate produced by the filtering step, annotated with what the
+/// two-layer evaluation already knows about it (paper §V "efficient
+/// secondary filtering"): when the window starts before the candidate's tile
+/// in dimension d, only classes that start inside the tile in d were
+/// accessed, so W.dl < r.dl is implied and RefAvoid+ can skip that
+/// comparison.
+struct Candidate {
+  ObjectId id = kInvalidObjectId;
+  Box box;
+  bool x_start_implied = false;  // W.xl < r.xl is known without comparing
+  bool y_start_implied = false;  // W.yl < r.yl is known without comparing
+};
+
+/// The paper's contribution (§III, §IV): a regular grid whose tiles are
+/// secondarily partitioned into classes A/B/C/D. Window queries access, per
+/// tile, only the classes that cannot produce duplicates (Lemmas 1-2) with
+/// at most one comparison per dimension (Lemmas 3-4, Corollary 1); no
+/// deduplication step ever runs. Disk queries follow §IV-E.
+class TwoLayerGrid final : public SpatialIndex {
+ public:
+  explicit TwoLayerGrid(const GridLayout& layout);
+
+  /// Bulk-loads with two passes (count, then place); entries within a tile
+  /// end up grouped contiguously as A|B|C|D.
+  void Build(const std::vector<BoxEntry>& entries);
+
+  void Insert(const BoxEntry& entry) override;
+
+  /// Removes the object `id` with bounding box `box` (the box must be the
+  /// one it was inserted with; it locates the replicas). Returns false if
+  /// no such entry exists. O(tile occupancy) per touched tile.
+  bool Delete(ObjectId id, const Box& box);
+
+  void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
+
+  /// Filtering step that also reports the §V implied-comparison flags; input
+  /// of the RefAvoid+ secondary filter.
+  void WindowCandidates(const Box& w, std::vector<Candidate>* out) const;
+
+  void DiskQuery(const Point& q, Coord radius,
+                 std::vector<ObjectId>* out) const override;
+
+  /// Disk query returning the full (MBR, id) entries instead of bare ids;
+  /// used by consumers that rank candidates by distance (e.g., KnnQuery).
+  void DiskQueryEntries(const Point& q, Coord radius,
+                        std::vector<BoxEntry>* out) const;
+
+  /// Evaluates the window `w` on a single tile (i, j), given the full tile
+  /// range of `w`. Exposed for the tiles-based batch executor (§VI), which
+  /// regroups per-tile subtasks across many queries.
+  void WindowQueryTile(std::uint32_t i, std::uint32_t j, const Box& w,
+                       const TileRange& range,
+                       std::vector<ObjectId>* out) const;
+
+  std::size_t SizeBytes() const override;
+  std::string name() const override { return "2-layer"; }
+
+  const GridLayout& layout() const { return layout_; }
+
+  /// Total number of stored (MBR, id) entries, replicas included. Same value
+  /// as the equally-partitioned 1-layer grid (paper §VII-B).
+  std::size_t entry_count() const;
+
+  /// Number of entries of `c` in tile (i, j); exposed for tests.
+  std::size_t ClassCount(std::uint32_t i, std::uint32_t j,
+                         ObjectClass c) const;
+
+  /// Read-only view of the secondary partition T^c of tile (i, j) as a
+  /// (pointer, length) span; used by the spatial-join module and tests.
+  std::pair<const BoxEntry*, std::size_t> ClassSpan(std::uint32_t i,
+                                                    std::uint32_t j,
+                                                    ObjectClass c) const;
+
+ private:
+  /// A tile's entries, grouped into class segments laid out D|C|B|A;
+  /// segment s occupies [begin[s], begin[s+1]) within `entries` and class c
+  /// lives in segment SegmentOf(c). Class A sits last so the common-case
+  /// insert is an append.
+  struct Tile {
+    std::vector<BoxEntry> entries;
+    std::array<std::uint32_t, kNumClasses + 1> begin = {0, 0, 0, 0, 0};
+
+    bool empty() const { return entries.empty(); }
+  };
+
+  /// Runs the §IV-B masked scans over the relevant classes of one tile.
+  /// `emit(entry)` receives every reported entry.
+  template <typename Emit>
+  void ScanTile(const Tile& tile, const Box& w, unsigned base_mask,
+                bool first_col, bool first_row, Emit&& emit) const;
+
+  /// Shared §IV-E disk evaluation core: calls `emit(entry)` exactly once for
+  /// every entry whose MBR lies within `radius` of `q`.
+  template <typename Emit>
+  void ForEachDiskResult(const Point& q, Coord radius, Emit&& emit) const;
+
+  /// Per-row column ranges of tiles intersecting the disk (§IV-E); rows with
+  /// lo > hi do not touch the disk.
+  struct RowRange {
+    std::uint32_t lo = 1;
+    std::uint32_t hi = 0;
+    bool empty() const { return lo > hi; }
+  };
+
+  GridLayout layout_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_TWO_LAYER_GRID_H_

@@ -1,0 +1,252 @@
+#ifndef TLP_CORE_TWO_LAYER_GRID_ND_H_
+#define TLP_CORE_TWO_LAYER_GRID_ND_H_
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tlp {
+
+/// §IV-D of the paper: "our secondary partitioning scheme can directly be
+/// used for minimum bounding boxes (MBBs) of arbitrary dimensionality m. In
+/// a nutshell, we need 2^m classes...". This header implements that
+/// generalization as a dimension-templated two-layer grid.
+///
+/// Class encoding: bit d of a class id is set iff the box starts *before*
+/// the tile in dimension d; class 0 is the m-dimensional analogue of class
+/// A. The generalized Lemmas 1-2 prune class m in a tile T whenever some
+/// set bit d of m has the window starting before T in dimension d; the
+/// generalized Lemmas 3-4 reduce comparisons to at most one per dimension
+/// on the range border.
+
+/// Axis-aligned box in `Dims` dimensions with closed intervals.
+template <int Dims>
+struct BoxNd {
+  std::array<Coord, Dims> lo{};
+  std::array<Coord, Dims> hi{};
+
+  bool Intersects(const BoxNd& o) const {
+    for (int d = 0; d < Dims; ++d) {
+      if (lo[d] > o.hi[d] || hi[d] < o.lo[d]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const BoxNd& a, const BoxNd& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// An (MBB, id) pair, the unit of storage.
+template <int Dims>
+struct BoxEntryNd {
+  BoxNd<Dims> box;
+  ObjectId id = kInvalidObjectId;
+};
+
+/// Regular grid geometry over an m-dimensional domain with the same
+/// floor-based half-open cell mapping as the 2D GridLayout; tile assignment,
+/// query ranges, and classification all share it.
+template <int Dims>
+class GridLayoutNd {
+ public:
+  GridLayoutNd(const BoxNd<Dims>& domain,
+               const std::array<std::uint32_t, Dims>& cells_per_dim)
+      : domain_(domain), cells_(cells_per_dim) {
+    std::size_t total = 1;
+    for (int d = 0; d < Dims; ++d) {
+      assert(cells_[d] >= 1);
+      const Coord width = domain_.hi[d] - domain_.lo[d];
+      assert(width > 0);
+      inv_cell_w_[d] = cells_[d] / width;
+      stride_[d] = total;
+      total *= cells_[d];
+    }
+    tile_count_ = total;
+  }
+
+  std::size_t tile_count() const { return tile_count_; }
+  std::uint32_t cells(int d) const { return cells_[d]; }
+  const BoxNd<Dims>& domain() const { return domain_; }
+
+  /// Cell index of coordinate `x` along dimension `d`, clamped.
+  std::uint32_t CellOf(int d, Coord x) const {
+    const Coord rel = (x - domain_.lo[d]) * inv_cell_w_[d];
+    if (rel <= 0) return 0;
+    const auto c = static_cast<std::int64_t>(rel);
+    return static_cast<std::uint32_t>(
+        std::min<std::int64_t>(c, static_cast<std::int64_t>(cells_[d]) - 1));
+  }
+
+  std::size_t TileId(const std::array<std::uint32_t, Dims>& cell) const {
+    std::size_t id = 0;
+    for (int d = 0; d < Dims; ++d) id += cell[d] * stride_[d];
+    return id;
+  }
+
+  /// Inclusive per-dimension cell ranges of the tiles a box touches.
+  void RangesFor(const BoxNd<Dims>& b,
+                 std::array<std::uint32_t, Dims>* first,
+                 std::array<std::uint32_t, Dims>* last) const {
+    for (int d = 0; d < Dims; ++d) {
+      (*first)[d] = CellOf(d, b.lo[d]);
+      (*last)[d] = CellOf(d, b.hi[d]);
+    }
+  }
+
+ private:
+  BoxNd<Dims> domain_;
+  std::array<std::uint32_t, Dims> cells_;
+  std::array<Coord, Dims> inv_cell_w_{};
+  std::array<std::size_t, Dims> stride_{};
+  std::size_t tile_count_ = 0;
+};
+
+/// m-dimensional two-layer grid: each tile's entries are segmented into the
+/// 2^m classes of §IV-D; window queries access per tile only the classes
+/// that cannot produce duplicates and perform at most one comparison per
+/// dimension per entry.
+template <int Dims>
+class TwoLayerGridNd {
+ public:
+  static constexpr int kClasses = 1 << Dims;
+
+  explicit TwoLayerGridNd(const GridLayoutNd<Dims>& layout)
+      : layout_(layout), tiles_(layout.tile_count()) {}
+
+  /// Bulk-loads the grid (replication into every touched tile).
+  void Build(const std::vector<BoxEntryNd<Dims>>& entries) {
+    for (const auto& e : entries) Insert(e);
+  }
+
+  void Insert(const BoxEntryNd<Dims>& entry) {
+    std::array<std::uint32_t, Dims> first{}, last{}, cell{};
+    layout_.RangesFor(entry.box, &first, &last);
+    cell = first;
+    for (;;) {
+      Tile& tile = tiles_[layout_.TileId(cell)];
+      const int seg = SegmentOfClass(ClassOf(cell, first));
+      // O(1) segmented insert, as in the 2D grid: relocate one boundary
+      // element per later segment.
+      auto& v = tile.entries;
+      v.push_back(entry);
+      for (int k = kClasses; k > seg + 1; --k) {
+        v[tile.begin[k]] = v[tile.begin[k - 1]];
+      }
+      v[tile.begin[seg + 1]] = entry;
+      for (int k = seg + 1; k <= kClasses; ++k) ++tile.begin[k];
+      if (!AdvanceOdometer(&cell, first, last)) break;
+    }
+  }
+
+  /// Window query: appends each intersecting id exactly once.
+  void WindowQuery(const BoxNd<Dims>& w, std::vector<ObjectId>* out) const {
+    std::array<std::uint32_t, Dims> first{}, last{}, cell{};
+    layout_.RangesFor(w, &first, &last);
+    cell = first;
+    for (;;) {
+      const Tile& tile = tiles_[layout_.TileId(cell)];
+      if (!tile.entries.empty()) ScanTile(tile, cell, first, last, w, out);
+      if (!AdvanceOdometer(&cell, first, last)) break;
+    }
+  }
+
+  std::size_t entry_count() const {
+    std::size_t n = 0;
+    for (const Tile& t : tiles_) n += t.entries.size();
+    return n;
+  }
+
+  /// Entries of one class in one tile; exposed for tests.
+  std::size_t ClassCount(const std::array<std::uint32_t, Dims>& cell,
+                         int klass) const {
+    const Tile& tile = tiles_[layout_.TileId(cell)];
+    const int seg = SegmentOfClass(klass);
+    return tile.begin[seg + 1] - tile.begin[seg];
+  }
+
+ private:
+  struct Tile {
+    std::vector<BoxEntryNd<Dims>> entries;
+    // Segment s spans [begin[s], begin[s+1]); class c lives in segment
+    // SegmentOfClass(c), ordered so class 0 ("A") is last.
+    std::array<std::uint32_t, kClasses + 1> begin{};
+  };
+
+  static int SegmentOfClass(int klass) { return kClasses - 1 - klass; }
+
+  /// Class of a box in the tile `cell`, given the box's first-touched cell
+  /// per dimension: bit d set iff the box starts before this tile in d.
+  static int ClassOf(const std::array<std::uint32_t, Dims>& cell,
+                     const std::array<std::uint32_t, Dims>& box_first) {
+    int klass = 0;
+    for (int d = 0; d < Dims; ++d) {
+      if (box_first[d] < cell[d]) klass |= 1 << d;
+    }
+    return klass;
+  }
+
+  /// Row-major odometer over the inclusive multi-dimensional range.
+  static bool AdvanceOdometer(std::array<std::uint32_t, Dims>* cell,
+                              const std::array<std::uint32_t, Dims>& first,
+                              const std::array<std::uint32_t, Dims>& last) {
+    for (int d = 0; d < Dims; ++d) {
+      if ((*cell)[d] < last[d]) {
+        ++(*cell)[d];
+        return true;
+      }
+      (*cell)[d] = first[d];
+    }
+    return false;
+  }
+
+  void ScanTile(const Tile& tile, const std::array<std::uint32_t, Dims>& cell,
+                const std::array<std::uint32_t, Dims>& first,
+                const std::array<std::uint32_t, Dims>& last,
+                const BoxNd<Dims>& w, std::vector<ObjectId>* out) const {
+    // Generalized Lemmas 1-2: a class with bit d set may only be accessed
+    // in tiles of the window's first slice in dimension d.
+    int accessible_mask = 0;  // bit d usable in before-classes
+    // Generalized Lemmas 3-4 comparison plan for this tile: which dims need
+    // the lower-end test (w starts in this tile's slice) / upper-end test.
+    std::array<bool, Dims> need_ge{}, need_le{};
+    for (int d = 0; d < Dims; ++d) {
+      if (cell[d] == first[d]) {
+        accessible_mask |= 1 << d;
+        need_ge[d] = true;  // r.hi[d] >= w.lo[d]
+      }
+      if (cell[d] == last[d]) need_le[d] = true;  // r.lo[d] <= w.hi[d]
+    }
+    for (int klass = 0; klass < kClasses; ++klass) {
+      // Skip classes that would produce duplicates: every "starts before"
+      // bit must be in the window's first slice.
+      if ((klass & ~accessible_mask) != 0) continue;
+      const int seg = SegmentOfClass(klass);
+      for (std::uint32_t k = tile.begin[seg]; k < tile.begin[seg + 1]; ++k) {
+        const BoxEntryNd<Dims>& e = tile.entries[k];
+        bool keep = true;
+        for (int d = 0; d < Dims && keep; ++d) {
+          if (need_ge[d] && e.box.hi[d] < w.lo[d]) keep = false;
+          // The lower-end comparison is implied for dims where the class
+          // starts before the tile (Table II generalization).
+          if (need_le[d] && (klass & (1 << d)) == 0 &&
+              e.box.lo[d] > w.hi[d]) {
+            keep = false;
+          }
+        }
+        if (keep) out->push_back(e.id);
+      }
+    }
+  }
+
+  GridLayoutNd<Dims> layout_;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_TWO_LAYER_GRID_ND_H_

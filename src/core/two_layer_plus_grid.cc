@@ -1,0 +1,248 @@
+#include "core/two_layer_plus_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/scan.h"
+
+namespace tlp {
+
+namespace {
+
+/// One executable comparison candidate for a binary search (§IV-C).
+struct SearchPlan {
+  unsigned flag = 0;          // the kCmp* bit this search implements
+  int coord = 0;              // CoordKind of the table to search
+  bool ge = false;            // true: keep values >= bound; false: <= bound
+  Coord bound = 0;
+  double kept_fraction = 1.0; // expected fraction of the partition kept
+};
+
+}  // namespace
+
+void TwoLayerPlusGrid::SortedTable::Add(Coord v, ObjectId id) {
+  values.push_back(v);
+  ids.push_back(id);
+}
+
+void TwoLayerPlusGrid::SortedTable::InsertSorted(Coord v, ObjectId id) {
+  const auto it = std::lower_bound(values.begin(), values.end(), v);
+  const auto pos = it - values.begin();
+  values.insert(it, v);
+  ids.insert(ids.begin() + pos, id);
+}
+
+bool TwoLayerPlusGrid::TableStored(ObjectClass c, CoordKind k) {
+  // Table II: class B never compares its yl (it is before the tile in y),
+  // class C never compares its xl, class D compares only xu and yu.
+  switch (c) {
+    case ObjectClass::kA:
+      return true;
+    case ObjectClass::kB:
+      return k != kYl;
+    case ObjectClass::kC:
+      return k != kXl;
+    case ObjectClass::kD:
+      return k == kXu || k == kYu;
+  }
+  return false;
+}
+
+TwoLayerPlusGrid::TwoLayerPlusGrid(const GridLayout& layout)
+    : record_(layout), tile_tables_(layout.tile_count()) {}
+
+TwoLayerPlusGrid::TileTables& TwoLayerPlusGrid::MutableTables(
+    std::size_t tile_id) {
+  auto& slot = tile_tables_[tile_id];
+  if (slot == nullptr) slot = std::make_unique<TileTables>();
+  return *slot;
+}
+
+void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries) {
+  record_.Build(entries);
+  for (const BoxEntry& e : entries) {
+    if (e.id >= mbrs_.size()) mbrs_.resize(e.id + 1);
+    mbrs_[e.id] = e.box;
+  }
+  const GridLayout& g = record_.layout();
+  // Fill the decomposed tables unsorted, then sort each one once.
+  for (const BoxEntry& e : entries) {
+    const TileRange range = g.TilesFor(e.box);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        const ObjectClass c = ClassifyEntryInTile(g, i, j, e.box);
+        auto& tables =
+            MutableTables(g.TileId(i, j)).tables[static_cast<int>(c)];
+        const Coord coords[4] = {e.box.xl, e.box.xu, e.box.yl, e.box.yu};
+        for (int k = 0; k < 4; ++k) {
+          if (TableStored(c, static_cast<CoordKind>(k))) {
+            tables[k].Add(coords[k], e.id);
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> order;
+  for (auto& tt : tile_tables_) {
+    if (tt == nullptr) continue;
+    for (auto& class_tables : tt->tables) {
+      for (SortedTable& table : class_tables) {
+        if (table.size() <= 1) continue;
+        order.resize(table.size());
+        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+          return table.values[a] < table.values[b];
+        });
+        SortedTable sorted;
+        sorted.values.reserve(table.size());
+        sorted.ids.reserve(table.size());
+        for (const std::size_t k : order) {
+          sorted.Add(table.values[k], table.ids[k]);
+        }
+        table = std::move(sorted);
+      }
+    }
+  }
+}
+
+void TwoLayerPlusGrid::Insert(const BoxEntry& entry) {
+  record_.Insert(entry);
+  if (entry.id >= mbrs_.size()) mbrs_.resize(entry.id + 1);
+  mbrs_[entry.id] = entry.box;
+  const GridLayout& g = record_.layout();
+  const TileRange range = g.TilesFor(entry.box);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      const ObjectClass c = ClassifyEntryInTile(g, i, j, entry.box);
+      auto& tables =
+          MutableTables(g.TileId(i, j)).tables[static_cast<int>(c)];
+      const Coord coords[4] = {entry.box.xl, entry.box.xu, entry.box.yl,
+                               entry.box.yu};
+      for (int k = 0; k < 4; ++k) {
+        if (TableStored(c, static_cast<CoordKind>(k))) {
+          tables[k].InsertSorted(coords[k], entry.id);
+        }
+      }
+    }
+  }
+}
+
+void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
+                                     unsigned mask, const Box& w,
+                                     const Box& tile_box,
+                                     std::vector<ObjectId>* out) const {
+  const auto& tables = tt.tables[static_cast<int>(c)];
+  if (tables[kXu].size() == 0) return;  // Empty partition (xu always stored).
+
+  if (mask == 0) {
+    // Interior tile: every rectangle of the partition is a result without
+    // any comparison (Corollary 1 / Fig. 4 center tiles).
+    const auto& ids = tables[kXu].ids;
+    out->insert(out->end(), ids.begin(), ids.end());
+    return;
+  }
+
+  // Build the candidate searches for the comparisons in `mask` and pick the
+  // one expected to keep the fewest entries ("the dimension which is covered
+  // the least by W", §IV-C). Kept-fraction estimates assume the partition's
+  // endpoint values spread across the tile extent.
+  const Coord tw = tile_box.width();
+  const Coord th = tile_box.height();
+  SearchPlan best;
+  bool have_best = false;
+  auto consider = [&](unsigned flag, CoordKind k, bool ge, Coord bound,
+                      double kept) {
+    if ((mask & flag) == 0) return;
+    SearchPlan plan{flag, k, ge, bound, std::max(0.0, kept)};
+    if (!have_best || plan.kept_fraction < best.kept_fraction) {
+      best = plan;
+      have_best = true;
+    }
+  };
+  consider(kCmpXuGeWxl, kXu, true, w.xl,
+           static_cast<double>(tile_box.xu - w.xl) / tw);
+  consider(kCmpXlLeWxu, kXl, false, w.xu,
+           static_cast<double>(w.xu - tile_box.xl) / tw);
+  consider(kCmpYuGeWyl, kYu, true, w.yl,
+           static_cast<double>(tile_box.yu - w.yl) / th);
+  consider(kCmpYlLeWyu, kYl, false, w.yu,
+           static_cast<double>(w.yu - tile_box.yl) / th);
+
+  const SortedTable& table = tables[best.coord];
+  std::size_t begin = 0;
+  std::size_t end = table.size();
+  if (best.ge) {
+    begin = std::lower_bound(table.values.begin(), table.values.end(),
+                             best.bound) -
+            table.values.begin();
+  } else {
+    end = std::upper_bound(table.values.begin(), table.values.end(),
+                           best.bound) -
+          table.values.begin();
+  }
+
+  const unsigned residual = mask & ~best.flag;
+  if (residual == 0) {
+    out->insert(out->end(), table.ids.begin() + begin,
+                table.ids.begin() + end);
+    return;
+  }
+  // Verify the remaining comparisons on the full MBR (fetched by id), as the
+  // paper does for two-comparison border tiles.
+  for (std::size_t k = begin; k < end; ++k) {
+    const ObjectId id = table.ids[k];
+    if (PassesComparisonMask(mbrs_[id], w, residual)) out->push_back(id);
+  }
+}
+
+void TwoLayerPlusGrid::WindowQuery(const Box& w,
+                                   std::vector<ObjectId>* out) const {
+  const GridLayout& g = record_.layout();
+  const TileRange range = g.TilesFor(w);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      const TileTables* tt = tile_tables_[g.TileId(i, j)].get();
+      if (tt == nullptr) continue;
+      const bool first_col = i == range.i0;
+      const bool first_row = j == range.j0;
+      const unsigned mask = TileComparisonMask(first_col, i == range.i1,
+                                               first_row, j == range.j1);
+      const Box tile_box = g.TileBox(i, j);
+      EvaluateClass(*tt, ObjectClass::kA, mask, w, tile_box, out);
+      if (first_row) {
+        EvaluateClass(*tt, ObjectClass::kB, mask & ~kCmpYlLeWyu, w, tile_box,
+                      out);
+      }
+      if (first_col) {
+        EvaluateClass(*tt, ObjectClass::kC, mask & ~kCmpXlLeWxu, w, tile_box,
+                      out);
+      }
+      if (first_col && first_row) {
+        EvaluateClass(*tt, ObjectClass::kD,
+                      mask & ~(kCmpXlLeWxu | kCmpYlLeWyu), w, tile_box, out);
+      }
+    }
+  }
+}
+
+void TwoLayerPlusGrid::DiskQuery(const Point& q, Coord radius,
+                                 std::vector<ObjectId>* out) const {
+  record_.DiskQuery(q, radius, out);
+}
+
+std::size_t TwoLayerPlusGrid::SizeBytes() const {
+  // mbrs_ duplicates the GeometryStore's MBR array and is excluded, matching
+  // how the paper accounts index size.
+  std::size_t bytes = record_.SizeBytes();
+  bytes += tile_tables_.capacity() * sizeof(tile_tables_[0]);
+  for (const auto& tt : tile_tables_) {
+    if (tt == nullptr) continue;
+    bytes += sizeof(TileTables);
+    for (const auto& class_tables : tt->tables) {
+      for (const SortedTable& table : class_tables) bytes += table.SizeBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace tlp

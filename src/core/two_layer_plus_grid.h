@@ -1,0 +1,92 @@
+#ifndef TLP_CORE_TWO_LAYER_PLUS_GRID_H_
+#define TLP_CORE_TWO_LAYER_PLUS_GRID_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "core/classes.h"
+#include "core/two_layer_grid.h"
+#include "grid/grid_layout.h"
+
+namespace tlp {
+
+/// 2-layer+ (paper §IV-C): on top of the record-based two-layer grid, every
+/// secondary partition T^X keeps decomposed, sorted <coordinate, id> tables
+/// following the Decomposition Storage Model. Border-tile comparisons then
+/// become binary searches whose qualifying run is reported without touching
+/// the remaining coordinates. Only the tables Table II lists are stored:
+///   T^A: L_xl, L_xu, L_yl, L_yu    T^B: L_xl, L_xu, L_yu
+///   T^C: L_xu, L_yl, L_yu          T^D: L_xu, L_yu
+///
+/// The index stores both representations ("2-layer+ essentially stores a
+/// second (decomposed) copy of the rectangles inside every tile", §VII-B),
+/// trading space and build time for query speed.
+class TwoLayerPlusGrid final : public SpatialIndex {
+ public:
+  explicit TwoLayerPlusGrid(const GridLayout& layout);
+
+  void Build(const std::vector<BoxEntry>& entries);
+
+  /// Incremental insert (slow path: sorted insertion into each decomposed
+  /// table; the paper recommends batch updates for the decomposed layout).
+  void Insert(const BoxEntry& entry) override;
+
+  void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
+
+  /// Distance queries cannot exploit storage decomposition (paper §VII-C),
+  /// so they run on the record-based layout.
+  void DiskQuery(const Point& q, Coord radius,
+                 std::vector<ObjectId>* out) const override;
+
+  std::size_t SizeBytes() const override;
+  std::string name() const override { return "2-layer+"; }
+
+  const GridLayout& layout() const { return record_.layout(); }
+  const TwoLayerGrid& record_layer() const { return record_; }
+
+ private:
+  /// One sorted <coordinate, id> decomposed table (structure-of-arrays).
+  struct SortedTable {
+    std::vector<Coord> values;
+    std::vector<ObjectId> ids;
+
+    std::size_t size() const { return values.size(); }
+    void Add(Coord v, ObjectId id);
+    void InsertSorted(Coord v, ObjectId id);
+    std::size_t SizeBytes() const {
+      return values.capacity() * sizeof(Coord) +
+             ids.capacity() * sizeof(ObjectId);
+    }
+  };
+
+  /// Decomposed tables of one tile; unused per-class tables stay empty
+  /// (Table II). Allocated lazily per tile: the struct is large (16 table
+  /// headers) and fine-granularity grids are mostly empty tiles.
+  struct TileTables {
+    // Index [class][coordinate]; coordinate order: xl, xu, yl, yu.
+    std::array<std::array<SortedTable, 4>, kNumClasses> tables;
+  };
+
+  TileTables& MutableTables(std::size_t tile_id);
+
+  enum CoordKind { kXl = 0, kXu = 1, kYl = 2, kYu = 3 };
+
+  static bool TableStored(ObjectClass c, CoordKind k);
+
+  void EvaluateClass(const TileTables& tt, ObjectClass c, unsigned mask,
+                     const Box& w, const Box& tile_box,
+                     std::vector<ObjectId>* out) const;
+
+  TwoLayerGrid record_;
+  std::vector<std::unique_ptr<TileTables>> tile_tables_;
+  /// id -> MBR, for verifying residual comparisons after a binary search.
+  std::vector<Box> mbrs_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_TWO_LAYER_PLUS_GRID_H_

@@ -1,0 +1,51 @@
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tlp {
+
+namespace {
+
+/// A square of side `side` centered at `c`, shifted to stay inside [0,1]^2.
+Box SquareAt(Point c, double side) {
+  double xl = c.x - side / 2;
+  double yl = c.y - side / 2;
+  xl = std::clamp(xl, 0.0, std::max(0.0, 1.0 - side));
+  yl = std::clamp(yl, 0.0, std::max(0.0, 1.0 - side));
+  return Box{xl, yl, std::min(1.0, xl + side), std::min(1.0, yl + side)};
+}
+
+}  // namespace
+
+std::vector<Box> GenerateWindowQueries(const std::vector<BoxEntry>& data,
+                                       std::size_t count, double relative_area,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const double side = std::sqrt(relative_area);
+  std::vector<Box> queries;
+  queries.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const BoxEntry& e = data[rng.NextBelow(data.size())];
+    queries.push_back(SquareAt(e.box.center(), side));
+  }
+  return queries;
+}
+
+std::vector<DiskQuerySpec> GenerateDiskQueries(
+    const std::vector<BoxEntry>& data, std::size_t count, double relative_area,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  const double radius = std::sqrt(relative_area / 3.14159265358979323846);
+  std::vector<DiskQuerySpec> queries;
+  queries.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const BoxEntry& e = data[rng.NextBelow(data.size())];
+    queries.push_back(DiskQuerySpec{e.box.center(), radius});
+  }
+  return queries;
+}
+
+}  // namespace tlp

@@ -1,0 +1,34 @@
+#ifndef TLP_DATAGEN_QUERY_GEN_H_
+#define TLP_DATAGEN_QUERY_GEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace tlp {
+
+/// A disk (distance) range query: all objects within `radius` of `center`.
+struct DiskQuerySpec {
+  Point center;
+  Coord radius = 0;
+};
+
+/// Generates `count` square window queries whose area is `relative_area`
+/// (fraction of the unit domain, e.g. 0.001 = the paper's default 0.1%).
+/// Centers are drawn from the centers of random data entries, so queries
+/// follow the data distribution and apply to non-empty areas (paper §VII).
+std::vector<Box> GenerateWindowQueries(const std::vector<BoxEntry>& data,
+                                       std::size_t count, double relative_area,
+                                       std::uint64_t seed = 99);
+
+/// Disk queries of the same relative area (radius = sqrt(area / pi)),
+/// centered on random data entries.
+std::vector<DiskQuerySpec> GenerateDiskQueries(
+    const std::vector<BoxEntry>& data, std::size_t count, double relative_area,
+    std::uint64_t seed = 99);
+
+}  // namespace tlp
+
+#endif  // TLP_DATAGEN_QUERY_GEN_H_

@@ -1,0 +1,61 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp {
+
+namespace {
+
+constexpr std::size_t kZipfBins = 1024;
+
+/// Draws one center coordinate in [0, 1) for the given distribution.
+double DrawCoordinate(SpatialDistribution dist, const ZipfSampler* zipf,
+                      Rng& rng) {
+  if (dist == SpatialDistribution::kUniform) return rng.NextDouble();
+  const std::size_t bin = zipf->Sample(rng);
+  return (static_cast<double>(bin) + rng.NextDouble()) / kZipfBins;
+}
+
+}  // namespace
+
+std::vector<BoxEntry> GenerateSyntheticRects(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  const ZipfSampler zipf(kZipfBins, config.zipf_alpha);
+  const ZipfSampler* zipf_ptr =
+      config.distribution == SpatialDistribution::kZipfian ? &zipf : nullptr;
+
+  std::vector<BoxEntry> entries;
+  entries.reserve(config.cardinality);
+  for (std::size_t k = 0; k < config.cardinality; ++k) {
+    const double cx = DrawCoordinate(config.distribution, zipf_ptr, rng);
+    const double cy = DrawCoordinate(config.distribution, zipf_ptr, rng);
+    double w = 0;
+    double h = 0;
+    if (config.area > 0) {
+      const double ratio = rng.Uniform(0.25, 4.0);  // width : height
+      w = std::sqrt(config.area * ratio);
+      h = std::sqrt(config.area / ratio);
+    }
+    Box b{cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2};
+    // Clamp into the unit domain, preserving the extent where possible.
+    if (b.xl < 0) {
+      b.xu = std::min(1.0, b.xu - b.xl);
+      b.xl = 0;
+    } else if (b.xu > 1) {
+      b.xl = std::max(0.0, b.xl - (b.xu - 1));
+      b.xu = 1;
+    }
+    if (b.yl < 0) {
+      b.yu = std::min(1.0, b.yu - b.yl);
+      b.yl = 0;
+    } else if (b.yu > 1) {
+      b.yl = std::max(0.0, b.yl - (b.yu - 1));
+      b.yu = 1;
+    }
+    entries.push_back(BoxEntry{b, static_cast<ObjectId>(k)});
+  }
+  return entries;
+}
+
+}  // namespace tlp

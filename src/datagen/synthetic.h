@@ -1,0 +1,38 @@
+#ifndef TLP_DATAGEN_SYNTHETIC_H_
+#define TLP_DATAGEN_SYNTHETIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/box.h"
+
+namespace tlp {
+
+/// Spatial distribution of synthetic rectangle centers (paper Table IV).
+enum class SpatialDistribution {
+  kUniform,
+  /// Zipfian (a = 1): each axis coordinate is drawn from zipf-weighted bins,
+  /// concentrating mass near the domain origin.
+  kZipfian,
+};
+
+/// Parameters of the paper's synthetic MBR datasets (Table IV): all
+/// rectangles share the same area; the width:height ratio is uniform in
+/// [0.25, 4] "to avoid unnaturally narrow rectangles"; coordinates lie in
+/// [0, 1]. An `area` of 0 models the paper's 10^-inf case (degenerate
+/// point-like rectangles).
+struct SyntheticConfig {
+  std::size_t cardinality = 1'000'000;
+  double area = 1e-10;
+  SpatialDistribution distribution = SpatialDistribution::kUniform;
+  double zipf_alpha = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// Generates synthetic rectangle entries with ids 0..n-1.
+std::vector<BoxEntry> GenerateSyntheticRects(const SyntheticConfig& config);
+
+}  // namespace tlp
+
+#endif  // TLP_DATAGEN_SYNTHETIC_H_

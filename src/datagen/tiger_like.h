@@ -1,0 +1,52 @@
+#ifndef TLP_DATAGEN_TIGER_LIKE_H_
+#define TLP_DATAGEN_TIGER_LIKE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "geometry/geometry_store.h"
+
+namespace tlp {
+
+/// Which Tiger-2015 dataset of the paper's Table III the generator mimics.
+/// The substitution rationale is documented in DESIGN.md §3: the real TIGER
+/// files are not available offline, so we synthesize datasets that match the
+/// statistics every algorithm under test is sensitive to — clustered object
+/// positions, the per-axis average MBR extents of Table III, and the
+/// geometry type mix (linestrings / polygons / mixed).
+enum class TigerFlavor {
+  kRoads,  // linestrings; avg extent 1.173e-5 x 9.15e-6 (Table III)
+  kEdges,  // polygons;    avg extent 4.91e-6 x 3.83e-6
+  kTiger,  // mixed;       avg extent 7.40e-6 x 5.76e-6
+};
+
+/// Configuration of a TIGER-like dataset. Default cardinalities are the
+/// paper's divided by 20 (laptop scale); multiply via `scale`.
+struct TigerConfig {
+  TigerFlavor flavor = TigerFlavor::kRoads;
+  /// 0 = use the flavor's scaled default (ROADS 1M, EDGES 3.5M, TIGER 4.9M).
+  std::size_t cardinality = 0;
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// Human-readable dataset name ("ROADS", "EDGES", "TIGER").
+std::string TigerFlavorName(TigerFlavor flavor);
+
+/// Default (already laptop-scaled) cardinality for a flavor.
+std::size_t TigerDefaultCardinality(TigerFlavor flavor);
+
+/// Generates a TIGER-like dataset with exact geometries. Positions follow a
+/// zipf-weighted gaussian city-cluster model; MBR extents are log-normal
+/// with means matched to Table III; geometries are linestrings (roads),
+/// polygons (edges), or a mix, laid out inside each object's MBR.
+GeometryStore GenerateTigerLike(const TigerConfig& config);
+
+/// MBR-only variant: same positional/extent model without materializing
+/// exact geometries. Used by filtering-step benchmarks, which never touch
+/// geometries; roughly 10x cheaper to generate and store.
+std::vector<BoxEntry> GenerateTigerLikeEntries(const TigerConfig& config);
+
+}  // namespace tlp
+
+#endif  // TLP_DATAGEN_TIGER_LIKE_H_

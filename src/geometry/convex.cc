@@ -1,0 +1,95 @@
+#include "geometry/convex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace tlp {
+
+namespace {
+
+Coord Cross(const Point& o, const Point& a, const Point& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+ConvexPolygon::ConvexPolygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  assert(vertices_.size() >= 3);
+  for (const Point& v : vertices_) mbr_.ExpandToInclude(v);
+#ifndef NDEBUG
+  // Convexity + CCW: every consecutive triple turns left (or is collinear).
+  const std::size_t n = vertices_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    assert(Cross(vertices_[k], vertices_[(k + 1) % n],
+                 vertices_[(k + 2) % n]) >= 0);
+  }
+#endif
+}
+
+bool ConvexPolygon::Contains(const Point& p) const {
+  const std::size_t n = vertices_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (Cross(vertices_[k], vertices_[(k + 1) % n], p) < 0) return false;
+  }
+  return true;
+}
+
+bool ConvexPolygon::Contains(const Box& b) const {
+  return Contains(Point{b.xl, b.yl}) && Contains(Point{b.xu, b.yl}) &&
+         Contains(Point{b.xl, b.yu}) && Contains(Point{b.xu, b.yu});
+}
+
+bool ConvexPolygon::Intersects(const Box& b) const {
+  // Separating axis test. Box axes first (cheap: polygon MBR vs box).
+  if (!mbr_.Intersects(b)) return false;
+  // Polygon edge normals: the box is fully outside some edge's half-plane
+  // iff all four corners are strictly right of that (CCW) edge.
+  const std::size_t n = vertices_.size();
+  const Point corners[4] = {Point{b.xl, b.yl}, Point{b.xu, b.yl},
+                            Point{b.xl, b.yu}, Point{b.xu, b.yu}};
+  for (std::size_t k = 0; k < n; ++k) {
+    const Point& u = vertices_[k];
+    const Point& v = vertices_[(k + 1) % n];
+    bool any_inside = false;
+    for (const Point& c : corners) {
+      if (Cross(u, v, c) >= 0) {
+        any_inside = true;
+        break;
+      }
+    }
+    if (!any_inside) return false;
+  }
+  return true;
+}
+
+bool ConvexPolygon::SlabXExtent(Coord y_lo, Coord y_hi, Coord* x_min,
+                                Coord* x_max) const {
+  Coord lo = std::numeric_limits<Coord>::infinity();
+  Coord hi = -lo;
+  const std::size_t n = vertices_.size();
+  auto account = [&](Coord x) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    const Point& a = vertices_[k];
+    const Point& b = vertices_[(k + 1) % n];
+    // Vertices inside the slab contribute directly.
+    if (a.y >= y_lo && a.y <= y_hi) account(a.x);
+    // Edge crossings with the two slab borders.
+    for (const Coord y : {y_lo, y_hi}) {
+      if ((a.y < y && b.y >= y) || (b.y < y && a.y >= y)) {
+        const Coord t = (y - a.y) / (b.y - a.y);
+        account(a.x + t * (b.x - a.x));
+      }
+    }
+  }
+  if (lo > hi) return false;
+  *x_min = lo;
+  *x_max = hi;
+  return true;
+}
+
+}  // namespace tlp

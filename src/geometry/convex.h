@@ -1,0 +1,45 @@
+#ifndef TLP_GEOMETRY_CONVEX_H_
+#define TLP_GEOMETRY_CONVEX_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace tlp {
+
+/// A convex polygon query region in counter-clockwise vertex order.
+/// Supports the predicates the generalized §IV-E range evaluation needs:
+/// exact intersection/containment tests against boxes and the x-extent of
+/// the region within a horizontal slab (contiguous by convexity).
+class ConvexPolygon {
+ public:
+  /// `vertices` must be convex and in counter-clockwise order (asserted in
+  /// debug builds); at least 3 vertices.
+  explicit ConvexPolygon(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  const Box& bounding_box() const { return mbr_; }
+
+  /// True iff `p` lies inside or on the border.
+  bool Contains(const Point& p) const;
+
+  /// True iff the whole box lies inside the region.
+  bool Contains(const Box& b) const;
+
+  /// Exact test: does the region intersect box `b`? (Separating-axis test
+  /// over the box axes and the polygon edge normals.)
+  bool Intersects(const Box& b) const;
+
+  /// X-extent of the region clipped to the horizontal slab
+  /// [y_lo, y_hi]; returns false if the region misses the slab entirely.
+  bool SlabXExtent(Coord y_lo, Coord y_hi, Coord* x_min, Coord* x_max) const;
+
+ private:
+  std::vector<Point> vertices_;
+  Box mbr_ = Box::Empty();
+};
+
+}  // namespace tlp
+
+#endif  // TLP_GEOMETRY_CONVEX_H_

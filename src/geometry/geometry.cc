@@ -1,0 +1,173 @@
+#include "geometry/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp {
+
+namespace {
+
+/// Sign of the cross product (b - a) x (c - a): >0 left turn, <0 right turn,
+/// 0 collinear.
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  const Coord v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+Box ComputeMbr(const Geometry& g) {
+  Box mbr = Box::Empty();
+  if (const auto* p = std::get_if<Point>(&g)) {
+    mbr.ExpandToInclude(*p);
+  } else if (const auto* ls = std::get_if<LineString>(&g)) {
+    for (const Point& v : ls->vertices) mbr.ExpandToInclude(v);
+  } else {
+    for (const Point& v : std::get<Polygon>(g).ring) mbr.ExpandToInclude(v);
+  }
+  return mbr;
+}
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  // Collinear special cases.
+  if (o1 == 0 && OnSegment(a, b, c)) return true;
+  if (o2 == 0 && OnSegment(a, b, d)) return true;
+  if (o3 == 0 && OnSegment(c, d, a)) return true;
+  if (o4 == 0 && OnSegment(c, d, b)) return true;
+  return false;
+}
+
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& w) {
+  // Liang–Barsky: clip the parametric segment a + t*(b-a), t in [0,1],
+  // against each of the four half-planes.
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.x - w.xl, w.xu - a.x, a.y - w.yl, w.yu - a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // Parallel and fully outside.
+      continue;
+    }
+    const double t = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (t > t1) return false;
+      t0 = std::max(t0, t);
+    } else {
+      if (t < t0) return false;
+      t1 = std::min(t1, t);
+    }
+  }
+  return t0 <= t1;
+}
+
+Coord PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  const Coord abx = b.x - a.x;
+  const Coord aby = b.y - a.y;
+  const Coord len2 = abx * abx + aby * aby;
+  Coord t = 0;
+  if (len2 > 0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+    t = std::clamp(t, Coord{0}, Coord{1});
+  }
+  const Coord cx = a.x + t * abx;
+  const Coord cy = a.y + t * aby;
+  const Coord dx = p.x - cx;
+  const Coord dy = p.y - cy;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool PointInPolygon(const Point& p, const Polygon& poly) {
+  const auto& ring = poly.ring;
+  const std::size_t n = ring.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[j];
+    const Point& b = ring[i];
+    // Boundary counts as inside.
+    if (Orientation(a, b, p) == 0 && OnSegment(a, b, p)) return true;
+    if ((b.y > p.y) != (a.y > p.y)) {
+      const Coord x_cross = (a.x - b.x) * (p.y - b.y) / (a.y - b.y) + b.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PolygonIntersectsBox(const Polygon& poly, const Box& w) {
+  const auto& ring = poly.ring;
+  const std::size_t n = ring.size();
+  if (n < 3) return false;
+  // (a) Any polygon edge touches the box.
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (SegmentIntersectsBox(ring[j], ring[i], w)) return true;
+  }
+  // (b) Box fully inside the polygon: all edges missed the box, so it
+  // suffices to test one box corner.
+  return PointInPolygon(Point{w.xl, w.yl}, poly);
+}
+
+bool LineStringIntersectsBox(const LineString& ls, const Box& w) {
+  const auto& v = ls.vertices;
+  if (v.size() == 1) return w.Contains(v[0]);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (SegmentIntersectsBox(v[i - 1], v[i], w)) return true;
+  }
+  return false;
+}
+
+bool GeometryIntersectsBox(const Geometry& g, const Box& w) {
+  if (const auto* p = std::get_if<Point>(&g)) return w.Contains(*p);
+  if (const auto* ls = std::get_if<LineString>(&g)) {
+    return LineStringIntersectsBox(*ls, w);
+  }
+  return PolygonIntersectsBox(std::get<Polygon>(g), w);
+}
+
+Coord GeometryDistance(const Geometry& g, const Point& q) {
+  if (const auto* p = std::get_if<Point>(&g)) {
+    const Coord dx = p->x - q.x;
+    const Coord dy = p->y - q.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+  if (const auto* ls = std::get_if<LineString>(&g)) {
+    const auto& v = ls->vertices;
+    if (v.size() == 1) {
+      return GeometryDistance(Geometry{v[0]}, q);
+    }
+    Coord best = std::numeric_limits<Coord>::infinity();
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      best = std::min(best, PointSegmentDistance(q, v[i - 1], v[i]));
+    }
+    return best;
+  }
+  const auto& poly = std::get<Polygon>(g);
+  if (PointInPolygon(q, poly)) return 0;
+  const auto& ring = poly.ring;
+  Coord best = std::numeric_limits<Coord>::infinity();
+  for (std::size_t i = 0, j = ring.size() - 1; i < ring.size(); j = i++) {
+    best = std::min(best, PointSegmentDistance(q, ring[j], ring[i]));
+  }
+  return best;
+}
+
+bool GeometryIntersectsDisk(const Geometry& g, const Point& q, Coord radius) {
+  return GeometryDistance(g, q) <= radius;
+}
+
+}  // namespace tlp

@@ -1,0 +1,72 @@
+#ifndef TLP_GEOMETRY_GEOMETRY_H_
+#define TLP_GEOMETRY_GEOMETRY_H_
+
+#include <variant>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace tlp {
+
+/// An open polyline with at least two vertices (e.g., a road segment).
+struct LineString {
+  std::vector<Point> vertices;
+};
+
+/// A simple polygon given by its outer ring. The ring is implicitly closed
+/// (last vertex connects back to the first); at least three vertices.
+struct Polygon {
+  std::vector<Point> ring;
+};
+
+/// Exact object representation: point, linestring, or polygon. The paper's
+/// refinement step (§V) evaluates the query predicate against these; the
+/// filtering step only ever sees their MBRs.
+using Geometry = std::variant<Point, LineString, Polygon>;
+
+/// Minimum bounding rectangle of a geometry.
+Box ComputeMbr(const Geometry& g);
+
+// --- Segment-level predicates -------------------------------------------
+
+/// True iff segments ab and cd share at least one point (inclusive of
+/// endpoints and collinear overlap).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+/// True iff segment ab has at least one point inside (or on the border of)
+/// box `w`. Liang–Barsky parametric clipping.
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& w);
+
+/// Minimum Euclidean distance from point p to segment ab.
+Coord PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+// --- Polygon predicates ---------------------------------------------------
+
+/// True iff p lies inside or on the boundary of the polygon (crossing number
+/// with boundary handling).
+bool PointInPolygon(const Point& p, const Polygon& poly);
+
+/// True iff the polygon (interior or boundary) intersects box `w`.
+bool PolygonIntersectsBox(const Polygon& poly, const Box& w);
+
+/// True iff the linestring intersects box `w`.
+bool LineStringIntersectsBox(const LineString& ls, const Box& w);
+
+/// Exact test: does the geometry intersect the window `w`?
+bool GeometryIntersectsBox(const Geometry& g, const Box& w);
+
+// --- Disk (distance) predicates -------------------------------------------
+
+/// Minimum distance from point q to the geometry (0 if q is inside a
+/// polygon).
+Coord GeometryDistance(const Geometry& g, const Point& q);
+
+/// Exact test: is the minimum distance between the geometry and q at most
+/// `radius`? This is the refinement predicate of disk range queries (§IV-E).
+bool GeometryIntersectsDisk(const Geometry& g, const Point& q, Coord radius);
+
+}  // namespace tlp
+
+#endif  // TLP_GEOMETRY_GEOMETRY_H_

@@ -1,0 +1,23 @@
+#include "geometry/geometry_store.h"
+
+#include <utility>
+
+namespace tlp {
+
+ObjectId GeometryStore::Add(Geometry geometry) {
+  const auto id = static_cast<ObjectId>(geometries_.size());
+  mbrs_.push_back(ComputeMbr(geometry));
+  geometries_.push_back(std::move(geometry));
+  return id;
+}
+
+std::vector<BoxEntry> GeometryStore::AllEntries() const {
+  std::vector<BoxEntry> entries;
+  entries.reserve(mbrs_.size());
+  for (std::size_t i = 0; i < mbrs_.size(); ++i) {
+    entries.push_back(BoxEntry{mbrs_[i], static_cast<ObjectId>(i)});
+  }
+  return entries;
+}
+
+}  // namespace tlp

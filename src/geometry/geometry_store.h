@@ -1,0 +1,39 @@
+#ifndef TLP_GEOMETRY_GEOMETRY_STORE_H_
+#define TLP_GEOMETRY_GEOMETRY_STORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.h"
+
+namespace tlp {
+
+/// Stores the exact geometry of every object exactly once, addressed by
+/// ObjectId (paper §III: "the actual geometry of each object is stored only
+/// once in an array ... and retrieved on-demand, given the object's id").
+/// Ids are assigned densely in insertion order.
+class GeometryStore {
+ public:
+  GeometryStore() = default;
+
+  /// Adds a geometry; returns its id. Also caches the MBR.
+  ObjectId Add(Geometry geometry);
+
+  const Geometry& geometry(ObjectId id) const { return geometries_[id]; }
+  const Box& mbr(ObjectId id) const { return mbrs_[id]; }
+
+  std::size_t size() const { return geometries_.size(); }
+  bool empty() const { return geometries_.empty(); }
+
+  /// All cached MBRs as (box, id) entries, the input format of every index
+  /// builder in this library.
+  std::vector<BoxEntry> AllEntries() const;
+
+ private:
+  std::vector<Geometry> geometries_;
+  std::vector<Box> mbrs_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_GEOMETRY_GEOMETRY_STORE_H_

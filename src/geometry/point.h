@@ -1,0 +1,20 @@
+#ifndef TLP_GEOMETRY_POINT_H_
+#define TLP_GEOMETRY_POINT_H_
+
+#include "common/types.h"
+
+namespace tlp {
+
+/// A 2D point. Plain data carrier used by exact geometries and disk queries.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace tlp
+
+#endif  // TLP_GEOMETRY_POINT_H_

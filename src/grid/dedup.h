@@ -1,0 +1,43 @@
+#ifndef TLP_GRID_DEDUP_H_
+#define TLP_GRID_DEDUP_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/box.h"
+#include "grid/grid_layout.h"
+
+namespace tlp {
+
+/// Duplicate-elimination policy of the 1-layer baseline grid.
+enum class DedupPolicy {
+  /// Reference-point method [Dittrich & Seeger, ICDE'00]: a result found in
+  /// tile T is reported iff the reference point of r ∩ W lies in T. The
+  /// state-of-the-art the paper compares against.
+  kReferencePoint,
+  /// Hash/sort the result ids and drop duplicates afterwards; the classic
+  /// (expensive) baseline.
+  kHash,
+};
+
+/// True iff the reference point of r ∩ w falls inside tile (i, j) of `grid`,
+/// i.e., this copy of r is the one that reports the result.
+inline bool ReferencePointInTile(const GridLayout& grid, const Box& r,
+                                 const Box& w, std::uint32_t i,
+                                 std::uint32_t j) {
+  const Point ref = ReferencePoint(r, w);
+  return grid.ColumnOf(ref.x) == i && grid.RowOf(ref.y) == j;
+}
+
+/// Sort-and-unique pass used by DedupPolicy::kHash (std::sort + unique is
+/// faster and more memory-friendly than an unordered_set at these sizes, and
+/// still pays the full "generate duplicates, then eliminate" cost the paper
+/// argues against).
+inline void SortUniqueIds(std::vector<ObjectId>* ids, std::size_t begin) {
+  std::sort(ids->begin() + begin, ids->end());
+  ids->erase(std::unique(ids->begin() + begin, ids->end()), ids->end());
+}
+
+}  // namespace tlp
+
+#endif  // TLP_GRID_DEDUP_H_

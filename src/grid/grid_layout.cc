@@ -1,0 +1,49 @@
+#include "grid/grid_layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tlp {
+
+GridLayout::GridLayout(const Box& domain, std::uint32_t nx, std::uint32_t ny)
+    : domain_(domain), nx_(nx), ny_(ny) {
+  assert(nx >= 1 && ny >= 1);
+  assert(domain.width() > 0 && domain.height() > 0);
+  tile_w_ = domain.width() / nx;
+  tile_h_ = domain.height() / ny;
+  inv_tile_w_ = nx / domain.width();
+  inv_tile_h_ = ny / domain.height();
+}
+
+std::uint32_t GridLayout::ColumnOf(Coord x) const {
+  const Coord rel = (x - domain_.xl) * inv_tile_w_;
+  if (rel <= 0) return 0;
+  const auto i = static_cast<std::int64_t>(rel);
+  return static_cast<std::uint32_t>(
+      std::min<std::int64_t>(i, static_cast<std::int64_t>(nx_) - 1));
+}
+
+std::uint32_t GridLayout::RowOf(Coord y) const {
+  const Coord rel = (y - domain_.yl) * inv_tile_h_;
+  if (rel <= 0) return 0;
+  const auto j = static_cast<std::int64_t>(rel);
+  return static_cast<std::uint32_t>(
+      std::min<std::int64_t>(j, static_cast<std::int64_t>(ny_) - 1));
+}
+
+Box GridLayout::TileBox(std::uint32_t i, std::uint32_t j) const {
+  const Point o = TileOrigin(i, j);
+  return Box{o.x, o.y, o.x + tile_w_, o.y + tile_h_};
+}
+
+TileRange GridLayout::TilesFor(const Box& b) const {
+  TileRange r;
+  r.i0 = ColumnOf(b.xl);
+  r.i1 = ColumnOf(b.xu);
+  r.j0 = RowOf(b.yl);
+  r.j1 = RowOf(b.yu);
+  return r;
+}
+
+}  // namespace tlp

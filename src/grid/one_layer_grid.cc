@@ -1,0 +1,135 @@
+#include "grid/one_layer_grid.h"
+
+#include "grid/scan.h"
+
+namespace tlp {
+
+OneLayerGrid::OneLayerGrid(const GridLayout& layout, DedupPolicy dedup)
+    : layout_(layout), dedup_(dedup), tiles_(layout.tile_count()) {}
+
+void OneLayerGrid::Build(const std::vector<BoxEntry>& entries) {
+  // Two passes (count, then place) so every tile allocates exactly once;
+  // the bulk-loaded grid then has the same footprint as the two-layer grid
+  // over the same layout (paper §VII-B: "1-layer and 2-layer have the same
+  // space requirements").
+  std::vector<std::uint32_t> counts(tiles_.size(), 0);
+  for (const BoxEntry& e : entries) {
+    const TileRange range = layout_.TilesFor(e.box);
+    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+        ++counts[layout_.TileId(i, j)];
+      }
+    }
+  }
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    tiles_[t].reserve(counts[t]);
+  }
+  for (const BoxEntry& e : entries) Insert(e);
+}
+
+void OneLayerGrid::Insert(const BoxEntry& entry) {
+  const TileRange range = layout_.TilesFor(entry.box);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      tiles_[layout_.TileId(i, j)].push_back(entry);
+    }
+  }
+}
+
+bool OneLayerGrid::Delete(ObjectId id, const Box& box) {
+  const TileRange range = layout_.TilesFor(box);
+  bool found = false;
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      auto& tile = tiles_[layout_.TileId(i, j)];
+      for (std::size_t k = 0; k < tile.size(); ++k) {
+        if (tile[k].id == id) {
+          tile[k] = tile.back();  // order within a tile is irrelevant
+          tile.pop_back();
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  return found;
+}
+
+void OneLayerGrid::WindowQuery(const Box& w,
+                               std::vector<ObjectId>* out) const {
+  const TileRange range = layout_.TilesFor(w);
+  const std::size_t first_result = out->size();
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      const auto& tile = tiles_[layout_.TileId(i, j)];
+      if (tile.empty()) continue;
+      const unsigned mask = TileComparisonMask(i == range.i0, i == range.i1,
+                                               j == range.j0, j == range.j1);
+      if (dedup_ == DedupPolicy::kReferencePoint) {
+        // Every intersecting copy is found, then the reference-point test
+        // keeps exactly one of them (the paper's state-of-the-art baseline).
+        ScanPartitionDispatch(mask, tile.data(), tile.size(), w,
+                              [&](const BoxEntry& e) {
+                                if (ReferencePointInTile(layout_, e.box, w, i,
+                                                         j)) {
+                                  out->push_back(e.id);
+                                }
+                              });
+      } else {
+        ScanPartitionDispatch(mask, tile.data(), tile.size(), w,
+                              [&](const BoxEntry& e) { out->push_back(e.id); });
+      }
+    }
+  }
+  if (dedup_ == DedupPolicy::kHash) SortUniqueIds(out, first_result);
+}
+
+void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
+                             std::vector<ObjectId>* out) const {
+  const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
+  const TileRange range = layout_.TilesFor(mbr);
+  const std::size_t first_result = out->size();
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      const auto& tile = tiles_[layout_.TileId(i, j)];
+      if (tile.empty()) continue;
+      const Box tile_box = layout_.TileBox(i, j);
+      // With reference-point dedup, tiles of the MBR range that lie outside
+      // the disk must still be scanned: the reference point of a qualifying
+      // object may fall there. Only the hash policy may skip them (a
+      // qualifying object always appears in some tile touching the disk).
+      if (dedup_ == DedupPolicy::kHash &&
+          tile_box.MinDistanceTo(q) > radius) {
+        continue;
+      }
+      // A tile fully covered by the disk needs no per-object distance tests.
+      const bool covered = tile_box.MaxDistanceTo(q) <= radius;
+      const unsigned mask = TileComparisonMask(i == range.i0, i == range.i1,
+                                               j == range.j0, j == range.j1);
+      auto handle = [&](const BoxEntry& e) {
+        if (!covered && e.box.MinDistanceTo(q) > radius) return;
+        if (dedup_ == DedupPolicy::kReferencePoint &&
+            !ReferencePointInTile(layout_, e.box, mbr, i, j)) {
+          return;
+        }
+        out->push_back(e.id);
+      };
+      ScanPartitionDispatch(mask, tile.data(), tile.size(), mbr, handle);
+    }
+  }
+  if (dedup_ == DedupPolicy::kHash) SortUniqueIds(out, first_result);
+}
+
+std::size_t OneLayerGrid::SizeBytes() const {
+  std::size_t bytes = tiles_.capacity() * sizeof(tiles_[0]);
+  for (const auto& tile : tiles_) bytes += tile.capacity() * sizeof(BoxEntry);
+  return bytes;
+}
+
+std::size_t OneLayerGrid::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& tile : tiles_) n += tile.size();
+  return n;
+}
+
+}  // namespace tlp

@@ -1,0 +1,126 @@
+#include "io/dataset_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/wkt.h"
+
+namespace tlp {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool SkippableLine(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+std::optional<GeometryStore> LoadWktFile(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  GeometryStore store;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (SkippableLine(line)) continue;
+    std::string parse_error;
+    auto geometry = ParseWkt(line, &parse_error);
+    if (!geometry.has_value()) {
+      Fail(error, path + ":" + std::to_string(line_no) + ": " + parse_error);
+      return std::nullopt;
+    }
+    store.Add(std::move(*geometry));
+  }
+  return store;
+}
+
+bool SaveWktFile(const GeometryStore& store, const std::string& path,
+                 std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    out << ToWkt(store.geometry(id)) << '\n';
+  }
+  out.flush();
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+std::optional<std::vector<BoxEntry>> LoadMbrCsv(const std::string& path,
+                                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::vector<BoxEntry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (SkippableLine(line)) continue;
+    Box b;
+    double* fields[4] = {&b.xl, &b.yl, &b.xu, &b.yu};
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    bool ok = true;
+    for (int f = 0; f < 4 && ok; ++f) {
+      while (p < end && (*p == ' ' || *p == '\t')) ++p;
+      const auto result = std::from_chars(p, end, *fields[f]);
+      if (result.ec != std::errc{}) {
+        ok = false;
+        break;
+      }
+      p = result.ptr;
+      while (p < end && (*p == ' ' || *p == '\t')) ++p;
+      if (f < 3) {
+        if (p >= end || *p != ',') {
+          ok = false;
+          break;
+        }
+        ++p;
+      }
+    }
+    if (!ok || b.xl > b.xu || b.yl > b.yu) {
+      Fail(error,
+           path + ":" + std::to_string(line_no) + ": malformed MBR row");
+      return std::nullopt;
+    }
+    entries.push_back(
+        BoxEntry{b, static_cast<ObjectId>(entries.size())});
+  }
+  return entries;
+}
+
+bool SaveMbrCsv(const std::vector<BoxEntry>& entries, const std::string& path,
+                std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  char buffer[160];
+  for (const BoxEntry& e : entries) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g,%.17g,%.17g,%.17g\n",
+                  e.box.xl, e.box.yl, e.box.xu, e.box.yu);
+    out << buffer;
+  }
+  out.flush();
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+}  // namespace tlp

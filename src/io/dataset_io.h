@@ -1,0 +1,36 @@
+#ifndef TLP_IO_DATASET_IO_H_
+#define TLP_IO_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/geometry_store.h"
+
+namespace tlp {
+
+/// Loads a dataset of WKT geometries, one per line (the format of the
+/// public TIGER extracts used by SpatialHadoop and the paper), into a
+/// GeometryStore. Empty lines and lines starting with '#' are skipped;
+/// malformed lines abort the load. Returns nullopt and sets `*error` (with
+/// the line number) on failure.
+std::optional<GeometryStore> LoadWktFile(const std::string& path,
+                                         std::string* error = nullptr);
+
+/// Writes a GeometryStore as one WKT per line (inverse of LoadWktFile).
+bool SaveWktFile(const GeometryStore& store, const std::string& path,
+                 std::string* error = nullptr);
+
+/// Loads MBR entries from CSV lines `xl,yl,xu,yu` (ids are assigned by line
+/// order) — the cheap format for filtering-only experiments.
+std::optional<std::vector<BoxEntry>> LoadMbrCsv(const std::string& path,
+                                                std::string* error = nullptr);
+
+/// Writes MBR entries as CSV (inverse of LoadMbrCsv; ids are implicit).
+bool SaveMbrCsv(const std::vector<BoxEntry>& entries, const std::string& path,
+                std::string* error = nullptr);
+
+}  // namespace tlp
+
+#endif  // TLP_IO_DATASET_IO_H_

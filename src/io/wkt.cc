@@ -1,0 +1,191 @@
+#include "io/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace tlp {
+
+namespace {
+
+/// Minimal recursive-descent cursor over the WKT text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    for (std::size_t k = 0; k < keyword.size(); ++k) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + k])) !=
+          keyword[k]) {
+        return false;
+      }
+    }
+    pos_ += keyword.size();
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool ParseDouble(double* out) {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    const auto result = std::from_chars(begin, end, *out);
+    if (result.ec != std::errc{}) return false;
+    pos_ += result.ptr - begin;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool Fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool ParsePointList(Cursor& cur, std::vector<Point>* points,
+                    std::string* error) {
+  if (!cur.ConsumeChar('(')) return Fail(error, "expected '('");
+  do {
+    Point p;
+    if (!cur.ParseDouble(&p.x) || !cur.ParseDouble(&p.y)) {
+      return Fail(error, "expected coordinate pair");
+    }
+    points->push_back(p);
+  } while (cur.ConsumeChar(','));
+  if (!cur.ConsumeChar(')')) return Fail(error, "expected ')'");
+  return true;
+}
+
+void AppendPoint(std::string* out, const Point& p) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g %.17g", p.x, p.y);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::optional<Geometry> ParseWkt(std::string_view text, std::string* error) {
+  Cursor cur(text);
+  if (cur.ConsumeKeyword("POINT")) {
+    std::vector<Point> pts;
+    if (!ParsePointList(cur, &pts, error)) return std::nullopt;
+    if (pts.size() != 1) {
+      Fail(error, "POINT must hold exactly one coordinate pair");
+      return std::nullopt;
+    }
+    if (!cur.AtEnd()) {
+      Fail(error, "trailing characters");
+      return std::nullopt;
+    }
+    return Geometry{pts[0]};
+  }
+  if (cur.ConsumeKeyword("LINESTRING")) {
+    LineString ls;
+    if (!ParsePointList(cur, &ls.vertices, error)) return std::nullopt;
+    if (ls.vertices.size() < 2) {
+      Fail(error, "LINESTRING needs at least two vertices");
+      return std::nullopt;
+    }
+    if (!cur.AtEnd()) {
+      Fail(error, "trailing characters");
+      return std::nullopt;
+    }
+    return Geometry{std::move(ls)};
+  }
+  if (cur.ConsumeKeyword("POLYGON")) {
+    if (!cur.ConsumeChar('(')) {
+      Fail(error, "expected '(' after POLYGON");
+      return std::nullopt;
+    }
+    Polygon poly;
+    if (!ParsePointList(cur, &poly.ring, error)) return std::nullopt;
+    // Inner rings (holes) are not supported; reject rather than mis-parse.
+    if (cur.PeekChar(',')) {
+      Fail(error, "polygons with holes are not supported");
+      return std::nullopt;
+    }
+    if (!cur.ConsumeChar(')')) {
+      Fail(error, "expected closing ')' of POLYGON");
+      return std::nullopt;
+    }
+    if (!cur.AtEnd()) {
+      Fail(error, "trailing characters");
+      return std::nullopt;
+    }
+    // WKT rings repeat the first vertex at the end; our rings are
+    // implicitly closed.
+    if (poly.ring.size() >= 2 && poly.ring.front() == poly.ring.back()) {
+      poly.ring.pop_back();
+    }
+    if (poly.ring.size() < 3) {
+      Fail(error, "POLYGON ring needs at least three distinct vertices");
+      return std::nullopt;
+    }
+    return Geometry{std::move(poly)};
+  }
+  Fail(error, "unknown geometry type (expected POINT/LINESTRING/POLYGON)");
+  return std::nullopt;
+}
+
+std::string ToWkt(const Geometry& geometry) {
+  std::string out;
+  if (const auto* p = std::get_if<Point>(&geometry)) {
+    out = "POINT (";
+    AppendPoint(&out, *p);
+    out += ")";
+    return out;
+  }
+  if (const auto* ls = std::get_if<LineString>(&geometry)) {
+    out = "LINESTRING (";
+    for (std::size_t k = 0; k < ls->vertices.size(); ++k) {
+      if (k > 0) out += ", ";
+      AppendPoint(&out, ls->vertices[k]);
+    }
+    out += ")";
+    return out;
+  }
+  const auto& poly = std::get<Polygon>(geometry);
+  out = "POLYGON ((";
+  for (std::size_t k = 0; k < poly.ring.size(); ++k) {
+    if (k > 0) out += ", ";
+    AppendPoint(&out, poly.ring[k]);
+  }
+  if (!poly.ring.empty()) {
+    out += ", ";
+    AppendPoint(&out, poly.ring.front());  // explicit ring closure
+  }
+  out += "))";
+  return out;
+}
+
+}  // namespace tlp

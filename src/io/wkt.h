@@ -1,0 +1,30 @@
+#ifndef TLP_IO_WKT_H_
+#define TLP_IO_WKT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geometry/geometry.h"
+
+namespace tlp {
+
+/// Parses one Well-Known Text geometry: POINT, LINESTRING, or POLYGON
+/// (outer ring only; WKT's closing vertex is dropped since Polygon rings
+/// are implicitly closed). Returns nullopt on malformed input; sets
+/// `*error` (when non-null) to a human-readable reason.
+///
+/// Grammar subset:
+///   POINT (x y)
+///   LINESTRING (x y, x y, ...)
+///   POLYGON ((x y, x y, ..., x0 y0))
+std::optional<Geometry> ParseWkt(std::string_view text,
+                                 std::string* error = nullptr);
+
+/// Serializes a geometry to WKT (inverse of ParseWkt; polygons are emitted
+/// with the explicit closing vertex).
+std::string ToWkt(const Geometry& geometry);
+
+}  // namespace tlp
+
+#endif  // TLP_IO_WKT_H_

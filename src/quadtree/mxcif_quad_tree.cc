@@ -1,0 +1,102 @@
+#include "quadtree/mxcif_quad_tree.h"
+
+namespace tlp {
+
+MxcifQuadTree::MxcifQuadTree(const Box& domain, int max_depth)
+    : domain_(domain),
+      max_depth_(max_depth),
+      root_(new Node{domain, 0, {}, {}}) {}
+
+int MxcifQuadTree::ContainingQuadrant(const Box& cell, const Box& b) {
+  const Point c = cell.center();
+  const bool left = b.xu < c.x;
+  const bool right = b.xl >= c.x;
+  const bool low = b.yu < c.y;
+  const bool high = b.yl >= c.y;
+  if (left && low) return 0;
+  if (right && low) return 1;
+  if (left && high) return 2;
+  if (right && high) return 3;
+  return -1;  // Crosses a split line: stays at this level.
+}
+
+Box MxcifQuadTree::QuadrantBox(const Box& cell, int quadrant) {
+  const Point c = cell.center();
+  switch (quadrant) {
+    case 0:
+      return Box{cell.xl, cell.yl, c.x, c.y};
+    case 1:
+      return Box{c.x, cell.yl, cell.xu, c.y};
+    case 2:
+      return Box{cell.xl, c.y, c.x, cell.yu};
+    default:
+      return Box{c.x, c.y, cell.xu, cell.yu};
+  }
+}
+
+void MxcifQuadTree::Build(const std::vector<BoxEntry>& entries) {
+  for (const BoxEntry& e : entries) Insert(e);
+}
+
+void MxcifQuadTree::Insert(const BoxEntry& entry) {
+  Node* node = root_.get();
+  while (node->depth < max_depth_) {
+    const int quadrant = ContainingQuadrant(node->cell, entry.box);
+    if (quadrant < 0) break;
+    if (node->children[quadrant] == nullptr) {
+      node->children[quadrant].reset(
+          new Node{QuadrantBox(node->cell, quadrant), node->depth + 1, {}, {}});
+    }
+    node = node->children[quadrant].get();
+  }
+  node->entries.push_back(entry);
+}
+
+void MxcifQuadTree::WindowQuery(const Box& w,
+                                std::vector<ObjectId>* out) const {
+  // Iterative DFS over quadrants intersecting the window; contents are
+  // disjoint, so no deduplication is needed.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const BoxEntry& e : node->entries) {
+      if (e.box.Intersects(w)) out->push_back(e.id);
+    }
+    for (const auto& child : node->children) {
+      if (child != nullptr && child->cell.Intersects(w)) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+void MxcifQuadTree::DiskQuery(const Point& q, Coord radius,
+                              std::vector<ObjectId>* out) const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const BoxEntry& e : node->entries) {
+      if (e.box.MinDistanceTo(q) <= radius) out->push_back(e.id);
+    }
+    for (const auto& child : node->children) {
+      if (child != nullptr && child->cell.MinDistanceTo(q) <= radius) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+std::size_t MxcifQuadTree::NodeBytes(const Node* node) const {
+  std::size_t bytes =
+      sizeof(Node) + node->entries.capacity() * sizeof(BoxEntry);
+  for (const auto& child : node->children) {
+    if (child != nullptr) bytes += NodeBytes(child.get());
+  }
+  return bytes;
+}
+
+std::size_t MxcifQuadTree::SizeBytes() const { return NodeBytes(root_.get()); }
+
+}  // namespace tlp

@@ -1,0 +1,185 @@
+#include "quadtree/quad_tree.h"
+
+#include "grid/dedup.h"
+
+namespace tlp {
+
+QuadTree::QuadTree(const Box& domain, QuadTreeMode mode, std::size_t capacity,
+                   int max_depth)
+    : domain_(domain),
+      mode_(mode),
+      capacity_(capacity),
+      max_depth_(max_depth),
+      root_(new Node{domain, 0, {}, {0, 0, 0, 0, 0}, {}}) {}
+
+bool QuadTree::CellIntersects(const Box& cell, const Box& b) const {
+  if (b.xu < cell.xl || b.yu < cell.yl) return false;
+  if (b.xl >= cell.xu && cell.xu < domain_.xu) return false;
+  if (b.yl >= cell.yu && cell.yu < domain_.yu) return false;
+  return true;
+}
+
+bool QuadTree::CellOwnsPoint(const Box& cell, const Point& p) const {
+  if (p.x < cell.xl || p.y < cell.yl) return false;
+  if (p.x >= cell.xu && cell.xu < domain_.xu) return false;
+  if (p.y >= cell.yu && cell.yu < domain_.yu) return false;
+  return p.x <= cell.xu && p.y <= cell.yu;
+}
+
+void QuadTree::Build(const std::vector<BoxEntry>& entries) {
+  for (const BoxEntry& e : entries) Insert(e);
+}
+
+void QuadTree::Insert(const BoxEntry& entry) { InsertInto(root_.get(), entry); }
+
+void QuadTree::InsertInto(Node* node, const BoxEntry& entry) {
+  if (!node->leaf()) {
+    for (const auto& child : node->children) {
+      if (CellIntersects(child->cell, entry.box)) {
+        InsertInto(child.get(), entry);
+      }
+    }
+    return;
+  }
+  AddToLeaf(node, entry);
+  if (node->entries.size() > capacity_ && node->depth < max_depth_) {
+    Split(node);
+  }
+}
+
+void QuadTree::AddToLeaf(Node* node, const BoxEntry& entry) {
+  // Entries stay grouped by class (A|B|C|D) relative to the leaf cell; the
+  // reference-point mode simply scans all groups.
+  const int c = static_cast<int>(
+      ClassifyEntry(Point{node->cell.xl, node->cell.yl}, entry.box));
+  // O(1) class-segmented insertion (cf. TwoLayerGrid::Insert): shift one
+  // boundary element per later class instead of the whole tail.
+  auto& v = node->entries;
+  v.push_back(entry);
+  for (int k = kNumClasses; k > c + 1; --k) {
+    v[node->begin[k]] = v[node->begin[k - 1]];
+  }
+  v[node->begin[c + 1]] = entry;
+  for (int k = c + 1; k <= kNumClasses; ++k) ++node->begin[k];
+}
+
+void QuadTree::Split(Node* node) {
+  const Point c = node->cell.center();
+  const Box quads[4] = {
+      Box{node->cell.xl, node->cell.yl, c.x, c.y},
+      Box{c.x, node->cell.yl, node->cell.xu, c.y},
+      Box{node->cell.xl, c.y, c.x, node->cell.yu},
+      Box{c.x, c.y, node->cell.xu, node->cell.yu},
+  };
+  for (int k = 0; k < 4; ++k) {
+    node->children[k].reset(
+        new Node{quads[k], node->depth + 1, {}, {0, 0, 0, 0, 0}, {}});
+  }
+  std::vector<BoxEntry> entries = std::move(node->entries);
+  node->entries.clear();
+  node->begin = {0, 0, 0, 0, 0};
+  for (const BoxEntry& e : entries) {
+    for (const auto& child : node->children) {
+      if (CellIntersects(child->cell, e.box)) InsertInto(child.get(), e);
+    }
+  }
+}
+
+template <typename Visit>
+void QuadTree::VisitLeaves(const Node* node, const Box& range,
+                           Visit&& visit) const {
+  if (node->leaf()) {
+    visit(*node);
+    return;
+  }
+  for (const auto& child : node->children) {
+    if (CellIntersects(child->cell, range)) {
+      VisitLeaves(child.get(), range, visit);
+    }
+  }
+}
+
+void QuadTree::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
+  if (mode_ == QuadTreeMode::kReferencePoint) {
+    VisitLeaves(root_.get(), w, [&](const Node& leaf) {
+      for (const BoxEntry& e : leaf.entries) {
+        if (e.box.Intersects(w) &&
+            CellOwnsPoint(leaf.cell, ReferencePoint(e.box, w))) {
+          out->push_back(e.id);
+        }
+      }
+    });
+    return;
+  }
+  // Two-layer mode: Lemmas 1-2 select the leaf classes to scan; no
+  // deduplication is ever performed.
+  VisitLeaves(root_.get(), w, [&](const Node& leaf) {
+    const bool skip_before_x = w.xl < leaf.cell.xl;  // Lemma 1: drop C, D
+    const bool skip_before_y = w.yl < leaf.cell.yl;  // Lemma 2: drop B, D
+    for (int c = 0; c < kNumClasses; ++c) {
+      const auto klass = static_cast<ObjectClass>(c);
+      if (skip_before_x && StartsBeforeX(klass)) continue;
+      if (skip_before_y && StartsBeforeY(klass)) continue;
+      for (std::uint32_t k = leaf.begin[c]; k < leaf.begin[c + 1]; ++k) {
+        const BoxEntry& e = leaf.entries[k];
+        if (e.box.Intersects(w)) out->push_back(e.id);
+      }
+    }
+  });
+}
+
+void QuadTree::DiskQuery(const Point& q, Coord radius,
+                         std::vector<ObjectId>* out) const {
+  const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
+  // Baseline recipe (paper §VII-C): duplicate-free window query on the
+  // disk's MBR, fast path for leaves totally covered by the disk, MBR
+  // distance tests elsewhere.
+  auto handle_leaf = [&](const Node& leaf, auto&& keep) {
+    const bool covered = leaf.cell.MaxDistanceTo(q) <= radius;
+    if (mode_ == QuadTreeMode::kReferencePoint) {
+      for (const BoxEntry& e : leaf.entries) {
+        if (!e.box.Intersects(mbr)) continue;
+        if (!covered && e.box.MinDistanceTo(q) > radius) continue;
+        if (CellOwnsPoint(leaf.cell, ReferencePoint(e.box, mbr))) keep(e);
+      }
+      return;
+    }
+    const bool skip_before_x = mbr.xl < leaf.cell.xl;
+    const bool skip_before_y = mbr.yl < leaf.cell.yl;
+    for (int c = 0; c < kNumClasses; ++c) {
+      const auto klass = static_cast<ObjectClass>(c);
+      if (skip_before_x && StartsBeforeX(klass)) continue;
+      if (skip_before_y && StartsBeforeY(klass)) continue;
+      for (std::uint32_t k = leaf.begin[c]; k < leaf.begin[c + 1]; ++k) {
+        const BoxEntry& e = leaf.entries[k];
+        if (!e.box.Intersects(mbr)) continue;
+        if (!covered && e.box.MinDistanceTo(q) > radius) continue;
+        keep(e);
+      }
+    }
+  };
+  VisitLeaves(root_.get(), mbr, [&](const Node& leaf) {
+    handle_leaf(leaf, [&](const BoxEntry& e) { out->push_back(e.id); });
+  });
+}
+
+std::size_t QuadTree::LeafCount() const { return CountLeaves(root_.get()); }
+
+std::size_t QuadTree::CountLeaves(const Node* node) const {
+  if (node->leaf()) return 1;
+  std::size_t n = 0;
+  for (const auto& child : node->children) n += CountLeaves(child.get());
+  return n;
+}
+
+std::size_t QuadTree::NodeBytes(const Node* node) const {
+  std::size_t bytes = sizeof(Node) + node->entries.capacity() * sizeof(BoxEntry);
+  if (!node->leaf()) {
+    for (const auto& child : node->children) bytes += NodeBytes(child.get());
+  }
+  return bytes;
+}
+
+std::size_t QuadTree::SizeBytes() const { return NodeBytes(root_.get()); }
+
+}  // namespace tlp

@@ -1,0 +1,94 @@
+#ifndef TLP_QUADTREE_QUAD_TREE_H_
+#define TLP_QUADTREE_QUAD_TREE_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spatial_index.h"
+#include "core/classes.h"
+
+namespace tlp {
+
+/// Duplicate handling of the replicating quad-tree.
+enum class QuadTreeMode {
+  /// Reference-point deduplication [9], as in the paper's quad-tree
+  /// competitor.
+  kReferencePoint,
+  /// The paper's secondary partitioning applied to quad-tree leaves: leaf
+  /// contents are split into classes A/B/C/D relative to the leaf's cell and
+  /// Lemmas 1-2 pick the classes to scan — showing the scheme works for any
+  /// SOP index (paper Table V, "quad-tree, 2-layer").
+  kTwoLayer,
+};
+
+/// Region quad-tree over [domain] that replicates each object's MBR into
+/// every leaf quadrant it intersects (SOP). A leaf splits into four children
+/// when it exceeds `capacity` entries, unless it is at `max_depth` (paper
+/// defaults: capacity 1000, depth 12).
+class QuadTree final : public SpatialIndex {
+ public:
+  QuadTree(const Box& domain, QuadTreeMode mode,
+           std::size_t capacity = 1000, int max_depth = 12);
+
+  void Build(const std::vector<BoxEntry>& entries);
+  void Insert(const BoxEntry& entry) override;
+
+  void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
+
+  /// Disk query via the paper's baseline recipe: window query on the disk's
+  /// MBR (duplicate-free), a fast path for quadrants totally inside the
+  /// disk, and MBR distance tests elsewhere.
+  void DiskQuery(const Point& q, Coord radius,
+                 std::vector<ObjectId>* out) const override;
+
+  std::size_t SizeBytes() const override;
+  std::string name() const override {
+    return mode_ == QuadTreeMode::kReferencePoint ? "quad-tree"
+                                                  : "quad-tree,2-layer";
+  }
+
+  /// Number of leaves; exposed for tests.
+  std::size_t LeafCount() const;
+
+ private:
+  struct Node {
+    Box cell;
+    int depth = 0;
+    /// Entries grouped by class A|B|C|D via `begin` (in kTwoLayer mode); in
+    /// kReferencePoint mode all entries live in class A's span.
+    std::vector<BoxEntry> entries;
+    std::array<std::uint32_t, kNumClasses + 1> begin = {0, 0, 0, 0, 0};
+    std::array<std::unique_ptr<Node>, 4> children;
+
+    bool leaf() const { return children[0] == nullptr; }
+  };
+
+  /// Half-open cell intersection: cells own their low borders; the domain's
+  /// far borders are owned by the outermost cells. Keeps object assignment,
+  /// query visitation, and ownership mutually consistent (cf. GridLayout's
+  /// floor-based tile ranges).
+  bool CellIntersects(const Box& cell, const Box& b) const;
+  bool CellOwnsPoint(const Box& cell, const Point& p) const;
+
+  void InsertInto(Node* node, const BoxEntry& entry);
+  void AddToLeaf(Node* node, const BoxEntry& entry);
+  void Split(Node* node);
+  std::size_t CountLeaves(const Node* node) const;
+  std::size_t NodeBytes(const Node* node) const;
+
+  template <typename Visit>
+  void VisitLeaves(const Node* node, const Box& range, Visit&& visit) const;
+
+  Box domain_;
+  QuadTreeMode mode_;
+  std::size_t capacity_;
+  int max_depth_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_QUADTREE_QUAD_TREE_H_

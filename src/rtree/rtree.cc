@@ -1,0 +1,386 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp {
+
+struct RTree::Node {
+  Box box = Box::Empty();
+  bool leaf = true;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<BoxEntry> entries;                // leaves
+
+  std::size_t item_count() const {
+    return leaf ? entries.size() : children.size();
+  }
+
+  void RecomputeBox() {
+    box = Box::Empty();
+    if (leaf) {
+      for (const BoxEntry& e : entries) box.ExpandToInclude(e.box);
+    } else {
+      for (const auto& c : children) box.ExpandToInclude(c->box);
+    }
+  }
+};
+
+namespace {
+
+/// R* split [Beckmann et al.]: sorts `items` in place along the axis with
+/// the smallest margin sum and returns the split position of the
+/// distribution minimizing overlap (ties: minimum total area).
+template <typename Item, typename GetBox>
+std::size_t RStarSplit(std::vector<Item>& items, std::size_t min_fill,
+                       const GetBox& get_box) {
+  const std::size_t n = items.size();
+  auto eval_axis = [&](bool x_axis, double* best_metric_out,
+                       std::size_t* best_split_out) -> double {
+    std::sort(items.begin(), items.end(), [&](const Item& a, const Item& b) {
+      const Box& ba = get_box(a);
+      const Box& bb = get_box(b);
+      if (x_axis) return ba.xl != bb.xl ? ba.xl < bb.xl : ba.xu < bb.xu;
+      return ba.yl != bb.yl ? ba.yl < bb.yl : ba.yu < bb.yu;
+    });
+    // Prefix/suffix MBRs make every distribution O(1) to evaluate.
+    std::vector<Box> prefix(n), suffix(n);
+    Box acc = Box::Empty();
+    for (std::size_t k = 0; k < n; ++k) {
+      acc.ExpandToInclude(get_box(items[k]));
+      prefix[k] = acc;
+    }
+    acc = Box::Empty();
+    for (std::size_t k = n; k-- > 0;) {
+      acc.ExpandToInclude(get_box(items[k]));
+      suffix[k] = acc;
+    }
+    double margin_sum = 0;
+    double best_metric = 0;
+    double best_area = 0;
+    std::size_t best_split = min_fill;
+    bool first = true;
+    for (std::size_t k = min_fill; k + min_fill <= n; ++k) {
+      const Box& left = prefix[k - 1];
+      const Box& right = suffix[k];
+      margin_sum += left.margin() + right.margin();
+      const double overlap = left.OverlapArea(right);
+      const double area = left.area() + right.area();
+      if (first || overlap < best_metric ||
+          (overlap == best_metric && area < best_area)) {
+        best_metric = overlap;
+        best_area = area;
+        best_split = k;
+        first = false;
+      }
+    }
+    *best_metric_out = best_metric;
+    *best_split_out = best_split;
+    return margin_sum;
+  };
+
+  double metric_x = 0, metric_y = 0;
+  std::size_t split_x = min_fill, split_y = min_fill;
+  const double margin_x = eval_axis(true, &metric_x, &split_x);
+  const double margin_y = eval_axis(false, &metric_y, &split_y);
+  if (margin_x <= margin_y) {
+    // Re-sort back to the x axis (items currently sorted by y).
+    eval_axis(true, &metric_x, &split_x);
+    return split_x;
+  }
+  return split_y;
+}
+
+}  // namespace
+
+RTree::RTree(RTreeVariant variant, std::size_t fanout)
+    : variant_(variant),
+      fanout_(fanout),
+      min_fill_(std::max<std::size_t>(2, fanout * 2 / 5)),
+      root_(new Node) {}
+
+RTree::~RTree() = default;
+
+RTree::Node* RTree::SplitNode(Node* node) {
+  auto* sibling = new Node;
+  sibling->leaf = node->leaf;
+  if (node->leaf) {
+    const std::size_t split = RStarSplit(
+        node->entries, min_fill_, [](const BoxEntry& e) -> const Box& {
+          return e.box;
+        });
+    sibling->entries.assign(node->entries.begin() + split,
+                            node->entries.end());
+    node->entries.resize(split);
+  } else {
+    const std::size_t split =
+        RStarSplit(node->children, min_fill_,
+                   [](const std::unique_ptr<Node>& c) -> const Box& {
+                     return c->box;
+                   });
+    sibling->children.assign(
+        std::make_move_iterator(node->children.begin() + split),
+        std::make_move_iterator(node->children.end()));
+    node->children.resize(split);
+  }
+  node->RecomputeBox();
+  sibling->RecomputeBox();
+  return sibling;
+}
+
+RTree::Node* RTree::ChooseSubtree(Node* node, const Box& box) const {
+  const bool children_are_leaves = node->children.front()->leaf;
+  Node* best = nullptr;
+  double best_primary = 0, best_area_delta = 0, best_area = 0;
+  for (const auto& child : node->children) {
+    const double area = child->box.area();
+    const double enlargement = child->box.EnlargementFor(box);
+    double primary = enlargement;
+    if (variant_ == RTreeVariant::kRStar && children_are_leaves) {
+      // R* leaf-level criterion: least overlap enlargement.
+      Box enlarged = child->box;
+      enlarged.ExpandToInclude(box);
+      double overlap_delta = 0;
+      for (const auto& other : node->children) {
+        if (other.get() == child.get()) continue;
+        overlap_delta += enlarged.OverlapArea(other->box) -
+                         child->box.OverlapArea(other->box);
+      }
+      primary = overlap_delta;
+    }
+    if (best == nullptr || primary < best_primary ||
+        (primary == best_primary &&
+         (enlargement < best_area_delta ||
+          (enlargement == best_area_delta && area < best_area)))) {
+      best = child.get();
+      best_primary = primary;
+      best_area_delta = enlargement;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+RTree::Node* RTree::InsertRec(Node* node, const BoxEntry& entry,
+                              bool allow_reinsert,
+                              std::vector<BoxEntry>* reinsert_list) {
+  if (node->leaf) {
+    node->entries.push_back(entry);
+    node->box.ExpandToInclude(entry.box);
+    if (node->entries.size() <= fanout_) return nullptr;
+    if (variant_ == RTreeVariant::kRStar && allow_reinsert &&
+        reinsert_list != nullptr && reinsert_list->empty() &&
+        node != root_.get()) {
+      // Forced reinsertion: evict the 30% of entries whose centers are
+      // farthest from the node center; they are re-inserted by the caller.
+      const std::size_t evict = std::max<std::size_t>(1, fanout_ * 3 / 10);
+      const Point c = node->box.center();
+      std::partial_sort(
+          node->entries.begin(), node->entries.begin() + evict,
+          node->entries.end(), [&](const BoxEntry& a, const BoxEntry& b) {
+            const Point ca = a.box.center(), cb = b.box.center();
+            const double da = (ca.x - c.x) * (ca.x - c.x) +
+                              (ca.y - c.y) * (ca.y - c.y);
+            const double db = (cb.x - c.x) * (cb.x - c.x) +
+                              (cb.y - c.y) * (cb.y - c.y);
+            return da > db;
+          });
+      reinsert_list->assign(node->entries.begin(),
+                            node->entries.begin() + evict);
+      node->entries.erase(node->entries.begin(),
+                          node->entries.begin() + evict);
+      node->RecomputeBox();
+      return nullptr;
+    }
+    return SplitNode(node);
+  }
+  Node* child = ChooseSubtree(node, entry.box);
+  Node* sibling = InsertRec(child, entry, allow_reinsert, reinsert_list);
+  if (sibling != nullptr) node->children.emplace_back(sibling);
+  // Recompute (not just expand): forced reinsertion below may have shrunk
+  // the child, and a stale over-wide MBR would violate the tree invariant.
+  node->RecomputeBox();
+  if (node->children.size() > fanout_) return SplitNode(node);
+  return nullptr;
+}
+
+void RTree::InsertImpl(const BoxEntry& entry, bool allow_reinsert) {
+  std::vector<BoxEntry> reinsert_list;
+  Node* sibling =
+      InsertRec(root_.get(), entry, allow_reinsert, &reinsert_list);
+  if (sibling != nullptr) {
+    auto* new_root = new Node;
+    new_root->leaf = false;
+    new_root->children.emplace_back(root_.release());
+    new_root->children.emplace_back(sibling);
+    new_root->RecomputeBox();
+    root_.reset(new_root);
+  }
+  // Entries evicted by forced reinsertion go back in without a second
+  // reinsertion round (the standard "once per level per insertion" rule,
+  // applied at the leaf level).
+  for (const BoxEntry& e : reinsert_list) InsertImpl(e, false);
+}
+
+void RTree::Insert(const BoxEntry& entry) {
+  InsertImpl(entry, true);
+  ++size_;
+}
+
+void RTree::Build(const std::vector<BoxEntry>& entries) {
+  if (variant_ == RTreeVariant::kRStar) {
+    for (const BoxEntry& e : entries) Insert(e);
+    return;
+  }
+  StrPack(entries);
+}
+
+void RTree::StrPack(std::vector<BoxEntry> entries) {
+  size_ = entries.size();
+  if (entries.empty()) return;
+
+  // Leaf level: sort by x-center, cut into ~sqrt(P) vertical slabs, sort
+  // each slab by y-center, chop into fanout-sized leaves.
+  std::sort(entries.begin(), entries.end(),
+            [](const BoxEntry& a, const BoxEntry& b) {
+              return a.box.xl + a.box.xu < b.box.xl + b.box.xu;
+            });
+  const std::size_t n = entries.size();
+  const std::size_t num_leaves = (n + fanout_ - 1) / fanout_;
+  const auto slabs = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slab_size = (n + slabs - 1) / slabs;
+
+  std::vector<std::unique_ptr<Node>> level;
+  for (std::size_t s = 0; s < n; s += slab_size) {
+    const std::size_t end = std::min(n, s + slab_size);
+    std::sort(entries.begin() + s, entries.begin() + end,
+              [](const BoxEntry& a, const BoxEntry& b) {
+                return a.box.yl + a.box.yu < b.box.yl + b.box.yu;
+              });
+    for (std::size_t k = s; k < end; k += fanout_) {
+      auto leaf = std::make_unique<Node>();
+      leaf->entries.assign(entries.begin() + k,
+                           entries.begin() + std::min(end, k + fanout_));
+      leaf->RecomputeBox();
+      level.push_back(std::move(leaf));
+    }
+  }
+
+  // Upper levels: STR-pack the node MBRs the same way.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(),
+              [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+                return a->box.xl + a->box.xu < b->box.xl + b->box.xu;
+              });
+    const std::size_t m = level.size();
+    const std::size_t num_parents = (m + fanout_ - 1) / fanout_;
+    const auto pslabs = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const std::size_t pslab_size = (m + pslabs - 1) / pslabs;
+    std::vector<std::unique_ptr<Node>> parents;
+    for (std::size_t s = 0; s < m; s += pslab_size) {
+      const std::size_t end = std::min(m, s + pslab_size);
+      std::sort(level.begin() + s, level.begin() + end,
+                [](const std::unique_ptr<Node>& a,
+                   const std::unique_ptr<Node>& b) {
+                  return a->box.yl + a->box.yu < b->box.yl + b->box.yu;
+                });
+      for (std::size_t k = s; k < end; k += fanout_) {
+        auto parent = std::make_unique<Node>();
+        parent->leaf = false;
+        for (std::size_t c = k; c < std::min(end, k + fanout_); ++c) {
+          parent->children.push_back(std::move(level[c]));
+        }
+        parent->RecomputeBox();
+        parents.push_back(std::move(parent));
+      }
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front());
+}
+
+void RTree::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (const BoxEntry& e : node->entries) {
+        if (e.box.Intersects(w)) out->push_back(e.id);
+      }
+      continue;
+    }
+    for (const auto& child : node->children) {
+      if (child->box.Intersects(w)) stack.push_back(child.get());
+    }
+  }
+}
+
+void RTree::DiskQuery(const Point& q, Coord radius,
+                      std::vector<ObjectId>* out) const {
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (const BoxEntry& e : node->entries) {
+        if (e.box.MinDistanceTo(q) <= radius) out->push_back(e.id);
+      }
+      continue;
+    }
+    for (const auto& child : node->children) {
+      if (child->box.MinDistanceTo(q) <= radius) stack.push_back(child.get());
+    }
+  }
+}
+
+std::size_t RTree::SizeBytes() const {
+  std::size_t bytes = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + node->entries.capacity() * sizeof(BoxEntry) +
+             node->children.capacity() * sizeof(std::unique_ptr<Node>);
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return bytes;
+}
+
+int RTree::Height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+bool RTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  bool ok = true;
+  auto check = [&](auto&& self, const Node* node, int depth) -> void {
+    if (node->leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth) ok = false;
+      Box b = Box::Empty();
+      for (const BoxEntry& e : node->entries) b.ExpandToInclude(e.box);
+      if (!node->entries.empty() && !(b == node->box)) ok = false;
+      if (node->entries.size() > fanout_) ok = false;
+      return;
+    }
+    if (node->children.empty() || node->children.size() > fanout_) ok = false;
+    Box b = Box::Empty();
+    for (const auto& child : node->children) {
+      b.ExpandToInclude(child->box);
+      self(self, child.get(), depth + 1);
+    }
+    if (!(b == node->box)) ok = false;
+  };
+  check(check, root_.get(), 0);
+  return ok;
+}
+
+}  // namespace tlp

@@ -1,0 +1,78 @@
+#ifndef TLP_RTREE_RTREE_H_
+#define TLP_RTREE_RTREE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spatial_index.h"
+
+namespace tlp {
+
+/// Which DOP competitor of the paper the tree models.
+enum class RTreeVariant {
+  /// "R-tree": STR bulk-loading [Leutenegger et al., ICDE'97]; incremental
+  /// inserts use least-enlargement ChooseSubtree without forced reinsertion.
+  kStr,
+  /// "R*-tree" [Beckmann et al., SIGMOD'90]: built by one-by-one insertion
+  /// with overlap-minimizing ChooseSubtree, the R* axis/distribution split,
+  /// and forced reinsertion of 30% on first leaf overflow.
+  kRStar,
+};
+
+/// In-memory R-tree with fanout 16 (the configuration the paper reports as
+/// best for the boost.org trees it compares against). Stand-in for
+/// Boost.Geometry's rtree — see DESIGN.md §3.
+class RTree final : public SpatialIndex {
+ public:
+  explicit RTree(RTreeVariant variant, std::size_t fanout = 16);
+  ~RTree() override;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// kStr: STR-packs the entries. kRStar: inserts them one by one (the
+  /// paper's R*-tree is a dynamic structure).
+  void Build(const std::vector<BoxEntry>& entries);
+
+  void Insert(const BoxEntry& entry) override;
+
+  void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
+  void DiskQuery(const Point& q, Coord radius,
+                 std::vector<ObjectId>* out) const override;
+
+  std::size_t SizeBytes() const override;
+  std::string name() const override {
+    return variant_ == RTreeVariant::kStr ? "R-tree" : "R*-tree";
+  }
+
+  /// Height of the tree (1 = root is a leaf); exposed for tests.
+  int Height() const;
+
+  /// Checks structural invariants (MBR containment, fanout bounds except at
+  /// the root, uniform leaf depth); exposed for tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* ChooseSubtree(Node* node, const Box& box) const;
+  Node* SplitNode(Node* node);
+  /// Inserts into the subtree; returns a new sibling if `node` split.
+  Node* InsertRec(Node* node, const BoxEntry& entry, bool allow_reinsert,
+                  std::vector<BoxEntry>* reinsert_list);
+  void InsertImpl(const BoxEntry& entry, bool allow_reinsert);
+
+  void StrPack(std::vector<BoxEntry> entries);
+
+  RTreeVariant variant_;
+  std::size_t fanout_;
+  std::size_t min_fill_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_RTREE_RTREE_H_

@@ -1,0 +1,54 @@
+#include "block/block_index.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+TEST(BlockIndexTest, WindowsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1500, 0.1, 131);
+  BlockIndex index(kUnit, /*max_level=*/6);
+  index.Build(entries);
+  for (const Box& w : testing::RandomWindows(80, 132)) {
+    testing::CheckWindowAgainstBruteForce(index, entries, w);
+  }
+}
+
+TEST(BlockIndexTest, DisksMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1000, 0.1, 133);
+  BlockIndex index(kUnit, /*max_level=*/6);
+  index.Build(entries);
+  Rng rng(134);
+  for (int k = 0; k < 50; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(index, entries, q,
+                                        rng.NextDouble() * 0.3);
+  }
+}
+
+TEST(BlockIndexTest, LargeObjectsLiveAtCoarseLevels) {
+  BlockIndex index(kUnit, /*max_level=*/8);
+  // A domain-sized object must still be found anywhere.
+  index.Insert(BoxEntry{Box{0.05, 0.05, 0.95, 0.95}, 0});
+  index.Insert(BoxEntry{Box{0.7, 0.7, 0.70001, 0.70001}, 1});
+  std::vector<ObjectId> out;
+  index.WindowQuery(Box{0.1, 0.1, 0.11, 0.11}, &out);
+  testing::ExpectSameIdSet({0}, out);
+  out.clear();
+  index.WindowQuery(Box{0.69, 0.69, 0.71, 0.71}, &out);
+  testing::ExpectSameIdSet({0, 1}, out);
+}
+
+TEST(BlockIndexTest, NoDuplicatesOnFullScan) {
+  const auto entries = testing::RandomEntries(800, 0.3, 135);
+  BlockIndex index(kUnit, 6);
+  index.Build(entries);
+  testing::CheckWindowAgainstBruteForce(index, entries, kUnit, "full domain");
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,104 @@
+#include "geometry/box.h"
+
+#include "gtest/gtest.h"
+
+namespace tlp {
+namespace {
+
+TEST(BoxTest, EmptyBox) {
+  const Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.area(), 0);
+  EXPECT_FALSE((Box{0, 0, 1, 1}).IsEmpty());
+}
+
+TEST(BoxTest, BasicMetrics) {
+  const Box b{0.25, 0.5, 0.75, 1.0};
+  EXPECT_DOUBLE_EQ(b.width(), 0.5);
+  EXPECT_DOUBLE_EQ(b.height(), 0.5);
+  EXPECT_DOUBLE_EQ(b.area(), 0.25);
+  EXPECT_DOUBLE_EQ(b.margin(), 1.0);
+  EXPECT_DOUBLE_EQ(b.center().x, 0.5);
+  EXPECT_DOUBLE_EQ(b.center().y, 0.75);
+}
+
+TEST(BoxTest, IntersectsIsClosed) {
+  const Box a{0, 0, 0.5, 0.5};
+  EXPECT_TRUE(a.Intersects(Box{0.5, 0.5, 1, 1}));  // corner touch counts
+  EXPECT_TRUE(a.Intersects(Box{0.5, 0, 1, 0.5}));  // edge touch counts
+  EXPECT_FALSE(a.Intersects(Box{0.51, 0, 1, 0.5}));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(BoxTest, IntersectsDegenerate) {
+  const Box point{0.3, 0.3, 0.3, 0.3};
+  EXPECT_TRUE(point.Intersects(Box{0, 0, 1, 1}));
+  EXPECT_TRUE(point.Intersects(point));
+  EXPECT_FALSE(point.Intersects(Box{0.31, 0.31, 1, 1}));
+}
+
+TEST(BoxTest, ContainsPointAndBox) {
+  const Box b{0, 0, 1, 1};
+  EXPECT_TRUE(b.Contains(Point{0, 0}));
+  EXPECT_TRUE(b.Contains(Point{1, 1}));
+  EXPECT_FALSE(b.Contains(Point{1.0001, 0.5}));
+  EXPECT_TRUE(b.Contains(Box{0.2, 0.2, 0.8, 0.8}));
+  EXPECT_FALSE(b.Contains(Box{0.2, 0.2, 1.2, 0.8}));
+}
+
+TEST(BoxTest, ExpandToInclude) {
+  Box b = Box::Empty();
+  b.ExpandToInclude(Box{0.4, 0.4, 0.6, 0.6});
+  b.ExpandToInclude(Point{0.1, 0.9});
+  EXPECT_EQ(b, (Box{0.1, 0.4, 0.6, 0.9}));
+}
+
+TEST(BoxTest, IntersectionWith) {
+  const Box a{0, 0, 0.6, 0.6};
+  const Box b{0.4, 0.4, 1, 1};
+  EXPECT_EQ(a.IntersectionWith(b), (Box{0.4, 0.4, 0.6, 0.6}));
+  EXPECT_TRUE(a.IntersectionWith(Box{0.7, 0.7, 1, 1}).IsEmpty());
+}
+
+TEST(BoxTest, EnlargementFor) {
+  const Box a{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(a.EnlargementFor(Box{0.2, 0.2, 0.8, 0.8}), 0);
+  EXPECT_DOUBLE_EQ(a.EnlargementFor(Box{0, 0, 2, 1}), 1.0);
+}
+
+TEST(BoxTest, OverlapArea) {
+  const Box a{0, 0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Box{0.25, 0.25, 0.75, 0.75}), 0.0625);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Box{0.5, 0.5, 1, 1}), 0);  // touch = 0 area
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Box{0.9, 0.9, 1, 1}), 0);
+}
+
+TEST(BoxTest, MinDistance) {
+  const Box b{0.25, 0.25, 0.75, 0.75};
+  EXPECT_DOUBLE_EQ(b.MinDistanceTo(Point{0.5, 0.5}), 0);    // inside
+  EXPECT_DOUBLE_EQ(b.MinDistanceTo(Point{0.75, 0.75}), 0);  // on corner
+  EXPECT_DOUBLE_EQ(b.MinDistanceTo(Point{1.0, 0.5}), 0.25);
+  EXPECT_DOUBLE_EQ(b.MinDistanceTo(Point{1.0, 1.0}),
+                   std::sqrt(2 * 0.25 * 0.25));
+}
+
+TEST(BoxTest, MaxDistance) {
+  const Box b{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(b.MaxDistanceTo(Point{0, 0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(b.MaxDistanceTo(Point{0.5, 0.5}), std::sqrt(0.5));
+}
+
+TEST(BoxTest, ReferencePointIsIntersectionLowCorner) {
+  const Box r{0.1, 0.2, 0.5, 0.6};
+  const Box w{0.3, 0.1, 0.9, 0.4};
+  const Point p = ReferencePoint(r, w);
+  EXPECT_DOUBLE_EQ(p.x, 0.3);
+  EXPECT_DOUBLE_EQ(p.y, 0.2);
+  // Symmetric in the arguments.
+  const Point q = ReferencePoint(w, r);
+  EXPECT_DOUBLE_EQ(q.x, p.x);
+  EXPECT_DOUBLE_EQ(q.y, p.y);
+}
+
+}  // namespace
+}  // namespace tlp

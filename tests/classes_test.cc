@@ -1,0 +1,87 @@
+#include "core/classes.h"
+
+#include "gtest/gtest.h"
+
+#include "grid/grid_layout.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+TEST(ClassesTest, ClassificationTable) {
+  const Point origin{0.5, 0.5};
+  // Starts inside in both dimensions -> A.
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.5, 0.5, 0.9, 0.9}), ObjectClass::kA);
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.6, 0.7, 0.9, 0.9}), ObjectClass::kA);
+  // Inside in x, before in y -> B.
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.6, 0.4, 0.9, 0.9}), ObjectClass::kB);
+  // Before in x, inside in y -> C.
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.4, 0.6, 0.9, 0.9}), ObjectClass::kC);
+  // Before in both -> D.
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.4, 0.4, 0.9, 0.9}), ObjectClass::kD);
+}
+
+TEST(ClassesTest, BoundaryIsInside) {
+  // "Starts inside" is inclusive of the tile's low border (T.dl <= r.dl).
+  const Point origin{0.25, 0.25};
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.25, 0.25, 0.5, 0.5}), ObjectClass::kA);
+  EXPECT_EQ(ClassifyEntry(origin, Box{0.25, 0.2499, 0.5, 0.5}),
+            ObjectClass::kB);
+}
+
+TEST(ClassesTest, StartsBeforePredicates) {
+  EXPECT_FALSE(StartsBeforeX(ObjectClass::kA));
+  EXPECT_FALSE(StartsBeforeX(ObjectClass::kB));
+  EXPECT_TRUE(StartsBeforeX(ObjectClass::kC));
+  EXPECT_TRUE(StartsBeforeX(ObjectClass::kD));
+  EXPECT_FALSE(StartsBeforeY(ObjectClass::kA));
+  EXPECT_TRUE(StartsBeforeY(ObjectClass::kB));
+  EXPECT_FALSE(StartsBeforeY(ObjectClass::kC));
+  EXPECT_TRUE(StartsBeforeY(ObjectClass::kD));
+}
+
+TEST(ClassesTest, ClassNames) {
+  EXPECT_STREQ(ClassName(ObjectClass::kA), "A");
+  EXPECT_STREQ(ClassName(ObjectClass::kD), "D");
+}
+
+/// Property (paper §III): over every tile a rectangle is assigned to, it is
+/// in class A exactly once — in the tile owning its start corner.
+TEST(ClassesTest, ClassAExactlyOncePerRectangle) {
+  const GridLayout g(Box{0, 0, 1, 1}, 9, 7);
+  const auto entries = testing::RandomEntries(500, 0.3, /*seed=*/11);
+  for (const BoxEntry& e : entries) {
+    const TileRange r = g.TilesFor(e.box);
+    int class_a_count = 0;
+    for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+      for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+        if (ClassifyEntryInTile(g, i, j, e.box) == ObjectClass::kA) {
+          ++class_a_count;
+          EXPECT_EQ(i, g.ColumnOf(e.box.xl));
+          EXPECT_EQ(j, g.RowOf(e.box.yl));
+        }
+      }
+    }
+    EXPECT_EQ(class_a_count, 1) << "id=" << e.id;
+  }
+}
+
+/// Property: classification is consistent with the tile grid — an entry in
+/// class C of tile (i, j) also intersects tile (i-1, j), etc.
+TEST(ClassesTest, BeforeClassesImplyNeighborAssignment) {
+  const GridLayout g(Box{0, 0, 1, 1}, 9, 7);
+  const auto entries = testing::RandomEntries(500, 0.3, /*seed=*/13);
+  for (const BoxEntry& e : entries) {
+    const TileRange r = g.TilesFor(e.box);
+    for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+      for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+        const ObjectClass c = ClassifyEntryInTile(g, i, j, e.box);
+        if (StartsBeforeX(c)) EXPECT_GT(i, r.i0);
+        if (StartsBeforeY(c)) EXPECT_GT(j, r.j0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlp

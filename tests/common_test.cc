@@ -1,0 +1,147 @@
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "gtest/gtest.h"
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace tlp {
+namespace {
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int k = 0; k < 10000; ++k) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(2);
+  for (int k = 0; k < 1000; ++k) {
+    const double v = rng.Uniform(0.25, 4.0);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRangeWithoutOverflow) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 2000; ++k) {
+    const std::uint64_t v = rng.NextBelow(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(4);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(ZipfSamplerTest, RankZeroDominatesAtAlphaOne) {
+  Rng rng(5);
+  const ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int k = 0; k < 20000; ++k) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 2000);  // ~1/H(100) = 19% of mass on rank 0
+  int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform) {
+  Rng rng(6);
+  const ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int k = 0; k < 20000; ++k) ++counts[zipf.Sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 100; ++k) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) hits[k].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(EnvTest, FallbacksAndParsing) {
+  EXPECT_EQ(EnvInt64("TLP_SURELY_UNSET_VAR", 123), 123);
+  EXPECT_DOUBLE_EQ(EnvDouble("TLP_SURELY_UNSET_VAR", 2.5), 2.5);
+  setenv("TLP_TEST_INT", "77", 1);
+  EXPECT_EQ(EnvInt64("TLP_TEST_INT", 0), 77);
+  setenv("TLP_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(EnvInt64("TLP_TEST_BAD", 9), 9);
+  setenv("TLP_TEST_DBL", "0.125", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("TLP_TEST_DBL", 0), 0.125);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  const double t0 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+  EXPECT_LE(watch.ElapsedSeconds(), 5.0);  // sanity
+}
+
+}  // namespace
+}  // namespace tlp

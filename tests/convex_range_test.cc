@@ -1,0 +1,158 @@
+#include "core/convex_range_query.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "geometry/convex.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+/// Random convex polygon: points on an ellipse, CCW.
+ConvexPolygon RandomConvex(Rng& rng) {
+  const double cx = rng.NextDouble();
+  const double cy = rng.NextDouble();
+  const double rx = 0.02 + rng.NextDouble() * 0.3;
+  const double ry = 0.02 + rng.NextDouble() * 0.3;
+  const std::size_t n = 3 + rng.NextBelow(8);
+  std::vector<double> angles(n);
+  for (auto& a : angles) a = rng.NextDouble() * 6.283185307179586;
+  std::sort(angles.begin(), angles.end());
+  std::vector<Point> vertices;
+  for (const double a : angles) {
+    vertices.push_back(Point{cx + rx * std::cos(a), cy + ry * std::sin(a)});
+  }
+  return ConvexPolygon(std::move(vertices));
+}
+
+TEST(ConvexPolygonTest, ContainsPoint) {
+  const ConvexPolygon tri({Point{0.2, 0.2}, Point{0.8, 0.2}, Point{0.5, 0.8}});
+  EXPECT_TRUE(tri.Contains(Point{0.5, 0.4}));
+  EXPECT_TRUE(tri.Contains(Point{0.2, 0.2}));   // vertex
+  EXPECT_TRUE(tri.Contains(Point{0.5, 0.2}));   // on edge
+  EXPECT_FALSE(tri.Contains(Point{0.1, 0.5}));
+  EXPECT_FALSE(tri.Contains(Point{0.5, 0.81}));
+}
+
+TEST(ConvexPolygonTest, IntersectsBoxAgainstSampling) {
+  Rng rng(221);
+  for (int t = 0; t < 40; ++t) {
+    const ConvexPolygon poly = RandomConvex(rng);
+    for (int b = 0; b < 25; ++b) {
+      const double x = rng.NextDouble(), y = rng.NextDouble();
+      const Box box{x, y, std::min(1.0, x + rng.NextDouble() * 0.2),
+                    std::min(1.0, y + rng.NextDouble() * 0.2)};
+      // Dense-sampling approximation: any sampled point of the box inside
+      // the polygon forces Intersects == true.
+      bool sampled_hit = false;
+      for (int sx = 0; sx <= 10 && !sampled_hit; ++sx) {
+        for (int sy = 0; sy <= 10 && !sampled_hit; ++sy) {
+          const Point p{box.xl + (box.xu - box.xl) * sx / 10.0,
+                        box.yl + (box.yu - box.yl) * sy / 10.0};
+          sampled_hit = poly.Contains(p);
+        }
+      }
+      if (sampled_hit) EXPECT_TRUE(poly.Intersects(box));
+      // And vice versa: polygon vertices inside the box force it too.
+      for (const Point& v : poly.vertices()) {
+        if (box.Contains(v)) EXPECT_TRUE(poly.Intersects(box));
+      }
+    }
+  }
+}
+
+TEST(ConvexPolygonTest, ContainsBox) {
+  const ConvexPolygon square(
+      {Point{0, 0}, Point{1, 0}, Point{1, 1}, Point{0, 1}});
+  EXPECT_TRUE(square.Contains(Box{0.1, 0.1, 0.9, 0.9}));
+  EXPECT_TRUE(square.Contains(Box{0, 0, 1, 1}));
+  const ConvexPolygon tri({Point{0, 0}, Point{1, 0}, Point{0.5, 1}});
+  EXPECT_FALSE(tri.Contains(Box{0.0, 0.5, 1.0, 0.9}));
+}
+
+TEST(ConvexPolygonTest, SlabXExtent) {
+  const ConvexPolygon tri({Point{0.2, 0.2}, Point{0.8, 0.2}, Point{0.5, 0.8}});
+  Coord lo = 0, hi = 0;
+  ASSERT_TRUE(tri.SlabXExtent(0.1, 0.3, &lo, &hi));
+  EXPECT_DOUBLE_EQ(lo, 0.2);
+  EXPECT_DOUBLE_EQ(hi, 0.8);
+  // Narrow slab near the apex.
+  ASSERT_TRUE(tri.SlabXExtent(0.75, 0.85, &lo, &hi));
+  EXPECT_GT(lo, 0.35);
+  EXPECT_LT(hi, 0.65);
+  // Slab above the polygon.
+  EXPECT_FALSE(tri.SlabXExtent(0.9, 1.0, &lo, &hi));
+}
+
+TEST(ConvexRangeQueryTest, MatchesBruteForceOnRandomRegions) {
+  const auto entries = testing::RandomEntries(800, 0.1, 222);
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(entries);
+  Rng rng(223);
+  for (int t = 0; t < 50; ++t) {
+    const ConvexPolygon region = RandomConvex(rng);
+    std::vector<ObjectId> expected;
+    for (const BoxEntry& e : entries) {
+      if (region.Intersects(e.box)) expected.push_back(e.id);
+    }
+    std::vector<ObjectId> actual;
+    ConvexRangeQuery(grid, region, &actual);
+    testing::ExpectSameIdSet(expected, actual, "region " + std::to_string(t));
+  }
+}
+
+TEST(ConvexRangeQueryTest, TriangleSpanningManyTiles) {
+  const auto entries = testing::RandomEntries(600, 0.2, 224);
+  TwoLayerGrid grid(GridLayout(kUnit, 8, 8));
+  grid.Build(entries);
+  const ConvexPolygon tri(
+      {Point{0.05, 0.1}, Point{0.95, 0.4}, Point{0.3, 0.9}});
+  std::vector<ObjectId> expected;
+  for (const BoxEntry& e : entries) {
+    if (tri.Intersects(e.box)) expected.push_back(e.id);
+  }
+  std::vector<ObjectId> actual;
+  ConvexRangeQuery(grid, tri, &actual);
+  testing::ExpectSameIdSet(expected, actual);
+}
+
+TEST(ConvexRangeQueryTest, RectangleRegionMatchesWindowQuery) {
+  // A rectangular convex region must agree with the native window query.
+  const auto entries = testing::RandomEntries(700, 0.15, 225);
+  TwoLayerGrid grid(GridLayout(kUnit, 12, 12));
+  grid.Build(entries);
+  Rng rng(226);
+  for (int t = 0; t < 30; ++t) {
+    const double x = rng.NextDouble() * 0.7;
+    const double y = rng.NextDouble() * 0.7;
+    const Box w{x, y, x + 0.2, y + 0.25};
+    const ConvexPolygon rect({Point{w.xl, w.yl}, Point{w.xu, w.yl},
+                              Point{w.xu, w.yu}, Point{w.xl, w.yu}});
+    std::vector<ObjectId> a, b;
+    grid.WindowQuery(w, &a);
+    ConvexRangeQuery(grid, rect, &b);
+    testing::ExpectSameIdSet(a, b);
+  }
+}
+
+TEST(ConvexRangeQueryTest, RegionOutsideDataAndDegenerateGrid) {
+  const auto entries = testing::RandomEntries(100, 0.05, 227);
+  TwoLayerGrid grid(GridLayout(kUnit, 1, 1));  // single-tile grid
+  grid.Build(entries);
+  const ConvexPolygon tri(
+      {Point{0.4, 0.4}, Point{0.6, 0.4}, Point{0.5, 0.6}});
+  std::vector<ObjectId> expected;
+  for (const BoxEntry& e : entries) {
+    if (tri.Intersects(e.box)) expected.push_back(e.id);
+  }
+  std::vector<ObjectId> actual;
+  ConvexRangeQuery(grid, tri, &actual);
+  testing::ExpectSameIdSet(expected, actual);
+}
+
+}  // namespace
+}  // namespace tlp

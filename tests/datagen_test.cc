@@ -1,0 +1,172 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "datagen/tiger_like.h"
+
+namespace tlp {
+namespace {
+
+TEST(SyntheticTest, CardinalityAndIds) {
+  SyntheticConfig config;
+  config.cardinality = 1000;
+  const auto entries = GenerateSyntheticRects(config);
+  ASSERT_EQ(entries.size(), 1000u);
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    EXPECT_EQ(entries[k].id, k);
+  }
+}
+
+TEST(SyntheticTest, RectanglesHaveRequestedAreaAndBoundedAspect) {
+  SyntheticConfig config;
+  config.cardinality = 2000;
+  config.area = 1e-6;
+  const auto entries = GenerateSyntheticRects(config);
+  for (const BoxEntry& e : entries) {
+    // Clamping at the border may shrink a box, but interior boxes keep the
+    // exact area and the [0.25, 4] width:height ratio.
+    if (e.box.xl > 0 && e.box.yl > 0 && e.box.xu < 1 && e.box.yu < 1) {
+      EXPECT_NEAR(e.box.area(), 1e-6, 1e-9);
+      const double ratio = e.box.width() / e.box.height();
+      EXPECT_GE(ratio, 0.25 - 1e-9);
+      EXPECT_LE(ratio, 4.0 + 1e-9);
+    }
+    EXPECT_GE(e.box.xl, 0);
+    EXPECT_LE(e.box.xu, 1);
+    EXPECT_GE(e.box.yl, 0);
+    EXPECT_LE(e.box.yu, 1);
+  }
+}
+
+TEST(SyntheticTest, ZeroAreaYieldsPoints) {
+  SyntheticConfig config;
+  config.cardinality = 100;
+  config.area = 0;  // the paper's 10^-inf case
+  for (const BoxEntry& e : GenerateSyntheticRects(config)) {
+    EXPECT_EQ(e.box.width(), 0);
+    EXPECT_EQ(e.box.height(), 0);
+  }
+}
+
+TEST(SyntheticTest, ZipfianSkewsTowardOrigin) {
+  SyntheticConfig uniform;
+  uniform.cardinality = 5000;
+  SyntheticConfig zipf = uniform;
+  zipf.distribution = SpatialDistribution::kZipfian;
+  auto count_low = [](const std::vector<BoxEntry>& entries) {
+    int n = 0;
+    for (const auto& e : entries) {
+      if (e.box.center().x < 0.1 && e.box.center().y < 0.1) ++n;
+    }
+    return n;
+  };
+  const int low_uniform = count_low(GenerateSyntheticRects(uniform));
+  const int low_zipf = count_low(GenerateSyntheticRects(zipf));
+  EXPECT_GT(low_zipf, low_uniform * 5);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig config;
+  config.cardinality = 50;
+  const auto a = GenerateSyntheticRects(config);
+  const auto b = GenerateSyntheticRects(config);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].box, b[k].box);
+  }
+}
+
+TEST(TigerLikeTest, FlavorsProduceExpectedGeometryKinds) {
+  TigerConfig config;
+  config.cardinality = 500;
+  config.flavor = TigerFlavor::kRoads;
+  GeometryStore roads = GenerateTigerLike(config);
+  ASSERT_EQ(roads.size(), 500u);
+  for (ObjectId id = 0; id < roads.size(); ++id) {
+    EXPECT_TRUE(std::holds_alternative<LineString>(roads.geometry(id)));
+  }
+  config.flavor = TigerFlavor::kEdges;
+  GeometryStore edges = GenerateTigerLike(config);
+  for (ObjectId id = 0; id < edges.size(); ++id) {
+    EXPECT_TRUE(std::holds_alternative<Polygon>(edges.geometry(id)));
+  }
+  config.flavor = TigerFlavor::kTiger;
+  GeometryStore mixed = GenerateTigerLike(config);
+  int polys = 0;
+  for (ObjectId id = 0; id < mixed.size(); ++id) {
+    if (std::holds_alternative<Polygon>(mixed.geometry(id))) ++polys;
+  }
+  EXPECT_GT(polys, 100);
+  EXPECT_LT(polys, 450);
+}
+
+TEST(TigerLikeTest, MbrsInsideDomainAndCachedCorrectly) {
+  TigerConfig config;
+  config.cardinality = 300;
+  config.flavor = TigerFlavor::kTiger;
+  const GeometryStore store = GenerateTigerLike(config);
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    const Box& mbr = store.mbr(id);
+    EXPECT_GE(mbr.xl, -1e-9);
+    EXPECT_LE(mbr.xu, 1 + 1e-9);
+    EXPECT_EQ(mbr, ComputeMbr(store.geometry(id)));
+  }
+}
+
+TEST(TigerLikeTest, ExtentScalingTracksCardinality) {
+  // Mean extents should scale ~ 1/sqrt(cardinality) relative to the paper's
+  // configuration (DESIGN.md §3).
+  TigerConfig small;
+  small.flavor = TigerFlavor::kRoads;
+  small.cardinality = 2000;
+  TigerConfig large = small;
+  large.cardinality = 32000;
+  auto mean_width = [](const GeometryStore& s) {
+    double sum = 0;
+    for (ObjectId id = 0; id < s.size(); ++id) sum += s.mbr(id).width();
+    return sum / s.size();
+  };
+  const double mw_small = mean_width(GenerateTigerLike(small));
+  const double mw_large = mean_width(GenerateTigerLike(large));
+  EXPECT_NEAR(mw_small / mw_large, 4.0, 1.2);  // sqrt(16) = 4
+}
+
+TEST(QueryGenTest, WindowsHaveRequestedAreaAndStayInDomain) {
+  SyntheticConfig config;
+  config.cardinality = 1000;
+  const auto data = GenerateSyntheticRects(config);
+  const auto queries = GenerateWindowQueries(data, 200, 0.001);
+  ASSERT_EQ(queries.size(), 200u);
+  for (const Box& w : queries) {
+    EXPECT_NEAR(w.area(), 0.001, 1e-9);
+    EXPECT_GE(w.xl, 0);
+    EXPECT_LE(w.xu, 1);
+  }
+}
+
+TEST(QueryGenTest, DiskRadiusMatchesRelativeArea) {
+  SyntheticConfig config;
+  config.cardinality = 100;
+  const auto data = GenerateSyntheticRects(config);
+  const auto disks = GenerateDiskQueries(data, 50, 0.001);
+  for (const DiskQuerySpec& d : disks) {
+    EXPECT_NEAR(d.radius * d.radius * 3.14159265358979, 0.001, 1e-9);
+  }
+}
+
+TEST(QueryGenTest, QueriesFollowDataDistribution) {
+  // All data in the left half => all query centers in the left half-ish.
+  std::vector<BoxEntry> data;
+  for (int k = 0; k < 100; ++k) {
+    const double x = 0.1 + 0.001 * k;
+    data.push_back(BoxEntry{Box{x, 0.5, x + 0.01, 0.51},
+                            static_cast<ObjectId>(k)});
+  }
+  for (const Box& w : GenerateWindowQueries(data, 50, 0.0001)) {
+    EXPECT_LT(w.center().x, 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,55 @@
+#include "distsim/distributed_sim.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+TEST(DistributedSimTest, ResultsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1000, 0.1, 141);
+  DistributedSpatialEngine engine(entries, /*partitions_per_dim=*/8);
+  for (const Box& w : testing::RandomWindows(40, 142)) {
+    std::vector<ObjectId> expected;
+    for (const BoxEntry& e : entries) {
+      if (e.box.Intersects(w)) expected.push_back(e.id);
+    }
+    std::vector<ObjectId> actual;
+    engine.WindowQuerySimulated(w, 4, &actual);
+    testing::ExpectSameIdSet(expected, actual);
+  }
+}
+
+TEST(DistributedSimTest, LatencyIncludesDriverOverhead) {
+  const auto entries = testing::RandomEntries(500, 0.1, 143);
+  ClusterCostModel model;
+  model.driver_overhead_s = 0.5;  // exaggerated for the assertion
+  DistributedSpatialEngine engine(entries, 4, model);
+  std::vector<ObjectId> out;
+  const double latency =
+      engine.WindowQuerySimulated(Box{0.4, 0.4, 0.6, 0.6}, 2, &out);
+  EXPECT_GE(latency, 0.5);
+}
+
+TEST(DistributedSimTest, MoreExecutorsNeverSlower) {
+  const auto entries = testing::RandomEntries(2000, 0.05, 144);
+  DistributedSpatialEngine engine(entries, 8);
+  const Box w{0.1, 0.1, 0.9, 0.9};  // touches many partitions
+  std::vector<ObjectId> out;
+  const double t1 = engine.WindowQuerySimulated(w, 1, &out);
+  out.clear();
+  const double t8 = engine.WindowQuerySimulated(w, 8, &out);
+  EXPECT_LE(t8, t1 + 1e-9);
+  // With many uniform tasks, 8 slots should be clearly faster than 1.
+  EXPECT_LT(t8, t1 * 0.8);
+}
+
+TEST(DistributedSimTest, PartitionCount) {
+  const auto entries = testing::RandomEntries(100, 0.1, 145);
+  DistributedSpatialEngine engine(entries, 4);
+  EXPECT_EQ(engine.partition_count(), 16u);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,176 @@
+#include "geometry/geometry.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include "geometry/geometry_store.h"
+
+namespace tlp {
+namespace {
+
+Polygon UnitDiamond() {
+  // Diamond centered at (0.5, 0.5) with "radius" 0.25.
+  return Polygon{{Point{0.5, 0.25}, Point{0.75, 0.5}, Point{0.5, 0.75},
+                  Point{0.25, 0.5}}};
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{1, 1}, Point{0, 1},
+                                Point{1, 0}));
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{0, 1},
+                                 Point{1, 1}));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{1, 1}, Point{1, 1},
+                                Point{2, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect(Point{0, 0}, Point{2, 0}, Point{1, 0},
+                                Point{3, 0}));
+  EXPECT_FALSE(SegmentsIntersect(Point{0, 0}, Point{1, 0}, Point{2, 0},
+                                 Point{3, 0}));
+}
+
+TEST(SegmentIntersectsBoxTest, Basics) {
+  const Box w{0.25, 0.25, 0.75, 0.75};
+  // Fully inside.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{0.3, 0.3}, Point{0.6, 0.6}, w));
+  // Crossing through.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{0, 0.5}, Point{1, 0.5}, w));
+  // Diagonal crossing a corner region.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{0, 0.5}, Point{0.5, 0}, w));
+  // Outside, parallel to an edge.
+  EXPECT_FALSE(SegmentIntersectsBox(Point{0, 0.9}, Point{1, 0.9}, w));
+  // Near miss past a corner.
+  EXPECT_FALSE(SegmentIntersectsBox(Point{0, 0.4}, Point{0.4, 0}, w));
+  // Touching the border exactly.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{0, 0.25}, Point{1, 0.25}, w));
+  // Degenerate zero-length segment.
+  EXPECT_TRUE(SegmentIntersectsBox(Point{0.5, 0.5}, Point{0.5, 0.5}, w));
+  EXPECT_FALSE(SegmentIntersectsBox(Point{0.1, 0.1}, Point{0.1, 0.1}, w));
+}
+
+TEST(PointSegmentDistanceTest, Cases) {
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{0, 1}, Point{-1, 0}, Point{1, 0}),
+                   1.0);
+  // Beyond the endpoint: distance to the endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{2, 1}, Point{-1, 0}, Point{1, 0}),
+                   std::sqrt(2.0));
+  // On the segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{0, 0}, Point{-1, 0}, Point{1, 0}),
+                   0.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}),
+                   5.0);
+}
+
+TEST(PointInPolygonTest, DiamondCases) {
+  const Polygon d = UnitDiamond();
+  EXPECT_TRUE(PointInPolygon(Point{0.5, 0.5}, d));
+  EXPECT_TRUE(PointInPolygon(Point{0.5, 0.25}, d));   // vertex
+  EXPECT_TRUE(PointInPolygon(Point{0.625, 0.375}, d));  // on edge
+  EXPECT_FALSE(PointInPolygon(Point{0.3, 0.3}, d));   // inside MBR, outside
+  EXPECT_FALSE(PointInPolygon(Point{0.9, 0.9}, d));
+}
+
+TEST(PolygonIntersectsBoxTest, Cases) {
+  const Polygon d = UnitDiamond();
+  // Box inside polygon (no edge crossing).
+  EXPECT_TRUE(PolygonIntersectsBox(d, Box{0.45, 0.45, 0.55, 0.55}));
+  // Polygon inside box.
+  EXPECT_TRUE(PolygonIntersectsBox(d, Box{0, 0, 1, 1}));
+  // Edge crossing.
+  EXPECT_TRUE(PolygonIntersectsBox(d, Box{0.0, 0.45, 0.3, 0.55}));
+  // MBR-overlapping corner box that misses the diamond.
+  EXPECT_FALSE(PolygonIntersectsBox(d, Box{0.26, 0.26, 0.32, 0.32}));
+  EXPECT_FALSE(PolygonIntersectsBox(d, Box{0.8, 0.8, 0.9, 0.9}));
+}
+
+TEST(LineStringIntersectsBoxTest, Cases) {
+  const LineString ls{{Point{0.1, 0.1}, Point{0.4, 0.4}, Point{0.4, 0.9}}};
+  EXPECT_TRUE(LineStringIntersectsBox(ls, Box{0.35, 0.5, 0.45, 0.6}));
+  EXPECT_FALSE(LineStringIntersectsBox(ls, Box{0.5, 0.1, 0.9, 0.3}));
+  const LineString single{{Point{0.5, 0.5}}};
+  EXPECT_TRUE(LineStringIntersectsBox(single, Box{0.4, 0.4, 0.6, 0.6}));
+}
+
+TEST(GeometryDistanceTest, PointGeometry) {
+  EXPECT_DOUBLE_EQ(GeometryDistance(Geometry{Point{0, 0}}, Point{3, 4}), 5.0);
+}
+
+TEST(GeometryDistanceTest, PolygonInteriorIsZero) {
+  EXPECT_DOUBLE_EQ(GeometryDistance(Geometry{UnitDiamond()}, Point{0.5, 0.5}),
+                   0.0);
+  // Outside: distance to the nearest edge.
+  const double d =
+      GeometryDistance(Geometry{UnitDiamond()}, Point{0.5, 0.0});
+  EXPECT_NEAR(d, 0.25, 1e-12);
+}
+
+TEST(GeometryDistanceTest, LineString) {
+  const LineString ls{{Point{0, 0}, Point{1, 0}}};
+  EXPECT_DOUBLE_EQ(GeometryDistance(Geometry{ls}, Point{0.5, 0.3}), 0.3);
+}
+
+TEST(GeometryIntersectsDiskTest, Basics) {
+  const LineString ls{{Point{0, 0}, Point{1, 0}}};
+  EXPECT_TRUE(GeometryIntersectsDisk(Geometry{ls}, Point{0.5, 0.3}, 0.3));
+  EXPECT_FALSE(GeometryIntersectsDisk(Geometry{ls}, Point{0.5, 0.3}, 0.29));
+}
+
+TEST(ComputeMbrTest, AllGeometryKinds) {
+  EXPECT_EQ(ComputeMbr(Geometry{Point{0.3, 0.7}}),
+            (Box{0.3, 0.7, 0.3, 0.7}));
+  EXPECT_EQ(ComputeMbr(Geometry{UnitDiamond()}),
+            (Box{0.25, 0.25, 0.75, 0.75}));
+  const LineString ls{{Point{0.9, 0.1}, Point{0.2, 0.8}}};
+  EXPECT_EQ(ComputeMbr(Geometry{ls}), (Box{0.2, 0.1, 0.9, 0.8}));
+}
+
+TEST(GeometryStoreTest, AddAndRetrieve) {
+  GeometryStore store;
+  const ObjectId a = store.Add(Geometry{Point{0.1, 0.1}});
+  const ObjectId b = store.Add(Geometry{UnitDiamond()});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.mbr(b), (Box{0.25, 0.25, 0.75, 0.75}));
+  EXPECT_TRUE(std::holds_alternative<Point>(store.geometry(a)));
+
+  const auto entries = store.AllEntries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 0u);
+  EXPECT_EQ(entries[1].id, 1u);
+  EXPECT_EQ(entries[1].box, store.mbr(b));
+}
+
+// Property: for random segments and boxes, Liang-Barsky agrees with a dense
+// point-sampling approximation (sound on clear hits/misses).
+TEST(SegmentIntersectsBoxTest, AgreesWithSampling) {
+  // Deterministic sweep of segments against a fixed box; whenever dense
+  // sampling finds an interior point, the exact predicate must agree.
+  const Box w{0.4, 0.4, 0.6, 0.6};
+  for (int k = 0; k < 50; ++k) {
+    const double t = k / 49.0;
+    const Point a{t, 0.0};
+    const Point b{1.0 - t, 1.0};
+    bool sampled = false;
+    for (int s = 0; s <= 200; ++s) {
+      const double u = s / 200.0;
+      const Point p{a.x + u * (b.x - a.x), a.y + u * (b.y - a.y)};
+      if (w.Contains(p)) {
+        sampled = true;
+        break;
+      }
+    }
+    if (sampled) {
+      EXPECT_TRUE(SegmentIntersectsBox(a, b, w)) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,189 @@
+// Cross-index integration suite: every index in the library must return
+// identical, duplicate-free results on the same randomized workloads —
+// uniform, zipfian, and clustered TIGER-like data; window and disk queries;
+// bulk build and incremental inserts.
+
+#include <functional>
+#include <memory>
+
+#include "gtest/gtest.h"
+
+#include "block/block_index.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "datagen/synthetic.h"
+#include "datagen/tiger_like.h"
+#include "grid/one_layer_grid.h"
+#include "quadtree/mxcif_quad_tree.h"
+#include "quadtree/quad_tree.h"
+#include "rtree/rtree.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+using IndexFactory =
+    std::function<std::unique_ptr<SpatialIndex>(const std::vector<BoxEntry>&)>;
+
+struct NamedFactory {
+  std::string label;
+  IndexFactory make;
+};
+
+std::vector<NamedFactory> AllIndexFactories() {
+  return {
+      {"two_layer",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<TwoLayerGrid>(GridLayout(kUnit, 24, 24));
+         idx->Build(e);
+         return idx;
+       }},
+      {"two_layer_plus",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx =
+             std::make_unique<TwoLayerPlusGrid>(GridLayout(kUnit, 24, 24));
+         idx->Build(e);
+         return idx;
+       }},
+      {"one_layer_refpoint",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<OneLayerGrid>(
+             GridLayout(kUnit, 24, 24), DedupPolicy::kReferencePoint);
+         idx->Build(e);
+         return idx;
+       }},
+      {"one_layer_hash",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<OneLayerGrid>(GridLayout(kUnit, 24, 24),
+                                                   DedupPolicy::kHash);
+         idx->Build(e);
+         return idx;
+       }},
+      {"quadtree_refpoint",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<QuadTree>(
+             kUnit, QuadTreeMode::kReferencePoint, 64, 8);
+         idx->Build(e);
+         return idx;
+       }},
+      {"quadtree_two_layer",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx =
+             std::make_unique<QuadTree>(kUnit, QuadTreeMode::kTwoLayer, 64, 8);
+         idx->Build(e);
+         return idx;
+       }},
+      {"mxcif",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<MxcifQuadTree>(kUnit, 8);
+         idx->Build(e);
+         return idx;
+       }},
+      {"rtree_str",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<RTree>(RTreeVariant::kStr);
+         idx->Build(e);
+         return idx;
+       }},
+      {"rtree_rstar",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<RTree>(RTreeVariant::kRStar);
+         idx->Build(e);
+         return idx;
+       }},
+      {"block",
+       [](const std::vector<BoxEntry>& e) {
+         auto idx = std::make_unique<BlockIndex>(kUnit, 6);
+         idx->Build(e);
+         return idx;
+       }},
+  };
+}
+
+enum class Workload { kUniform, kZipf, kClustered };
+
+std::vector<BoxEntry> MakeWorkload(Workload w, std::size_t n) {
+  switch (w) {
+    case Workload::kUniform: {
+      SyntheticConfig c;
+      c.cardinality = n;
+      c.area = 1e-4;
+      return GenerateSyntheticRects(c);
+    }
+    case Workload::kZipf: {
+      SyntheticConfig c;
+      c.cardinality = n;
+      c.area = 1e-4;
+      c.distribution = SpatialDistribution::kZipfian;
+      return GenerateSyntheticRects(c);
+    }
+    case Workload::kClustered: {
+      TigerConfig c;
+      c.flavor = TigerFlavor::kTiger;
+      c.cardinality = n;
+      return GenerateTigerLike(c).AllEntries();
+    }
+  }
+  return {};
+}
+
+struct OracleCase {
+  std::size_t factory_index;
+  Workload workload;
+};
+
+class IndexOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(IndexOracleTest, WindowsAndDisksMatchBruteForce) {
+  const auto& factory = AllIndexFactories()[GetParam().factory_index];
+  const auto entries = MakeWorkload(GetParam().workload, 1200);
+  const auto index = factory.make(entries);
+  for (const Box& w : testing::RandomWindows(40, 151)) {
+    testing::CheckWindowAgainstBruteForce(*index, entries, w, factory.label);
+  }
+  Rng rng(152);
+  for (int k = 0; k < 25; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(*index, entries, q,
+                                        rng.NextDouble() * 0.2, factory.label);
+  }
+}
+
+TEST_P(IndexOracleTest, InsertAfterBuildStaysCorrect) {
+  const auto& factory = AllIndexFactories()[GetParam().factory_index];
+  auto entries = MakeWorkload(GetParam().workload, 800);
+  const std::vector<BoxEntry> initial(entries.begin(), entries.begin() + 600);
+  const auto index = factory.make(initial);
+  for (std::size_t k = 600; k < entries.size(); ++k) {
+    index->Insert(entries[k]);
+  }
+  for (const Box& w : testing::RandomWindows(25, 153)) {
+    testing::CheckWindowAgainstBruteForce(*index, entries, w, factory.label);
+  }
+}
+
+std::vector<OracleCase> AllCases() {
+  std::vector<OracleCase> cases;
+  const std::size_t n = AllIndexFactories().size();
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const Workload w :
+         {Workload::kUniform, Workload::kZipf, Workload::kClustered}) {
+      cases.push_back(OracleCase{f, w});
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<OracleCase>& info) {
+  static const char* kWorkloadNames[3] = {"uniform", "zipf", "clustered"};
+  return AllIndexFactories()[info.param.factory_index].label + "_" +
+         kWorkloadNames[static_cast<int>(info.param.workload)];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndices, IndexOracleTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace tlp

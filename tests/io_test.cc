@@ -1,0 +1,150 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "datagen/tiger_like.h"
+#include "io/dataset_io.h"
+#include "io/wkt.h"
+
+namespace tlp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(WktTest, ParsePoint) {
+  const auto g = ParseWkt("POINT (0.5 0.25)");
+  ASSERT_TRUE(g.has_value());
+  const auto* p = std::get_if<Point>(&*g);
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->x, 0.5);
+  EXPECT_DOUBLE_EQ(p->y, 0.25);
+}
+
+TEST(WktTest, ParseLineString) {
+  const auto g = ParseWkt("linestring(0 0, 0.5 0.5, 1 0)");
+  ASSERT_TRUE(g.has_value());
+  const auto* ls = std::get_if<LineString>(&*g);
+  ASSERT_NE(ls, nullptr);
+  ASSERT_EQ(ls->vertices.size(), 3u);
+  EXPECT_DOUBLE_EQ(ls->vertices[1].x, 0.5);
+}
+
+TEST(WktTest, ParsePolygonDropsClosingVertex) {
+  const auto g = ParseWkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  ASSERT_TRUE(g.has_value());
+  const auto* poly = std::get_if<Polygon>(&*g);
+  ASSERT_NE(poly, nullptr);
+  EXPECT_EQ(poly->ring.size(), 4u);  // explicit closure removed
+}
+
+TEST(WktTest, ParseWithScientificNotationAndWhitespace) {
+  const auto g = ParseWkt("  POINT (  1e-3   -2.5E2 ) ");
+  ASSERT_TRUE(g.has_value());
+  const auto* p = std::get_if<Point>(&*g);
+  EXPECT_DOUBLE_EQ(p->x, 1e-3);
+  EXPECT_DOUBLE_EQ(p->y, -250);
+}
+
+TEST(WktTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseWkt("CIRCLE (0 0, 1)", &error).has_value());
+  EXPECT_FALSE(ParseWkt("POINT 0 0", &error).has_value());
+  EXPECT_FALSE(ParseWkt("POINT (0 0, 1 1)", &error).has_value());
+  EXPECT_FALSE(ParseWkt("LINESTRING (0 0)", &error).has_value());
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 0))", &error).has_value());
+  EXPECT_FALSE(
+      ParseWkt("POLYGON ((0 0, 1 0, 1 1), (0 0, 1 0, 1 1))", &error)
+          .has_value());  // holes unsupported
+  EXPECT_FALSE(ParseWkt("POINT (1 2) garbage", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WktTest, RoundTripAllKinds) {
+  const Geometry geometries[] = {
+      Geometry{Point{0.123, 0.456}},
+      Geometry{LineString{{Point{0, 0}, Point{0.3, 0.7}, Point{1, 1}}}},
+      Geometry{Polygon{{Point{0.1, 0.1}, Point{0.9, 0.2}, Point{0.5, 0.8}}}},
+  };
+  for (const Geometry& g : geometries) {
+    const auto parsed = ParseWkt(ToWkt(g));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(ComputeMbr(*parsed), ComputeMbr(g));
+  }
+}
+
+TEST(DatasetIoTest, WktFileRoundTrip) {
+  TigerConfig config;
+  config.flavor = TigerFlavor::kTiger;
+  config.cardinality = 200;
+  const GeometryStore original = GenerateTigerLike(config);
+  const std::string path = TempPath("tlp_io_test.wkt");
+  std::string error;
+  ASSERT_TRUE(SaveWktFile(original, path, &error)) << error;
+  const auto loaded = LoadWktFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), original.size());
+  for (ObjectId id = 0; id < original.size(); ++id) {
+    EXPECT_EQ(loaded->mbr(id), original.mbr(id)) << id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, WktFileSkipsCommentsAndReportsLineNumbers) {
+  const std::string path = TempPath("tlp_io_comments.wkt");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n\nPOINT (0.1 0.2)\nBROKEN (1)\n";
+  }
+  std::string error;
+  const auto loaded = LoadWktFile(path, &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(error.find(":4:"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MbrCsvRoundTrip) {
+  std::vector<BoxEntry> entries;
+  Rng rng(231);
+  for (int k = 0; k < 100; ++k) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    entries.push_back(BoxEntry{Box{x, y, x + 0.01, y + 0.02},
+                               static_cast<ObjectId>(k)});
+  }
+  const std::string path = TempPath("tlp_io_test.csv");
+  std::string error;
+  ASSERT_TRUE(SaveMbrCsv(entries, path, &error)) << error;
+  const auto loaded = LoadMbrCsv(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    EXPECT_EQ((*loaded)[k].box, entries[k].box);
+    EXPECT_EQ((*loaded)[k].id, entries[k].id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MbrCsvRejectsMalformedRows) {
+  const std::string path = TempPath("tlp_io_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.1,0.2,0.2\n0.5,0.5,0.4,0.6\n";  // xu < xl on line 2
+  }
+  std::string error;
+  EXPECT_FALSE(LoadMbrCsv(path, &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFile) {
+  std::string error;
+  EXPECT_FALSE(LoadWktFile("/nonexistent/tlp.wkt", &error).has_value());
+  EXPECT_FALSE(LoadMbrCsv("/nonexistent/tlp.csv", &error).has_value());
+}
+
+}  // namespace
+}  // namespace tlp

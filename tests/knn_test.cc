@@ -1,0 +1,88 @@
+#include "core/knn.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+std::vector<KnnResult> BruteForceKnn(const std::vector<BoxEntry>& data,
+                                     const Point& q, std::size_t k) {
+  std::vector<KnnResult> all;
+  for (const BoxEntry& e : data) {
+    all.push_back(KnnResult{e.box.MinDistanceTo(q), e.id});
+  }
+  std::sort(all.begin(), all.end(), [](const KnnResult& a, const KnnResult& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(KnnTest, MatchesBruteForceOnRandomData) {
+  const auto data = testing::RandomEntries(800, 0.05, 171);
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(data);
+  Rng rng(172);
+  for (int t = 0; t < 30; ++t) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    const std::size_t k = 1 + rng.NextBelow(50);
+    EXPECT_EQ(KnnQuery(grid, q, k), BruteForceKnn(data, q, k))
+        << "q=(" << q.x << "," << q.y << ") k=" << k;
+  }
+}
+
+TEST(KnnTest, KLargerThanDatasetReturnsEverything) {
+  const auto data = testing::RandomEntries(20, 0.1, 173);
+  TwoLayerGrid grid(GridLayout(kUnit, 8, 8));
+  grid.Build(data);
+  const auto res = KnnQuery(grid, Point{0.5, 0.5}, 100);
+  EXPECT_EQ(res.size(), data.size());
+  EXPECT_EQ(res, BruteForceKnn(data, Point{0.5, 0.5}, 100));
+}
+
+TEST(KnnTest, ZeroKAndEmptyGrid) {
+  TwoLayerGrid empty(GridLayout(kUnit, 4, 4));
+  EXPECT_TRUE(KnnQuery(empty, Point{0.5, 0.5}, 3).empty());
+  const auto data = testing::RandomEntries(10, 0.1, 174);
+  TwoLayerGrid grid(GridLayout(kUnit, 4, 4));
+  grid.Build(data);
+  EXPECT_TRUE(KnnQuery(grid, Point{0.5, 0.5}, 0).empty());
+}
+
+TEST(KnnTest, QueryOutsideDomain) {
+  const auto data = testing::RandomEntries(300, 0.05, 175);
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(data);
+  const Point q{-0.5, 1.5};
+  EXPECT_EQ(KnnQuery(grid, q, 10), BruteForceKnn(data, q, 10));
+}
+
+TEST(KnnTest, NearestContainingObjectHasDistanceZero) {
+  TwoLayerGrid grid(GridLayout(kUnit, 8, 8));
+  grid.Build({BoxEntry{Box{0.2, 0.2, 0.8, 0.8}, 0},
+              BoxEntry{Box{0.9, 0.9, 0.95, 0.95}, 1}});
+  const auto res = KnnQuery(grid, Point{0.5, 0.5}, 1);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].id, 0u);
+  EXPECT_EQ(res[0].distance, 0.0);
+}
+
+TEST(KnnTest, ResultsAreSortedByDistance) {
+  const auto data = testing::RandomEntries(500, 0.02, 176);
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(data);
+  const auto res = KnnQuery(grid, Point{0.3, 0.7}, 40);
+  ASSERT_EQ(res.size(), 40u);
+  for (std::size_t k = 1; k < res.size(); ++k) {
+    EXPECT_LE(res[k - 1].distance, res[k].distance);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

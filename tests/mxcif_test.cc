@@ -1,0 +1,66 @@
+#include "quadtree/mxcif_quad_tree.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+TEST(MxcifQuadTreeTest, WindowsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1500, 0.1, 111);
+  MxcifQuadTree tree(kUnit, /*max_depth=*/8);
+  tree.Build(entries);
+  for (const Box& w : testing::RandomWindows(80, 112)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w);
+  }
+}
+
+TEST(MxcifQuadTreeTest, DisksMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1000, 0.1, 113);
+  MxcifQuadTree tree(kUnit, /*max_depth=*/8);
+  tree.Build(entries);
+  Rng rng(114);
+  for (int k = 0; k < 50; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(tree, entries, q,
+                                        rng.NextDouble() * 0.3);
+  }
+}
+
+TEST(MxcifQuadTreeTest, CenterCrossingObjectsStayHigh) {
+  MxcifQuadTree tree(kUnit, /*max_depth=*/10);
+  // An object crossing the root's center can live only at the root, yet must
+  // be found by any intersecting query.
+  tree.Insert(BoxEntry{Box{0.49, 0.49, 0.51, 0.51}, 0});
+  // A tiny object nests deep.
+  tree.Insert(BoxEntry{Box{0.1, 0.1, 0.1001, 0.1001}, 1});
+  std::vector<ObjectId> out;
+  tree.WindowQuery(Box{0.5, 0.5, 0.502, 0.502}, &out);
+  testing::ExpectSameIdSet({0}, out);
+  out.clear();
+  tree.WindowQuery(Box{0.05, 0.05, 0.2, 0.2}, &out);
+  testing::ExpectSameIdSet({1}, out);
+}
+
+TEST(MxcifQuadTreeTest, NoReplicationEver) {
+  // Same query twice and a full-domain query must report each id once —
+  // MXCIF stores every object exactly once by construction.
+  const auto entries = testing::RandomEntries(500, 0.4, 115);
+  MxcifQuadTree tree(kUnit, 8);
+  tree.Build(entries);
+  std::vector<ObjectId> out;
+  tree.WindowQuery(kUnit, &out);
+  testing::ExpectSameIdSet(
+      [&] {
+        std::vector<ObjectId> all;
+        for (const auto& e : entries) all.push_back(e.id);
+        return all;
+      }(),
+      out);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,72 @@
+#include "grid/one_layer_grid.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+TEST(OneLayerGridTest, ReferencePointDedupMatchesBruteForce) {
+  const auto entries = testing::RandomEntries(600, 0.2, 41);
+  OneLayerGrid grid(GridLayout(kUnit, 12, 12), DedupPolicy::kReferencePoint);
+  grid.Build(entries);
+  for (const Box& w : testing::RandomWindows(80, 42)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "refpoint");
+  }
+}
+
+TEST(OneLayerGridTest, HashDedupMatchesBruteForce) {
+  const auto entries = testing::RandomEntries(600, 0.2, 43);
+  OneLayerGrid grid(GridLayout(kUnit, 12, 12), DedupPolicy::kHash);
+  grid.Build(entries);
+  for (const Box& w : testing::RandomWindows(80, 44)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "hash");
+  }
+}
+
+TEST(OneLayerGridTest, DiskQueriesMatchBruteForce) {
+  const auto entries = testing::RandomEntries(600, 0.2, 45);
+  for (const DedupPolicy policy :
+       {DedupPolicy::kReferencePoint, DedupPolicy::kHash}) {
+    OneLayerGrid grid(GridLayout(kUnit, 10, 14), policy);
+    grid.Build(entries);
+    Rng rng(46);
+    for (int k = 0; k < 60; ++k) {
+      const Point q{rng.NextDouble(), rng.NextDouble()};
+      const Coord radius = rng.NextDouble() * rng.NextDouble() * 0.4;
+      testing::CheckDiskAgainstBruteForce(grid, entries, q, radius);
+    }
+    testing::CheckDiskAgainstBruteForce(grid, entries, Point{0.1, 0.1}, 0);
+    testing::CheckDiskAgainstBruteForce(grid, entries, Point{0.5, 0.5}, 2.0);
+  }
+}
+
+TEST(OneLayerGridTest, ReplicationCountsEntries) {
+  OneLayerGrid grid(GridLayout(kUnit, 4, 4));
+  grid.Insert(BoxEntry{Box{0.3, 0.3, 0.7, 0.7}, 0});  // 2x2 tiles
+  grid.Insert(BoxEntry{Box{0.1, 0.1, 0.15, 0.15}, 1});  // 1 tile
+  EXPECT_EQ(grid.entry_count(), 5u);
+  EXPECT_GT(grid.SizeBytes(), 0u);
+}
+
+TEST(OneLayerGridTest, InsertThenQuery) {
+  OneLayerGrid grid(GridLayout(kUnit, 8, 8));
+  const auto entries = testing::RandomEntries(200, 0.25, 47);
+  for (const BoxEntry& e : entries) grid.Insert(e);
+  for (const Box& w : testing::RandomWindows(40, 48)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "insert");
+  }
+}
+
+TEST(OneLayerGridTest, NamesReflectDedupPolicy) {
+  OneLayerGrid a(GridLayout(kUnit, 2, 2), DedupPolicy::kReferencePoint);
+  OneLayerGrid b(GridLayout(kUnit, 2, 2), DedupPolicy::kHash);
+  EXPECT_EQ(a.name(), "1-layer");
+  EXPECT_EQ(b.name(), "1-layer(hash)");
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,102 @@
+#include "quadtree/quad_tree.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+class QuadTreeModeTest : public ::testing::TestWithParam<QuadTreeMode> {};
+
+TEST_P(QuadTreeModeTest, WindowsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1500, 0.1, 91);
+  QuadTree tree(kUnit, GetParam(), /*capacity=*/64, /*max_depth=*/8);
+  tree.Build(entries);
+  EXPECT_GT(tree.LeafCount(), 1u);  // splits actually happened
+  for (const Box& w : testing::RandomWindows(80, 92)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w);
+  }
+}
+
+TEST_P(QuadTreeModeTest, DisksMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1200, 0.1, 93);
+  QuadTree tree(kUnit, GetParam(), /*capacity=*/64, /*max_depth=*/8);
+  tree.Build(entries);
+  Rng rng(94);
+  for (int k = 0; k < 50; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(tree, entries, q,
+                                        rng.NextDouble() * 0.3);
+  }
+  testing::CheckDiskAgainstBruteForce(tree, entries, Point{0.5, 0.5}, 0);
+  testing::CheckDiskAgainstBruteForce(tree, entries, Point{0.5, 0.5}, 2.0);
+}
+
+TEST_P(QuadTreeModeTest, ObjectsSpanningSplitLines) {
+  QuadTree tree(kUnit, GetParam(), /*capacity=*/2, /*max_depth=*/6);
+  // Force splits with objects placed across split lines.
+  const std::vector<BoxEntry> entries = {
+      {Box{0.4, 0.4, 0.6, 0.6}, 0},   // center cross
+      {Box{0.0, 0.0, 1.0, 0.1}, 1},   // bottom strip
+      {Box{0.45, 0.0, 0.55, 1.0}, 2}, // vertical strip over the split
+      {Box{0.5, 0.5, 0.5, 0.5}, 3},   // point exactly on the center
+      {Box{0.2, 0.2, 0.3, 0.3}, 4},
+      {Box{0.7, 0.7, 0.8, 0.8}, 5},
+      {Box{0.1, 0.6, 0.9, 0.7}, 6},
+      {Box{0.25, 0.25, 0.75, 0.75}, 7},
+  };
+  tree.Build(entries);
+  for (const Box& w : testing::RandomWindows(100, 95)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w, "split-liners");
+  }
+}
+
+TEST_P(QuadTreeModeTest, MaxDepthBoundsSplitting) {
+  QuadTree tree(kUnit, GetParam(), /*capacity=*/1, /*max_depth=*/2);
+  // Identical boxes can never be separated; max depth must stop recursion.
+  std::vector<BoxEntry> entries;
+  for (int k = 0; k < 50; ++k) {
+    entries.push_back(BoxEntry{Box{0.5, 0.5, 0.51, 0.51},
+                               static_cast<ObjectId>(k)});
+  }
+  tree.Build(entries);
+  EXPECT_LE(tree.LeafCount(), 16u);  // at most 4^2 leaves
+  testing::CheckWindowAgainstBruteForce(tree, entries,
+                                        Box{0.4, 0.4, 0.6, 0.6});
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, QuadTreeModeTest,
+                         ::testing::Values(QuadTreeMode::kReferencePoint,
+                                           QuadTreeMode::kTwoLayer),
+                         [](const auto& info) {
+                           return info.param == QuadTreeMode::kReferencePoint
+                                      ? "refpoint"
+                                      : "twolayer";
+                         });
+
+TEST(QuadTreeTest, NamesReflectMode) {
+  QuadTree a(kUnit, QuadTreeMode::kReferencePoint);
+  QuadTree b(kUnit, QuadTreeMode::kTwoLayer);
+  EXPECT_EQ(a.name(), "quad-tree");
+  EXPECT_EQ(b.name(), "quad-tree,2-layer");
+}
+
+TEST(QuadTreeTest, ModesAgreeWithEachOther) {
+  const auto entries = testing::RandomEntries(1000, 0.15, 96);
+  QuadTree ref(kUnit, QuadTreeMode::kReferencePoint, 128, 8);
+  QuadTree two(kUnit, QuadTreeMode::kTwoLayer, 128, 8);
+  ref.Build(entries);
+  two.Build(entries);
+  for (const Box& w : testing::RandomWindows(60, 97)) {
+    std::vector<ObjectId> a, b;
+    ref.WindowQuery(w, &a);
+    two.WindowQuery(w, &b);
+    testing::ExpectSameIdSet(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace tlp

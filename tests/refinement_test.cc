@@ -1,0 +1,168 @@
+#include "core/refinement.h"
+
+#include "gtest/gtest.h"
+
+#include "datagen/tiger_like.h"
+#include "geometry/geometry.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+/// Small mixed-geometry dataset with exact geometries for refinement tests.
+GeometryStore MakeStore() {
+  TigerConfig config;
+  config.flavor = TigerFlavor::kTiger;
+  config.cardinality = 3000;
+  config.seed = 71;
+  return GenerateTigerLike(config);
+}
+
+std::vector<ObjectId> ExactWindowBruteForce(const GeometryStore& store,
+                                            const Box& w) {
+  std::vector<ObjectId> out;
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    if (GeometryIntersectsBox(store.geometry(id), w)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ExactDiskBruteForce(const GeometryStore& store,
+                                          const Point& q, Coord radius) {
+  std::vector<ObjectId> out;
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    if (GeometryIntersectsDisk(store.geometry(id), q, radius)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+class RefinementTest : public ::testing::Test {
+ protected:
+  RefinementTest()
+      : store_(MakeStore()), grid_(GridLayout(kUnit, 32, 32)) {
+    grid_.Build(store_.AllEntries());
+  }
+
+  GeometryStore store_;
+  TwoLayerGrid grid_;
+};
+
+TEST_F(RefinementTest, WindowGuaranteedLemmaTable) {
+  const Box w{0.2, 0.2, 0.8, 0.8};
+  // x-projection covered -> guaranteed.
+  EXPECT_TRUE(
+      RefinementEngine::WindowGuaranteed(Box{0.3, 0.1, 0.7, 0.9}, w, false,
+                                         false));
+  // y-projection covered -> guaranteed.
+  EXPECT_TRUE(
+      RefinementEngine::WindowGuaranteed(Box{0.1, 0.3, 0.9, 0.7}, w, false,
+                                         false));
+  // Neither projection covered (crosses a window corner) -> not guaranteed.
+  EXPECT_FALSE(
+      RefinementEngine::WindowGuaranteed(Box{0.1, 0.1, 0.3, 0.3}, w, false,
+                                         false));
+  // Implied flag substitutes for the lower-bound comparison.
+  EXPECT_TRUE(
+      RefinementEngine::WindowGuaranteed(Box{0.1, 0.1, 0.7, 0.3}, w,
+                                         /*x_implied=*/true, false));
+}
+
+TEST_F(RefinementTest, DiskGuaranteedCornerRule) {
+  const Point q{0.5, 0.5};
+  // Entire small box near the center: all corners within the radius.
+  EXPECT_TRUE(RefinementEngine::DiskGuaranteed(Box{0.45, 0.45, 0.55, 0.55},
+                                               q, 0.2));
+  // One corner barely inside is not enough.
+  EXPECT_FALSE(RefinementEngine::DiskGuaranteed(Box{0.65, 0.65, 0.95, 0.95},
+                                                q, 0.25));
+  // Two corners inside (a full side) suffices.
+  EXPECT_TRUE(RefinementEngine::DiskGuaranteed(Box{0.45, 0.6, 0.55, 0.95},
+                                               q, 0.2));
+}
+
+TEST_F(RefinementTest, AllModesReturnExactWindowResults) {
+  RefinementEngine engine(grid_, store_);
+  Rng rng(72);
+  for (int k = 0; k < 25; ++k) {
+    const double side = 0.02 + rng.NextDouble() * 0.2;
+    const double x = rng.NextDouble() * (1 - side);
+    const double y = rng.NextDouble() * (1 - side);
+    const Box w{x, y, x + side, y + side};
+    const auto expected = ExactWindowBruteForce(store_, w);
+    for (const RefinementMode mode :
+         {RefinementMode::kSimple, RefinementMode::kRefAvoid,
+          RefinementMode::kRefAvoidPlus}) {
+      std::vector<ObjectId> out;
+      engine.WindowQueryExact(w, mode, &out);
+      testing::ExpectSameIdSet(expected, out,
+                               "mode=" + std::to_string(static_cast<int>(mode)));
+    }
+  }
+}
+
+TEST_F(RefinementTest, AllModesReturnExactDiskResults) {
+  RefinementEngine engine(grid_, store_);
+  Rng rng(73);
+  for (int k = 0; k < 25; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    const Coord radius = 0.01 + rng.NextDouble() * 0.15;
+    const auto expected = ExactDiskBruteForce(store_, q, radius);
+    for (const RefinementMode mode :
+         {RefinementMode::kSimple, RefinementMode::kRefAvoid}) {
+      std::vector<ObjectId> out;
+      engine.DiskQueryExact(q, radius, mode, &out);
+      testing::ExpectSameIdSet(expected, out);
+    }
+  }
+}
+
+TEST_F(RefinementTest, RefAvoidSkipsMostRefinements) {
+  RefinementEngine engine(grid_, store_);
+  RefinementBreakdown simple_bd, avoid_bd, plus_bd;
+  Rng rng(74);
+  for (int k = 0; k < 30; ++k) {
+    const double side = 0.1;
+    const double x = rng.NextDouble() * (1 - side);
+    const double y = rng.NextDouble() * (1 - side);
+    const Box w{x, y, x + side, y + side};
+    std::vector<ObjectId> out;
+    engine.WindowQueryExact(w, RefinementMode::kSimple, &out, &simple_bd);
+    out.clear();
+    engine.WindowQueryExact(w, RefinementMode::kRefAvoid, &out, &avoid_bd);
+    out.clear();
+    engine.WindowQueryExact(w, RefinementMode::kRefAvoidPlus, &out, &plus_bd);
+  }
+  // Simple refines every candidate; RefAvoid(+) must refine far fewer (the
+  // paper reports >90% of candidates skipped).
+  EXPECT_EQ(simple_bd.refined, simple_bd.candidates);
+  EXPECT_LT(avoid_bd.refined, simple_bd.candidates / 2);
+  EXPECT_EQ(plus_bd.guaranteed + plus_bd.refined, plus_bd.candidates);
+  EXPECT_EQ(avoid_bd.guaranteed + avoid_bd.refined, avoid_bd.candidates);
+  EXPECT_EQ(plus_bd.candidates, avoid_bd.candidates);
+  EXPECT_EQ(plus_bd.guaranteed, avoid_bd.guaranteed);
+}
+
+TEST_F(RefinementTest, GuaranteedCandidatesReallyIntersect) {
+  // Soundness of Lemma 5: everything reported without refinement must pass
+  // the exact test.
+  RefinementEngine engine(grid_, store_);
+  Rng rng(75);
+  for (int k = 0; k < 20; ++k) {
+    const double side = 0.05 + rng.NextDouble() * 0.1;
+    const double x = rng.NextDouble() * (1 - side);
+    const double y = rng.NextDouble() * (1 - side);
+    const Box w{x, y, x + side, y + side};
+    std::vector<ObjectId> out;
+    engine.WindowQueryExact(w, RefinementMode::kRefAvoid, &out);
+    for (const ObjectId id : out) {
+      EXPECT_TRUE(GeometryIntersectsBox(store_.geometry(id), w)) << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlp

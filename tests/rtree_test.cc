@@ -1,0 +1,117 @@
+#include "rtree/rtree.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+class RTreeVariantTest : public ::testing::TestWithParam<RTreeVariant> {};
+
+TEST_P(RTreeVariantTest, BulkBuildWindowsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(2000, 0.05, 121);
+  RTree tree(GetParam());
+  tree.Build(entries);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GE(tree.Height(), 2);
+  for (const Box& w : testing::RandomWindows(80, 122)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w);
+  }
+}
+
+TEST_P(RTreeVariantTest, DisksMatchBruteForce) {
+  const auto entries = testing::RandomEntries(1500, 0.05, 123);
+  RTree tree(GetParam());
+  tree.Build(entries);
+  Rng rng(124);
+  for (int k = 0; k < 50; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(tree, entries, q,
+                                        rng.NextDouble() * 0.3);
+  }
+  testing::CheckDiskAgainstBruteForce(tree, entries, Point{0.5, 0.5}, 0);
+  testing::CheckDiskAgainstBruteForce(tree, entries, Point{-1, -1}, 0.5);
+}
+
+TEST_P(RTreeVariantTest, IncrementalInsertsKeepInvariantsAndResults) {
+  auto entries = testing::RandomEntries(600, 0.1, 125);
+  RTree tree(GetParam());
+  const std::vector<BoxEntry> first(entries.begin(), entries.begin() + 400);
+  tree.Build(first);
+  for (std::size_t k = 400; k < entries.size(); ++k) tree.Insert(entries[k]);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (const Box& w : testing::RandomWindows(60, 126)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w, "after inserts");
+  }
+}
+
+TEST_P(RTreeVariantTest, PureInsertionBuild) {
+  const auto entries = testing::RandomEntries(800, 0.1, 127);
+  RTree tree(GetParam());
+  for (const BoxEntry& e : entries) tree.Insert(e);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (const Box& w : testing::RandomWindows(60, 128)) {
+    testing::CheckWindowAgainstBruteForce(tree, entries, w, "insert-only");
+  }
+}
+
+TEST_P(RTreeVariantTest, SmallTrees) {
+  RTree tree(GetParam());
+  tree.Build({});
+  std::vector<ObjectId> out;
+  tree.WindowQuery(Box{0, 0, 1, 1}, &out);
+  EXPECT_TRUE(out.empty());
+
+  RTree one(GetParam());
+  one.Build({BoxEntry{Box{0.2, 0.2, 0.4, 0.4}, 5}});
+  out.clear();
+  one.WindowQuery(Box{0.3, 0.3, 0.35, 0.35}, &out);
+  testing::ExpectSameIdSet({5}, out);
+  EXPECT_EQ(one.Height(), 1);
+}
+
+TEST_P(RTreeVariantTest, DuplicateAndDegenerateEntries) {
+  std::vector<BoxEntry> entries;
+  for (int k = 0; k < 100; ++k) {
+    // 50 identical boxes and 50 identical points.
+    if (k % 2 == 0) {
+      entries.push_back(BoxEntry{Box{0.5, 0.5, 0.6, 0.6},
+                                 static_cast<ObjectId>(k)});
+    } else {
+      entries.push_back(BoxEntry{Box{0.25, 0.25, 0.25, 0.25},
+                                 static_cast<ObjectId>(k)});
+    }
+  }
+  RTree tree(GetParam());
+  tree.Build(entries);
+  EXPECT_TRUE(tree.CheckInvariants());
+  testing::CheckWindowAgainstBruteForce(tree, entries,
+                                        Box{0.2, 0.2, 0.55, 0.55});
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RTreeVariantTest,
+                         ::testing::Values(RTreeVariant::kStr,
+                                           RTreeVariant::kRStar),
+                         [](const auto& info) {
+                           return info.param == RTreeVariant::kStr ? "str"
+                                                                   : "rstar";
+                         });
+
+TEST(RTreeTest, StrPackingIsWellFormed) {
+  const auto entries = testing::RandomEntries(5000, 0.01, 129);
+  RTree tree(RTreeVariant::kStr);
+  tree.Build(entries);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // STR with fanout 16 over 5000 entries: 313 leaves, height 4... actually
+  // ceil(log16) levels: 5000 -> 313 -> 20 -> 2 -> 1 = height 4 (root at top).
+  EXPECT_EQ(tree.Height(), 4);
+}
+
+TEST(RTreeTest, Names) {
+  EXPECT_EQ(RTree(RTreeVariant::kStr).name(), "R-tree");
+  EXPECT_EQ(RTree(RTreeVariant::kRStar).name(), "R*-tree");
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,98 @@
+#include "grid/scan.h"
+
+#include "common/rng.h"
+
+#include "gtest/gtest.h"
+
+namespace tlp {
+namespace {
+
+const Box kW{0.3, 0.3, 0.7, 0.7};
+
+std::vector<ObjectId> Scan(unsigned mask, const std::vector<BoxEntry>& data) {
+  std::vector<ObjectId> out;
+  ScanPartitionDispatch(mask, data.data(), data.size(), kW,
+                        [&](const BoxEntry& e) { out.push_back(e.id); });
+  return out;
+}
+
+TEST(ScanTest, MaskZeroKeepsEverything) {
+  const std::vector<BoxEntry> data = {
+      {Box{0, 0, 0.1, 0.1}, 0}, {Box{0.9, 0.9, 1, 1}, 1}};
+  EXPECT_EQ(Scan(0, data).size(), 2u);
+}
+
+TEST(ScanTest, EachComparisonFiltersItsSide) {
+  const std::vector<BoxEntry> data = {
+      {Box{0.0, 0.4, 0.2, 0.5}, 0},  // ends left of W
+      {Box{0.8, 0.4, 0.9, 0.5}, 1},  // starts right of W
+      {Box{0.4, 0.0, 0.5, 0.2}, 2},  // ends below W
+      {Box{0.4, 0.8, 0.5, 0.9}, 3},  // starts above W
+      {Box{0.4, 0.4, 0.5, 0.5}, 4},  // inside W
+  };
+  EXPECT_EQ(Scan(kCmpXuGeWxl, data),
+            (std::vector<ObjectId>{1, 2, 3, 4}));
+  EXPECT_EQ(Scan(kCmpXlLeWxu, data),
+            (std::vector<ObjectId>{0, 2, 3, 4}));
+  EXPECT_EQ(Scan(kCmpYuGeWyl, data),
+            (std::vector<ObjectId>{0, 1, 3, 4}));
+  EXPECT_EQ(Scan(kCmpYlLeWyu, data),
+            (std::vector<ObjectId>{0, 1, 2, 4}));
+  EXPECT_EQ(Scan(15u, data), (std::vector<ObjectId>{4}));
+}
+
+TEST(ScanTest, BoundaryTouchesPassClosedComparisons) {
+  // Touching the window border satisfies every comparison (closed boxes).
+  const std::vector<BoxEntry> data = {
+      {Box{0.1, 0.3, 0.3, 0.5}, 0},  // xu == W.xl
+      {Box{0.7, 0.3, 0.9, 0.5}, 1},  // xl == W.xu
+  };
+  EXPECT_EQ(Scan(15u, data).size(), 2u);
+}
+
+TEST(ScanTest, FullMaskEqualsIntersectionTest) {
+  // Property: mask 15 must agree with Box::Intersects for arbitrary boxes.
+  Rng rng(251);
+  std::vector<BoxEntry> data;
+  for (int k = 0; k < 500; ++k) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    data.push_back(BoxEntry{Box{x, y, std::min(1.0, x + rng.NextDouble() * 0.3),
+                                std::min(1.0, y + rng.NextDouble() * 0.3)},
+                            static_cast<ObjectId>(k)});
+  }
+  const auto kept = Scan(15u, data);
+  std::vector<ObjectId> expected;
+  for (const BoxEntry& e : data) {
+    if (e.box.Intersects(kW)) expected.push_back(e.id);
+  }
+  EXPECT_EQ(kept, expected);
+}
+
+TEST(ScanTest, PassesComparisonMaskMatchesScan) {
+  Rng rng(252);
+  for (int k = 0; k < 200; ++k) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    const Box b{x, y, std::min(1.0, x + rng.NextDouble() * 0.4),
+                std::min(1.0, y + rng.NextDouble() * 0.4)};
+    for (unsigned mask = 0; mask < 16; ++mask) {
+      const std::vector<BoxEntry> one = {{b, 0}};
+      const bool scanned = !Scan(mask, one).empty();
+      EXPECT_EQ(scanned, PassesComparisonMask(b, kW, mask)) << mask;
+    }
+  }
+}
+
+TEST(ScanTest, TileComparisonMaskCases) {
+  // Interior tile: no comparisons.
+  EXPECT_EQ(TileComparisonMask(false, false, false, false), 0u);
+  // First-and-only tile: all four.
+  EXPECT_EQ(TileComparisonMask(true, true, true, true), 15u);
+  // First column, interior row: one x comparison.
+  EXPECT_EQ(TileComparisonMask(true, false, false, false), kCmpXuGeWxl);
+  // Last column, last row: one le comparison per dimension.
+  EXPECT_EQ(TileComparisonMask(false, true, false, true),
+            kCmpXlLeWxu | kCmpYlLeWyu);
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,113 @@
+#include "core/spatial_join.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "datagen/synthetic.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+std::vector<JoinPair> BruteForceJoin(const std::vector<BoxEntry>& left,
+                                     const std::vector<BoxEntry>& right) {
+  std::vector<JoinPair> out;
+  for (const BoxEntry& l : left) {
+    for (const BoxEntry& r : right) {
+      if (l.box.Intersects(r.box)) out.push_back(JoinPair{l.id, r.id});
+    }
+  }
+  return out;
+}
+
+void SortPairs(std::vector<JoinPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const JoinPair& a, const JoinPair& b) {
+              return a.left != b.left ? a.left < b.left : a.right < b.right;
+            });
+}
+
+void ExpectSamePairs(std::vector<JoinPair> expected,
+                     std::vector<JoinPair> actual, const char* context) {
+  SortPairs(&actual);
+  ASSERT_TRUE(std::adjacent_find(actual.begin(), actual.end()) ==
+              actual.end())
+      << "duplicate join pairs (" << context << ")";
+  SortPairs(&expected);
+  ASSERT_EQ(expected, actual) << context;
+}
+
+class JoinGranularityTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(JoinGranularityTest, MatchesBruteForce) {
+  const std::uint32_t dim = GetParam();
+  const auto left = testing::RandomEntries(300, 0.15, 161);
+  const auto right = testing::RandomEntries(250, 0.15, 162);
+  const GridLayout layout(kUnit, dim, dim);
+  TwoLayerGrid lgrid(layout), rgrid(layout);
+  lgrid.Build(left);
+  rgrid.Build(right);
+
+  const auto expected = BruteForceJoin(left, right);
+  ExpectSamePairs(expected, TwoLayerJoin::Join(lgrid, rgrid), "two-layer");
+  ExpectSamePairs(expected, TwoLayerJoin::JoinReferencePoint(lgrid, rgrid),
+                  "ref-point");
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, JoinGranularityTest,
+                         ::testing::Values(1, 4, 13, 32, 64));
+
+TEST(SpatialJoinTest, BoundaryAlignedObjects) {
+  const GridLayout layout(kUnit, 4, 4);
+  const std::vector<BoxEntry> left = {
+      {Box{0.25, 0.25, 0.5, 0.5}, 0},   // tile-aligned
+      {Box{0.0, 0.0, 1.0, 1.0}, 1},     // spans everything
+      {Box{0.5, 0.5, 0.5, 0.5}, 2},     // point on a tile corner
+  };
+  const std::vector<BoxEntry> right = {
+      {Box{0.5, 0.25, 0.75, 0.5}, 0},   // touches left#0 on a border
+      {Box{0.49, 0.49, 0.51, 0.51}, 1},
+      {Box{0.9, 0.9, 0.95, 0.95}, 2},
+  };
+  TwoLayerGrid lgrid(layout), rgrid(layout);
+  lgrid.Build(left);
+  rgrid.Build(right);
+  ExpectSamePairs(BruteForceJoin(left, right),
+                  TwoLayerJoin::Join(lgrid, rgrid), "aligned");
+}
+
+TEST(SpatialJoinTest, EmptySidesAndSelfJoin) {
+  const GridLayout layout(kUnit, 8, 8);
+  TwoLayerGrid empty(layout);
+  const auto data = testing::RandomEntries(200, 0.1, 163);
+  TwoLayerGrid grid(layout);
+  grid.Build(data);
+  EXPECT_TRUE(TwoLayerJoin::Join(empty, grid).empty());
+  EXPECT_TRUE(TwoLayerJoin::Join(grid, empty).empty());
+  // Self join: |results| >= n (every object intersects itself).
+  const auto self = TwoLayerJoin::Join(grid, grid);
+  EXPECT_GE(self.size(), data.size());
+  ExpectSamePairs(BruteForceJoin(data, data), self, "self");
+}
+
+TEST(SpatialJoinTest, ClusteredWorkload) {
+  SyntheticConfig config;
+  config.cardinality = 400;
+  config.area = 1e-3;
+  config.distribution = SpatialDistribution::kZipfian;
+  const auto left = GenerateSyntheticRects(config);
+  config.seed = 99;
+  const auto right = GenerateSyntheticRects(config);
+  const GridLayout layout(kUnit, 16, 16);
+  TwoLayerGrid lgrid(layout), rgrid(layout);
+  lgrid.Build(left);
+  rgrid.Build(right);
+  ExpectSamePairs(BruteForceJoin(left, right),
+                  TwoLayerJoin::Join(lgrid, rgrid), "zipf");
+}
+
+}  // namespace
+}  // namespace tlp

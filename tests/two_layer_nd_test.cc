@@ -1,0 +1,178 @@
+#include "core/two_layer_grid_nd.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "core/two_layer_grid.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+template <int Dims>
+std::vector<BoxEntryNd<Dims>> RandomEntriesNd(std::size_t n, double max_extent,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BoxEntryNd<Dims>> entries(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int d = 0; d < Dims; ++d) {
+      const double lo = rng.NextDouble();
+      const double w =
+          rng.NextDouble() < 0.1 ? 0 : rng.NextDouble() * max_extent;
+      entries[k].box.lo[d] = lo;
+      entries[k].box.hi[d] = std::min(1.0, lo + w);
+    }
+    entries[k].id = static_cast<ObjectId>(k);
+  }
+  return entries;
+}
+
+template <int Dims>
+std::vector<BoxNd<Dims>> RandomWindowsNd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BoxNd<Dims>> windows(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int d = 0; d < Dims; ++d) {
+      const double lo = rng.NextDouble();
+      windows[k].lo[d] = lo;
+      windows[k].hi[d] =
+          std::min(1.0, lo + rng.NextDouble() * rng.NextDouble() * 0.5);
+    }
+  }
+  // Full-domain window as an edge case.
+  BoxNd<Dims> full;
+  for (int d = 0; d < Dims; ++d) {
+    full.lo[d] = 0;
+    full.hi[d] = 1;
+  }
+  windows.push_back(full);
+  return windows;
+}
+
+template <int Dims>
+BoxNd<Dims> UnitDomainNd() {
+  BoxNd<Dims> b;
+  for (int d = 0; d < Dims; ++d) {
+    b.lo[d] = 0;
+    b.hi[d] = 1;
+  }
+  return b;
+}
+
+template <int Dims>
+void CheckAgainstBruteForce(const TwoLayerGridNd<Dims>& grid,
+                            const std::vector<BoxEntryNd<Dims>>& data,
+                            const BoxNd<Dims>& w) {
+  std::vector<ObjectId> expected;
+  for (const auto& e : data) {
+    if (e.box.Intersects(w)) expected.push_back(e.id);
+  }
+  std::vector<ObjectId> actual;
+  grid.WindowQuery(w, &actual);
+  testing::ExpectSameIdSet(expected, actual);
+}
+
+TEST(TwoLayerGridNdTest, ThreeDimensionalOracle) {
+  const auto data = RandomEntriesNd<3>(800, 0.2, 201);
+  const GridLayoutNd<3> layout(UnitDomainNd<3>(), {8, 8, 8});
+  TwoLayerGridNd<3> grid(layout);
+  grid.Build(data);
+  EXPECT_GT(grid.entry_count(), data.size());  // replication happened
+  for (const auto& w : RandomWindowsNd<3>(60, 202)) {
+    CheckAgainstBruteForce(grid, data, w);
+  }
+}
+
+TEST(TwoLayerGridNdTest, FourDimensionalOracle) {
+  const auto data = RandomEntriesNd<4>(400, 0.3, 203);
+  const GridLayoutNd<4> layout(UnitDomainNd<4>(), {4, 5, 3, 4});
+  TwoLayerGridNd<4> grid(layout);
+  grid.Build(data);
+  for (const auto& w : RandomWindowsNd<4>(40, 204)) {
+    CheckAgainstBruteForce(grid, data, w);
+  }
+}
+
+TEST(TwoLayerGridNdTest, OneDimensionalIntervalsWork) {
+  // Dims = 1 degenerates to interval stabbing with 2 classes.
+  const auto data = RandomEntriesNd<1>(500, 0.2, 205);
+  const GridLayoutNd<1> layout(UnitDomainNd<1>(), {16});
+  TwoLayerGridNd<1> grid(layout);
+  grid.Build(data);
+  for (const auto& w : RandomWindowsNd<1>(50, 206)) {
+    CheckAgainstBruteForce(grid, data, w);
+  }
+}
+
+TEST(TwoLayerGridNdTest, TwoDimensionalMatchesSpecializedGrid) {
+  const auto data2d = testing::RandomEntries(600, 0.15, 207);
+  std::vector<BoxEntryNd<2>> data_nd(data2d.size());
+  for (std::size_t k = 0; k < data2d.size(); ++k) {
+    data_nd[k].box.lo = {data2d[k].box.xl, data2d[k].box.yl};
+    data_nd[k].box.hi = {data2d[k].box.xu, data2d[k].box.yu};
+    data_nd[k].id = data2d[k].id;
+  }
+  const GridLayoutNd<2> layout_nd(UnitDomainNd<2>(), {12, 12});
+  TwoLayerGridNd<2> grid_nd(layout_nd);
+  grid_nd.Build(data_nd);
+  TwoLayerGrid grid_2d(GridLayout(Box{0, 0, 1, 1}, 12, 12));
+  grid_2d.Build(data2d);
+
+  for (const Box& w : testing::RandomWindows(60, 208)) {
+    std::vector<ObjectId> a, b;
+    grid_2d.WindowQuery(w, &a);
+    BoxNd<2> w_nd;
+    w_nd.lo = {w.xl, w.yl};
+    w_nd.hi = {w.xu, w.yu};
+    grid_nd.WindowQuery(w_nd, &b);
+    testing::ExpectSameIdSet(a, b);
+  }
+}
+
+TEST(TwoLayerGridNdTest, ClassZeroExactlyOncePerObject) {
+  // The m-dimensional analogue of "class A exactly once": each object is in
+  // class 0 of exactly one tile.
+  const auto data = RandomEntriesNd<3>(200, 0.3, 209);
+  const GridLayoutNd<3> layout(UnitDomainNd<3>(), {6, 6, 6});
+  TwoLayerGridNd<3> grid(layout);
+  grid.Build(data);
+  std::size_t class0_total = 0;
+  std::array<std::uint32_t, 3> cell{};
+  for (cell[2] = 0; cell[2] < 6; ++cell[2]) {
+    for (cell[1] = 0; cell[1] < 6; ++cell[1]) {
+      for (cell[0] = 0; cell[0] < 6; ++cell[0]) {
+        class0_total += grid.ClassCount(cell, 0);
+      }
+    }
+  }
+  EXPECT_EQ(class0_total, data.size());
+}
+
+TEST(TwoLayerGridNdTest, BoundaryAlignedBoxes3d) {
+  const GridLayoutNd<3> layout(UnitDomainNd<3>(), {4, 4, 4});
+  TwoLayerGridNd<3> grid(layout);
+  std::vector<BoxEntryNd<3>> data;
+  // Boxes aligned to cell boundaries in every dimension.
+  BoxEntryNd<3> a;
+  a.box.lo = {0.25, 0.25, 0.25};
+  a.box.hi = {0.5, 0.5, 0.5};
+  a.id = 0;
+  BoxEntryNd<3> b;
+  b.box.lo = {0.5, 0.0, 0.75};
+  b.box.hi = {0.5, 1.0, 0.75};  // degenerate plane-slice
+  b.id = 1;
+  data = {a, b};
+  grid.Build(data);
+  for (const auto& w : RandomWindowsNd<3>(80, 210)) {
+    CheckAgainstBruteForce(grid, data, w);
+  }
+  BoxNd<3> touching;
+  touching.lo = {0.5, 0.5, 0.5};
+  touching.hi = {0.6, 0.6, 0.6};
+  CheckAgainstBruteForce(grid, data, touching);
+}
+
+}  // namespace
+}  // namespace tlp

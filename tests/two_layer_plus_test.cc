@@ -1,0 +1,89 @@
+#include "core/two_layer_plus_grid.h"
+
+#include "gtest/gtest.h"
+
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+TEST(TwoLayerPlusGridTest, WindowsMatchBruteForce) {
+  const auto entries = testing::RandomEntries(700, 0.2, 51);
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 12, 12));
+  grid.Build(entries);
+  for (const Box& w : testing::RandomWindows(100, 52)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w);
+  }
+}
+
+TEST(TwoLayerPlusGridTest, MatchesRecordBasedTwoLayer) {
+  const auto entries = testing::RandomEntries(500, 0.15, 53);
+  TwoLayerPlusGrid plus(GridLayout(kUnit, 16, 16));
+  plus.Build(entries);
+  TwoLayerGrid plain(GridLayout(kUnit, 16, 16));
+  plain.Build(entries);
+  for (const Box& w : testing::RandomWindows(60, 54)) {
+    std::vector<ObjectId> a, b;
+    plus.WindowQuery(w, &a);
+    plain.WindowQuery(w, &b);
+    testing::ExpectSameIdSet(b, a);
+  }
+}
+
+TEST(TwoLayerPlusGridTest, DisksMatchBruteForce) {
+  const auto entries = testing::RandomEntries(500, 0.2, 55);
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 10, 10));
+  grid.Build(entries);
+  Rng rng(56);
+  for (int k = 0; k < 40; ++k) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(grid, entries, q,
+                                        rng.NextDouble() * 0.3);
+  }
+}
+
+TEST(TwoLayerPlusGridTest, InsertKeepsTablesSorted) {
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 8, 8));
+  const auto entries = testing::RandomEntries(300, 0.2, 57);
+  for (const BoxEntry& e : entries) grid.Insert(e);
+  for (const Box& w : testing::RandomWindows(60, 58)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "insert-only");
+  }
+}
+
+TEST(TwoLayerPlusGridTest, MixedBuildAndInsert) {
+  auto entries = testing::RandomEntries(400, 0.2, 59);
+  const std::vector<BoxEntry> first(entries.begin(), entries.begin() + 300);
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 8, 8));
+  grid.Build(first);
+  for (std::size_t k = 300; k < entries.size(); ++k) grid.Insert(entries[k]);
+  for (const Box& w : testing::RandomWindows(60, 60)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "mixed");
+  }
+}
+
+TEST(TwoLayerPlusGridTest, StoresMoreThanRecordLayout) {
+  const auto entries = testing::RandomEntries(1000, 0.1, 61);
+  TwoLayerPlusGrid plus(GridLayout(kUnit, 8, 8));
+  plus.Build(entries);
+  TwoLayerGrid plain(GridLayout(kUnit, 8, 8));
+  plain.Build(entries);
+  // The decomposed copy makes 2-layer+ strictly larger (paper §VII-B).
+  EXPECT_GT(plus.SizeBytes(), plain.SizeBytes());
+}
+
+TEST(TwoLayerPlusGridTest, FullDomainAndTinyWindows) {
+  const auto entries = testing::RandomEntries(300, 0.3, 63);
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 6, 6));
+  grid.Build(entries);
+  testing::CheckWindowAgainstBruteForce(grid, entries, kUnit, "full");
+  testing::CheckWindowAgainstBruteForce(
+      grid, entries, Box{0.5, 0.5, 0.5, 0.5}, "point");
+  testing::CheckWindowAgainstBruteForce(
+      grid, entries, Box{0.999, 0.999, 1.0, 1.0}, "corner");
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Summarizes the benchmark outputs into paper-style tables.
+
+Reads the google-benchmark JSON files written by the bench binaries
+(--benchmark_out=...) from a results directory and prints one compact table
+per experiment, shaped like the paper's Table V / VI and figure series.
+
+Usage:
+    tools/summarize_results.py [results_dir]
+"""
+
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+
+
+def load_benchmarks(results_dir):
+    """Yields (name, entry) pairs from every JSON file in the directory."""
+    for filename in sorted(os.listdir(results_dir)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(results_dir, filename)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        for entry in doc.get("benchmarks", []):
+            yield entry["name"], entry
+
+
+def strip_suffixes(name):
+    """Removes google-benchmark's /min_time: and /iterations: decorations."""
+    return re.sub(r"/(min_time|iterations|manual_time|repeats)[:\w.]*", "",
+                  name)
+
+
+def fmt_qps(value):
+    if value >= 1e6:
+        return f"{value / 1e6:8.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:8.1f}k/s"
+    return f"{value:8.1f}/s "
+
+
+def main():
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else "results"
+    groups = defaultdict(list)
+    for name, entry in load_benchmarks(results_dir):
+        name = strip_suffixes(name)
+        experiment = name.split("/", 1)[0]
+        groups[experiment].append((name, entry))
+
+    for experiment in sorted(groups):
+        print(f"\n=== {experiment} ===")
+        rows = groups[experiment]
+        for name, entry in rows:
+            label = name.split("/", 1)[1] if "/" in name else name
+            parts = []
+            qps = entry.get("items_per_second")
+            if qps is not None:
+                parts.append(f"throughput {fmt_qps(qps)}")
+            else:
+                parts.append(f"time {entry.get('real_time', 0):10.2f} "
+                             f"{entry.get('time_unit', '')}")
+            for counter in ("size_mb", "avg_results", "speedup", "pairs",
+                            "filter_us", "secondary_us", "refine_us",
+                            "candidates", "guaranteed", "refined"):
+                if counter in entry:
+                    parts.append(f"{counter}={entry[counter]:.4g}")
+            print(f"  {label:60s} {'  '.join(parts)}")
+
+
+if __name__ == "__main__":
+    main()
