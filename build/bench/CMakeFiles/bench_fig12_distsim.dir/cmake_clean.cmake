@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_distsim.dir/bench_fig12_distsim.cc.o"
+  "CMakeFiles/bench_fig12_distsim.dir/bench_fig12_distsim.cc.o.d"
+  "bench_fig12_distsim"
+  "bench_fig12_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

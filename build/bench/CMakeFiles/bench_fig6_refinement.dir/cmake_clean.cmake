@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_refinement.dir/bench_fig6_refinement.cc.o"
+  "CMakeFiles/bench_fig6_refinement.dir/bench_fig6_refinement.cc.o.d"
+  "bench_fig6_refinement"
+  "bench_fig6_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_updates.dir/bench_table6_updates.cc.o"
+  "CMakeFiles/bench_table6_updates.dir/bench_table6_updates.cc.o.d"
+  "bench_table6_updates"
+  "bench_table6_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_showdown.dir/index_showdown.cpp.o"
+  "CMakeFiles/index_showdown.dir/index_showdown.cpp.o.d"
+  "index_showdown"
+  "index_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_analytics.dir/poi_analytics.cpp.o"
+  "CMakeFiles/poi_analytics.dir/poi_analytics.cpp.o.d"
+  "poi_analytics"
+  "poi_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

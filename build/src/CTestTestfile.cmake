@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geometry")
+subdirs("datagen")
+subdirs("io")
+subdirs("api")
+subdirs("grid")
+subdirs("core")
+subdirs("batch")
+subdirs("quadtree")
+subdirs("rtree")
+subdirs("block")
+subdirs("distsim")

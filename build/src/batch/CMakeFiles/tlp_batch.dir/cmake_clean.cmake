@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_batch.dir/batch_executor.cc.o"
+  "CMakeFiles/tlp_batch.dir/batch_executor.cc.o.d"
+  "libtlp_batch.a"
+  "libtlp_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_block.dir/block_index.cc.o"
+  "CMakeFiles/tlp_block.dir/block_index.cc.o.d"
+  "libtlp_block.a"
+  "libtlp_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_common.dir/env.cc.o"
+  "CMakeFiles/tlp_common.dir/env.cc.o.d"
+  "CMakeFiles/tlp_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tlp_common.dir/thread_pool.cc.o.d"
+  "libtlp_common.a"
+  "libtlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/convex_range_query.cc" "src/core/CMakeFiles/tlp_core.dir/convex_range_query.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/convex_range_query.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/core/CMakeFiles/tlp_core.dir/knn.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/knn.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/core/CMakeFiles/tlp_core.dir/refinement.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/refinement.cc.o.d"
+  "/root/repo/src/core/spatial_join.cc" "src/core/CMakeFiles/tlp_core.dir/spatial_join.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/spatial_join.cc.o.d"
+  "/root/repo/src/core/two_layer_grid.cc" "src/core/CMakeFiles/tlp_core.dir/two_layer_grid.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/two_layer_grid.cc.o.d"
+  "/root/repo/src/core/two_layer_plus_grid.cc" "src/core/CMakeFiles/tlp_core.dir/two_layer_plus_grid.cc.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/two_layer_plus_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/tlp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/tlp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

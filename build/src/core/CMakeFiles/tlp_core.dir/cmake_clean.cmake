@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_core.dir/convex_range_query.cc.o"
+  "CMakeFiles/tlp_core.dir/convex_range_query.cc.o.d"
+  "CMakeFiles/tlp_core.dir/knn.cc.o"
+  "CMakeFiles/tlp_core.dir/knn.cc.o.d"
+  "CMakeFiles/tlp_core.dir/refinement.cc.o"
+  "CMakeFiles/tlp_core.dir/refinement.cc.o.d"
+  "CMakeFiles/tlp_core.dir/spatial_join.cc.o"
+  "CMakeFiles/tlp_core.dir/spatial_join.cc.o.d"
+  "CMakeFiles/tlp_core.dir/two_layer_grid.cc.o"
+  "CMakeFiles/tlp_core.dir/two_layer_grid.cc.o.d"
+  "CMakeFiles/tlp_core.dir/two_layer_plus_grid.cc.o"
+  "CMakeFiles/tlp_core.dir/two_layer_plus_grid.cc.o.d"
+  "libtlp_core.a"
+  "libtlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_datagen.dir/query_gen.cc.o"
+  "CMakeFiles/tlp_datagen.dir/query_gen.cc.o.d"
+  "CMakeFiles/tlp_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/tlp_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/tlp_datagen.dir/tiger_like.cc.o"
+  "CMakeFiles/tlp_datagen.dir/tiger_like.cc.o.d"
+  "libtlp_datagen.a"
+  "libtlp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_distsim.dir/distributed_sim.cc.o"
+  "CMakeFiles/tlp_distsim.dir/distributed_sim.cc.o.d"
+  "libtlp_distsim.a"
+  "libtlp_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/convex.cc" "src/geometry/CMakeFiles/tlp_geometry.dir/convex.cc.o" "gcc" "src/geometry/CMakeFiles/tlp_geometry.dir/convex.cc.o.d"
+  "/root/repo/src/geometry/geometry.cc" "src/geometry/CMakeFiles/tlp_geometry.dir/geometry.cc.o" "gcc" "src/geometry/CMakeFiles/tlp_geometry.dir/geometry.cc.o.d"
+  "/root/repo/src/geometry/geometry_store.cc" "src/geometry/CMakeFiles/tlp_geometry.dir/geometry_store.cc.o" "gcc" "src/geometry/CMakeFiles/tlp_geometry.dir/geometry_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_geometry.dir/convex.cc.o"
+  "CMakeFiles/tlp_geometry.dir/convex.cc.o.d"
+  "CMakeFiles/tlp_geometry.dir/geometry.cc.o"
+  "CMakeFiles/tlp_geometry.dir/geometry.cc.o.d"
+  "CMakeFiles/tlp_geometry.dir/geometry_store.cc.o"
+  "CMakeFiles/tlp_geometry.dir/geometry_store.cc.o.d"
+  "libtlp_geometry.a"
+  "libtlp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_layout.cc" "src/grid/CMakeFiles/tlp_grid.dir/grid_layout.cc.o" "gcc" "src/grid/CMakeFiles/tlp_grid.dir/grid_layout.cc.o.d"
+  "/root/repo/src/grid/one_layer_grid.cc" "src/grid/CMakeFiles/tlp_grid.dir/one_layer_grid.cc.o" "gcc" "src/grid/CMakeFiles/tlp_grid.dir/one_layer_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tlp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_grid.dir/grid_layout.cc.o"
+  "CMakeFiles/tlp_grid.dir/grid_layout.cc.o.d"
+  "CMakeFiles/tlp_grid.dir/one_layer_grid.cc.o"
+  "CMakeFiles/tlp_grid.dir/one_layer_grid.cc.o.d"
+  "libtlp_grid.a"
+  "libtlp_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

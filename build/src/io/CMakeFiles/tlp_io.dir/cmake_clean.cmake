@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_io.dir/dataset_io.cc.o"
+  "CMakeFiles/tlp_io.dir/dataset_io.cc.o.d"
+  "CMakeFiles/tlp_io.dir/wkt.cc.o"
+  "CMakeFiles/tlp_io.dir/wkt.cc.o.d"
+  "libtlp_io.a"
+  "libtlp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_quadtree.dir/mxcif_quad_tree.cc.o"
+  "CMakeFiles/tlp_quadtree.dir/mxcif_quad_tree.cc.o.d"
+  "CMakeFiles/tlp_quadtree.dir/quad_tree.cc.o"
+  "CMakeFiles/tlp_quadtree.dir/quad_tree.cc.o.d"
+  "libtlp_quadtree.a"
+  "libtlp_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_rtree.dir/rtree.cc.o"
+  "CMakeFiles/tlp_rtree.dir/rtree.cc.o.d"
+  "libtlp_rtree.a"
+  "libtlp_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

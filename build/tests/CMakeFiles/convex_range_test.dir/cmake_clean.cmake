@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convex_range_test.dir/convex_range_test.cc.o"
+  "CMakeFiles/convex_range_test.dir/convex_range_test.cc.o.d"
+  "convex_range_test"
+  "convex_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convex_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

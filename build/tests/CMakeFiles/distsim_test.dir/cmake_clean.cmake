@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distsim_test.dir/distsim_test.cc.o"
+  "CMakeFiles/distsim_test.dir/distsim_test.cc.o.d"
+  "distsim_test"
+  "distsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

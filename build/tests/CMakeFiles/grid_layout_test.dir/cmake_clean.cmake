@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_layout_test.dir/grid_layout_test.cc.o"
+  "CMakeFiles/grid_layout_test.dir/grid_layout_test.cc.o.d"
+  "grid_layout_test"
+  "grid_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mxcif_test.cc" "tests/CMakeFiles/mxcif_test.dir/mxcif_test.cc.o" "gcc" "tests/CMakeFiles/mxcif_test.dir/mxcif_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tlp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/tlp_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/quadtree/CMakeFiles/tlp_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/tlp_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/tlp_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/tlp_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/distsim/CMakeFiles/tlp_distsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tlp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/tlp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

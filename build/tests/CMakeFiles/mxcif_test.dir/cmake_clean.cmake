@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mxcif_test.dir/mxcif_test.cc.o"
+  "CMakeFiles/mxcif_test.dir/mxcif_test.cc.o.d"
+  "mxcif_test"
+  "mxcif_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mxcif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_layer_grid_test.dir/one_layer_grid_test.cc.o"
+  "CMakeFiles/one_layer_grid_test.dir/one_layer_grid_test.cc.o.d"
+  "one_layer_grid_test"
+  "one_layer_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_layer_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

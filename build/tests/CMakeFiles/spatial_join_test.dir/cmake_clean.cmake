@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_join_test.dir/spatial_join_test.cc.o"
+  "CMakeFiles/spatial_join_test.dir/spatial_join_test.cc.o.d"
+  "spatial_join_test"
+  "spatial_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

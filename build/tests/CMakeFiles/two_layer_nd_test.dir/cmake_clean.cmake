@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_layer_nd_test.dir/two_layer_nd_test.cc.o"
+  "CMakeFiles/two_layer_nd_test.dir/two_layer_nd_test.cc.o.d"
+  "two_layer_nd_test"
+  "two_layer_nd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_layer_nd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

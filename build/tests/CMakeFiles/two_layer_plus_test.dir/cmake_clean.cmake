@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_layer_plus_test.dir/two_layer_plus_test.cc.o"
+  "CMakeFiles/two_layer_plus_test.dir/two_layer_plus_test.cc.o.d"
+  "two_layer_plus_test"
+  "two_layer_plus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_layer_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
