@@ -129,6 +129,36 @@ inline std::vector<Method> CoreMethods() {
   return core;
 }
 
+/// Attaches per-query operation counters (delta between `before` and the
+/// thread's current accumulator, divided by iteration count) to a finished
+/// benchmark state. These land in the google-benchmark JSON/console output
+/// next to timings, giving the paper's Table II lens — comparisons and
+/// partitions touched per query — per registered method. No-op (and no
+/// counters emitted) when the stats layer is compiled out.
+inline void AttachQueryStatsCounters(benchmark::State& state,
+                                     const QueryStats& before) {
+  (void)state;
+  (void)before;
+  if constexpr (kQueryStatsEnabled) {
+    const QueryStats now = GetQueryStats();
+    const auto n = static_cast<double>(state.iterations());
+    auto per_query = [n](std::uint64_t now_v, std::uint64_t before_v) {
+      return static_cast<double>(now_v - before_v) / n;
+    };
+    state.counters["tiles_pq"] =
+        per_query(now.tiles_visited, before.tiles_visited);
+    state.counters["scanned_pq"] =
+        per_query(now.scanned_total(), before.scanned_total());
+    state.counters["cmp_pq"] = per_query(now.comparisons, before.comparisons);
+    state.counters["probes_pq"] =
+        per_query(now.binary_search_probes, before.binary_search_probes);
+    state.counters["dup_avoided_pq"] =
+        per_query(now.duplicates_avoided, before.duplicates_avoided);
+    state.counters["posthoc_dedup_pq"] =
+        per_query(now.posthoc_dedup, before.posthoc_dedup);
+  }
+}
+
 /// Registers a window-query throughput benchmark over a cached index. The
 /// index is built lazily on the benchmark's first run and reused across
 /// google-benchmark's repeated invocations.
@@ -148,6 +178,7 @@ inline void RegisterWindowThroughput(const std::string& bench_name,
         std::vector<ObjectId> out;
         std::size_t qi = 0;
         std::uint64_t results = 0;
+        const QueryStats stats_before = GetQueryStats();
         for (auto _ : state) {
           out.clear();
           (*holder)->WindowQuery(queries[qi], &out);
@@ -159,6 +190,7 @@ inline void RegisterWindowThroughput(const std::string& bench_name,
         state.counters["avg_results"] =
             static_cast<double>(results) /
             static_cast<double>(state.iterations());
+        AttachQueryStatsCounters(state, stats_before);
       })
       ->MinTime(min_time_s)
       ->Unit(benchmark::kMicrosecond);
@@ -180,6 +212,7 @@ inline void RegisterDiskThroughput(const std::string& bench_name,
         std::vector<ObjectId> out;
         std::size_t qi = 0;
         std::uint64_t results = 0;
+        const QueryStats stats_before = GetQueryStats();
         for (auto _ : state) {
           out.clear();
           const DiskQuerySpec& d = queries[qi];
@@ -192,6 +225,7 @@ inline void RegisterDiskThroughput(const std::string& bench_name,
         state.counters["avg_results"] =
             static_cast<double>(results) /
             static_cast<double>(state.iterations());
+        AttachQueryStatsCounters(state, stats_before);
       })
       ->MinTime(min_time_s)
       ->Unit(benchmark::kMicrosecond);

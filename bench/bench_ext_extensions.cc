@@ -154,7 +154,9 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
+  tlp::bench::WarnIfStatsInstrumented();
   benchmark::RunSpecifiedBenchmarks();
+  tlp::bench::PrintQueryStatsJson("ext");
   benchmark::Shutdown();
   return 0;
 }

@@ -70,7 +70,9 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
+  tlp::bench::WarnIfStatsInstrumented();
   benchmark::RunSpecifiedBenchmarks();
+  tlp::bench::PrintQueryStatsJson("fig10");
   benchmark::Shutdown();
   return 0;
 }

@@ -132,7 +132,9 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
+  tlp::bench::WarnIfStatsInstrumented();
   benchmark::RunSpecifiedBenchmarks();
+  tlp::bench::PrintQueryStatsJson("fig9");
   benchmark::Shutdown();
   return 0;
 }

@@ -3,12 +3,14 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/query_stats.h"
 #include "datagen/query_gen.h"
 #include "datagen/tiger_like.h"
 #include "grid/grid_layout.h"
@@ -97,6 +99,29 @@ inline constexpr double kQueryAreasPercent[] = {0.01, 0.05, 0.1, 0.5, 1.0};
 inline constexpr double kDefaultQueryAreaPercent = 0.1;
 
 inline double PercentToFraction(double percent) { return percent / 100.0; }
+
+/// Dumps the calling thread's accumulated query statistics as one prefixed
+/// JSON line (schema: docs/BENCHMARKING.md). Bench mains call this after
+/// RunSpecifiedBenchmarks() so every experiment run ends with a machine-
+/// readable operation-count block; with TLP_STATS=OFF the line carries
+/// "enabled": false and all-zero counters.
+inline void PrintQueryStatsJson(const std::string& label) {
+  std::printf("TLP_QUERY_STATS %s\n", GetQueryStats().ToJson(label).c_str());
+  std::fflush(stdout);
+}
+
+/// One-time stderr note when the stats instrumentation is compiled into a
+/// benchmark binary: counter accounting costs a few percent in the query
+/// loops, so publication numbers should come from a TLP_STATS=OFF build.
+/// Acts as the guard that makes an instrumented perf run visible in logs.
+inline void WarnIfStatsInstrumented() {
+  if constexpr (kQueryStatsEnabled) {
+    std::fprintf(stderr,
+                 "[tlp] NOTE: query-stats instrumentation is ON "
+                 "(TLP_STATS=ON); rebuild with -DTLP_STATS=OFF for "
+                 "publication-grade timings.\n");
+  }
+}
 
 }  // namespace bench
 }  // namespace tlp

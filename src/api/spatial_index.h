@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_stats.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
 
@@ -20,6 +21,13 @@ namespace tlp {
 ///  * DiskQuery appends the ids of all objects whose MBR lies within
 ///    (minimum) distance `radius` of `q`, each id exactly once.
 ///  * Insert adds one (MBR, id) entry; queries afterwards must reflect it.
+///
+/// Observability: when the library is compiled with TLP_STATS=ON (see
+/// common/query_stats.h), the grid indices account per-query operation
+/// counts — tiles visited, entries scanned per class, comparisons, duplicate
+/// handling, refinement hits/misses, wall-clock — into the calling thread's
+/// accumulator. Callers sample it with ResetQueryStats() / GetQueryStats();
+/// BatchExecutor merges its workers' counters into the caller on Wait().
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;

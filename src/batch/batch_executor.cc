@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/query_stats.h"
 #include "common/thread_pool.h"
 
 namespace tlp {
@@ -63,6 +64,10 @@ std::vector<std::uint32_t> BatchExecutor::RunQueriesBased(
     return counts;
   }
   ThreadPool pool(num_threads);
+  // Per-task stats sinks: each worker drains its thread-local accumulator
+  // into its own slot, and the merged total lands on the calling thread
+  // after Wait() so batch callers observe batch-wide counters.
+  std::vector<QueryStats> task_stats(num_threads);
   // Round-robin assignment (paper §VI): thread t evaluates queries
   // t, t + T, t + 2T, ...
   for (std::size_t t = 0; t < num_threads; ++t) {
@@ -73,9 +78,11 @@ std::vector<std::uint32_t> BatchExecutor::RunQueriesBased(
         grid.WindowQuery(queries[k], &out);
         counts[k] = static_cast<std::uint32_t>(out.size());
       }
+      DrainQueryStatsInto(&task_stats[t]);
     });
   }
   pool.Wait();
+  for (const QueryStats& s : task_stats) MergeQueryStats(s);
   return counts;
 }
 
@@ -131,12 +138,17 @@ std::vector<std::uint32_t> BatchExecutor::RunTilesBased(
 
   std::vector<std::vector<std::uint32_t>> local(
       cuts.size() - 1, std::vector<std::uint32_t>(queries.size(), 0));
+  std::vector<QueryStats> task_stats(cuts.size() - 1);
   ThreadPool pool(num_threads);
   for (std::size_t t = 0; t + 1 < cuts.size(); ++t) {
     if (cuts[t] >= cuts[t + 1]) continue;
-    pool.Submit([&, t] { process(cuts[t], cuts[t + 1], local[t]); });
+    pool.Submit([&, t] {
+      process(cuts[t], cuts[t + 1], local[t]);
+      DrainQueryStatsInto(&task_stats[t]);
+    });
   }
   pool.Wait();
+  for (const QueryStats& s : task_stats) MergeQueryStats(s);
   for (const auto& l : local) {
     for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += l[k];
   }

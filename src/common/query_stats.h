@@ -1,0 +1,158 @@
+#ifndef TLP_COMMON_QUERY_STATS_H_
+#define TLP_COMMON_QUERY_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tlp {
+
+/// Per-thread query-operation counters: the observability layer behind the
+/// paper's counting claims. Table II promises fewer comparisons per
+/// candidate, Lemmas 1-4 promise duplicate results avoided *by construction*
+/// (never generated, so never eliminated), and §IV promises fewer secondary
+/// partitions touched per tile; these counters make all three measurable.
+///
+/// The layer is compile-time gated: with the CMake option TLP_STATS=ON
+/// (default) every query path accounts into the calling thread's accumulator
+/// via the TLP_STATS_* macros below; with TLP_STATS=OFF the macros expand to
+/// `(void)0` and the query hot loops compile exactly as if this header did
+/// not exist. Tests and CI run with stats on; publication-grade benchmark
+/// runs should use -DTLP_STATS=OFF.
+///
+/// Threading model: one accumulator per thread (thread_local). Code that
+/// fans a query batch out to worker threads (BatchExecutor) drains each
+/// worker's accumulator and merges it into the caller's on Wait(), so the
+/// caller observes batch-wide totals regardless of thread count.
+struct QueryStats {
+  /// Index-level queries executed (WindowQuery / DiskQuery /
+  /// WindowCandidates / DiskQueryEntries calls).
+  std::uint64_t queries = 0;
+  /// Non-empty tiles whose contents were examined.
+  std::uint64_t tiles_visited = 0;
+  /// Entries scanned per secondary partition, indexed by ObjectClass
+  /// (0=A, 1=B, 2=C, 3=D). Only classed (two-layer) scans count here.
+  std::uint64_t scanned_class[4] = {0, 0, 0, 0};
+  /// Entries scanned in unclassified (flat 1-layer / quad-tree style) tiles.
+  std::uint64_t scanned_flat = 0;
+  /// Per-entry predicate evaluations actually executed: §IV-B endpoint
+  /// comparisons and per-entry MBR distance tests.
+  std::uint64_t comparisons = 0;
+  /// Probes spent in sorted-table binary searches (2-layer+, §IV-C);
+  /// one search over n entries accounts ceil(log2(n))+1 probes.
+  std::uint64_t binary_search_probes = 0;
+  /// Replica entries whose examination the two-layer scheme skipped
+  /// outright (classes B/C/D excluded by Lemmas 1-2, plus §IV-E disk
+  /// row-dedup rejections). A 1-layer grid scans these and then discards
+  /// the duplicates it generated; the two-layer grid never looks at them.
+  std::uint64_t duplicates_avoided = 0;
+  /// Duplicate results that *were* generated and then eliminated after the
+  /// fact (1-layer reference-point rejections and hash sort-unique drops).
+  /// Zero for the two-layer indices by Lemmas 1-4 — asserted in tests.
+  std::uint64_t posthoc_dedup = 0;
+  /// Filter-step results emitted (candidate (id) outputs).
+  std::uint64_t candidates = 0;
+  /// Refinement candidates accepted by Lemma 5 secondary filtering without
+  /// an exact geometry test (hits) vs. ones needing the exact test (misses).
+  std::uint64_t refine_hits = 0;
+  std::uint64_t refine_misses = 0;
+  /// Wall-clock seconds spent inside timed query entry points.
+  double query_seconds = 0;
+
+  /// Total entries scanned across classed and flat partitions.
+  std::uint64_t scanned_total() const {
+    return scanned_class[0] + scanned_class[1] + scanned_class[2] +
+           scanned_class[3] + scanned_flat;
+  }
+
+  /// Adds every counter of `other` into this accumulator.
+  void MergeFrom(const QueryStats& other);
+
+  /// One-line JSON object (schema documented in docs/BENCHMARKING.md).
+  std::string ToJson(const std::string& label) const;
+};
+
+/// True when the library was compiled with the stats layer (TLP_STATS=ON).
+#ifdef TLP_STATS_ENABLED
+inline constexpr bool kQueryStatsEnabled = true;
+#else
+inline constexpr bool kQueryStatsEnabled = false;
+#endif
+
+#ifdef TLP_STATS_ENABLED
+
+/// The calling thread's accumulator. Hot paths reach it through the macros
+/// below only, so the disabled build contains no reference to it.
+inline QueryStats& CurrentQueryStats() {
+  thread_local QueryStats stats;
+  return stats;
+}
+
+/// Zeroes the calling thread's accumulator.
+inline void ResetQueryStats() { CurrentQueryStats() = QueryStats{}; }
+
+/// Snapshot of the calling thread's accumulator.
+inline QueryStats GetQueryStats() { return CurrentQueryStats(); }
+
+/// Adds `other` into the calling thread's accumulator (used to merge worker
+/// stats back into a batch caller).
+inline void MergeQueryStats(const QueryStats& other) {
+  CurrentQueryStats().MergeFrom(other);
+}
+
+/// Moves the calling thread's accumulated stats into `*sink` and resets the
+/// accumulator; run at the end of a worker task so a later task reusing the
+/// same pool thread starts from zero.
+inline void DrainQueryStatsInto(QueryStats* sink) {
+  sink->MergeFrom(CurrentQueryStats());
+  ResetQueryStats();
+}
+
+namespace stats_internal {
+
+/// RAII per-query timer: counts one query and its wall-clock on destruction.
+class ScopedQueryTimer {
+ public:
+  ScopedQueryTimer() : start_(std::chrono::steady_clock::now()) {}
+  ScopedQueryTimer(const ScopedQueryTimer&) = delete;
+  ScopedQueryTimer& operator=(const ScopedQueryTimer&) = delete;
+  ~ScopedQueryTimer() {
+    QueryStats& s = CurrentQueryStats();
+    ++s.queries;
+    s.query_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace stats_internal
+
+#define TLP_STATS_ADD(field, amount) \
+  ((void)(::tlp::CurrentQueryStats().field += (amount)))
+#define TLP_STATS_CLASS_SCANNED(class_index, amount) \
+  ((void)(::tlp::CurrentQueryStats()                 \
+              .scanned_class[static_cast<int>(class_index)] += (amount)))
+#define TLP_STATS_QUERY_TIMER() \
+  ::tlp::stats_internal::ScopedQueryTimer tlp_stats_query_timer_guard_
+
+#else  // !TLP_STATS_ENABLED
+
+/// Disabled-build stubs: callers (tests, benches, batch merge) can stay
+/// unconditional; everything folds to nothing.
+inline void ResetQueryStats() {}
+inline QueryStats GetQueryStats() { return QueryStats{}; }
+inline void MergeQueryStats(const QueryStats&) {}
+inline void DrainQueryStatsInto(QueryStats*) {}
+
+#define TLP_STATS_ADD(field, amount) ((void)0)
+#define TLP_STATS_CLASS_SCANNED(class_index, amount) ((void)0)
+#define TLP_STATS_QUERY_TIMER() ((void)0)
+
+#endif  // TLP_STATS_ENABLED
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_QUERY_STATS_H_

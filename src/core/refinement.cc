@@ -1,5 +1,6 @@
 #include "core/refinement.h"
 
+#include "common/query_stats.h"
 #include "common/timer.h"
 #include "geometry/geometry.h"
 
@@ -45,6 +46,7 @@ void RefinementEngine::WindowQueryExact(const Box& w, RefinementMode mode,
     for (const ObjectId id : candidates) {
       if (GeometryIntersectsBox(store_->geometry(id), w)) out->push_back(id);
       ++bd.refined;
+      TLP_STATS_ADD(refine_misses, 1);
     }
     bd.refine_seconds += watch.ElapsedSeconds();
     bd.results = out->size();
@@ -66,6 +68,7 @@ void RefinementEngine::WindowQueryExact(const Box& w, RefinementMode mode,
                          use_implied && c.y_start_implied)) {
       out->push_back(c.id);
       ++bd.guaranteed;
+      TLP_STATS_ADD(refine_hits, 1);
     } else {
       to_refine.push_back(c.id);
     }
@@ -76,6 +79,7 @@ void RefinementEngine::WindowQueryExact(const Box& w, RefinementMode mode,
   for (const ObjectId id : to_refine) {
     if (GeometryIntersectsBox(store_->geometry(id), w)) out->push_back(id);
     ++bd.refined;
+    TLP_STATS_ADD(refine_misses, 1);
   }
   bd.refine_seconds += watch.ElapsedSeconds();
   bd.results = out->size();
@@ -101,6 +105,7 @@ void RefinementEngine::DiskQueryExact(const Point& q, Coord radius,
         out->push_back(id);
       }
       ++bd.refined;
+      TLP_STATS_ADD(refine_misses, 1);
     }
     bd.refine_seconds += watch.ElapsedSeconds();
     bd.results = out->size();
@@ -113,6 +118,7 @@ void RefinementEngine::DiskQueryExact(const Point& q, Coord radius,
     if (DiskGuaranteed(store_->mbr(id), q, radius)) {
       out->push_back(id);
       ++bd.guaranteed;
+      TLP_STATS_ADD(refine_hits, 1);
     } else {
       to_refine.push_back(id);
     }
@@ -125,6 +131,7 @@ void RefinementEngine::DiskQueryExact(const Point& q, Coord radius,
       out->push_back(id);
     }
     ++bd.refined;
+    TLP_STATS_ADD(refine_misses, 1);
   }
   bd.refine_seconds += watch.ElapsedSeconds();
   bd.results = out->size();

@@ -114,26 +114,43 @@ void TwoLayerGrid::ScanTile(const Tile& tile, const Box& w, unsigned base_mask,
 
   // Class A is always relevant (Lemmas 1-2 never exclude it).
   class_span(ObjectClass::kA, p, n);
+  TLP_STATS_CLASS_SCANNED(ObjectClass::kA, n);
   ScanPartitionDispatch(base_mask, p, n, w, emit);
 
   // Class B (starts before the tile in y) is relevant only in the window's
   // first row (Lemma 2). Its r.yl < T.yl <= W.yl makes the upper-end y
-  // comparison redundant (cf. Table II).
+  // comparison redundant (cf. Table II). A skipped class segment is replicas
+  // a 1-layer grid would scan and dedup post hoc — account them as avoided.
   if (first_row) {
     class_span(ObjectClass::kB, p, n);
+    TLP_STATS_CLASS_SCANNED(ObjectClass::kB, n);
     ScanPartitionDispatch(base_mask & ~kCmpYlLeWyu, p, n, w, emit);
+  } else {
+    TLP_STATS_ADD(duplicates_avoided,
+                  tile.begin[SegmentOf(ObjectClass::kB) + 1] -
+                      tile.begin[SegmentOf(ObjectClass::kB)]);
   }
   // Class C: only in the first column (Lemma 1); x upper-end comparison is
   // redundant.
   if (first_col) {
     class_span(ObjectClass::kC, p, n);
+    TLP_STATS_CLASS_SCANNED(ObjectClass::kC, n);
     ScanPartitionDispatch(base_mask & ~kCmpXlLeWxu, p, n, w, emit);
+  } else {
+    TLP_STATS_ADD(duplicates_avoided,
+                  tile.begin[SegmentOf(ObjectClass::kC) + 1] -
+                      tile.begin[SegmentOf(ObjectClass::kC)]);
   }
   // Class D: only in the single tile containing the window's start corner.
   if (first_col && first_row) {
     class_span(ObjectClass::kD, p, n);
+    TLP_STATS_CLASS_SCANNED(ObjectClass::kD, n);
     ScanPartitionDispatch(base_mask & ~(kCmpXlLeWxu | kCmpYlLeWyu), p, n, w,
                           emit);
+  } else {
+    TLP_STATS_ADD(duplicates_avoided,
+                  tile.begin[SegmentOf(ObjectClass::kD) + 1] -
+                      tile.begin[SegmentOf(ObjectClass::kD)]);
   }
 }
 
@@ -142,15 +159,19 @@ void TwoLayerGrid::WindowQueryTile(std::uint32_t i, std::uint32_t j,
                                    std::vector<ObjectId>* out) const {
   const Tile& tile = tiles_[layout_.TileId(i, j)];
   if (tile.empty()) return;
+  TLP_STATS_ADD(tiles_visited, 1);
   const bool first_col = i == range.i0;
   const bool first_row = j == range.j0;
   const unsigned mask =
       TileComparisonMask(first_col, i == range.i1, first_row, j == range.j1);
-  ScanTile(tile, w, mask, first_col, first_row,
-           [&](const BoxEntry& e) { out->push_back(e.id); });
+  ScanTile(tile, w, mask, first_col, first_row, [&](const BoxEntry& e) {
+    TLP_STATS_ADD(candidates, 1);
+    out->push_back(e.id);
+  });
 }
 
 void TwoLayerGrid::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
+  TLP_STATS_QUERY_TIMER();
   const TileRange range = layout_.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
@@ -161,11 +182,13 @@ void TwoLayerGrid::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
 
 void TwoLayerGrid::WindowCandidates(const Box& w,
                                     std::vector<Candidate>* out) const {
+  TLP_STATS_QUERY_TIMER();
   const TileRange range = layout_.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
       if (tile.empty()) continue;
+      TLP_STATS_ADD(tiles_visited, 1);
       const bool first_col = i == range.i0;
       const bool first_row = j == range.j0;
       const unsigned mask = TileComparisonMask(first_col, i == range.i1,
@@ -176,6 +199,7 @@ void TwoLayerGrid::WindowCandidates(const Box& w,
       const bool x_implied = !first_col;
       const bool y_implied = !first_row;
       ScanTile(tile, w, mask, first_col, first_row, [&](const BoxEntry& e) {
+        TLP_STATS_ADD(candidates, 1);
         out->push_back(Candidate{e.id, e.box, x_implied, y_implied});
       });
     }
@@ -231,6 +255,7 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
     for (std::uint32_t i = row.lo; i <= row.hi; ++i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
       if (tile.empty()) continue;
+      TLP_STATS_ADD(tiles_visited, 1);
       const Box tile_box = layout_.TileBox(i, j);
       // Tiles totally covered by the disk skip all distance verification
       // (§IV-E).
@@ -244,19 +269,42 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
         const int k = SegmentOf(c);
         const BoxEntry* p = data + tile.begin[k];
         const std::size_t n = tile.begin[k + 1] - tile.begin[k];
+        TLP_STATS_CLASS_SCANNED(c, n);
         for (std::size_t s = 0; s < n; ++s) {
           const BoxEntry& e = p[s];
-          if (!covered && e.box.MinDistanceTo(q) > radius) continue;
-          if (dedup_rows && seen_in_earlier_row(e.box, j)) continue;
+          if (!covered) {
+            TLP_STATS_ADD(comparisons, 1);
+            if (e.box.MinDistanceTo(q) > radius) continue;
+          }
+          if (dedup_rows && seen_in_earlier_row(e.box, j)) {
+            TLP_STATS_ADD(duplicates_avoided, 1);
+            continue;
+          }
           emit(e);
         }
       };
 
       scan(ObjectClass::kA, /*dedup_rows=*/false);
-      if (north_missing) scan(ObjectClass::kB, /*dedup_rows=*/true);
-      if (west_missing) scan(ObjectClass::kC, /*dedup_rows=*/false);
+      if (north_missing) {
+        scan(ObjectClass::kB, /*dedup_rows=*/true);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tile.begin[SegmentOf(ObjectClass::kB) + 1] -
+                          tile.begin[SegmentOf(ObjectClass::kB)]);
+      }
+      if (west_missing) {
+        scan(ObjectClass::kC, /*dedup_rows=*/false);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tile.begin[SegmentOf(ObjectClass::kC) + 1] -
+                          tile.begin[SegmentOf(ObjectClass::kC)]);
+      }
       if (west_missing && north_missing) {
         scan(ObjectClass::kD, /*dedup_rows=*/true);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tile.begin[SegmentOf(ObjectClass::kD) + 1] -
+                          tile.begin[SegmentOf(ObjectClass::kD)]);
       }
     }
   }
@@ -264,13 +312,20 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
 
 void TwoLayerGrid::DiskQuery(const Point& q, Coord radius,
                              std::vector<ObjectId>* out) const {
-  ForEachDiskResult(q, radius,
-                    [&](const BoxEntry& e) { out->push_back(e.id); });
+  TLP_STATS_QUERY_TIMER();
+  ForEachDiskResult(q, radius, [&](const BoxEntry& e) {
+    TLP_STATS_ADD(candidates, 1);
+    out->push_back(e.id);
+  });
 }
 
 void TwoLayerGrid::DiskQueryEntries(const Point& q, Coord radius,
                                     std::vector<BoxEntry>* out) const {
-  ForEachDiskResult(q, radius, [&](const BoxEntry& e) { out->push_back(e); });
+  TLP_STATS_QUERY_TIMER();
+  ForEachDiskResult(q, radius, [&](const BoxEntry& e) {
+    TLP_STATS_ADD(candidates, 1);
+    out->push_back(e);
+  });
 }
 
 std::size_t TwoLayerGrid::SizeBytes() const {
@@ -292,6 +347,30 @@ std::size_t TwoLayerGrid::ClassCount(std::uint32_t i, std::uint32_t j,
   const Tile& tile = tiles_[layout_.TileId(i, j)];
   const int k = SegmentOf(c);
   return tile.begin[k + 1] - tile.begin[k];
+}
+
+bool TwoLayerGrid::CheckInvariants() const {
+  for (std::uint32_t j = 0; j < layout_.ny(); ++j) {
+    for (std::uint32_t i = 0; i < layout_.nx(); ++i) {
+      const Tile& tile = tiles_[layout_.TileId(i, j)];
+      if (tile.begin[0] != 0) return false;
+      for (int s = 0; s < kNumClasses; ++s) {
+        if (tile.begin[s] > tile.begin[s + 1]) return false;
+      }
+      if (tile.begin[kNumClasses] != tile.entries.size()) return false;
+      // Every entry must sit in the segment of its class; Insert/Delete
+      // rotations that misplace a single element break the lemmas silently,
+      // which is exactly what this catches.
+      for (int s = 0; s < kNumClasses; ++s) {
+        for (std::uint32_t k = tile.begin[s]; k < tile.begin[s + 1]; ++k) {
+          const ObjectClass c =
+              ClassifyEntryInTile(layout_, i, j, tile.entries[k].box);
+          if (SegmentOf(c) != s) return false;
+        }
+      }
+    }
+  }
+  return true;
 }
 
 std::pair<const BoxEntry*, std::size_t> TwoLayerGrid::ClassSpan(

@@ -86,6 +86,12 @@ class TwoLayerGrid final : public SpatialIndex {
                                                     std::uint32_t j,
                                                     ObjectClass c) const;
 
+  /// Full structural check of every tile's segmented vector: begin[0] == 0,
+  /// begin[] monotone, begin[kNumClasses] == entries.size(), and every entry
+  /// stored in the segment of its class. O(total entries); for tests — the
+  /// Insert/Delete rotation logic must preserve all four properties.
+  bool CheckInvariants() const;
+
  private:
   /// A tile's entries, grouped into class segments laid out D|C|B|A;
   /// segment s occupies [begin[s], begin[s+1]) within `entries` and class c

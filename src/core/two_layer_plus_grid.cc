@@ -1,6 +1,7 @@
 #include "core/two_layer_plus_grid.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "grid/scan.h"
@@ -30,6 +31,20 @@ void TwoLayerPlusGrid::SortedTable::InsertSorted(Coord v, ObjectId id) {
   const auto pos = it - values.begin();
   values.insert(it, v);
   ids.insert(ids.begin() + pos, id);
+}
+
+bool TwoLayerPlusGrid::SortedTable::EraseSorted(Coord v, ObjectId id) {
+  // The value locates the run of equal coordinates; the id picks the entry
+  // within it (inverse of InsertSorted).
+  for (auto it = std::lower_bound(values.begin(), values.end(), v);
+       it != values.end() && *it == v; ++it) {
+    const auto pos = it - values.begin();
+    if (ids[pos] != id) continue;
+    values.erase(it);
+    ids.erase(ids.begin() + pos);
+    return true;
+  }
+  return false;
 }
 
 bool TwoLayerPlusGrid::TableStored(ObjectClass c, CoordKind k) {
@@ -127,6 +142,29 @@ void TwoLayerPlusGrid::Insert(const BoxEntry& entry) {
   }
 }
 
+bool TwoLayerPlusGrid::Delete(ObjectId id, const Box& box) {
+  // The record layer is authoritative for existence; it also guards against
+  // a wrong `box` that would otherwise desynchronize the two layouts.
+  if (!record_.Delete(id, box)) return false;
+  const GridLayout& g = record_.layout();
+  const TileRange range = g.TilesFor(box);
+  for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+      auto& slot = tile_tables_[g.TileId(i, j)];
+      if (slot == nullptr) continue;
+      const ObjectClass c = ClassifyEntryInTile(g, i, j, box);
+      auto& tables = slot->tables[static_cast<int>(c)];
+      const Coord coords[4] = {box.xl, box.xu, box.yl, box.yu};
+      for (int k = 0; k < 4; ++k) {
+        if (TableStored(c, static_cast<CoordKind>(k))) {
+          tables[k].EraseSorted(coords[k], id);
+        }
+      }
+    }
+  }
+  return true;
+}
+
 void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
                                      unsigned mask, const Box& w,
                                      const Box& tile_box,
@@ -138,6 +176,8 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
     // Interior tile: every rectangle of the partition is a result without
     // any comparison (Corollary 1 / Fig. 4 center tiles).
     const auto& ids = tables[kXu].ids;
+    TLP_STATS_CLASS_SCANNED(c, ids.size());
+    TLP_STATS_ADD(candidates, ids.size());
     out->insert(out->end(), ids.begin(), ids.end());
     return;
   }
@@ -169,6 +209,8 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
            static_cast<double>(w.yu - tile_box.yl) / th);
 
   const SortedTable& table = tables[best.coord];
+  // A binary search over n sorted values costs about log2(n)+1 probes.
+  TLP_STATS_ADD(binary_search_probes, std::bit_width(table.size()));
   std::size_t begin = 0;
   std::size_t end = table.size();
   if (best.ge) {
@@ -180,9 +222,11 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
                            best.bound) -
           table.values.begin();
   }
+  TLP_STATS_CLASS_SCANNED(c, end - begin);
 
   const unsigned residual = mask & ~best.flag;
   if (residual == 0) {
+    TLP_STATS_ADD(candidates, end - begin);
     out->insert(out->end(), table.ids.begin() + begin,
                 table.ids.begin() + end);
     return;
@@ -191,18 +235,23 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
   // paper does for two-comparison border tiles.
   for (std::size_t k = begin; k < end; ++k) {
     const ObjectId id = table.ids[k];
-    if (PassesComparisonMask(mbrs_[id], w, residual)) out->push_back(id);
+    if (PassesComparisonMask(mbrs_[id], w, residual)) {
+      TLP_STATS_ADD(candidates, 1);
+      out->push_back(id);
+    }
   }
 }
 
 void TwoLayerPlusGrid::WindowQuery(const Box& w,
                                    std::vector<ObjectId>* out) const {
+  TLP_STATS_QUERY_TIMER();
   const GridLayout& g = record_.layout();
   const TileRange range = g.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       const TileTables* tt = tile_tables_[g.TileId(i, j)].get();
       if (tt == nullptr) continue;
+      TLP_STATS_ADD(tiles_visited, 1);
       const bool first_col = i == range.i0;
       const bool first_row = j == range.j0;
       const unsigned mask = TileComparisonMask(first_col, i == range.i1,
@@ -212,14 +261,26 @@ void TwoLayerPlusGrid::WindowQuery(const Box& w,
       if (first_row) {
         EvaluateClass(*tt, ObjectClass::kB, mask & ~kCmpYlLeWyu, w, tile_box,
                       out);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tt->tables[static_cast<int>(ObjectClass::kB)][kXu]
+                          .size());
       }
       if (first_col) {
         EvaluateClass(*tt, ObjectClass::kC, mask & ~kCmpXlLeWxu, w, tile_box,
                       out);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tt->tables[static_cast<int>(ObjectClass::kC)][kXu]
+                          .size());
       }
       if (first_col && first_row) {
         EvaluateClass(*tt, ObjectClass::kD,
                       mask & ~(kCmpXlLeWxu | kCmpYlLeWyu), w, tile_box, out);
+      } else {
+        TLP_STATS_ADD(duplicates_avoided,
+                      tt->tables[static_cast<int>(ObjectClass::kD)][kXu]
+                          .size());
       }
     }
   }
@@ -228,6 +289,37 @@ void TwoLayerPlusGrid::WindowQuery(const Box& w,
 void TwoLayerPlusGrid::DiskQuery(const Point& q, Coord radius,
                                  std::vector<ObjectId>* out) const {
   record_.DiskQuery(q, radius, out);
+}
+
+bool TwoLayerPlusGrid::CheckInvariants() const {
+  if (!record_.CheckInvariants()) return false;
+  const GridLayout& g = record_.layout();
+  for (std::uint32_t j = 0; j < g.ny(); ++j) {
+    for (std::uint32_t i = 0; i < g.nx(); ++i) {
+      const TileTables* tt = tile_tables_[g.TileId(i, j)].get();
+      for (int c = 0; c < kNumClasses; ++c) {
+        const auto cls = static_cast<ObjectClass>(c);
+        const std::size_t expected = record_.ClassCount(i, j, cls);
+        for (int k = 0; k < 4; ++k) {
+          const SortedTable* table =
+              tt != nullptr ? &tt->tables[c][k] : nullptr;
+          const std::size_t n = table != nullptr ? table->size() : 0;
+          if (!TableStored(cls, static_cast<CoordKind>(k))) {
+            if (n != 0) return false;
+            continue;
+          }
+          // Each stored table mirrors the record layer's partition exactly.
+          if (n != expected) return false;
+          if (table == nullptr) continue;
+          if (table->ids.size() != n) return false;
+          if (!std::is_sorted(table->values.begin(), table->values.end())) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
 }
 
 std::size_t TwoLayerPlusGrid::SizeBytes() const {

@@ -35,6 +35,13 @@ class TwoLayerPlusGrid final : public SpatialIndex {
   /// table; the paper recommends batch updates for the decomposed layout).
   void Insert(const BoxEntry& entry) override;
 
+  /// Removes the object `id` inserted with bounding box `box` from the
+  /// record layer AND every decomposed sorted table (mirror of the sorted
+  /// insertion). Without this, a delete on the inner record grid alone
+  /// leaves the tables stale and WindowQuery keeps returning the dead id.
+  /// Returns false (and removes nothing) if no such entry exists.
+  bool Delete(ObjectId id, const Box& box);
+
   void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
 
   /// Distance queries cannot exploit storage decomposition (paper §VII-C),
@@ -48,6 +55,12 @@ class TwoLayerPlusGrid final : public SpatialIndex {
   const GridLayout& layout() const { return record_.layout(); }
   const TwoLayerGrid& record_layer() const { return record_; }
 
+  /// Structural check for tests: record-layer invariants hold, every stored
+  /// table is sorted with values/ids in lockstep, and each class's table
+  /// sizes equal the record layer's class count (the two representations
+  /// must never drift apart across Insert/Delete sequences).
+  bool CheckInvariants() const;
+
  private:
   /// One sorted <coordinate, id> decomposed table (structure-of-arrays).
   struct SortedTable {
@@ -57,6 +70,7 @@ class TwoLayerPlusGrid final : public SpatialIndex {
     std::size_t size() const { return values.size(); }
     void Add(Coord v, ObjectId id);
     void InsertSorted(Coord v, ObjectId id);
+    bool EraseSorted(Coord v, ObjectId id);
     std::size_t SizeBytes() const {
       return values.capacity() * sizeof(Coord) +
              ids.capacity() * sizeof(ObjectId);

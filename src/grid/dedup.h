@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/query_stats.h"
 #include "geometry/box.h"
 #include "grid/grid_layout.h"
 
@@ -34,8 +35,11 @@ inline bool ReferencePointInTile(const GridLayout& grid, const Box& r,
 /// still pays the full "generate duplicates, then eliminate" cost the paper
 /// argues against).
 inline void SortUniqueIds(std::vector<ObjectId>* ids, std::size_t begin) {
+  const std::size_t before = ids->size();
   std::sort(ids->begin() + begin, ids->end());
   ids->erase(std::unique(ids->begin() + begin, ids->end()), ids->end());
+  TLP_STATS_ADD(posthoc_dedup, before - ids->size());
+  (void)before;
 }
 
 }  // namespace tlp

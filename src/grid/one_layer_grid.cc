@@ -57,27 +57,39 @@ bool OneLayerGrid::Delete(ObjectId id, const Box& box) {
 
 void OneLayerGrid::WindowQuery(const Box& w,
                                std::vector<ObjectId>* out) const {
+  TLP_STATS_QUERY_TIMER();
   const TileRange range = layout_.TilesFor(w);
   const std::size_t first_result = out->size();
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       const auto& tile = tiles_[layout_.TileId(i, j)];
       if (tile.empty()) continue;
+      TLP_STATS_ADD(tiles_visited, 1);
+      TLP_STATS_ADD(scanned_flat, tile.size());
       const unsigned mask = TileComparisonMask(i == range.i0, i == range.i1,
                                                j == range.j0, j == range.j1);
       if (dedup_ == DedupPolicy::kReferencePoint) {
         // Every intersecting copy is found, then the reference-point test
         // keeps exactly one of them (the paper's state-of-the-art baseline).
+        // Copies it rejects are duplicates that were generated and then
+        // eliminated at query time — the post-hoc cost the 2-layer scheme
+        // avoids by construction.
         ScanPartitionDispatch(mask, tile.data(), tile.size(), w,
                               [&](const BoxEntry& e) {
                                 if (ReferencePointInTile(layout_, e.box, w, i,
                                                          j)) {
+                                  TLP_STATS_ADD(candidates, 1);
                                   out->push_back(e.id);
+                                } else {
+                                  TLP_STATS_ADD(posthoc_dedup, 1);
                                 }
                               });
       } else {
         ScanPartitionDispatch(mask, tile.data(), tile.size(), w,
-                              [&](const BoxEntry& e) { out->push_back(e.id); });
+                              [&](const BoxEntry& e) {
+                                TLP_STATS_ADD(candidates, 1);
+                                out->push_back(e.id);
+                              });
       }
     }
   }
@@ -86,6 +98,7 @@ void OneLayerGrid::WindowQuery(const Box& w,
 
 void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
                              std::vector<ObjectId>* out) const {
+  TLP_STATS_QUERY_TIMER();
   const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
   const TileRange range = layout_.TilesFor(mbr);
   const std::size_t first_result = out->size();
@@ -102,16 +115,23 @@ void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
           tile_box.MinDistanceTo(q) > radius) {
         continue;
       }
+      TLP_STATS_ADD(tiles_visited, 1);
+      TLP_STATS_ADD(scanned_flat, tile.size());
       // A tile fully covered by the disk needs no per-object distance tests.
       const bool covered = tile_box.MaxDistanceTo(q) <= radius;
       const unsigned mask = TileComparisonMask(i == range.i0, i == range.i1,
                                                j == range.j0, j == range.j1);
       auto handle = [&](const BoxEntry& e) {
-        if (!covered && e.box.MinDistanceTo(q) > radius) return;
+        if (!covered) {
+          TLP_STATS_ADD(comparisons, 1);
+          if (e.box.MinDistanceTo(q) > radius) return;
+        }
         if (dedup_ == DedupPolicy::kReferencePoint &&
             !ReferencePointInTile(layout_, e.box, mbr, i, j)) {
+          TLP_STATS_ADD(posthoc_dedup, 1);
           return;
         }
+        TLP_STATS_ADD(candidates, 1);
         out->push_back(e.id);
       };
       ScanPartitionDispatch(mask, tile.data(), tile.size(), mbr, handle);

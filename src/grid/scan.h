@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "common/query_stats.h"
 #include "geometry/box.h"
 
 namespace tlp {
@@ -25,15 +26,19 @@ inline void ScanPartition(const BoxEntry* data, std::size_t n, const Box& w,
   for (std::size_t k = 0; k < n; ++k) {
     const BoxEntry& e = data[k];
     if constexpr ((Mask & kCmpXuGeWxl) != 0) {
+      TLP_STATS_ADD(comparisons, 1);
       if (e.box.xu < w.xl) continue;
     }
     if constexpr ((Mask & kCmpXlLeWxu) != 0) {
+      TLP_STATS_ADD(comparisons, 1);
       if (e.box.xl > w.xu) continue;
     }
     if constexpr ((Mask & kCmpYuGeWyl) != 0) {
+      TLP_STATS_ADD(comparisons, 1);
       if (e.box.yu < w.yl) continue;
     }
     if constexpr ((Mask & kCmpYlLeWyu) != 0) {
+      TLP_STATS_ADD(comparisons, 1);
       if (e.box.yl > w.yu) continue;
     }
     emit(e);
@@ -71,10 +76,22 @@ inline void ScanPartitionDispatch(unsigned mask, const BoxEntry* data,
 
 /// True iff `b` passes every comparison in `mask` against window `w`.
 inline bool PassesComparisonMask(const Box& b, const Box& w, unsigned mask) {
-  if ((mask & kCmpXuGeWxl) != 0 && b.xu < w.xl) return false;
-  if ((mask & kCmpXlLeWxu) != 0 && b.xl > w.xu) return false;
-  if ((mask & kCmpYuGeWyl) != 0 && b.yu < w.yl) return false;
-  if ((mask & kCmpYlLeWyu) != 0 && b.yl > w.yu) return false;
+  if ((mask & kCmpXuGeWxl) != 0) {
+    TLP_STATS_ADD(comparisons, 1);
+    if (b.xu < w.xl) return false;
+  }
+  if ((mask & kCmpXlLeWxu) != 0) {
+    TLP_STATS_ADD(comparisons, 1);
+    if (b.xl > w.xu) return false;
+  }
+  if ((mask & kCmpYuGeWyl) != 0) {
+    TLP_STATS_ADD(comparisons, 1);
+    if (b.yu < w.yl) return false;
+  }
+  if ((mask & kCmpYlLeWyu) != 0) {
+    TLP_STATS_ADD(comparisons, 1);
+    if (b.yl > w.yu) return false;
+  }
   return true;
 }
 

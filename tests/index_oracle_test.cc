@@ -137,7 +137,10 @@ struct OracleCase {
 class IndexOracleTest : public ::testing::TestWithParam<OracleCase> {};
 
 TEST_P(IndexOracleTest, WindowsAndDisksMatchBruteForce) {
-  const auto& factory = AllIndexFactories()[GetParam().factory_index];
+  // Keep the factory list alive: AllIndexFactories() returns by value, so
+  // indexing the temporary directly would leave `factory` dangling.
+  const auto factories = AllIndexFactories();
+  const auto& factory = factories[GetParam().factory_index];
   const auto entries = MakeWorkload(GetParam().workload, 1200);
   const auto index = factory.make(entries);
   for (const Box& w : testing::RandomWindows(40, 151)) {
@@ -152,7 +155,8 @@ TEST_P(IndexOracleTest, WindowsAndDisksMatchBruteForce) {
 }
 
 TEST_P(IndexOracleTest, InsertAfterBuildStaysCorrect) {
-  const auto& factory = AllIndexFactories()[GetParam().factory_index];
+  const auto factories = AllIndexFactories();
+  const auto& factory = factories[GetParam().factory_index];
   auto entries = MakeWorkload(GetParam().workload, 800);
   const std::vector<BoxEntry> initial(entries.begin(), entries.begin() + 600);
   const auto index = factory.make(initial);

@@ -1,0 +1,155 @@
+// Randomized differential test for the update paths (§VI): a long mixed
+// Insert/Delete/WindowQuery/DiskQuery sequence runs against TwoLayerGrid and
+// TwoLayerPlusGrid, with three oracles checked throughout:
+//  1. structural — CheckInvariants() after every mutation (segment bounds
+//     monotone, totals match, every entry in the segment of its class,
+//     sorted tables in lockstep with the record grid);
+//  2. a brute-force scan of the live entry set, for every query;
+//  3. an index freshly Build()-from-scratch over the live set, at intervals
+//     — catches incremental states that answer queries correctly but drift
+//     from the canonical bulk-loaded layout.
+
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/rng.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "tests/test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+/// The mutable ground truth: id -> box of every object currently indexed.
+using LiveSet = std::map<ObjectId, Box>;
+
+std::vector<BoxEntry> ToEntries(const LiveSet& live) {
+  std::vector<BoxEntry> entries;
+  entries.reserve(live.size());
+  for (const auto& [id, box] : live) entries.push_back(BoxEntry{box, id});
+  return entries;
+}
+
+Box RandomBox(Rng& rng, double max_extent) {
+  const double x = rng.NextDouble();
+  const double y = rng.NextDouble();
+  const double w = rng.NextDouble() * max_extent;
+  const double h = rng.NextDouble() * max_extent;
+  return Box{x, y, std::min(1.0, x + w), std::min(1.0, y + h)};
+}
+
+/// Runs the mixed workload against `grid`. `Grid` must provide Insert,
+/// Delete(id, box), WindowQuery, DiskQuery, Build and CheckInvariants.
+template <typename Grid>
+void RunMixedWorkload(Grid* grid, std::uint64_t seed) {
+  Rng rng(seed);
+  LiveSet live;
+  ObjectId next_id = 0;
+
+  // Seed population, bulk loaded — mutations then run on top of Build()'s
+  // segment layout, not only on incrementally grown tiles.
+  std::vector<BoxEntry> initial;
+  for (int k = 0; k < 200; ++k) {
+    const Box b = RandomBox(rng, 0.25);
+    initial.push_back(BoxEntry{b, next_id});
+    live.emplace(next_id++, b);
+  }
+  grid->Build(initial);
+  ASSERT_TRUE(grid->CheckInvariants());
+
+  for (int step = 0; step < 600; ++step) {
+    const double op = rng.NextDouble();
+    if (op < 0.35) {  // insert
+      const Box b = RandomBox(rng, 0.25);
+      grid->Insert(BoxEntry{b, next_id});
+      live.emplace(next_id++, b);
+      ASSERT_TRUE(grid->CheckInvariants()) << "after insert, step " << step;
+    } else if (op < 0.6 && !live.empty()) {  // delete a random live object
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.NextDouble() * static_cast<double>(
+                                                  live.size())) %
+                           static_cast<std::ptrdiff_t>(live.size()));
+      ASSERT_TRUE(grid->Delete(it->first, it->second))
+          << "delete of live id " << it->first << " failed, step " << step;
+      live.erase(it);
+      ASSERT_TRUE(grid->CheckInvariants()) << "after delete, step " << step;
+    } else if (op < 0.67 && !live.empty()) {  // delete with a wrong box
+      const ObjectId id = live.begin()->first;
+      const Box& actual = live.begin()->second;
+      // A box registering on disjoint tiles must not find (or damage) the
+      // entry; the live copy stays untouched.
+      Box wrong = actual;
+      const double shift = actual.xl < 0.5 ? 0.6 : -0.6;
+      wrong.xl = std::min(1.0, std::max(0.0, wrong.xl + shift));
+      wrong.xu = std::min(1.0, std::max(0.0, wrong.xu + shift));
+      if (!wrong.Intersects(actual)) {
+        grid->Delete(id, wrong);
+        ASSERT_TRUE(grid->CheckInvariants())
+            << "after wrong-box delete, step " << step;
+        testing::CheckWindowAgainstBruteForce(*grid, ToEntries(live), actual,
+                                              "object survives bad delete");
+      }
+    } else if (op < 0.85) {  // window query vs brute force on the live set
+      testing::CheckWindowAgainstBruteForce(*grid, ToEntries(live),
+                                            RandomBox(rng, 0.4));
+    } else {  // disk query vs brute force on the live set
+      testing::CheckDiskAgainstBruteForce(
+          *grid, ToEntries(live), Point{rng.NextDouble(), rng.NextDouble()},
+          0.05 + rng.NextDouble() * 0.2);
+    }
+
+    // Differential oracle: a scratch index bulk-loaded from the live set
+    // must answer exactly like the incrementally maintained one.
+    if (step % 100 == 99) {
+      Grid fresh(grid->layout());
+      fresh.Build(ToEntries(live));
+      ASSERT_TRUE(fresh.CheckInvariants());
+      for (int q = 0; q < 10; ++q) {
+        const Box w = RandomBox(rng, 0.5);
+        std::vector<ObjectId> got, want;
+        grid->WindowQuery(w, &got);
+        fresh.WindowQuery(w, &want);
+        testing::ExpectSameIdSet(want, got, "incremental vs rebuilt");
+      }
+    }
+  }
+
+  // Drain: delete everything, verifying emptiness at the end.
+  for (const auto& [id, box] : live) {
+    ASSERT_TRUE(grid->Delete(id, box));
+  }
+  ASSERT_TRUE(grid->CheckInvariants());
+  std::vector<ObjectId> out;
+  grid->WindowQuery(kUnit, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(UpdateOracleTest, TwoLayerGridMixedWorkload) {
+  TwoLayerGrid grid(GridLayout(kUnit, 8, 8));
+  RunMixedWorkload(&grid, 1001);
+}
+
+TEST(UpdateOracleTest, TwoLayerGridMixedWorkloadCoarseGrid) {
+  // 2x2 tiles: nearly every object spans tiles, maximising replication and
+  // the B/C/D segment traffic in the Insert/Delete rotations.
+  TwoLayerGrid grid(GridLayout(kUnit, 2, 2));
+  RunMixedWorkload(&grid, 1002);
+}
+
+TEST(UpdateOracleTest, TwoLayerPlusGridMixedWorkload) {
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 8, 8));
+  RunMixedWorkload(&grid, 1003);
+}
+
+TEST(UpdateOracleTest, TwoLayerPlusGridMixedWorkloadCoarseGrid) {
+  TwoLayerPlusGrid grid(GridLayout(kUnit, 2, 2));
+  RunMixedWorkload(&grid, 1004);
+}
+
+}  // namespace
+}  // namespace tlp
