@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/query_stats.h"
+#include "common/status.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
 
@@ -43,6 +44,33 @@ class SpatialIndex {
 
   /// Human-readable method name as used in the paper's tables.
   virtual std::string name() const = 0;
+};
+
+/// A SpatialIndex that can round-trip through the on-disk snapshot format
+/// (src/persist, docs/PERSISTENCE.md). Implemented by the grid family
+/// (1-layer, 2-layer, 2-layer+).
+///
+/// Contract:
+///  * Save writes a versioned, checksummed snapshot; Load replaces this
+///    index's contents with the snapshot's (the index's current layout and
+///    entries are discarded). Load never crashes on malformed input: a
+///    corrupt, truncated, foreign-endian, or wrong-version file yields a
+///    descriptive error and leaves the file unread.
+///  * An index may be *frozen* after a zero-copy mapped load
+///    (TwoLayerPlusGrid::LoadMapped): queries run directly out of the
+///    mapped snapshot, and Insert/Delete throw std::logic_error until
+///    Thaw() copies the mapped columns into owned memory.
+class PersistentIndex : public SpatialIndex {
+ public:
+  virtual Status Save(const std::string& path) const = 0;
+  virtual Status Load(const std::string& path) = 0;
+
+  /// True when backed by a read-only snapshot mapping (updates rejected).
+  virtual bool frozen() const { return false; }
+
+  /// Copies any mapped storage into owned memory and releases the mapping,
+  /// re-enabling Insert/Delete. No-op on an index that is not frozen.
+  virtual Status Thaw() { return Status::OK(); }
 };
 
 /// Reference implementation of the query contract by exhaustive scan; the

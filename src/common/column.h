@@ -1,0 +1,80 @@
+#ifndef TLP_COMMON_COLUMN_H_
+#define TLP_COMMON_COLUMN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace tlp {
+
+/// A read-mostly column of trivially copyable values that either OWNS its
+/// storage (a std::vector, mutable) or VIEWS external read-only memory — in
+/// practice a byte range inside a memory-mapped index snapshot
+/// (src/persist). The grids' hot query loops only need data()/size(), so a
+/// snapshot can be queried zero-copy straight out of the page cache; update
+/// paths go through vec(), which is only legal on an owned column. Thaw()
+/// converts a view back into owned storage by copying.
+///
+/// Copying/moving a Column is safe in both states: the view pointer targets
+/// memory outside the column (the mapping outlives it by contract), and the
+/// owned vector carries its own storage.
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  bool frozen() const { return view_ != nullptr; }
+
+  const T* data() const { return view_ != nullptr ? view_ : owned_.data(); }
+  std::size_t size() const {
+    return view_ != nullptr ? view_size_ : owned_.size();
+  }
+  bool empty() const { return size() == 0; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  /// Mutable access to the owned storage. Must not be called on a frozen
+  /// column — the public index API guards this (Insert/Delete on a mapped
+  /// index report an error before reaching any column).
+  std::vector<T>& vec() {
+    assert(view_ == nullptr && "mutating a frozen (mapped) column");
+    return owned_;
+  }
+  const std::vector<T>& vec() const {
+    assert(view_ == nullptr);
+    return owned_;
+  }
+
+  /// Points the column at external read-only memory and drops any owned
+  /// storage. `p` must stay valid (and unmodified) for the column's
+  /// lifetime or until Thaw()/SetView() replace it.
+  void SetView(const T* p, std::size_t n) {
+    std::vector<T>().swap(owned_);
+    view_ = p;
+    view_size_ = n;
+  }
+
+  /// Copies a view back into owned storage (no-op when already owned).
+  void Thaw() {
+    if (view_ == nullptr) return;
+    owned_.assign(view_, view_ + view_size_);
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  /// Main-memory footprint: heap capacity when owned, mapped extent when
+  /// frozen (address space that becomes resident as pages are touched).
+  std::size_t footprint_bytes() const {
+    return (view_ != nullptr ? view_size_ : owned_.capacity()) * sizeof(T);
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_ = nullptr;
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_COLUMN_H_

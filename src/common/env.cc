@@ -1,6 +1,15 @@
 #include "common/env.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <utility>
 
 namespace tlp {
 
@@ -23,5 +32,94 @@ double EnvDouble(const std::string& name, double fallback) {
 }
 
 double DatasetScale() { return EnvDouble("TLP_SCALE", 1.0); }
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = MakeCrc32Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      valid_(std::exchange(other.valid_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    valid_ = std::exchange(other.valid_, false);
+  }
+  return *this;
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  valid_ = false;
+}
+
+bool MappedFile::Open(const std::string& path, MappedFile* out,
+                      std::string* error) {
+  out->Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = path + ": open failed: " + std::strerror(errno);
+    }
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) {
+      *error = path + ": fstat failed: " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(0) is invalid; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    out->valid_ = true;
+    return true;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference to the file.
+  if (addr == MAP_FAILED) {
+    if (error != nullptr) {
+      *error = path + ": mmap failed: " + std::strerror(errno);
+    }
+    return false;
+  }
+  out->data_ = static_cast<unsigned char*>(addr);
+  out->size_ = size;
+  out->valid_ = true;
+  return true;
+}
 
 }  // namespace tlp

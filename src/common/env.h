@@ -1,6 +1,7 @@
 #ifndef TLP_COMMON_ENV_H_
 #define TLP_COMMON_ENV_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -17,6 +18,42 @@ double EnvDouble(const std::string& name, double fallback);
 /// Global dataset scale multiplier (TLP_SCALE, default 1.0). Benchmarks
 /// multiply their default cardinalities by this factor.
 double DatasetScale();
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zlib/PNG
+/// variant) of `n` bytes, resumable via `seed` (pass a previous return value
+/// to extend a running checksum). The snapshot container (src/persist)
+/// checksums every section with this.
+std::uint32_t Crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Read-only memory-mapped file (RAII around open/fstat/mmap/munmap); the
+/// zero-copy substrate of the snapshot mmap load path. Move-only; the
+/// mapping is released on destruction or Close(). A mapped snapshot index
+/// keeps its MappedFile alive for as long as any column views the mapping.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns false and sets `*error`.
+  /// An empty file maps successfully with size() == 0.
+  static bool Open(const std::string& path, MappedFile* out,
+                   std::string* error);
+
+  bool valid() const { return valid_; }
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  void Close();
+
+ private:
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool valid_ = false;
+};
 
 }  // namespace tlp
 

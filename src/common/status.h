@@ -1,0 +1,35 @@
+#ifndef TLP_COMMON_STATUS_H_
+#define TLP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tlp {
+
+/// Lightweight success-or-message result used by the fallible, non-hot-path
+/// parts of the library (snapshot persistence, file I/O). An empty message
+/// means success; a failure always carries a human-readable diagnostic so
+/// callers (CLI, tests) can surface *why* a load was rejected instead of
+/// crashing on malformed input.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    if (s.message_.empty()) s.message_ = "unknown error";
+    return s;
+  }
+
+  bool ok() const { return message_.empty(); }
+  const std::string& message() const { return message_; }
+
+ private:
+  std::string message_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_STATUS_H_

@@ -31,7 +31,7 @@ void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries) {
       total += counts[t][c];
     }
     tile.begin[kNumClasses] = total;
-    tile.entries.resize(total);
+    tile.entries.vec().resize(total);
   }
   // Pass 2: place entries at per-(tile, class) cursors.
   std::vector<std::array<std::uint32_t, kNumClasses>> cursors(
@@ -43,7 +43,7 @@ void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries) {
         const std::size_t t = layout_.TileId(i, j);
         const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, e.box));
         Tile& tile = tiles_[t];
-        tile.entries[tile.begin[seg] + cursors[t][seg]++] = e;
+        tile.entries.vec()[tile.begin[seg] + cursors[t][seg]++] = e;
       }
     }
   }
@@ -61,7 +61,7 @@ void TwoLayerGrid::Insert(const BoxEntry& entry) {
       // segment's new end (order within a segment does not matter). With
       // the D|C|B|A layout, the dominant class-A case is a plain append,
       // keeping grid updates as cheap as the 1-layer baseline's (Table VI).
-      auto& v = tile.entries;
+      auto& v = tile.entries.vec();
       v.push_back(entry);
       for (int k = kNumClasses; k > seg + 1; --k) {
         v[tile.begin[k]] = v[tile.begin[k - 1]];
@@ -79,7 +79,7 @@ bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       Tile& tile = tiles_[layout_.TileId(i, j)];
       const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, box));
-      auto& v = tile.entries;
+      auto& v = tile.entries.vec();
       for (std::uint32_t k = tile.begin[seg]; k < tile.begin[seg + 1]; ++k) {
         if (v[k].id != id) continue;
         // Swap-remove within the segment, then close the one-slot gap by
@@ -331,7 +331,7 @@ void TwoLayerGrid::DiskQueryEntries(const Point& q, Coord radius,
 std::size_t TwoLayerGrid::SizeBytes() const {
   std::size_t bytes = tiles_.capacity() * sizeof(Tile);
   for (const Tile& tile : tiles_) {
-    bytes += tile.entries.capacity() * sizeof(BoxEntry);
+    bytes += tile.entries.footprint_bytes();
   }
   return bytes;
 }

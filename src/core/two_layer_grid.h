@@ -8,10 +8,14 @@
 #include <vector>
 
 #include "api/spatial_index.h"
+#include "common/column.h"
 #include "core/classes.h"
 #include "grid/grid_layout.h"
 
 namespace tlp {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// A candidate produced by the filtering step, annotated with what the
 /// two-layer evaluation already knows about it (paper §V "efficient
@@ -31,7 +35,7 @@ struct Candidate {
 /// tile, only the classes that cannot produce duplicates (Lemmas 1-2) with
 /// at most one comparison per dimension (Lemmas 3-4, Corollary 1); no
 /// deduplication step ever runs. Disk queries follow §IV-E.
-class TwoLayerGrid final : public SpatialIndex {
+class TwoLayerGrid final : public PersistentIndex {
  public:
   explicit TwoLayerGrid(const GridLayout& layout);
 
@@ -70,6 +74,20 @@ class TwoLayerGrid final : public SpatialIndex {
   std::size_t SizeBytes() const override;
   std::string name() const override { return "2-layer"; }
 
+  /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
+
+  /// Container-level snapshot plumbing: writes/reads this grid's sections
+  /// (layout, tile begins, tile entries) inside an open snapshot. Used by
+  /// Save/Load above and by TwoLayerPlusGrid, whose snapshot embeds its
+  /// record layer. With `mapped` the tile entry arrays become views into
+  /// the reader's mapping (which must then outlive this grid).
+  void AppendSnapshotSections(SnapshotWriter* writer) const;
+  Status LoadSnapshotSections(const SnapshotReader& reader, bool mapped);
+  /// Copies any mapped tile-entry views into owned storage.
+  void ThawStorage();
+
   const GridLayout& layout() const { return layout_; }
 
   /// Total number of stored (MBR, id) entries, replicas included. Same value
@@ -96,9 +114,11 @@ class TwoLayerGrid final : public SpatialIndex {
   /// A tile's entries, grouped into class segments laid out D|C|B|A;
   /// segment s occupies [begin[s], begin[s+1]) within `entries` and class c
   /// lives in segment SegmentOf(c). Class A sits last so the common-case
-  /// insert is an append.
+  /// insert is an append. The entry column is a Column so a mapped snapshot
+  /// can back it zero-copy (read path identical; updates require owned
+  /// storage).
   struct Tile {
-    std::vector<BoxEntry> entries;
+    Column<BoxEntry> entries;
     std::array<std::uint32_t, kNumClasses + 1> begin = {0, 0, 0, 0, 0};
 
     bool empty() const { return entries.empty(); }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
 
 #include "grid/scan.h"
+// Completes the forward-declared SnapshotReader the snapshot_ member holds.
+#include "persist/snapshot_reader.h"
 
 namespace tlp {
 
@@ -22,26 +25,28 @@ struct SearchPlan {
 }  // namespace
 
 void TwoLayerPlusGrid::SortedTable::Add(Coord v, ObjectId id) {
-  values.push_back(v);
-  ids.push_back(id);
+  values.vec().push_back(v);
+  ids.vec().push_back(id);
 }
 
 void TwoLayerPlusGrid::SortedTable::InsertSorted(Coord v, ObjectId id) {
-  const auto it = std::lower_bound(values.begin(), values.end(), v);
-  const auto pos = it - values.begin();
-  values.insert(it, v);
-  ids.insert(ids.begin() + pos, id);
+  auto& vals = values.vec();
+  const auto it = std::lower_bound(vals.begin(), vals.end(), v);
+  const auto pos = it - vals.begin();
+  vals.insert(it, v);
+  ids.vec().insert(ids.vec().begin() + pos, id);
 }
 
 bool TwoLayerPlusGrid::SortedTable::EraseSorted(Coord v, ObjectId id) {
   // The value locates the run of equal coordinates; the id picks the entry
   // within it (inverse of InsertSorted).
-  for (auto it = std::lower_bound(values.begin(), values.end(), v);
-       it != values.end() && *it == v; ++it) {
-    const auto pos = it - values.begin();
+  auto& vals = values.vec();
+  for (auto it = std::lower_bound(vals.begin(), vals.end(), v);
+       it != vals.end() && *it == v; ++it) {
+    const auto pos = it - vals.begin();
     if (ids[pos] != id) continue;
-    values.erase(it);
-    ids.erase(ids.begin() + pos);
+    vals.erase(it);
+    ids.vec().erase(ids.vec().begin() + pos);
     return true;
   }
   return false;
@@ -73,11 +78,20 @@ TwoLayerPlusGrid::TileTables& TwoLayerPlusGrid::MutableTables(
   return *slot;
 }
 
+void TwoLayerPlusGrid::RequireMutable(const char* op) const {
+  if (frozen_) {
+    throw std::logic_error(
+        std::string(op) +
+        " on a frozen (mmap-backed) 2-layer+ index; call Thaw() first");
+  }
+}
+
 void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries) {
+  RequireMutable("Build");
   record_.Build(entries);
   for (const BoxEntry& e : entries) {
-    if (e.id >= mbrs_.size()) mbrs_.resize(e.id + 1);
-    mbrs_[e.id] = e.box;
+    if (e.id >= mbrs_.size()) mbrs_.vec().resize(e.id + 1);
+    mbrs_.vec()[e.id] = e.box;
   }
   const GridLayout& g = record_.layout();
   // Fill the decomposed tables unsorted, then sort each one once.
@@ -109,8 +123,8 @@ void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries) {
           return table.values[a] < table.values[b];
         });
         SortedTable sorted;
-        sorted.values.reserve(table.size());
-        sorted.ids.reserve(table.size());
+        sorted.values.vec().reserve(table.size());
+        sorted.ids.vec().reserve(table.size());
         for (const std::size_t k : order) {
           sorted.Add(table.values[k], table.ids[k]);
         }
@@ -121,9 +135,10 @@ void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries) {
 }
 
 void TwoLayerPlusGrid::Insert(const BoxEntry& entry) {
+  RequireMutable("Insert");
   record_.Insert(entry);
-  if (entry.id >= mbrs_.size()) mbrs_.resize(entry.id + 1);
-  mbrs_[entry.id] = entry.box;
+  if (entry.id >= mbrs_.size()) mbrs_.vec().resize(entry.id + 1);
+  mbrs_.vec()[entry.id] = entry.box;
   const GridLayout& g = record_.layout();
   const TileRange range = g.TilesFor(entry.box);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
@@ -143,6 +158,7 @@ void TwoLayerPlusGrid::Insert(const BoxEntry& entry) {
 }
 
 bool TwoLayerPlusGrid::Delete(ObjectId id, const Box& box) {
+  RequireMutable("Delete");
   // The record layer is authoritative for existence; it also guards against
   // a wrong `box` that would otherwise desynchronize the two layouts.
   if (!record_.Delete(id, box)) return false;

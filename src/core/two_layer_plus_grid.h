@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "api/spatial_index.h"
+#include "common/column.h"
 #include "core/classes.h"
 #include "core/two_layer_grid.h"
 #include "grid/grid_layout.h"
@@ -25,21 +26,26 @@ namespace tlp {
 /// The index stores both representations ("2-layer+ essentially stores a
 /// second (decomposed) copy of the rectangles inside every tile", §VII-B),
 /// trading space and build time for query speed.
-class TwoLayerPlusGrid final : public SpatialIndex {
+class TwoLayerPlusGrid final : public PersistentIndex {
  public:
   explicit TwoLayerPlusGrid(const GridLayout& layout);
+  /// Out-of-line (core/grid_snapshots.cc): the held SnapshotReader is only
+  /// forward-declared here.
+  ~TwoLayerPlusGrid() override;
 
   void Build(const std::vector<BoxEntry>& entries);
 
   /// Incremental insert (slow path: sorted insertion into each decomposed
   /// table; the paper recommends batch updates for the decomposed layout).
+  /// Throws std::logic_error on a frozen (mapped-snapshot) index.
   void Insert(const BoxEntry& entry) override;
 
   /// Removes the object `id` inserted with bounding box `box` from the
   /// record layer AND every decomposed sorted table (mirror of the sorted
   /// insertion). Without this, a delete on the inner record grid alone
   /// leaves the tables stale and WindowQuery keeps returning the dead id.
-  /// Returns false (and removes nothing) if no such entry exists.
+  /// Returns false (and removes nothing) if no such entry exists. Throws
+  /// std::logic_error on a frozen (mapped-snapshot) index.
   bool Delete(ObjectId id, const Box& box);
 
   void WindowQuery(const Box& w, std::vector<ObjectId>* out) const override;
@@ -52,6 +58,27 @@ class TwoLayerPlusGrid final : public SpatialIndex {
   std::size_t SizeBytes() const override;
   std::string name() const override { return "2-layer+"; }
 
+  /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
+  /// Save works in any state (a frozen index saves its mapped contents);
+  /// Load deserializes into owned storage and leaves the index mutable.
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
+
+  /// Zero-copy cold start: mmap()s the snapshot read-only and points every
+  /// per-tile SortedTable column and the id->MBR table straight into the
+  /// mapping, making load time O(pages touched) instead of O(n log n)
+  /// rebuild. The resulting index is frozen: queries work immediately,
+  /// Insert/Delete throw until Thaw(). With `verify_checksums` the load
+  /// CRC-checks every section first (one full read of the file) — otherwise
+  /// only the header/section-table integrity is verified eagerly.
+  Status LoadMapped(const std::string& path, bool verify_checksums = false);
+
+  bool frozen() const override { return frozen_; }
+
+  /// Copies all mapped columns into owned heap storage and releases the
+  /// snapshot mapping; Insert/Delete work again afterwards.
+  Status Thaw() override;
+
   const GridLayout& layout() const { return record_.layout(); }
   const TwoLayerGrid& record_layer() const { return record_; }
 
@@ -63,17 +90,18 @@ class TwoLayerPlusGrid final : public SpatialIndex {
 
  private:
   /// One sorted <coordinate, id> decomposed table (structure-of-arrays).
+  /// Both columns are Columns so a mapped snapshot can back them in place;
+  /// the mutating members require owned (thawed) storage.
   struct SortedTable {
-    std::vector<Coord> values;
-    std::vector<ObjectId> ids;
+    Column<Coord> values;
+    Column<ObjectId> ids;
 
     std::size_t size() const { return values.size(); }
     void Add(Coord v, ObjectId id);
     void InsertSorted(Coord v, ObjectId id);
     bool EraseSorted(Coord v, ObjectId id);
     std::size_t SizeBytes() const {
-      return values.capacity() * sizeof(Coord) +
-             ids.capacity() * sizeof(ObjectId);
+      return values.footprint_bytes() + ids.footprint_bytes();
     }
   };
 
@@ -95,10 +123,21 @@ class TwoLayerPlusGrid final : public SpatialIndex {
                      const Box& w, const Box& tile_box,
                      std::vector<ObjectId>* out) const;
 
+  /// Rejects updates while frozen (mapped); throws std::logic_error.
+  void RequireMutable(const char* op) const;
+
+  /// Shared deserialization core of Load/LoadMapped (grid_snapshots.cc).
+  Status LoadFromReader(const SnapshotReader& reader, bool mapped);
+
   TwoLayerGrid record_;
   std::vector<std::unique_ptr<TileTables>> tile_tables_;
   /// id -> MBR, for verifying residual comparisons after a binary search.
-  std::vector<Box> mbrs_;
+  Column<Box> mbrs_;
+  /// Non-null iff frozen: keeps the snapshot mapping (and with it every
+  /// column view) alive. Owned via unique_ptr so the header needs only a
+  /// forward declaration of SnapshotReader.
+  std::unique_ptr<SnapshotReader> snapshot_;
+  bool frozen_ = false;
 };
 
 }  // namespace tlp

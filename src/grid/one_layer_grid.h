@@ -17,7 +17,7 @@ namespace tlp {
 /// point method [9] (or, optionally, by hashing). Window evaluation uses the
 /// §IV-B comparison-reduction optimization, so the gap to TwoLayerGrid
 /// isolates the benefit of the secondary partitioning itself (paper §VII-B).
-class OneLayerGrid final : public SpatialIndex {
+class OneLayerGrid final : public PersistentIndex {
  public:
   OneLayerGrid(const GridLayout& layout,
                DedupPolicy dedup = DedupPolicy::kReferencePoint);
@@ -46,6 +46,12 @@ class OneLayerGrid final : public SpatialIndex {
     return dedup_ == DedupPolicy::kReferencePoint ? "1-layer"
                                                   : "1-layer(hash)";
   }
+
+  /// Snapshot persistence (src/persist; defined in grid/one_layer_snapshot
+  /// .cc). The baseline grid only supports owned (deserializing) loads; the
+  /// dedup policy travels with the snapshot.
+  Status Save(const std::string& path) const override;
+  Status Load(const std::string& path) override;
 
   const GridLayout& layout() const { return layout_; }
 

@@ -1,0 +1,84 @@
+#include "persist/open_snapshot.h"
+
+#include <utility>
+
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "grid/grid_layout.h"
+#include "grid/one_layer_grid.h"
+#include "persist/snapshot_reader.h"
+
+namespace tlp {
+namespace {
+
+/// Placeholder geometry for factory-constructed grids; Load() replaces it
+/// with the layout recorded in the snapshot.
+GridLayout BootstrapLayout() { return GridLayout(Box{0, 0, 1, 1}, 1, 1); }
+
+}  // namespace
+
+Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out) {
+  SnapshotReader reader;
+  Status s = reader.Open(path, SnapshotReader::Mode::kMapped);
+  if (!s.ok()) return s;
+  const SnapshotHeader& h = reader.header();
+  out->kind = static_cast<SnapshotIndexKind>(h.index_kind);
+  out->format_version = h.format_version;
+  out->section_count = h.section_count;
+  out->file_size = h.file_size;
+  out->index_size_bytes = h.index_size_bytes;
+  out->entry_count = h.entry_count;
+  return Status::OK();
+}
+
+Status VerifySnapshot(const std::string& path) {
+  SnapshotReader reader;
+  Status s = reader.Open(path, SnapshotReader::Mode::kMapped);
+  if (!s.ok()) return s;
+  return reader.VerifyPayloadChecksums();
+}
+
+Status OpenSnapshot(const std::string& path, bool mapped,
+                    std::unique_ptr<PersistentIndex>* out) {
+  SnapshotInfo info;
+  Status s = ReadSnapshotInfo(path, &info);
+  if (!s.ok()) return s;
+
+  switch (info.kind) {
+    case SnapshotIndexKind::kOneLayerGrid: {
+      if (mapped) {
+        return Status::Error(
+            "mapped load is only supported for 2-layer+ snapshots; '" + path +
+            "' holds a 1-layer index");
+      }
+      auto index = std::make_unique<OneLayerGrid>(BootstrapLayout());
+      s = index->Load(path);
+      if (!s.ok()) return s;
+      *out = std::move(index);
+      return Status::OK();
+    }
+    case SnapshotIndexKind::kTwoLayerGrid: {
+      if (mapped) {
+        return Status::Error(
+            "mapped load is only supported for 2-layer+ snapshots; '" + path +
+            "' holds a 2-layer index");
+      }
+      auto index = std::make_unique<TwoLayerGrid>(BootstrapLayout());
+      s = index->Load(path);
+      if (!s.ok()) return s;
+      *out = std::move(index);
+      return Status::OK();
+    }
+    case SnapshotIndexKind::kTwoLayerPlusGrid: {
+      auto index = std::make_unique<TwoLayerPlusGrid>(BootstrapLayout());
+      s = mapped ? index->LoadMapped(path) : index->Load(path);
+      if (!s.ok()) return s;
+      *out = std::move(index);
+      return Status::OK();
+    }
+  }
+  return Status::Error("snapshot '" + path + "' holds unknown index kind " +
+                       std::to_string(static_cast<std::uint32_t>(info.kind)));
+}
+
+}  // namespace tlp

@@ -1,0 +1,41 @@
+#ifndef TLP_PERSIST_OPEN_SNAPSHOT_H_
+#define TLP_PERSIST_OPEN_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "api/spatial_index.h"
+#include "common/status.h"
+#include "persist/snapshot_format.h"
+
+namespace tlp {
+
+/// Header summary of a snapshot file, for tooling (`tlp_snapshot info`).
+struct SnapshotInfo {
+  SnapshotIndexKind kind = SnapshotIndexKind::kTwoLayerGrid;
+  std::uint32_t format_version = 0;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_size = 0;
+  std::uint64_t index_size_bytes = 0;
+  std::uint64_t entry_count = 0;
+};
+
+/// Validates the header/section table of `path` (O(1) pages, no payload
+/// read) and reports what the snapshot holds.
+Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out);
+
+/// Full integrity pass: header, section table, and every payload CRC.
+Status VerifySnapshot(const std::string& path);
+
+/// Opens `path` as whatever index kind it holds — the snapshot, not the
+/// caller, names the class. With `mapped` the 2-layer+ zero-copy load path
+/// is used (other kinds have no mapped representation and are refused, so a
+/// caller asking for O(pages) cold start never silently pays a full
+/// deserialization).
+Status OpenSnapshot(const std::string& path, bool mapped,
+                    std::unique_ptr<PersistentIndex>* out);
+
+}  // namespace tlp
+
+#endif  // TLP_PERSIST_OPEN_SNAPSHOT_H_

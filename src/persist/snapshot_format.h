@@ -1,0 +1,123 @@
+#ifndef TLP_PERSIST_SNAPSHOT_FORMAT_H_
+#define TLP_PERSIST_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace tlp {
+
+/// On-disk layout of an index snapshot (`*.tlps`), docs/PERSISTENCE.md:
+///
+///   [ SnapshotHeader | section 0 | pad | section 1 | ... | section table ]
+///
+/// The fixed 64-byte header sits at offset 0 and is written last (it records
+/// the section-table location and the checksums). Every section payload
+/// starts at a 64-byte-aligned offset so numeric columns inside it can be
+/// memory-mapped and dereferenced in place; the section table (an array of
+/// SectionDesc) sits at the end of the file.
+///
+/// Integrity: the header carries a CRC32 of its own first 60 bytes plus a
+/// CRC32 of the section table; each SectionDesc carries a CRC32 of its
+/// payload. All multi-byte values are native-endian — the `endian_tag` field
+/// rejects snapshots from a foreign-endianness machine at load time, which
+/// is the portability contract (x86-64/aarch64 little-endian files are
+/// interchangeable; big-endian files are refused, not misread).
+
+inline constexpr char kSnapshotMagic[8] = {'T', 'L', 'P', 'S',
+                                           'N', 'A', 'P', '\0'};
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotEndianTag = 0x01020304;
+inline constexpr std::uint32_t kSnapshotAlignment = 64;
+
+/// Which index class a snapshot holds (header `index_kind`).
+enum class SnapshotIndexKind : std::uint32_t {
+  kOneLayerGrid = 1,
+  kTwoLayerGrid = 2,
+  kTwoLayerPlusGrid = 3,
+};
+
+inline const char* SnapshotIndexKindName(SnapshotIndexKind kind) {
+  switch (kind) {
+    case SnapshotIndexKind::kOneLayerGrid:
+      return "1-layer";
+    case SnapshotIndexKind::kTwoLayerGrid:
+      return "2-layer";
+    case SnapshotIndexKind::kTwoLayerPlusGrid:
+      return "2-layer+";
+  }
+  return "unknown";
+}
+
+/// Section identifiers. A snapshot contains the subset its index kind needs;
+/// readers locate sections by id, so optional sections and future additions
+/// do not shift existing ones (versioning rules: docs/PERSISTENCE.md).
+enum SnapshotSectionId : std::uint32_t {
+  /// Grid geometry: domain box (4 doubles) + nx, ny (u32 each); 40 bytes.
+  kSecLayout = 1,
+  /// Per-tile class-segment boundaries of the record layer:
+  /// (kNumClasses + 1) u32 per tile, tile-id order.
+  kSecTileBegins = 2,
+  /// Concatenated per-tile BoxEntry arrays (record layer / 1-layer tiles),
+  /// tile-id order; per-tile lengths derive from kSecTileBegins (2-layer)
+  /// or kSecTileCounts (1-layer).
+  kSecTileEntries = 3,
+  /// id -> MBR table of the 2-layer+ grid: one Box (4 doubles) per id.
+  kSecMbrs = 4,
+  /// Directory of the 2-layer+ decomposed sorted tables: one
+  /// SnapshotTableDirEntry per tile that owns tables, tile-id ascending.
+  kSecTableDir = 5,
+  /// All sorted-table coordinate columns, concatenated in directory order
+  /// (tile asc, then class 0..3, then coord xl,xu,yl,yu where stored).
+  kSecTableValues = 6,
+  /// All sorted-table id columns, same order as kSecTableValues.
+  kSecTableIds = 7,
+  /// 1-layer extras: duplicate-elimination policy (u32).
+  kSecDedupPolicy = 8,
+  /// 1-layer per-tile entry counts (u32 per tile).
+  kSecTileCounts = 9,
+};
+
+struct SnapshotHeader {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t endian_tag;
+  std::uint32_t index_kind;
+  std::uint32_t section_count;
+  std::uint64_t table_offset;      // file offset of the SectionDesc array
+  std::uint64_t file_size;         // total snapshot size, truncation guard
+  std::uint64_t index_size_bytes;  // SizeBytes() of the saved index
+  std::uint64_t entry_count;       // stored entries, replicas included
+  std::uint32_t table_crc;         // CRC32 of the SectionDesc array
+  std::uint32_t header_crc;        // CRC32 of this struct's first 60 bytes
+};
+static_assert(sizeof(SnapshotHeader) == 64);
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+
+struct SectionDesc {
+  std::uint32_t id;      // SnapshotSectionId
+  std::uint32_t crc32;   // CRC32 of the payload bytes
+  std::uint64_t offset;  // payload file offset, kSnapshotAlignment-aligned
+  std::uint64_t size;    // payload bytes
+};
+static_assert(sizeof(SectionDesc) == 24);
+static_assert(std::is_trivially_copyable_v<SectionDesc>);
+
+/// One kSecTableDir record: the sorted-table sizes of one tile. Unstored
+/// (class, coord) combinations (cf. Table II / TableStored) must be zero.
+/// Column payload offsets are implicit: a running sum over the directory in
+/// order recovers every table's position inside kSecTableValues/kSecTableIds.
+struct SnapshotTableDirEntry {
+  std::uint32_t tile_id;
+  std::uint32_t count[4][4];  // [class][coord: xl,xu,yl,yu]
+};
+static_assert(sizeof(SnapshotTableDirEntry) == 68);
+static_assert(std::is_trivially_copyable_v<SnapshotTableDirEntry>);
+
+inline bool SnapshotMagicMatches(const SnapshotHeader& h) {
+  return std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) == 0;
+}
+
+}  // namespace tlp
+
+#endif  // TLP_PERSIST_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,135 @@
+#include "persist/snapshot_reader.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tlp {
+
+namespace {
+
+std::string SectionName(std::uint32_t id) {
+  return "section " + std::to_string(id);
+}
+
+}  // namespace
+
+Status SnapshotReader::Open(const std::string& path, Mode mode) {
+  mode_ = mode;
+  table_.clear();
+  base_ = nullptr;
+  if (mode == Mode::kMapped) {
+    std::string error;
+    if (!MappedFile::Open(path, &map_, &error)) return Status::Error(error);
+    base_ = map_.data();
+    return Validate(path, map_.size());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error(path + ": cannot open snapshot: " +
+                         std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::Error(path + ": cannot size snapshot");
+  }
+  buffer_.resize(static_cast<std::size_t>(end));
+  const std::size_t got = std::fread(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (got != buffer_.size()) {
+    return Status::Error(path + ": short read");
+  }
+  base_ = buffer_.data();
+  Status s = Validate(path, buffer_.size());
+  if (!s.ok()) return s;
+  return VerifyPayloadChecksums();
+}
+
+Status SnapshotReader::Validate(const std::string& path,
+                                std::size_t actual_size) {
+  if (actual_size < sizeof(SnapshotHeader)) {
+    return Status::Error(path + ": not a snapshot (file smaller than the " +
+                         std::to_string(sizeof(SnapshotHeader)) +
+                         "-byte header)");
+  }
+  std::memcpy(&header_, base_, sizeof(SnapshotHeader));
+  if (!SnapshotMagicMatches(header_)) {
+    return Status::Error(path + ": not a snapshot (bad magic)");
+  }
+  const std::uint32_t expected_crc =
+      Crc32(&header_, sizeof(SnapshotHeader) - sizeof(std::uint32_t));
+  if (header_.header_crc != expected_crc) {
+    return Status::Error(path + ": header checksum mismatch (corrupt file)");
+  }
+  if (header_.endian_tag != kSnapshotEndianTag) {
+    return Status::Error(
+        path + ": snapshot was written on a machine with different "
+               "endianness; refusing to misread it");
+  }
+  if (header_.format_version != kSnapshotFormatVersion) {
+    return Status::Error(
+        path + ": unsupported snapshot format version " +
+        std::to_string(header_.format_version) + " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (header_.file_size != actual_size) {
+    return Status::Error(path + ": truncated snapshot (header records " +
+                         std::to_string(header_.file_size) +
+                         " bytes, file has " + std::to_string(actual_size) +
+                         ")");
+  }
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(header_.section_count) * sizeof(SectionDesc);
+  if (header_.table_offset > actual_size ||
+      table_bytes > actual_size - header_.table_offset ||
+      header_.table_offset % alignof(SectionDesc) != 0) {
+    return Status::Error(path + ": section table out of bounds");
+  }
+  table_.resize(header_.section_count);
+  std::memcpy(table_.data(), base_ + header_.table_offset, table_bytes);
+  if (header_.table_crc != Crc32(table_.data(), table_bytes)) {
+    return Status::Error(path +
+                         ": section table checksum mismatch (corrupt file)");
+  }
+  for (const SectionDesc& sec : table_) {
+    if (sec.offset % kSnapshotAlignment != 0 || sec.offset > actual_size ||
+        sec.size > actual_size - sec.offset) {
+      return Status::Error(path + ": " + SectionName(sec.id) +
+                           " out of bounds (corrupt file)");
+    }
+  }
+  return Status::OK();
+}
+
+bool SnapshotReader::Has(std::uint32_t id) const {
+  for (const SectionDesc& sec : table_) {
+    if (sec.id == id) return true;
+  }
+  return false;
+}
+
+Status SnapshotReader::Find(std::uint32_t id, Span* out) const {
+  for (const SectionDesc& sec : table_) {
+    if (sec.id == id) {
+      out->data = base_ + sec.offset;
+      out->size = sec.size;
+      return Status::OK();
+    }
+  }
+  return Status::Error("snapshot is missing mandatory " + SectionName(id));
+}
+
+Status SnapshotReader::VerifyPayloadChecksums() const {
+  for (const SectionDesc& sec : table_) {
+    if (Crc32(base_ + sec.offset, sec.size) != sec.crc32) {
+      return Status::Error(SectionName(sec.id) +
+                           " checksum mismatch (corrupt snapshot)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tlp

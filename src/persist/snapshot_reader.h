@@ -1,0 +1,73 @@
+#ifndef TLP_PERSIST_SNAPSHOT_READER_H_
+#define TLP_PERSIST_SNAPSHOT_READER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "persist/snapshot_format.h"
+
+namespace tlp {
+
+/// Validates and exposes a snapshot file as id-addressed byte sections.
+///
+/// Two modes:
+///  * kBuffered — reads the whole file into memory and verifies every
+///    checksum (header, section table, and each section payload). The mode
+///    of owned Load(): any flipped byte or truncation is rejected with a
+///    diagnostic before an index deserializes a single field.
+///  * kMapped — mmap()s the file read-only. Header, table, and structural
+///    bounds are verified eagerly (touching O(1) pages); section payload
+///    CRCs are deferred — call VerifyPayloadChecksums() to force the full
+///    O(file) pass — so a mapped cold start stays proportional to the pages
+///    it actually touches. docs/PERSISTENCE.md spells out this trade.
+///
+/// Section spans point into the reader's buffer/mapping: the reader must
+/// outlive every span (a mapped 2-layer+ grid owns its reader for exactly
+/// this reason).
+class SnapshotReader {
+ public:
+  enum class Mode { kBuffered, kMapped };
+
+  struct Span {
+    const unsigned char* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  SnapshotReader() = default;
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+
+  /// Opens and validates `path`. Any malformed input — wrong magic, foreign
+  /// endianness, unsupported version, truncation, checksum mismatch,
+  /// out-of-bounds section — yields a descriptive error, never a crash.
+  Status Open(const std::string& path, Mode mode);
+
+  const SnapshotHeader& header() const { return header_; }
+  const std::vector<SectionDesc>& sections() const { return table_; }
+  bool mapped() const { return mode_ == Mode::kMapped; }
+
+  bool Has(std::uint32_t id) const;
+  /// Locates section `id`; missing sections are an error (every section is
+  /// mandatory for the index kind that wrote it).
+  Status Find(std::uint32_t id, Span* out) const;
+
+  /// CRC32-verifies every section payload (already done on kBuffered open).
+  Status VerifyPayloadChecksums() const;
+
+ private:
+  Status Validate(const std::string& path, std::size_t actual_size);
+
+  MappedFile map_;
+  std::vector<unsigned char> buffer_;
+  const unsigned char* base_ = nullptr;
+  SnapshotHeader header_{};
+  std::vector<SectionDesc> table_;
+  Mode mode_ = Mode::kBuffered;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_PERSIST_SNAPSHOT_READER_H_

@@ -1,0 +1,137 @@
+#include "persist/snapshot_writer.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/env.h"
+
+namespace tlp {
+
+SnapshotWriter::~SnapshotWriter() { Abandon(); }
+
+void SnapshotWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    // Never leave a half-written snapshot behind: a partial file without a
+    // finalized header is indistinguishable from corruption to a reader.
+    std::remove(path_.c_str());
+  }
+}
+
+Status SnapshotWriter::Open(const std::string& path, SnapshotIndexKind kind) {
+  Abandon();
+  status_ = Status::OK();
+  sections_.clear();
+  in_section_ = false;
+  path_ = path;
+  kind_ = kind;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::Error(path + ": cannot create snapshot: " +
+                            std::strerror(errno));
+    return status_;
+  }
+  // Placeholder header; Finalize seeks back and writes the real one.
+  const SnapshotHeader zero{};
+  offset_ = 0;
+  PutBytes(&zero, sizeof(zero));
+  return status_;
+}
+
+void SnapshotWriter::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::Error(message);
+}
+
+void SnapshotWriter::PutBytes(const void* data, std::size_t n) {
+  if (!status_.ok() || file_ == nullptr || n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    Fail(path_ + ": write failed: " + std::strerror(errno));
+    return;
+  }
+  offset_ += n;
+}
+
+void SnapshotWriter::PadTo(std::size_t alignment) {
+  static const char kZeros[kSnapshotAlignment] = {};
+  const std::size_t rem = offset_ % alignment;
+  if (rem != 0) PutBytes(kZeros, alignment - rem);
+}
+
+void SnapshotWriter::BeginSection(std::uint32_t id) {
+  assert(!in_section_ && "BeginSection with a section still open");
+  if (file_ == nullptr) {
+    Fail("BeginSection on a writer that is not open");
+    return;
+  }
+  PadTo(kSnapshotAlignment);
+  SectionDesc desc{};
+  desc.id = id;
+  desc.offset = offset_;
+  desc.size = 0;
+  desc.crc32 = 0;
+  sections_.push_back(desc);
+  section_crc_ = 0;
+  in_section_ = true;
+}
+
+void SnapshotWriter::Write(const void* data, std::size_t n) {
+  assert(in_section_ && "Write outside BeginSection/EndSection");
+  if (!status_.ok() || n == 0) return;
+  section_crc_ = Crc32(data, n, section_crc_);
+  PutBytes(data, n);
+  sections_.back().size += n;
+}
+
+void SnapshotWriter::EndSection() {
+  assert(in_section_);
+  if (!sections_.empty()) sections_.back().crc32 = section_crc_;
+  in_section_ = false;
+}
+
+Status SnapshotWriter::Finalize(std::uint64_t index_size_bytes,
+                                std::uint64_t entry_count) {
+  assert(!in_section_ && "Finalize with a section still open");
+  if (file_ == nullptr && status_.ok()) {
+    Fail("Finalize on a writer that is not open");
+  }
+  if (status_.ok()) {
+    PadTo(alignof(SectionDesc));
+    const std::uint64_t table_offset = offset_;
+    PutBytes(sections_.data(), sections_.size() * sizeof(SectionDesc));
+
+    SnapshotHeader header{};
+    std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+    header.format_version = kSnapshotFormatVersion;
+    header.endian_tag = kSnapshotEndianTag;
+    header.index_kind = static_cast<std::uint32_t>(kind_);
+    header.section_count = static_cast<std::uint32_t>(sections_.size());
+    header.table_offset = table_offset;
+    header.file_size = offset_;
+    header.index_size_bytes = index_size_bytes;
+    header.entry_count = entry_count;
+    header.table_crc = Crc32(sections_.data(),
+                             sections_.size() * sizeof(SectionDesc));
+    header.header_crc =
+        Crc32(&header, sizeof(SnapshotHeader) - sizeof(std::uint32_t));
+    if (status_.ok()) {
+      if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+          std::fwrite(&header, 1, sizeof(header), file_) != sizeof(header) ||
+          std::fflush(file_) != 0) {
+        Fail(path_ + ": header write failed: " + std::strerror(errno));
+      }
+    }
+  }
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      Fail(path_ + ": close failed: " + std::strerror(errno));
+    }
+    file_ = nullptr;
+  }
+  if (!status_.ok()) std::remove(path_.c_str());
+  return status_;
+}
+
+}  // namespace tlp

@@ -1,0 +1,72 @@
+#ifndef TLP_PERSIST_SNAPSHOT_WRITER_H_
+#define TLP_PERSIST_SNAPSHOT_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/snapshot_format.h"
+
+namespace tlp {
+
+/// Streams an index snapshot to disk section by section:
+///
+///   SnapshotWriter w;
+///   Status s = w.Open(path, SnapshotIndexKind::kTwoLayerGrid);
+///   w.BeginSection(kSecLayout);
+///   w.Write(&blob, sizeof(blob));     // any number of Write calls
+///   w.EndSection();                   // ... more sections ...
+///   s = w.Finalize(index.SizeBytes(), index.entry_count());
+///
+/// Each section is padded to a 64-byte-aligned start and CRC32-checksummed
+/// as it streams through; Finalize appends the section table and rewrites
+/// the header with the table location and checksums. Errors are sticky: any
+/// failed call poisons the writer and Finalize reports the first failure.
+/// A failed or abandoned writer removes its partial output file.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Creates/truncates `path` and reserves space for the header.
+  Status Open(const std::string& path, SnapshotIndexKind kind);
+
+  /// Starts a new section (finishing any open one is a caller bug).
+  void BeginSection(std::uint32_t id);
+  /// Appends payload bytes to the open section.
+  void Write(const void* data, std::size_t n);
+  /// Appends one trivially copyable value to the open section.
+  template <typename T>
+  void WriteValue(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write(&v, sizeof(T));
+  }
+  void EndSection();
+
+  /// Writes the section table and final header, then closes the file. After
+  /// Finalize returns OK the file is a complete, verifiable snapshot.
+  Status Finalize(std::uint64_t index_size_bytes, std::uint64_t entry_count);
+
+ private:
+  void Fail(const std::string& message);
+  void PutBytes(const void* data, std::size_t n);
+  void PadTo(std::size_t alignment);
+  void Abandon();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  SnapshotIndexKind kind_ = SnapshotIndexKind::kTwoLayerGrid;
+  std::vector<SectionDesc> sections_;
+  std::uint64_t offset_ = 0;
+  std::uint32_t section_crc_ = 0;
+  bool in_section_ = false;
+  Status status_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_PERSIST_SNAPSHOT_WRITER_H_

@@ -1,0 +1,416 @@
+// Snapshot subsystem tests (src/persist + the grid codecs):
+//  * round-trip equivalence — saved-and-loaded indices (owned and mapped)
+//    answer every query exactly like the original and like brute force, on
+//    uniform and zipfian data;
+//  * the frozen contract of mapped loads — updates throw, Thaw() restores
+//    mutability;
+//  * robustness — corrupted bytes, truncations, wrong versions, foreign
+//    endianness, and wrong-kind files all fail Load with a diagnostic
+//    Status, never a crash (run under ASan/UBSan in CI);
+//  * the kind-dispatching OpenSnapshot factory;
+//  * Column<T> view/thaw mechanics the zero-copy path is built on.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/column.h"
+#include "common/env.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "datagen/synthetic.h"
+#include "grid/grid_layout.h"
+#include "grid/one_layer_grid.h"
+#include "persist/open_snapshot.h"
+#include "persist/snapshot_format.h"
+#include "persist/snapshot_reader.h"
+#include "test_util.h"
+
+namespace tlp {
+namespace {
+
+using testing::CheckDiskAgainstBruteForce;
+using testing::CheckWindowAgainstBruteForce;
+using testing::RandomWindows;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<BoxEntry> MakeData(SpatialDistribution dist, std::size_t n) {
+  SyntheticConfig config;
+  config.cardinality = n;
+  config.area = 1e-6;  // large enough that many entries straddle tiles
+  config.distribution = dist;
+  config.seed = 42;
+  return GenerateSyntheticRects(config);
+}
+
+GridLayout SmallLayout() { return GridLayout(Box{0, 0, 1, 1}, 23, 19); }
+
+std::vector<unsigned char> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path,
+               const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Queries `index` against brute force over `data` on a window/disk mix.
+void CheckAllQueries(const SpatialIndex& index,
+                     const std::vector<BoxEntry>& data,
+                     const std::string& context) {
+  for (const Box& w : RandomWindows(25, 7)) {
+    CheckWindowAgainstBruteForce(index, data, w, context);
+  }
+  CheckDiskAgainstBruteForce(index, data, Point{0.4, 0.6}, 0.05, context);
+  CheckDiskAgainstBruteForce(index, data, Point{0.05, 0.05}, 0.2, context);
+}
+
+TEST(SnapshotRoundTrip, TwoLayerGrid) {
+  for (const auto dist :
+       {SpatialDistribution::kUniform, SpatialDistribution::kZipfian}) {
+    const auto data = MakeData(dist, 4000);
+    TwoLayerGrid original(SmallLayout());
+    original.Build(data);
+    const std::string path = TempPath("two_layer.tlps");
+    ASSERT_TRUE(original.Save(path).ok());
+
+    TwoLayerGrid loaded(GridLayout(Box{0, 0, 2, 2}, 3, 3));
+    ASSERT_TRUE(loaded.Load(path).ok());
+    EXPECT_EQ(loaded.entry_count(), original.entry_count());
+    EXPECT_TRUE(loaded.CheckInvariants());
+    CheckAllQueries(loaded, data, "2-layer round trip");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotRoundTrip, OneLayerGrid) {
+  for (const auto policy :
+       {DedupPolicy::kReferencePoint, DedupPolicy::kHash}) {
+    const auto data = MakeData(SpatialDistribution::kUniform, 3000);
+    OneLayerGrid original(SmallLayout(), policy);
+    original.Build(data);
+    const std::string path = TempPath("one_layer.tlps");
+    ASSERT_TRUE(original.Save(path).ok());
+
+    // The dedup policy travels with the snapshot: load into an index
+    // constructed with the *other* policy and expect the saved one back.
+    OneLayerGrid loaded(GridLayout(Box{0, 0, 2, 2}, 3, 3),
+                        policy == DedupPolicy::kReferencePoint
+                            ? DedupPolicy::kHash
+                            : DedupPolicy::kReferencePoint);
+    ASSERT_TRUE(loaded.Load(path).ok());
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.entry_count(), original.entry_count());
+    CheckAllQueries(loaded, data, "1-layer round trip");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotRoundTrip, TwoLayerPlusOwnedAndMapped) {
+  for (const auto dist :
+       {SpatialDistribution::kUniform, SpatialDistribution::kZipfian}) {
+    const auto data = MakeData(dist, 4000);
+    TwoLayerPlusGrid original(SmallLayout());
+    original.Build(data);
+    const std::string path = TempPath("two_layer_plus.tlps");
+    ASSERT_TRUE(original.Save(path).ok());
+
+    TwoLayerPlusGrid owned(GridLayout(Box{0, 0, 2, 2}, 3, 3));
+    ASSERT_TRUE(owned.Load(path).ok());
+    EXPECT_FALSE(owned.frozen());
+    EXPECT_TRUE(owned.CheckInvariants());
+    CheckAllQueries(owned, data, "2-layer+ owned round trip");
+
+    TwoLayerPlusGrid mapped(GridLayout(Box{0, 0, 2, 2}, 3, 3));
+    ASSERT_TRUE(mapped.LoadMapped(path, /*verify_checksums=*/true).ok());
+    EXPECT_TRUE(mapped.frozen());
+    EXPECT_TRUE(mapped.CheckInvariants());
+    CheckAllQueries(mapped, data, "2-layer+ mapped round trip");
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotRoundTrip, HeaderRecordsIndexMetadata) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 2000);
+  TwoLayerPlusGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("meta.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  SnapshotInfo info;
+  ASSERT_TRUE(ReadSnapshotInfo(path, &info).ok());
+  EXPECT_EQ(info.kind, SnapshotIndexKind::kTwoLayerPlusGrid);
+  EXPECT_EQ(info.format_version, kSnapshotFormatVersion);
+  EXPECT_EQ(info.index_size_bytes, original.SizeBytes());
+  EXPECT_EQ(info.entry_count, original.record_layer().entry_count());
+  EXPECT_EQ(info.file_size, ReadFile(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTrip, SaveWhileFrozenReproducesSnapshot) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 1500);
+  TwoLayerPlusGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("refreeze_a.tlps");
+  const std::string resaved = TempPath("refreeze_b.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  TwoLayerPlusGrid mapped(SmallLayout());
+  ASSERT_TRUE(mapped.LoadMapped(path).ok());
+  ASSERT_TRUE(mapped.Save(resaved).ok());  // save out of the mapping
+
+  TwoLayerPlusGrid loaded(SmallLayout());
+  ASSERT_TRUE(loaded.Load(resaved).ok());
+  CheckAllQueries(loaded, data, "frozen re-save");
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(SnapshotFrozen, UpdatesThrowUntilThaw) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 1000);
+  TwoLayerPlusGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("frozen.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  TwoLayerPlusGrid index(SmallLayout());
+  ASSERT_TRUE(index.LoadMapped(path).ok());
+  ASSERT_TRUE(index.frozen());
+  const BoxEntry extra{Box{0.101, 0.202, 0.303, 0.404},
+                       static_cast<ObjectId>(data.size())};
+  EXPECT_THROW(index.Insert(extra), std::logic_error);
+  EXPECT_THROW(index.Delete(data[0].id, data[0].box), std::logic_error);
+  EXPECT_THROW(index.Build(data), std::logic_error);
+
+  // Thaw copies to owned storage; the mapping is released and updates work.
+  ASSERT_TRUE(index.Thaw().ok());
+  EXPECT_FALSE(index.frozen());
+  std::remove(path.c_str());  // views (if any) would now dangle — none may
+
+  index.Insert(extra);
+  EXPECT_TRUE(index.Delete(data[1].id, data[1].box));
+  EXPECT_TRUE(index.CheckInvariants());
+  auto expected = data;
+  expected.erase(expected.begin() + 1);
+  expected.push_back(extra);
+  CheckAllQueries(index, expected, "post-thaw updates");
+
+  ASSERT_TRUE(index.Thaw().ok());  // idempotent on an owned index
+}
+
+TEST(SnapshotRobustness, CorruptedBytesAreRejected) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 800);
+  TwoLayerPlusGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("pristine.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+  const std::vector<unsigned char> pristine = ReadFile(path);
+
+  // Every checksummed byte range: header, each section payload, table.
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path, SnapshotReader::Mode::kBuffered).ok());
+  std::vector<std::size_t> targets;
+  for (std::size_t off = 0; off < sizeof(SnapshotHeader); off += 13) {
+    targets.push_back(off);
+  }
+  for (const SectionDesc& sec : reader.sections()) {
+    targets.push_back(sec.offset);
+    targets.push_back(sec.offset + sec.size / 2);
+    if (sec.size > 0) targets.push_back(sec.offset + sec.size - 1);
+  }
+  const std::size_t table_bytes =
+      reader.sections().size() * sizeof(SectionDesc);
+  for (std::size_t off = 0; off < table_bytes; off += 7) {
+    targets.push_back(reader.header().table_offset + off);
+  }
+
+  const std::string corrupt = TempPath("corrupt.tlps");
+  for (const std::size_t off : targets) {
+    ASSERT_LT(off, pristine.size());
+    std::vector<unsigned char> bytes = pristine;
+    bytes[off] ^= 0x5A;
+    WriteFile(corrupt, bytes);
+
+    TwoLayerPlusGrid owned(SmallLayout());
+    const Status owned_status = owned.Load(corrupt);
+    EXPECT_FALSE(owned_status.ok()) << "flipped byte at offset " << off;
+    EXPECT_FALSE(owned_status.message().empty());
+
+    TwoLayerPlusGrid mapped(SmallLayout());
+    EXPECT_FALSE(mapped.LoadMapped(corrupt, /*verify_checksums=*/true).ok())
+        << "flipped byte at offset " << off;
+  }
+  std::remove(path.c_str());
+  std::remove(corrupt.c_str());
+}
+
+TEST(SnapshotRobustness, TruncationsAreRejected) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 800);
+  TwoLayerGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("full.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+  const std::vector<unsigned char> pristine = ReadFile(path);
+
+  const std::string cut = TempPath("truncated.tlps");
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{17}, std::size_t{63},
+        std::size_t{64}, pristine.size() / 2, pristine.size() - 1}) {
+    WriteFile(cut, std::vector<unsigned char>(pristine.begin(),
+                                              pristine.begin() + keep));
+    TwoLayerGrid loaded(SmallLayout());
+    const Status s = loaded.Load(cut);
+    EXPECT_FALSE(s.ok()) << "truncated to " << keep << " bytes";
+    EXPECT_FALSE(s.message().empty());
+  }
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+/// Rewrites a header field and re-seals the header CRC, simulating files
+/// from a future format or a foreign-endian machine (distinct from
+/// corruption: these carry *valid* checksums and must still be refused).
+void PatchHeaderField(std::vector<unsigned char>* bytes, std::size_t offset,
+                      std::uint32_t value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+  const std::uint32_t crc = Crc32(bytes->data(), 60);
+  std::memcpy(bytes->data() + 60, &crc, sizeof(crc));
+}
+
+TEST(SnapshotRobustness, ForeignVersionAndEndiannessAreRefused) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 500);
+  TwoLayerGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("versioned.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+  const std::vector<unsigned char> pristine = ReadFile(path);
+
+  const std::size_t version_off = offsetof(SnapshotHeader, format_version);
+  const std::size_t endian_off = offsetof(SnapshotHeader, endian_tag);
+  const std::string patched = TempPath("patched.tlps");
+
+  std::vector<unsigned char> future = pristine;
+  PatchHeaderField(&future, version_off, kSnapshotFormatVersion + 1);
+  WriteFile(patched, future);
+  TwoLayerGrid a(SmallLayout());
+  Status s = a.Load(patched);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s.message();
+
+  std::vector<unsigned char> foreign = pristine;
+  PatchHeaderField(&foreign, endian_off, 0x04030201);
+  WriteFile(patched, foreign);
+  TwoLayerGrid b(SmallLayout());
+  s = b.Load(patched);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("endian"), std::string::npos) << s.message();
+
+  std::remove(path.c_str());
+  std::remove(patched.c_str());
+}
+
+TEST(SnapshotRobustness, WrongKindAndMissingFileAreRefused) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 500);
+  OneLayerGrid one(SmallLayout());
+  one.Build(data);
+  const std::string path = TempPath("one_layer_kind.tlps");
+  ASSERT_TRUE(one.Save(path).ok());
+
+  TwoLayerPlusGrid plus(SmallLayout());
+  const Status s = plus.Load(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("1-layer"), std::string::npos) << s.message();
+
+  TwoLayerGrid grid(SmallLayout());
+  EXPECT_FALSE(grid.Load(TempPath("does_not_exist.tlps")).ok());
+  EXPECT_FALSE(grid.Save("/nonexistent-dir/snapshot.tlps").ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFactory, OpensEveryKindAndRefusesUnmappableOnes) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 1200);
+  const std::string path = TempPath("factory.tlps");
+
+  {
+    OneLayerGrid index(SmallLayout());
+    index.Build(data);
+    ASSERT_TRUE(index.Save(path).ok());
+    std::unique_ptr<PersistentIndex> opened;
+    ASSERT_TRUE(OpenSnapshot(path, /*mapped=*/false, &opened).ok());
+    EXPECT_EQ(opened->name(), "1-layer");
+    CheckAllQueries(*opened, data, "factory 1-layer");
+    EXPECT_FALSE(OpenSnapshot(path, /*mapped=*/true, &opened).ok());
+  }
+  {
+    TwoLayerGrid index(SmallLayout());
+    index.Build(data);
+    ASSERT_TRUE(index.Save(path).ok());
+    std::unique_ptr<PersistentIndex> opened;
+    ASSERT_TRUE(OpenSnapshot(path, /*mapped=*/false, &opened).ok());
+    EXPECT_EQ(opened->name(), "2-layer");
+    CheckAllQueries(*opened, data, "factory 2-layer");
+  }
+  {
+    TwoLayerPlusGrid index(SmallLayout());
+    index.Build(data);
+    ASSERT_TRUE(index.Save(path).ok());
+    std::unique_ptr<PersistentIndex> opened;
+    ASSERT_TRUE(OpenSnapshot(path, /*mapped=*/true, &opened).ok());
+    EXPECT_EQ(opened->name(), "2-layer+");
+    EXPECT_TRUE(opened->frozen());
+    CheckAllQueries(*opened, data, "factory 2-layer+ mapped");
+    ASSERT_TRUE(opened->Thaw().ok());
+    EXPECT_FALSE(opened->frozen());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnTest, OwnedViewAndThaw) {
+  Column<int> column;
+  EXPECT_FALSE(column.frozen());
+  EXPECT_TRUE(column.empty());
+  column.vec() = {1, 2, 3};
+  EXPECT_EQ(column.size(), 3u);
+  EXPECT_EQ(column[1], 2);
+
+  const int backing[4] = {7, 8, 9, 10};
+  column.SetView(backing, 4);
+  EXPECT_TRUE(column.frozen());
+  EXPECT_EQ(column.size(), 4u);
+  EXPECT_EQ(column.data(), backing);
+  EXPECT_EQ(column.footprint_bytes(), 4 * sizeof(int));
+
+  // A copy of a frozen column views the same memory.
+  Column<int> copy = column;
+  EXPECT_TRUE(copy.frozen());
+  EXPECT_EQ(copy.data(), backing);
+
+  copy.Thaw();
+  EXPECT_FALSE(copy.frozen());
+  EXPECT_NE(copy.data(), backing);
+  ASSERT_EQ(copy.size(), 4u);
+  EXPECT_EQ(copy[3], 10);
+  copy.vec().push_back(11);
+  EXPECT_EQ(copy.size(), 5u);
+  EXPECT_EQ(column.size(), 4u);  // the original view is unaffected
+}
+
+}  // namespace
+}  // namespace tlp

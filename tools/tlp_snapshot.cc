@@ -1,0 +1,298 @@
+// tlp_snapshot — build, inspect, and verify index snapshot files (*.tlps).
+//
+//   tlp_snapshot build  <out.tlps> [--kind=2layer+|2layer|1layer]
+//                       [--n=N] [--dist=uniform|zipf] [--seed=S] [--grid=D]
+//       Generate a synthetic dataset (datagen/synthetic), build the index,
+//       and save it. --grid=0 (default) sizes the grid like the benches do.
+//   tlp_snapshot save   <out.tlps> --from-csv=<mbrs.csv> [--kind=...]
+//                       [--grid=D]
+//       Same, but the dataset comes from an `xl,yl,xu,yu` CSV (io layer).
+//   tlp_snapshot load   <in.tlps> [--mmap] [--queries=N] [--area=PCT]
+//       Load (deserializing, or zero-copy with --mmap) and run a window-
+//       query workload; prints load/query timings and a TLP_QUERY_STATS
+//       JSON line for tools/summarize_results.py.
+//   tlp_snapshot verify <in.tlps>
+//       Full integrity pass: header, section table, every payload CRC.
+//   tlp_snapshot info   <in.tlps>
+//       Print the header summary as JSON (no payload access).
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/query_stats.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "grid/grid_layout.h"
+#include "grid/one_layer_grid.h"
+#include "io/dataset_io.h"
+#include "persist/open_snapshot.h"
+
+namespace {
+
+using tlp::BoxEntry;
+using tlp::Status;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  std::string command;
+  std::string path;
+  std::string kind = "2layer+";
+  std::string dist = "uniform";
+  std::string from_csv;
+  std::size_t n = 1'000'000;
+  std::uint64_t seed = 7;
+  std::uint32_t grid = 0;  // 0 = auto (sqrt(n)/4 per dimension)
+  std::size_t queries = 1000;
+  double area_percent = 0.1;
+  bool mmap = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tlp_snapshot <build|save|load|verify|info> <path> [options]\n"
+      "  build  --kind=2layer+|2layer|1layer --n=N --dist=uniform|zipf\n"
+      "         --seed=S --grid=D\n"
+      "  save   --from-csv=FILE --kind=... --grid=D\n"
+      "  load   [--mmap] [--queries=N] [--area=PCT]\n"
+      "  verify / info take no options\n");
+  return 1;
+}
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  if (argc < 3) return false;
+  out->command = argv[1];
+  out->path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eat = [&](const char* prefix, std::string* value) {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.compare(0, len, prefix) != 0) return false;
+      *value = arg.substr(len);
+      return true;
+    };
+    std::string v;
+    if (arg == "--mmap") {
+      out->mmap = true;
+    } else if (eat("--kind=", &v)) {
+      out->kind = v;
+    } else if (eat("--dist=", &v)) {
+      out->dist = v;
+    } else if (eat("--from-csv=", &v)) {
+      out->from_csv = v;
+    } else if (eat("--n=", &v)) {
+      out->n = std::stoull(v);
+    } else if (eat("--seed=", &v)) {
+      out->seed = std::stoull(v);
+    } else if (eat("--grid=", &v)) {
+      out->grid = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (eat("--queries=", &v)) {
+      out->queries = std::stoull(v);
+    } else if (eat("--area=", &v)) {
+      out->area_percent = std::stod(v);
+    } else {
+      std::fprintf(stderr, "tlp_snapshot: unknown option '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+tlp::GridLayout LayoutFor(const std::vector<BoxEntry>& entries,
+                          std::uint32_t grid_dim) {
+  tlp::Box domain{0, 0, 1, 1};
+  if (!entries.empty()) {
+    domain = entries.front().box;
+    for (const BoxEntry& e : entries) {
+      domain.xl = std::min(domain.xl, e.box.xl);
+      domain.yl = std::min(domain.yl, e.box.yl);
+      domain.xu = std::max(domain.xu, e.box.xu);
+      domain.yu = std::max(domain.yu, e.box.yu);
+    }
+  }
+  std::uint32_t dim = grid_dim;
+  if (dim == 0) {
+    dim = static_cast<std::uint32_t>(
+        std::sqrt(static_cast<double>(entries.size())) / 4);
+    dim = std::min<std::uint32_t>(4096, std::max<std::uint32_t>(16, dim));
+  }
+  return tlp::GridLayout(domain, dim, dim);
+}
+
+int BuildAndSave(const Options& opt, const std::vector<BoxEntry>& entries) {
+  const tlp::GridLayout layout = LayoutFor(entries, opt.grid);
+  Status s = Status::OK();
+  double built_at = 0;
+  const double start = NowSeconds();
+  if (opt.kind == "2layer+") {
+    tlp::TwoLayerPlusGrid index(layout);
+    index.Build(entries);
+    built_at = NowSeconds();
+    s = index.Save(opt.path);
+  } else if (opt.kind == "2layer") {
+    tlp::TwoLayerGrid index(layout);
+    index.Build(entries);
+    built_at = NowSeconds();
+    s = index.Save(opt.path);
+  } else if (opt.kind == "1layer") {
+    tlp::OneLayerGrid index(layout);
+    index.Build(entries);
+    built_at = NowSeconds();
+    s = index.Save(opt.path);
+  } else {
+    std::fprintf(stderr, "tlp_snapshot: unknown --kind '%s'\n",
+                 opt.kind.c_str());
+    return 1;
+  }
+  if (!s.ok()) {
+    std::fprintf(stderr, "tlp_snapshot: save failed: %s\n",
+                 s.message().c_str());
+    return 1;
+  }
+  const double done = NowSeconds();
+  std::printf(
+      "saved %s: kind=%s entries=%zu grid=%ux%u build=%.3fs save=%.3fs\n",
+      opt.path.c_str(), opt.kind.c_str(), entries.size(), layout.nx(),
+      layout.ny(), built_at - start, done - built_at);
+  return 0;
+}
+
+int CmdBuild(const Options& opt) {
+  tlp::SyntheticConfig config;
+  config.cardinality = opt.n;
+  config.seed = opt.seed;
+  if (opt.dist == "zipf") {
+    config.distribution = tlp::SpatialDistribution::kZipfian;
+  } else if (opt.dist != "uniform") {
+    std::fprintf(stderr, "tlp_snapshot: unknown --dist '%s'\n",
+                 opt.dist.c_str());
+    return 1;
+  }
+  return BuildAndSave(opt, tlp::GenerateSyntheticRects(config));
+}
+
+int CmdSave(const Options& opt) {
+  if (opt.from_csv.empty()) {
+    std::fprintf(stderr, "tlp_snapshot: save requires --from-csv=FILE\n");
+    return 1;
+  }
+  std::string error;
+  auto entries = tlp::LoadMbrCsv(opt.from_csv, &error);
+  if (!entries) {
+    std::fprintf(stderr, "tlp_snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  return BuildAndSave(opt, *entries);
+}
+
+int CmdLoad(const Options& opt) {
+  std::unique_ptr<tlp::PersistentIndex> index;
+  const double t0 = NowSeconds();
+  Status s = tlp::OpenSnapshot(opt.path, opt.mmap, &index);
+  const double load_seconds = NowSeconds() - t0;
+  if (!s.ok()) {
+    std::fprintf(stderr, "tlp_snapshot: load failed: %s\n",
+                 s.message().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: index=%s size=%zu bytes frozen=%d load=%.4fs\n",
+              opt.path.c_str(), index->name().c_str(), index->SizeBytes(),
+              index->frozen() ? 1 : 0, load_seconds);
+
+  if (opt.queries > 0) {
+    // Data-distribution-following workload is not reconstructible from the
+    // snapshot alone, so probe with uniformly placed square windows.
+    std::vector<tlp::Box> windows;
+    windows.reserve(opt.queries);
+    const double side = std::sqrt(opt.area_percent / 100.0);
+    for (std::size_t q = 0; q < opt.queries; ++q) {
+      // Low-discrepancy sweep over the unit square (no RNG dependency).
+      const double fx = std::fmod(0.6180339887498949 * double(q + 1), 1.0);
+      const double fy = std::fmod(0.7548776662466927 * double(q + 1), 1.0);
+      const double xl = fx * (1.0 - side), yl = fy * (1.0 - side);
+      windows.push_back(tlp::Box{xl, yl, xl + side, yl + side});
+    }
+#ifdef TLP_STATS_ENABLED
+    tlp::ResetQueryStats();
+#endif
+    std::vector<tlp::ObjectId> out;
+    std::size_t results = 0;
+    const double q0 = NowSeconds();
+    for (const tlp::Box& w : windows) {
+      out.clear();
+      index->WindowQuery(w, &out);
+      results += out.size();
+    }
+    const double query_seconds = NowSeconds() - q0;
+    std::printf("queries=%zu results=%zu query=%.4fs\n", opt.queries,
+                results, query_seconds);
+#ifdef TLP_STATS_ENABLED
+    std::printf("TLP_QUERY_STATS %s\n",
+                tlp::GetQueryStats()
+                    .ToJson(std::string("snapshot_load_") +
+                            (opt.mmap ? "mmap" : "owned"))
+                    .c_str());
+#endif
+  }
+  return 0;
+}
+
+int CmdVerify(const Options& opt) {
+  Status s = tlp::VerifySnapshot(opt.path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "tlp_snapshot: verify FAILED: %s\n",
+                 s.message().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (all checksums verified)\n", opt.path.c_str());
+  return 0;
+}
+
+int CmdInfo(const Options& opt) {
+  tlp::SnapshotInfo info;
+  Status s = tlp::ReadSnapshotInfo(opt.path, &info);
+  if (!s.ok()) {
+    std::fprintf(stderr, "tlp_snapshot: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf(
+      "{\"path\": \"%s\", \"kind\": \"%s\", \"format_version\": %u, "
+      "\"sections\": %u, \"file_size\": %llu, \"index_size_bytes\": %llu, "
+      "\"entry_count\": %llu}\n",
+      opt.path.c_str(), tlp::SnapshotIndexKindName(info.kind),
+      info.format_version, info.section_count,
+      static_cast<unsigned long long>(info.file_size),
+      static_cast<unsigned long long>(info.index_size_bytes),
+      static_cast<unsigned long long>(info.entry_count));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return Usage();
+  if (opt.command == "build") return CmdBuild(opt);
+  if (opt.command == "save") return CmdSave(opt);
+  if (opt.command == "load") return CmdLoad(opt);
+  if (opt.command == "verify") return CmdVerify(opt);
+  if (opt.command == "info") return CmdInfo(opt);
+  return Usage();
+}
