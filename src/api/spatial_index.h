@@ -55,7 +55,8 @@ class SpatialIndex {
 ///    index's contents with the snapshot's (the index's current layout and
 ///    entries are discarded). Load never crashes on malformed input: a
 ///    corrupt, truncated, foreign-endian, or wrong-version file yields a
-///    descriptive error and leaves the file unread.
+///    descriptive error and leaves the index exactly as it was (still
+///    queryable, no partially applied state).
 ///  * An index may be *frozen* after a zero-copy mapped load
 ///    (TwoLayerPlusGrid::LoadMapped): queries run directly out of the
 ///    mapped snapshot, and Insert/Delete throw std::logic_error until

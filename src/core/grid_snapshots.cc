@@ -77,8 +77,12 @@ Status TwoLayerGrid::LoadSnapshotSections(const SnapshotReader& reader,
   }
 
   // First pass over the begins: validate the segmented-vector invariants and
-  // derive the total entry count the entries section must hold.
+  // derive the total entry count the entries section must hold. Capping the
+  // running total by what the entries section can physically hold keeps the
+  // uint64 sum from wrapping on a crafted file (each addend is a u32, so the
+  // total can never jump past the cap unseen).
   std::vector<Tile> tiles(tile_count);
+  const std::uint64_t max_entries = entries_span.size / sizeof(BoxEntry);
   std::uint64_t total = 0;
   for (std::size_t t = 0; t < tile_count; ++t) {
     std::memcpy(tiles[t].begin.data(), begins_span.data + t * kBeginBytes,
@@ -94,6 +98,11 @@ Status TwoLayerGrid::LoadSnapshotSections(const SnapshotReader& reader,
       }
     }
     total += b[kNumClasses];
+    if (total > max_entries) {
+      return Status::Error(
+          "corrupt snapshot: tile begins claim more entries than the "
+          "entries section holds");
+    }
   }
   if (Status f =
           ExpectSectionSize(entries_span, total, sizeof(BoxEntry), "entries");
@@ -193,10 +202,15 @@ Status TwoLayerPlusGrid::Save(const std::string& path) const {
 }
 
 Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
-                                        bool mapped) {
-  Status s = record_.LoadSnapshotSections(reader, mapped);
+                                        bool mapped, bool validate_ids) {
+  // Deserialize into temporaries; *this is only touched by the commit at the
+  // very end, so a failed load leaves the live index fully intact — in
+  // particular, a failed LoadMapped must not leave any column viewing the
+  // caller's about-to-be-unmapped file.
+  TwoLayerGrid record(record_.layout());
+  Status s = record.LoadSnapshotSections(reader, mapped);
   if (!s.ok()) return s;
-  const GridLayout& g = record_.layout();
+  const GridLayout& g = record.layout();
 
   SnapshotReader::Span mbrs_span, dir_span, values_span, ids_span;
   if (Status f = reader.Find(kSecMbrs, &mbrs_span); !f.ok()) return f;
@@ -221,11 +235,15 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
   }
 
   // Validate the whole directory against the just-loaded record layer: the
-  // two representations must describe identical per-tile partitions.
+  // two representations must describe identical per-tile partitions. The
+  // running column total is capped by what the values section can hold so
+  // the uint64 sum cannot wrap on a crafted file (each directory entry adds
+  // at most 16 u32 counts between checks).
   std::vector<SnapshotTableDirEntry> dir(dir_count);
   if (dir_count > 0) {
     std::memcpy(dir.data(), dir_span.data, dir_span.size);
   }
+  const std::uint64_t max_columns = values_span.size / sizeof(Coord);
   std::uint64_t column_total = 0;   // summed sorted-table lengths
   std::uint64_t entries_in_dir = 0; // record entries covered by the directory
   std::uint32_t prev_tile = 0;
@@ -241,7 +259,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
     const auto j = static_cast<std::uint32_t>(e.tile_id / g.nx());
     for (int c = 0; c < kNumClasses; ++c) {
       const auto cls = static_cast<ObjectClass>(c);
-      const std::size_t expected = record_.ClassCount(i, j, cls);
+      const std::size_t expected = record.ClassCount(i, j, cls);
       for (int k = 0; k < 4; ++k) {
         const std::uint32_t n = e.count[c][k];
         const bool stored = TableStored(cls, static_cast<CoordKind>(k));
@@ -253,12 +271,17 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
         column_total += n;
       }
     }
-    entries_in_dir += record_.ClassCount(i, j, ObjectClass::kA) +
-                      record_.ClassCount(i, j, ObjectClass::kB) +
-                      record_.ClassCount(i, j, ObjectClass::kC) +
-                      record_.ClassCount(i, j, ObjectClass::kD);
+    if (column_total > max_columns) {
+      return Status::Error(
+          "corrupt snapshot: table directory claims more columns than the "
+          "values section holds");
+    }
+    entries_in_dir += record.ClassCount(i, j, ObjectClass::kA) +
+                      record.ClassCount(i, j, ObjectClass::kB) +
+                      record.ClassCount(i, j, ObjectClass::kC) +
+                      record.ClassCount(i, j, ObjectClass::kD);
   }
-  if (entries_in_dir != record_.entry_count()) {
+  if (entries_in_dir != record.entry_count()) {
     return Status::Error(
         "corrupt snapshot: table directory misses tiles that hold entries");
   }
@@ -273,18 +296,34 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
     return f;
   }
 
-  // Materialize. Only the directory walk below touches pages in mapped
-  // mode; the value/id columns stay untouched in the mapping.
+  const auto* values = reinterpret_cast<const Coord*>(values_span.data);
+  const auto* ids = reinterpret_cast<const ObjectId*>(ids_span.data);
+  if (validate_ids) {
+    // One linear pass guaranteeing that every stored id can index the MBR
+    // table (EvaluateClass dereferences it). Owned loads always pay it;
+    // mapped loads pay it with verify_checksums (already an O(file) pass) —
+    // CRCs alone only catch accidental corruption, not a crafted file with
+    // internally consistent checksums.
+    for (std::uint64_t x = 0; x < column_total; ++x) {
+      if (ids[x] >= mbr_count) {
+        return Status::Error(
+            "corrupt snapshot: table id out of MBR-table range");
+      }
+    }
+  }
+
+  // Everything validated — materialize into locals. Only the directory walk
+  // below touches pages in mapped mode; the value/id columns stay untouched
+  // in the mapping.
+  Column<Box> mbrs;
   if (mapped) {
-    mbrs_.SetView(reinterpret_cast<const Box*>(mbrs_span.data), mbr_count);
+    mbrs.SetView(reinterpret_cast<const Box*>(mbrs_span.data), mbr_count);
   } else {
     const auto* boxes = reinterpret_cast<const Box*>(mbrs_span.data);
-    mbrs_.vec().assign(boxes, boxes + mbr_count);
+    mbrs.vec().assign(boxes, boxes + mbr_count);
   }
 
   std::vector<std::unique_ptr<TileTables>> tables(g.tile_count());
-  const auto* values = reinterpret_cast<const Coord*>(values_span.data);
-  const auto* ids = reinterpret_cast<const ObjectId*>(ids_span.data);
   std::uint64_t cursor = 0;
   for (const SnapshotTableDirEntry& e : dir) {
     auto tt = std::make_unique<TileTables>();
@@ -299,20 +338,15 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
         } else {
           table.values.vec().assign(values + cursor, values + cursor + n);
           table.ids.vec().assign(ids + cursor, ids + cursor + n);
-          // Owned loads pay one linear pass to guarantee that every stored
-          // id can index the MBR table (EvaluateClass dereferences it).
-          for (std::uint32_t x = 0; x < n; ++x) {
-            if (ids[cursor + x] >= mbr_count) {
-              return Status::Error(
-                  "corrupt snapshot: table id out of MBR-table range");
-            }
-          }
         }
         cursor += n;
       }
     }
     tables[e.tile_id] = std::move(tt);
   }
+
+  record_ = std::move(record);
+  mbrs_ = std::move(mbrs);
   tile_tables_ = std::move(tables);
   return Status::OK();
 }
@@ -324,7 +358,7 @@ Status TwoLayerPlusGrid::Load(const std::string& path) {
   s = ExpectKind(reader, SnapshotIndexKind::kTwoLayerPlusGrid,
                  "TwoLayerPlusGrid");
   if (!s.ok()) return s;
-  s = LoadFromReader(reader, /*mapped=*/false);
+  s = LoadFromReader(reader, /*mapped=*/false, /*validate_ids=*/true);
   if (!s.ok()) return s;
   snapshot_.reset();
   frozen_ = false;
@@ -343,7 +377,8 @@ Status TwoLayerPlusGrid::LoadMapped(const std::string& path,
   s = ExpectKind(*reader, SnapshotIndexKind::kTwoLayerPlusGrid,
                  "TwoLayerPlusGrid");
   if (!s.ok()) return s;
-  s = LoadFromReader(*reader, /*mapped=*/true);
+  s = LoadFromReader(*reader, /*mapped=*/true,
+                     /*validate_ids=*/verify_checksums);
   if (!s.ok()) return s;
   // The mapping must outlive every column view pointing into it.
   snapshot_ = std::move(reader);

@@ -69,8 +69,12 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// mapping, making load time O(pages touched) instead of O(n log n)
   /// rebuild. The resulting index is frozen: queries work immediately,
   /// Insert/Delete throw until Thaw(). With `verify_checksums` the load
-  /// CRC-checks every section first (one full read of the file) — otherwise
-  /// only the header/section-table integrity is verified eagerly.
+  /// CRC-checks every section AND range-checks every stored table id
+  /// against the MBR table first (one full read of the file) — without it,
+  /// only header/section-table integrity and structural bounds are verified
+  /// eagerly, so the payload contents are trusted: use the default only on
+  /// snapshots that never crossed a trust boundary (docs/PERSISTENCE.md).
+  /// On any failure the index is left exactly as it was.
   Status LoadMapped(const std::string& path, bool verify_checksums = false);
 
   bool frozen() const override { return frozen_; }
@@ -127,7 +131,12 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   void RequireMutable(const char* op) const;
 
   /// Shared deserialization core of Load/LoadMapped (grid_snapshots.cc).
-  Status LoadFromReader(const SnapshotReader& reader, bool mapped);
+  /// Commits to *this only after every validation passes; with
+  /// `validate_ids` every stored table id is range-checked against the MBR
+  /// table (always on for owned loads, opt-in via verify_checksums for
+  /// mapped ones).
+  Status LoadFromReader(const SnapshotReader& reader, bool mapped,
+                        bool validate_ids);
 
   TwoLayerGrid record_;
   std::vector<std::unique_ptr<TileTables>> tile_tables_;

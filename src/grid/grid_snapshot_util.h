@@ -70,14 +70,19 @@ inline Status ReadLayoutSection(const SnapshotReader& reader,
 
 /// Checks that a section holds exactly `count` records of `record_size`
 /// bytes (the count being derived from other, already-validated sections).
+/// Compares in division form: the product count * record_size can wrap
+/// std::uint64_t for hostile counts (a crafted layout may claim 2^62 tiles),
+/// which would let a tiny section masquerade as a huge one and the loader
+/// over-allocate.
 inline Status ExpectSectionSize(const SnapshotReader::Span& span,
                                 std::uint64_t count, std::size_t record_size,
                                 const char* what) {
-  if (span.size != count * record_size) {
+  if (span.size % record_size != 0 || span.size / record_size != count) {
     return Status::Error("corrupt snapshot: " + std::string(what) +
                          " section has " + std::to_string(span.size) +
-                         " bytes, expected " +
-                         std::to_string(count * record_size));
+                         " bytes, expected " + std::to_string(count) +
+                         " records of " + std::to_string(record_size) +
+                         " bytes");
   }
   return Status::OK();
 }

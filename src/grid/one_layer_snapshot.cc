@@ -86,8 +86,19 @@ Status OneLayerGrid::Load(const std::string& path) {
   std::vector<std::uint32_t> counts(tile_count);
   std::memcpy(counts.data(), counts_span.data,
               tile_count * sizeof(std::uint32_t));
+  // Cap the running total by what the entries section can physically hold
+  // so the uint64 sum cannot wrap on a crafted file (u32 addends can never
+  // jump past the cap unseen).
+  const std::uint64_t max_entries = entries_span.size / sizeof(BoxEntry);
   std::uint64_t total = 0;
-  for (const std::uint32_t c : counts) total += c;
+  for (const std::uint32_t c : counts) {
+    total += c;
+    if (total > max_entries) {
+      return Status::Error(
+          "corrupt snapshot: tile counts claim more entries than the "
+          "entries section holds");
+    }
+  }
   if (Status f =
           ExpectSectionSize(entries_span, total, sizeof(BoxEntry), "entries");
       !f.ok()) {

@@ -1,8 +1,12 @@
 #include "persist/snapshot_reader.h"
 
+#include <sys/stat.h>
+
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace tlp {
 
@@ -29,14 +33,24 @@ Status SnapshotReader::Open(const std::string& path, Mode mode) {
     return Status::Error(path + ": cannot open snapshot: " +
                          std::strerror(errno));
   }
-  std::fseek(f, 0, SEEK_END);
-  const long end = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (end < 0) {
+  // Size via fstat: seek/tell would cap the size at LONG_MAX (2 GiB on
+  // LP32-style platforms) and silently ignore seek failures.
+  struct stat st;
+  if (::fstat(::fileno(f), &st) != 0) {
+    const std::string reason = std::strerror(errno);
     std::fclose(f);
-    return Status::Error(path + ": cannot size snapshot");
+    return Status::Error(path + ": cannot size snapshot: " + reason);
   }
-  buffer_.resize(static_cast<std::size_t>(end));
+  if (!S_ISREG(st.st_mode)) {
+    std::fclose(f);
+    return Status::Error(path + ": not a regular file");
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size > std::numeric_limits<std::size_t>::max()) {
+    std::fclose(f);
+    return Status::Error(path + ": snapshot too large for this platform");
+  }
+  buffer_.resize(static_cast<std::size_t>(file_size));
   const std::size_t got = std::fread(buffer_.data(), 1, buffer_.size(), f);
   std::fclose(f);
   if (got != buffer_.size()) {

@@ -215,6 +215,182 @@ TEST(SnapshotFrozen, UpdatesThrowUntilThaw) {
   ASSERT_TRUE(index.Thaw().ok());  // idempotent on an owned index
 }
 
+/// Recomputes every checksum (section payloads, section table, header) so a
+/// deliberately patched payload still passes all CRC verification — the
+/// loader must reject it on *structural* validation, which is exactly what a
+/// crafted (as opposed to accidentally corrupted) file exercises.
+void ResealSnapshot(std::vector<unsigned char>* bytes) {
+  SnapshotHeader h;
+  ASSERT_GE(bytes->size(), sizeof(h));
+  std::memcpy(&h, bytes->data(), sizeof(h));
+  std::vector<SectionDesc> table(h.section_count);
+  const std::size_t table_bytes = table.size() * sizeof(SectionDesc);
+  std::memcpy(table.data(), bytes->data() + h.table_offset, table_bytes);
+  for (SectionDesc& sec : table) {
+    sec.crc32 = Crc32(bytes->data() + sec.offset, sec.size);
+  }
+  std::memcpy(bytes->data() + h.table_offset, table.data(), table_bytes);
+  h.table_crc = Crc32(table.data(), table_bytes);
+  h.header_crc = Crc32(&h, sizeof(h) - sizeof(std::uint32_t));
+  std::memcpy(bytes->data(), &h, sizeof(h));
+}
+
+/// Locates section `id` inside raw snapshot bytes.
+SectionDesc FindSection(const std::vector<unsigned char>& bytes,
+                        std::uint32_t id) {
+  SnapshotHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  for (std::uint32_t i = 0; i < h.section_count; ++i) {
+    SectionDesc sec;
+    std::memcpy(&sec, bytes.data() + h.table_offset + i * sizeof(SectionDesc),
+                sizeof(sec));
+    if (sec.id == id) return sec;
+  }
+  ADD_FAILURE() << "section " << id << " not found";
+  return SectionDesc{};
+}
+
+/// A failed load — buffered or mapped, at any validation stage — must leave
+/// the live index exactly as it was: still queryable, with no column left
+/// viewing a destroyed mapping (the mapped case would be a use-after-munmap
+/// that ASan flags).
+TEST(SnapshotRobustness, FailedLoadLeavesIndexUntouched) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 1200);
+  TwoLayerPlusGrid index(SmallLayout());
+  index.Build(data);
+
+  // A snapshot whose record-layer sections load fine but whose 2-layer+
+  // table directory is structurally wrong (with valid checksums): the old
+  // code had already committed the record layer by the time this failed.
+  TwoLayerPlusGrid other(GridLayout(Box{0, 0, 1, 1}, 11, 13));
+  other.Build(MakeData(SpatialDistribution::kZipfian, 900));
+  const std::string path = TempPath("late_fail.tlps");
+  ASSERT_TRUE(other.Save(path).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+  const SectionDesc dir = FindSection(bytes, kSecTableDir);
+  ASSERT_GE(dir.size, sizeof(SnapshotTableDirEntry));
+  SnapshotTableDirEntry entry;
+  std::memcpy(&entry, bytes.data() + dir.offset, sizeof(entry));
+  entry.count[0][0] += 1;  // table size now disagrees with the record layer
+  std::memcpy(bytes.data() + dir.offset, &entry, sizeof(entry));
+  ResealSnapshot(&bytes);
+  const std::string crafted = TempPath("late_fail_crafted.tlps");
+  WriteFile(crafted, bytes);
+
+  EXPECT_FALSE(index.Load(crafted).ok());
+  EXPECT_FALSE(index.frozen());
+  CheckAllQueries(index, data, "after failed buffered load");
+
+  EXPECT_FALSE(index.LoadMapped(crafted, /*verify_checksums=*/true).ok());
+  EXPECT_FALSE(index.LoadMapped(crafted, /*verify_checksums=*/false).ok());
+  EXPECT_FALSE(index.frozen());
+  EXPECT_TRUE(index.CheckInvariants());
+  CheckAllQueries(index, data, "after failed mapped load");
+
+  // Updates must still land in owned storage, not in remnants of the
+  // failed load.
+  const BoxEntry extra{Box{0.11, 0.22, 0.33, 0.44},
+                       static_cast<ObjectId>(data.size())};
+  index.Insert(extra);
+  auto expected = data;
+  expected.push_back(extra);
+  CheckAllQueries(index, expected, "update after failed loads");
+
+  std::remove(path.c_str());
+  std::remove(crafted.c_str());
+}
+
+/// A crafted snapshot with internally consistent CRCs whose table ids index
+/// past the MBR table must be refused by the owned load and by
+/// LoadMapped(verify_checksums=true); EvaluateClass would otherwise read
+/// mbrs_ out of bounds at query time.
+TEST(SnapshotRobustness, OutOfRangeTableIdsAreRejected) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 800);
+  TwoLayerPlusGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("bad_ids.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+  std::vector<unsigned char> bytes = ReadFile(path);
+
+  const SectionDesc ids = FindSection(bytes, kSecTableIds);
+  ASSERT_GE(ids.size, sizeof(ObjectId));
+  const ObjectId bogus = static_cast<ObjectId>(data.size()) + 7;
+  std::memcpy(bytes.data() + ids.offset + ids.size - sizeof(ObjectId), &bogus,
+              sizeof(bogus));
+  ResealSnapshot(&bytes);
+  const std::string crafted = TempPath("bad_ids_crafted.tlps");
+  WriteFile(crafted, bytes);
+
+  TwoLayerPlusGrid owned(SmallLayout());
+  const Status s = owned.Load(crafted);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("MBR"), std::string::npos) << s.message();
+
+  TwoLayerPlusGrid mapped(SmallLayout());
+  EXPECT_FALSE(mapped.LoadMapped(crafted, /*verify_checksums=*/true).ok());
+
+  std::remove(path.c_str());
+  std::remove(crafted.c_str());
+}
+
+/// A crafted layout claiming 2^31 x 2^31 tiles would make the expected
+/// begins-section byte count (tile_count * 20) wrap uint64 to 0; the loader
+/// must reject the geometry/size mismatch instead of allocating 2^62 tiles.
+TEST(SnapshotRobustness, OverflowingTileCountIsRejected) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 500);
+  const std::string patched = TempPath("huge_layout.tlps");
+
+  {
+    TwoLayerGrid original(SmallLayout());
+    original.Build(data);
+    const std::string path = TempPath("huge_layout_src.tlps");
+    ASSERT_TRUE(original.Save(path).ok());
+    std::vector<unsigned char> bytes = ReadFile(path);
+    std::remove(path.c_str());
+
+    const SectionDesc layout = FindSection(bytes, kSecLayout);
+    // LayoutBlob: 4 doubles, then nx, ny as u32.
+    const std::uint32_t huge = 0x80000000u;  // 2^31
+    std::memcpy(bytes.data() + layout.offset + 4 * sizeof(double), &huge,
+                sizeof(huge));
+    std::memcpy(
+        bytes.data() + layout.offset + 4 * sizeof(double) + sizeof(huge),
+        &huge, sizeof(huge));
+    ResealSnapshot(&bytes);
+    WriteFile(patched, bytes);
+
+    TwoLayerGrid loaded(SmallLayout());
+    const Status s = loaded.Load(patched);
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(s.message().empty());
+  }
+  {
+    // Same wrap in OneLayerGrid::Load (tile_count * 4 for kSecTileCounts).
+    OneLayerGrid original(SmallLayout());
+    original.Build(data);
+    const std::string path = TempPath("huge_layout_1l_src.tlps");
+    ASSERT_TRUE(original.Save(path).ok());
+    std::vector<unsigned char> bytes = ReadFile(path);
+    std::remove(path.c_str());
+
+    const SectionDesc layout = FindSection(bytes, kSecLayout);
+    const std::uint32_t huge = 0x80000000u;
+    std::memcpy(bytes.data() + layout.offset + 4 * sizeof(double), &huge,
+                sizeof(huge));
+    std::memcpy(
+        bytes.data() + layout.offset + 4 * sizeof(double) + sizeof(huge),
+        &huge, sizeof(huge));
+    ResealSnapshot(&bytes);
+    WriteFile(patched, bytes);
+
+    OneLayerGrid loaded(SmallLayout());
+    const Status s = loaded.Load(patched);
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(s.message().empty());
+  }
+  std::remove(patched.c_str());
+}
+
 TEST(SnapshotRobustness, CorruptedBytesAreRejected) {
   const auto data = MakeData(SpatialDistribution::kUniform, 800);
   TwoLayerPlusGrid original(SmallLayout());
