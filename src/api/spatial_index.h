@@ -22,6 +22,14 @@ namespace tlp {
 ///  * DiskQuery appends the ids of all objects whose MBR lies within
 ///    (minimum) distance `radius` of `q`, each id exactly once.
 ///  * Insert adds one (MBR, id) entry; queries afterwards must reflect it.
+///  * Build (offered by every concrete index) is a FULL rebuild: it first
+///    discards everything previously built or inserted, then bulk-loads
+///    exactly `entries` — calling Build on a non-empty index is equivalent
+///    to Build on a freshly constructed one, never an append. The grid
+///    family additionally takes a `num_threads` knob (0 = one thread per
+///    hardware core, 1 = sequential) and guarantees the built index is
+///    identical — same per-tile contents in the same order — for every
+///    thread count.
 ///
 /// Observability: when the library is compiled with TLP_STATS=ON (see
 /// common/query_stats.h), the grid indices account per-query operation

@@ -1,8 +1,8 @@
 #ifndef TLP_COMMON_COLUMN_H_
 #define TLP_COMMON_COLUMN_H_
 
-#include <cassert>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 namespace tlp {
@@ -35,14 +35,24 @@ class Column {
   const T& operator[](std::size_t i) const { return data()[i]; }
 
   /// Mutable access to the owned storage. Must not be called on a frozen
-  /// column — the public index API guards this (Insert/Delete on a mapped
-  /// index report an error before reaching any column).
+  /// column — the public index API guards this (Build/Insert/Delete on a
+  /// mapped index report an error before reaching any column), and the
+  /// throw here is the release-mode backstop: without it, a guard missed at
+  /// the index level would hand out the empty owned vector while queries
+  /// read the view, silently desynchronizing the two (or worse, letting a
+  /// caller write through stale pointers into the read-only mapping).
+  /// vec() sits on update paths only, never in the query hot loops, so the
+  /// branch costs nothing where it matters.
   std::vector<T>& vec() {
-    assert(view_ == nullptr && "mutating a frozen (mapped) column");
+    if (view_ != nullptr) {
+      throw std::logic_error("mutating a frozen (mapped) column");
+    }
     return owned_;
   }
   const std::vector<T>& vec() const {
-    assert(view_ == nullptr);
+    if (view_ != nullptr) {
+      throw std::logic_error("vec() on a frozen (mapped) column");
+    }
     return owned_;
   }
 

@@ -76,4 +76,25 @@ void ParallelFor(ThreadPool& pool, std::size_t count,
   pool.Wait();
 }
 
+void ParallelForChunks(
+    ThreadPool& pool, std::size_t count, std::size_t num_chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (num_chunks == 0) return;
+  auto chunk_begin = [count, num_chunks](std::size_t c) {
+    return count / num_chunks * c + std::min(c, count % num_chunks);
+  };
+  if (pool.num_threads() <= 1 || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      body(c, chunk_begin(c), chunk_begin(c + 1));
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    pool.Submit([&body, chunk_begin, c] {
+      body(c, chunk_begin(c), chunk_begin(c + 1));
+    });
+  }
+  pool.Wait();
+}
+
 }  // namespace tlp

@@ -53,6 +53,18 @@ class ThreadPool {
 void ParallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t, std::size_t)>& body);
 
+/// Splits [0, count) into exactly `num_chunks` near-equal contiguous chunks
+/// and runs `body(chunk, begin, end)` for every chunk index in
+/// [0, num_chunks), blocking until all complete. The chunk boundaries depend
+/// only on (count, num_chunks), so callers can give each chunk private
+/// scratch state (e.g. a per-chunk count array) and merge deterministically
+/// afterwards. Chunks may be empty (begin == end); every chunk index is
+/// still invoked. With a one-worker pool the chunks run sequentially in
+/// index order.
+void ParallelForChunks(
+    ThreadPool& pool, std::size_t count, std::size_t num_chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 }  // namespace tlp
 
 #endif  // TLP_COMMON_THREAD_POOL_H_

@@ -123,11 +123,15 @@ Status TwoLayerGrid::LoadSnapshotSections(const SnapshotReader& reader,
 
   layout_ = layout;
   tiles_ = std::move(tiles);
+  // A mapped load leaves the entry columns viewing the read-only mapping;
+  // freeze so Build/Insert/Delete fail loudly instead of faulting.
+  frozen_ = mapped;
   return Status::OK();
 }
 
 void TwoLayerGrid::ThawStorage() {
   for (Tile& tile : tiles_) tile.entries.Thaw();
+  frozen_ = false;
 }
 
 Status TwoLayerGrid::Save(const std::string& path) const {

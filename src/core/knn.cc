@@ -20,14 +20,19 @@ std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
 
   // Seed radius: a few tiles usually hold enough candidates; grow
   // geometrically on miss. Every probe is a duplicate-free §IV-E disk
-  // query.
+  // query restricted to the annulus beyond the previous radius: the
+  // candidate set is kept across doublings, so tiles fully inside the
+  // previous probe are skipped instead of re-scanned and every object is
+  // distance-tested at most once. The accumulated set after the last probe
+  // equals a single full-disk query at the final radius.
   Coord radius = 2 * std::max(g.tile_width(), g.tile_height()) *
                  std::sqrt(static_cast<double>(k));
+  Coord prev_radius = -1;  // < 0: first probe scans the whole disk
   std::vector<BoxEntry> candidates;
   for (;;) {
-    candidates.clear();
-    grid.DiskQueryEntries(q, radius, &candidates);
+    grid.DiskQueryEntries(q, radius, &candidates, prev_radius);
     if (candidates.size() >= k || radius >= max_radius) break;
+    prev_radius = radius;
     radius = std::min(max_radius, radius * 2);
   }
 

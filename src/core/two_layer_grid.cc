@@ -1,7 +1,9 @@
 #include "core/two_layer_grid.h"
 
 #include <cmath>
+#include <stdexcept>
 
+#include "grid/parallel_build.h"
 #include "grid/scan.h"
 
 namespace tlp {
@@ -9,7 +11,38 @@ namespace tlp {
 TwoLayerGrid::TwoLayerGrid(const GridLayout& layout)
     : layout_(layout), tiles_(layout.tile_count()) {}
 
-void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries) {
+void TwoLayerGrid::RequireMutable(const char* op) const {
+  if (frozen_) {
+    throw std::logic_error(
+        std::string(op) +
+        " on a frozen (mmap-backed) 2-layer index; call Thaw() first");
+  }
+}
+
+void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries,
+                         std::size_t num_threads) {
+  RequireMutable("Build");
+  const std::size_t threads =
+      build_internal::EffectiveBuildThreads(num_threads, entries.size());
+  if (threads <= 1) {
+    BuildSequential(entries);
+    return;
+  }
+  ThreadPool pool(threads);
+  BuildOnPool(entries, pool);
+}
+
+void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries,
+                         ThreadPool& pool) {
+  RequireMutable("Build");
+  if (pool.num_threads() <= 1) {
+    BuildSequential(entries);
+    return;
+  }
+  BuildOnPool(entries, pool);
+}
+
+void TwoLayerGrid::BuildSequential(const std::vector<BoxEntry>& entries) {
   // Pass 1: count entries per (tile, class) so each tile allocates exactly
   // once and classes end up contiguous.
   std::vector<std::array<std::uint32_t, kNumClasses>> counts(tiles_.size(),
@@ -49,7 +82,94 @@ void TwoLayerGrid::Build(const std::vector<BoxEntry>& entries) {
   }
 }
 
+void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
+                               ThreadPool& pool) {
+  const std::size_t n_tiles = tiles_.size();
+  const std::size_t chunks = pool.num_threads();
+  const std::vector<TileRange> ranges =
+      build_internal::ComputeTileRanges(pool, layout_, entries);
+
+  // Count pass: per-chunk (tile, class) histograms over disjoint entry
+  // ranges, merged per tile below.
+  std::vector<std::vector<std::array<std::uint32_t, kNumClasses>>>
+      chunk_counts(chunks);
+  ParallelForChunks(
+      pool, entries.size(), chunks,
+      [&](std::size_t c, std::size_t begin, std::size_t end) {
+        auto& counts = chunk_counts[c];
+        counts.assign(n_tiles, {0, 0, 0, 0});
+        for (std::size_t k = begin; k < end; ++k) {
+          const TileRange& r = ranges[k];
+          for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+            for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+              const int seg =
+                  SegmentOf(ClassifyEntryInTile(layout_, i, j, entries[k].box));
+              ++counts[layout_.TileId(i, j)][seg];
+            }
+          }
+        }
+      });
+
+  // Merge into per-tile class prefix sums and allocate each tile exactly
+  // once (chunk order fixes the sums, so they equal the sequential pass').
+  std::vector<std::uint64_t> tile_work(n_tiles);
+  ParallelFor(pool, n_tiles, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      std::array<std::uint32_t, kNumClasses> total = {0, 0, 0, 0};
+      for (const auto& counts : chunk_counts) {
+        for (int s = 0; s < kNumClasses; ++s) total[s] += counts[t][s];
+      }
+      Tile& tile = tiles_[t];
+      std::uint32_t acc = 0;
+      for (int s = 0; s < kNumClasses; ++s) {
+        tile.begin[s] = acc;
+        acc += total[s];
+      }
+      tile.begin[kNumClasses] = acc;
+      tile.entries.vec().resize(acc);
+      tile_work[t] = acc;
+    }
+  });
+
+  // Place pass: each worker owns a contiguous tile range (balanced by entry
+  // count) and scans the full entry vector in input order, writing only into
+  // its own tiles' segments. One writer per tile keeps the cursors and
+  // entry slots race-free, and the input-order scan reproduces the
+  // sequential build bit for bit.
+  const std::vector<std::size_t> cuts =
+      build_internal::BalanceTiles(tile_work, chunks);
+  std::vector<std::array<std::uint32_t, kNumClasses>> cursors(
+      n_tiles, {0, 0, 0, 0});
+  for (std::size_t p = 0; p < chunks; ++p) {
+    pool.Submit([this, p, &cuts, &ranges, &entries, &cursors] {
+      const std::size_t lo = cuts[p];
+      const std::size_t hi = cuts[p + 1];
+      if (lo == hi) return;
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        const TileRange& r = ranges[k];
+        if (layout_.TileId(r.i1, r.j1) < lo ||
+            layout_.TileId(r.i0, r.j0) >= hi) {
+          continue;
+        }
+        for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+          for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+            const std::size_t t = layout_.TileId(i, j);
+            if (t < lo || t >= hi) continue;
+            const int seg =
+                SegmentOf(ClassifyEntryInTile(layout_, i, j, entries[k].box));
+            Tile& tile = tiles_[t];
+            tile.entries.vec()[tile.begin[seg] + cursors[t][seg]++] =
+                entries[k];
+          }
+        }
+      }
+    });
+  }
+  pool.Wait();
+}
+
 void TwoLayerGrid::Insert(const BoxEntry& entry) {
+  RequireMutable("Insert");
   const TileRange range = layout_.TilesFor(entry.box);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
@@ -73,6 +193,7 @@ void TwoLayerGrid::Insert(const BoxEntry& entry) {
 }
 
 bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
+  RequireMutable("Delete");
   const TileRange range = layout_.TilesFor(box);
   bool found = false;
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
@@ -208,7 +329,16 @@ void TwoLayerGrid::WindowCandidates(const Box& w,
 
 template <typename Emit>
 void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
-                                     Emit&& emit) const {
+                                     Coord min_radius, Emit&& emit) const {
+  // Annulus mode (min_radius >= 0): everything within min_radius was
+  // already reported by a previous probe, so (a) whole tiles inside the
+  // inner disk are skipped — any object overlapping such a tile has
+  // distance <= min_radius — and (b) surviving entries are distance-
+  // filtered against the inner radius. The exactly-once row bookkeeping
+  // below is unaffected: it depends only on the tile set of the OUTER
+  // radius, and an entry suppressed at its row-minimal tile is an entry
+  // the annulus filter would reject at any other tile too.
+  const bool annulus = min_radius >= 0;
   const Box mbr{q.x - radius, q.y - radius, q.x + radius, q.y + radius};
   const TileRange range = layout_.TilesFor(mbr);
 
@@ -255,11 +385,13 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
     for (std::uint32_t i = row.lo; i <= row.hi; ++i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
       if (tile.empty()) continue;
-      TLP_STATS_ADD(tiles_visited, 1);
       const Box tile_box = layout_.TileBox(i, j);
+      if (annulus && tile_box.MaxDistanceTo(q) <= min_radius) continue;
+      TLP_STATS_ADD(tiles_visited, 1);
       // Tiles totally covered by the disk skip all distance verification
-      // (§IV-E).
-      const bool covered = tile_box.MaxDistanceTo(q) <= radius;
+      // (§IV-E) — unless the annulus filter needs the distance anyway.
+      const bool covered =
+          !annulus && tile_box.MaxDistanceTo(q) <= radius;
       const bool west_missing = i == row.lo;
       const bool north_missing =
           prev_row == nullptr || i < prev_row->lo || i > prev_row->hi;
@@ -274,7 +406,8 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
           const BoxEntry& e = p[s];
           if (!covered) {
             TLP_STATS_ADD(comparisons, 1);
-            if (e.box.MinDistanceTo(q) > radius) continue;
+            const Coord d = e.box.MinDistanceTo(q);
+            if (d > radius || (annulus && d <= min_radius)) continue;
           }
           if (dedup_rows && seen_in_earlier_row(e.box, j)) {
             TLP_STATS_ADD(duplicates_avoided, 1);
@@ -313,16 +446,17 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
 void TwoLayerGrid::DiskQuery(const Point& q, Coord radius,
                              std::vector<ObjectId>* out) const {
   TLP_STATS_QUERY_TIMER();
-  ForEachDiskResult(q, radius, [&](const BoxEntry& e) {
+  ForEachDiskResult(q, radius, /*min_radius=*/-1, [&](const BoxEntry& e) {
     TLP_STATS_ADD(candidates, 1);
     out->push_back(e.id);
   });
 }
 
 void TwoLayerGrid::DiskQueryEntries(const Point& q, Coord radius,
-                                    std::vector<BoxEntry>* out) const {
+                                    std::vector<BoxEntry>* out,
+                                    Coord min_radius) const {
   TLP_STATS_QUERY_TIMER();
-  ForEachDiskResult(q, radius, [&](const BoxEntry& e) {
+  ForEachDiskResult(q, radius, min_radius, [&](const BoxEntry& e) {
     TLP_STATS_ADD(candidates, 1);
     out->push_back(e);
   });

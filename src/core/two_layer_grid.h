@@ -16,6 +16,7 @@ namespace tlp {
 
 class SnapshotReader;
 class SnapshotWriter;
+class ThreadPool;
 
 /// A candidate produced by the filtering step, annotated with what the
 /// two-layer evaluation already knows about it (paper §V "efficient
@@ -40,8 +41,18 @@ class TwoLayerGrid final : public PersistentIndex {
   explicit TwoLayerGrid(const GridLayout& layout);
 
   /// Bulk-loads with two passes (count, then place); entries within a tile
-  /// end up grouped contiguously as A|B|C|D.
-  void Build(const std::vector<BoxEntry>& entries);
+  /// end up grouped contiguously as A|B|C|D. A full rebuild: any previously
+  /// built or inserted entries are discarded first (contract:
+  /// api/spatial_index.h). `num_threads` 0 = one per hardware core (small
+  /// inputs fall back to one), 1 = the sequential path; tile ownership in
+  /// the parallel place pass makes the built grid bit-identical for every
+  /// thread count. Throws std::logic_error on a frozen (mapped-snapshot)
+  /// grid.
+  void Build(const std::vector<BoxEntry>& entries,
+             std::size_t num_threads = 0);
+  /// As above, on the caller's pool (TwoLayerPlusGrid shares one pool
+  /// across both layers of its build this way).
+  void Build(const std::vector<BoxEntry>& entries, ThreadPool& pool);
 
   void Insert(const BoxEntry& entry) override;
 
@@ -61,8 +72,16 @@ class TwoLayerGrid final : public PersistentIndex {
 
   /// Disk query returning the full (MBR, id) entries instead of bare ids;
   /// used by consumers that rank candidates by distance (e.g., KnnQuery).
+  /// A non-negative `min_radius` restricts the report to the annulus
+  /// min_radius < MinDistanceTo(q) <= radius: tiles entirely within
+  /// `min_radius` of `q` are skipped and entries at distance <= min_radius
+  /// are filtered out, so an incremental caller that has already evaluated
+  /// the disk of radius `min_radius` (e.g. KnnQuery's radius doubling) sees
+  /// each remaining object exactly once instead of re-receiving the whole
+  /// inner disk.
   void DiskQueryEntries(const Point& q, Coord radius,
-                        std::vector<BoxEntry>* out) const;
+                        std::vector<BoxEntry>* out,
+                        Coord min_radius = -1) const;
 
   /// Evaluates the window `w` on a single tile (i, j), given the full tile
   /// range of `w`. Exposed for the tiles-based batch executor (§VI), which
@@ -82,11 +101,21 @@ class TwoLayerGrid final : public PersistentIndex {
   /// (layout, tile begins, tile entries) inside an open snapshot. Used by
   /// Save/Load above and by TwoLayerPlusGrid, whose snapshot embeds its
   /// record layer. With `mapped` the tile entry arrays become views into
-  /// the reader's mapping (which must then outlive this grid).
+  /// the reader's mapping (which must then outlive this grid) and the grid
+  /// comes back frozen: Build/Insert/Delete throw std::logic_error until
+  /// ThawStorage()/Thaw() — without the guard a release-mode update would
+  /// write straight into the read-only mapping (SIGSEGV, not an error).
   void AppendSnapshotSections(SnapshotWriter* writer) const;
   Status LoadSnapshotSections(const SnapshotReader& reader, bool mapped);
-  /// Copies any mapped tile-entry views into owned storage.
+  /// Copies any mapped tile-entry views into owned storage and unfreezes.
   void ThawStorage();
+
+  /// True after a mapped LoadSnapshotSections (updates rejected).
+  bool frozen() const override { return frozen_; }
+  Status Thaw() override {
+    ThawStorage();
+    return Status::OK();
+  }
 
   const GridLayout& layout() const { return layout_; }
 
@@ -97,6 +126,13 @@ class TwoLayerGrid final : public PersistentIndex {
   /// Number of entries of `c` in tile (i, j); exposed for tests.
   std::size_t ClassCount(std::uint32_t i, std::uint32_t j,
                          ObjectClass c) const;
+
+  /// Total entries (all classes) of the tile with id `tile_id`; the
+  /// per-tile work estimate TwoLayerPlusGrid's parallel build balances its
+  /// tile ownership on.
+  std::size_t TileEntryCount(std::size_t tile_id) const {
+    return tiles_[tile_id].entries.size();
+  }
 
   /// Read-only view of the secondary partition T^c of tile (i, j) as a
   /// (pointer, length) span; used by the spatial-join module and tests.
@@ -124,6 +160,15 @@ class TwoLayerGrid final : public PersistentIndex {
     bool empty() const { return entries.empty(); }
   };
 
+  /// Today's single-threaded two-pass bulk load.
+  void BuildSequential(const std::vector<BoxEntry>& entries);
+  /// Parallel bulk load (count pass by entry chunks, place pass by owned
+  /// tile ranges); bit-identical output to BuildSequential.
+  void BuildOnPool(const std::vector<BoxEntry>& entries, ThreadPool& pool);
+
+  /// Rejects updates while frozen (mapped); throws std::logic_error.
+  void RequireMutable(const char* op) const;
+
   /// Runs the §IV-B masked scans over the relevant classes of one tile.
   /// `emit(entry)` receives every reported entry.
   template <typename Emit>
@@ -131,9 +176,11 @@ class TwoLayerGrid final : public PersistentIndex {
                 bool first_col, bool first_row, Emit&& emit) const;
 
   /// Shared §IV-E disk evaluation core: calls `emit(entry)` exactly once for
-  /// every entry whose MBR lies within `radius` of `q`.
+  /// every entry whose MBR lies within `radius` of `q` — restricted, when
+  /// `min_radius` >= 0, to the annulus min_radius < distance <= radius.
   template <typename Emit>
-  void ForEachDiskResult(const Point& q, Coord radius, Emit&& emit) const;
+  void ForEachDiskResult(const Point& q, Coord radius, Coord min_radius,
+                         Emit&& emit) const;
 
   /// Per-row column ranges of tiles intersecting the disk (§IV-E); rows with
   /// lo > hi do not touch the disk.
@@ -145,6 +192,8 @@ class TwoLayerGrid final : public PersistentIndex {
 
   GridLayout layout_;
   std::vector<Tile> tiles_;
+  /// True while the tile entry columns view a read-only snapshot mapping.
+  bool frozen_ = false;
 };
 
 }  // namespace tlp

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/spatial_index.h"
@@ -33,7 +34,16 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// forward-declared here.
   ~TwoLayerPlusGrid() override;
 
-  void Build(const std::vector<BoxEntry>& entries);
+  /// Bulk load: builds the record layer, the id -> MBR table, and the
+  /// decomposed sorted tables. A full rebuild — previously built or
+  /// inserted entries are discarded first (contract: api/spatial_index.h).
+  /// `num_threads` 0 = one per hardware core (small inputs fall back to
+  /// one), 1 = the sequential path; both layers share one pool, tiles are
+  /// owned by exactly one worker, and ties in a table sort by (value, id),
+  /// so the built index is identical for every thread count. Throws
+  /// std::logic_error on a frozen (mapped-snapshot) index.
+  void Build(const std::vector<BoxEntry>& entries,
+             std::size_t num_threads = 0);
 
   /// Incremental insert (slow path: sorted insertion into each decomposed
   /// table; the paper recommends batch updates for the decomposed layout).
@@ -104,6 +114,11 @@ class TwoLayerPlusGrid final : public PersistentIndex {
     void Add(Coord v, ObjectId id);
     void InsertSorted(Coord v, ObjectId id);
     bool EraseSorted(Coord v, ObjectId id);
+    /// Sorts both columns by (value, id) — the id tiebreak makes the order
+    /// canonical, independent of fill order and sort algorithm — zipping
+    /// through `scratch` (caller-owned, reused across tables) and writing
+    /// back into the already-allocated columns; no per-table allocations.
+    void SortByValue(std::vector<std::pair<Coord, ObjectId>>* scratch);
     std::size_t SizeBytes() const {
       return values.footprint_bytes() + ids.footprint_bytes();
     }

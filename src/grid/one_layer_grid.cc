@@ -1,5 +1,6 @@
 #include "grid/one_layer_grid.h"
 
+#include "grid/parallel_build.h"
 #include "grid/scan.h"
 
 namespace tlp {
@@ -7,24 +8,95 @@ namespace tlp {
 OneLayerGrid::OneLayerGrid(const GridLayout& layout, DedupPolicy dedup)
     : layout_(layout), dedup_(dedup), tiles_(layout.tile_count()) {}
 
-void OneLayerGrid::Build(const std::vector<BoxEntry>& entries) {
+void OneLayerGrid::Build(const std::vector<BoxEntry>& entries,
+                         std::size_t num_threads) {
+  // Full rebuild: discard prior contents (capacity is kept; the reserve
+  // below right-sizes each tile anyway).
+  for (auto& tile : tiles_) tile.clear();
+
   // Two passes (count, then place) so every tile allocates exactly once;
   // the bulk-loaded grid then has the same footprint as the two-layer grid
   // over the same layout (paper §VII-B: "1-layer and 2-layer have the same
   // space requirements").
-  std::vector<std::uint32_t> counts(tiles_.size(), 0);
-  for (const BoxEntry& e : entries) {
-    const TileRange range = layout_.TilesFor(e.box);
-    for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-      for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-        ++counts[layout_.TileId(i, j)];
+  const std::size_t threads =
+      build_internal::EffectiveBuildThreads(num_threads, entries.size());
+  if (threads <= 1) {
+    std::vector<std::uint32_t> counts(tiles_.size(), 0);
+    for (const BoxEntry& e : entries) {
+      const TileRange range = layout_.TilesFor(e.box);
+      for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
+        for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+          ++counts[layout_.TileId(i, j)];
+        }
       }
     }
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      tiles_[t].reserve(counts[t]);
+    }
+    for (const BoxEntry& e : entries) Insert(e);
+    return;
   }
-  for (std::size_t t = 0; t < tiles_.size(); ++t) {
-    tiles_[t].reserve(counts[t]);
+
+  ThreadPool pool(threads);
+  const std::vector<TileRange> ranges =
+      build_internal::ComputeTileRanges(pool, layout_, entries);
+
+  // Count pass: per-chunk tile histograms, merged per tile below.
+  std::vector<std::vector<std::uint32_t>> chunk_counts(threads);
+  ParallelForChunks(
+      pool, entries.size(), threads,
+      [&](std::size_t c, std::size_t begin, std::size_t end) {
+        auto& counts = chunk_counts[c];
+        counts.assign(tiles_.size(), 0);
+        for (std::size_t k = begin; k < end; ++k) {
+          const TileRange& r = ranges[k];
+          for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+            for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+              ++counts[layout_.TileId(i, j)];
+            }
+          }
+        }
+      });
+
+  // Merge + allocate, and record per-tile work for the ownership split.
+  std::vector<std::uint64_t> tile_work(tiles_.size());
+  ParallelFor(pool, tiles_.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      std::uint64_t total = 0;
+      for (const auto& counts : chunk_counts) total += counts[t];
+      tiles_[t].reserve(total);
+      tile_work[t] = total;
+    }
+  });
+
+  // Place pass: each worker owns a contiguous tile range and scans the full
+  // entry vector, appending only into its own tiles. One writer per tile
+  // means no synchronization, and the input-order scan makes the per-tile
+  // entry order identical to the sequential build's.
+  const std::vector<std::size_t> cuts =
+      build_internal::BalanceTiles(tile_work, threads);
+  for (std::size_t p = 0; p < threads; ++p) {
+    pool.Submit([this, p, &cuts, &ranges, &entries] {
+      const std::size_t lo = cuts[p];
+      const std::size_t hi = cuts[p + 1];
+      if (lo == hi) return;
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        const TileRange& r = ranges[k];
+        if (layout_.TileId(r.i1, r.j1) < lo ||
+            layout_.TileId(r.i0, r.j0) >= hi) {
+          continue;
+        }
+        for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
+          for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
+            const std::size_t t = layout_.TileId(i, j);
+            if (t < lo || t >= hi) continue;
+            tiles_[t].push_back(entries[k]);
+          }
+        }
+      }
+    });
   }
-  for (const BoxEntry& e : entries) Insert(e);
+  pool.Wait();
 }
 
 void OneLayerGrid::Insert(const BoxEntry& entry) {

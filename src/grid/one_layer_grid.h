@@ -23,8 +23,13 @@ class OneLayerGrid final : public PersistentIndex {
                DedupPolicy dedup = DedupPolicy::kReferencePoint);
 
   /// Bulk-loads the grid: each entry is replicated into every tile its MBR
-  /// intersects.
-  void Build(const std::vector<BoxEntry>& entries);
+  /// intersects. A full rebuild — any previously built or inserted entries
+  /// are discarded first (contract: api/spatial_index.h). `num_threads`
+  /// 0 = one per hardware core (small inputs fall back to one), 1 = the
+  /// sequential path; the resulting grid is identical for every thread
+  /// count (per-tile entry order matches the input order).
+  void Build(const std::vector<BoxEntry>& entries,
+             std::size_t num_threads = 0);
 
   void Insert(const BoxEntry& entry) override;
 

@@ -1,0 +1,75 @@
+#ifndef TLP_GRID_PARALLEL_BUILD_H_
+#define TLP_GRID_PARALLEL_BUILD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "geometry/box.h"
+#include "grid/grid_layout.h"
+
+namespace tlp {
+namespace build_internal {
+
+/// Below this entry count an automatic (num_threads == 0) Build runs
+/// sequentially: spawning workers and merging per-chunk histograms costs
+/// more than the scan it saves. An explicit num_threads > 1 is always
+/// honored, so tests can drive the parallel path at any size.
+inline constexpr std::size_t kAutoSequentialCutoff = 1 << 16;
+
+/// Resolves a Build() num_threads knob: 0 = one thread per hardware core
+/// (with the small-input cutoff above), any other value is taken literally.
+inline std::size_t EffectiveBuildThreads(std::size_t requested,
+                                         std::size_t entry_count) {
+  if (requested != 0) return requested;
+  if (entry_count < kAutoSequentialCutoff) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Precomputes every entry's tile range with one parallel pass. Both build
+/// phases need the range, and the place phase reads it once per thread —
+/// two comparisons against the owned tile interval are far cheaper than
+/// re-running TilesFor per (entry, thread).
+inline std::vector<TileRange> ComputeTileRanges(
+    ThreadPool& pool, const GridLayout& layout,
+    const std::vector<BoxEntry>& entries) {
+  std::vector<TileRange> ranges(entries.size());
+  ParallelFor(pool, entries.size(),
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t k = begin; k < end; ++k) {
+                  ranges[k] = layout.TilesFor(entries[k].box);
+                }
+              });
+  return ranges;
+}
+
+/// Splits the tile-id space [0, tile_work.size()) into `parts` contiguous
+/// ranges of near-equal total work (part p owns tiles [cuts[p], cuts[p+1])).
+/// Contiguous ownership is what makes the parallel place pass race-free: a
+/// tile has exactly one writer, and the per-entry ownership test is two
+/// comparisons on the entry's precomputed tile range.
+inline std::vector<std::size_t> BalanceTiles(
+    const std::vector<std::uint64_t>& tile_work, std::size_t parts) {
+  std::vector<std::size_t> cuts(parts + 1, tile_work.size());
+  cuts[0] = 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : tile_work) total += w;
+  std::size_t tile = 0;
+  std::uint64_t covered = 0;
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::uint64_t target = total * p / parts;
+    while (tile < tile_work.size() && covered < target) {
+      covered += tile_work[tile++];
+    }
+    cuts[p] = tile;
+  }
+  return cuts;
+}
+
+}  // namespace build_internal
+}  // namespace tlp
+
+#endif  // TLP_GRID_PARALLEL_BUILD_H_

@@ -1,6 +1,8 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -120,6 +122,57 @@ TEST(ParallelForTest, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool called = false;
   ParallelFor(pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunksTest, ExactChunkCountAndCoverage) {
+  ThreadPool pool(4);
+  // 10 elements over 4 chunks: sizes must be 3,3,2,2 (remainder first).
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4);
+  ParallelForChunks(pool, 10, 4,
+                    [&](std::size_t c, std::size_t begin, std::size_t end) {
+                      ranges[c] = {begin, end};
+                    });
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(ranges[2], (std::pair<std::size_t, std::size_t>{6, 8}));
+  EXPECT_EQ(ranges[3], (std::pair<std::size_t, std::size_t>{8, 10}));
+}
+
+TEST(ParallelForChunksTest, MoreChunksThanElements) {
+  ThreadPool pool(2);
+  // Chunks beyond the element count come out empty, never out of range.
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> invocations{0};
+  ParallelForChunks(pool, 3, 8,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      invocations.fetch_add(1);
+                      for (std::size_t k = begin; k < end; ++k) {
+                        ASSERT_LT(k, hits.size());
+                        hits[k].fetch_add(1);
+                      }
+                    });
+  EXPECT_EQ(invocations.load(), 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForChunksTest, SequentialPoolRunsInChunkOrder) {
+  ThreadPool pool(1);  // single thread: chunks must run 0,1,2,... in order
+  std::vector<std::size_t> order;
+  ParallelForChunks(pool, 100, 5,
+                    [&](std::size_t c, std::size_t, std::size_t) {
+                      order.push_back(c);
+                    });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForChunksTest, ZeroChunksIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelForChunks(pool, 10, 0,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      called = true;
+                    });
   EXPECT_FALSE(called);
 }
 

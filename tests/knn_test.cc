@@ -73,6 +73,68 @@ TEST(KnnTest, NearestContainingObjectHasDistanceZero) {
   EXPECT_EQ(res[0].distance, 0.0);
 }
 
+/// Forces several radius doublings: all data sits in a far corner cluster
+/// while the query is at the opposite corner, so the seed radius (a few
+/// tiles wide) finds nothing and the annulus probing has to walk out to the
+/// cluster. The incremental candidate accumulation across doublings must
+/// still match the brute-force oracle exactly.
+TEST(KnnTest, ManyRadiusDoublingsMatchOracle) {
+  Rng rng(177);
+  std::vector<BoxEntry> data;
+  for (std::size_t k = 0; k < 400; ++k) {
+    const double x = 0.9 + rng.NextDouble() * 0.1;
+    const double y = 0.9 + rng.NextDouble() * 0.1;
+    data.push_back(BoxEntry{Box{x, y, std::min(1.0, x + 0.005),
+                                std::min(1.0, y + 0.005)},
+                            static_cast<ObjectId>(k)});
+  }
+  // A fine grid keeps the seed radius tiny relative to the query-cluster
+  // gap, guaranteeing multiple misses before candidates appear.
+  TwoLayerGrid grid(GridLayout(kUnit, 64, 64));
+  grid.Build(data);
+  const Point q{0.01, 0.01};
+  for (std::size_t k : {1u, 7u, 50u, 400u}) {
+    EXPECT_EQ(KnnQuery(grid, q, k), BruteForceKnn(data, q, k)) << "k=" << k;
+  }
+}
+
+/// The annulus form of DiskQueryEntries must report exactly the objects
+/// with min_radius < MinDistanceTo(q) <= radius, and appending successive
+/// annuli must reproduce the full disk (KnnQuery's accumulation pattern).
+TEST(KnnTest, DiskQueryEntriesAnnulusMatchesOracle) {
+  const auto data = testing::RandomEntries(1200, 0.04, 178);
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(data);
+  Rng rng(179);
+  for (int t = 0; t < 20; ++t) {
+    const Point q{rng.NextDouble() * 1.4 - 0.2, rng.NextDouble() * 1.4 - 0.2};
+    const Coord inner = rng.NextDouble() * 0.3;
+    const Coord outer = inner + rng.NextDouble() * 0.4;
+
+    std::vector<ObjectId> expected;
+    for (const BoxEntry& e : data) {
+      const Coord d = e.box.MinDistanceTo(q);
+      if (d > inner && d <= outer) expected.push_back(e.id);
+    }
+    std::vector<BoxEntry> got;
+    grid.DiskQueryEntries(q, outer, &got, inner);
+    std::vector<ObjectId> ids;
+    for (const BoxEntry& e : got) ids.push_back(e.id);
+    testing::ExpectSameIdSet(expected, ids, "annulus");
+
+    // Accumulating inner disk + annulus == one full-disk query.
+    std::vector<BoxEntry> accumulated;
+    grid.DiskQueryEntries(q, inner, &accumulated);
+    grid.DiskQueryEntries(q, outer, &accumulated, inner);
+    std::vector<BoxEntry> full;
+    grid.DiskQueryEntries(q, outer, &full);
+    std::vector<ObjectId> acc_ids, full_ids;
+    for (const BoxEntry& e : accumulated) acc_ids.push_back(e.id);
+    for (const BoxEntry& e : full) full_ids.push_back(e.id);
+    testing::ExpectSameIdSet(full_ids, acc_ids, "inner disk + annulus");
+  }
+}
+
 TEST(KnnTest, ResultsAreSortedByDistance) {
   const auto data = testing::RandomEntries(500, 0.02, 176);
   TwoLayerGrid grid(GridLayout(kUnit, 16, 16));

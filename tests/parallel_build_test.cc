@@ -1,0 +1,227 @@
+// Differential coverage of the multi-threaded Build() paths: for every grid
+// in the family (1-layer, 2-layer, 2-layer+), a parallel bulk load at 2, 4,
+// and 8 threads must produce an index *identical* to the sequential build —
+// not merely equivalent: the per-tile entry order is part of the contract
+// (api/spatial_index.h), so window, disk, and batch results are compared for
+// exact equality, and the 2-layer grid's tiles are compared byte-for-byte
+// through ClassSpan. Also exercises degenerate shapes (more threads than
+// tiles, more threads than entries, empty input) where chunking edge cases
+// live. Runs under TSan in CI to certify the build phases race-free.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "batch/batch_executor.h"
+#include "common/rng.h"
+#include "core/classes.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "grid/grid_layout.h"
+#include "grid/one_layer_grid.h"
+#include "test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+constexpr std::size_t kThreadCounts[] = {2, 4, 8};
+
+std::vector<Box> QueryWindows() { return testing::RandomWindows(30, 5151); }
+
+std::vector<std::pair<Point, Coord>> QueryDisks() {
+  Rng rng(5252);
+  std::vector<std::pair<Point, Coord>> disks;
+  for (int t = 0; t < 20; ++t) {
+    disks.push_back({Point{rng.NextDouble(), rng.NextDouble()},
+                     rng.NextDouble() * 0.25});
+  }
+  disks.push_back({Point{-0.3, 1.2}, 0.6});  // query outside the domain
+  disks.push_back({Point{0.5, 0.5}, 0.0});   // degenerate radius
+  return disks;
+}
+
+/// Window + disk results of `par` must equal `seq`'s *including order* —
+/// the builds promise identical indices, so identical traversals.
+void ExpectIdenticalQueries(const SpatialIndex& seq, const SpatialIndex& par,
+                            const std::string& context) {
+  for (const Box& w : QueryWindows()) {
+    std::vector<ObjectId> a, b;
+    seq.WindowQuery(w, &a);
+    par.WindowQuery(w, &b);
+    ASSERT_EQ(a, b) << "window mismatch " << context;
+  }
+  for (const auto& [q, radius] : QueryDisks()) {
+    std::vector<ObjectId> a, b;
+    seq.DiskQuery(q, radius, &a);
+    par.DiskQuery(q, radius, &b);
+    ASSERT_EQ(a, b) << "disk mismatch " << context;
+  }
+}
+
+/// Byte-level comparison of every tile's every class segment.
+void ExpectIdenticalTiles(const TwoLayerGrid& seq, const TwoLayerGrid& par,
+                          const std::string& context) {
+  const GridLayout& g = seq.layout();
+  for (std::uint32_t j = 0; j < g.ny(); ++j) {
+    for (std::uint32_t i = 0; i < g.nx(); ++i) {
+      for (int c = 0; c < kNumClasses; ++c) {
+        const auto cls = static_cast<ObjectClass>(c);
+        const auto [pa, na] = seq.ClassSpan(i, j, cls);
+        const auto [pb, nb] = par.ClassSpan(i, j, cls);
+        ASSERT_EQ(na, nb) << "class size, tile (" << i << "," << j << ") "
+                          << context;
+        for (std::size_t k = 0; k < na; ++k) {
+          ASSERT_EQ(pa[k].id, pb[k].id)
+              << "entry order, tile (" << i << "," << j << ") " << context;
+          ASSERT_EQ(pa[k].box, pb[k].box)
+              << "entry box, tile (" << i << "," << j << ") " << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, OneLayerGridMatchesSequential) {
+  const auto data = testing::RandomEntries(20000, 0.03, 901);
+  const GridLayout layout(kUnit, 32, 32);
+  OneLayerGrid seq(layout);
+  seq.Build(data, /*num_threads=*/1);
+  for (std::size_t t : kThreadCounts) {
+    OneLayerGrid par(layout);
+    par.Build(data, t);
+    ASSERT_EQ(par.entry_count(), seq.entry_count()) << t << " threads";
+    ExpectIdenticalQueries(seq, par, std::to_string(t) + " threads");
+  }
+}
+
+TEST(ParallelBuildTest, TwoLayerGridMatchesSequential) {
+  const auto data = testing::RandomEntries(20000, 0.03, 902);
+  const GridLayout layout(kUnit, 29, 31);  // odd extents: uneven tile rows
+  TwoLayerGrid seq(layout);
+  seq.Build(data, /*num_threads=*/1);
+  ASSERT_TRUE(seq.CheckInvariants());
+  for (std::size_t t : kThreadCounts) {
+    TwoLayerGrid par(layout);
+    par.Build(data, t);
+    ASSERT_TRUE(par.CheckInvariants()) << t << " threads";
+    ASSERT_EQ(par.entry_count(), seq.entry_count()) << t << " threads";
+    const std::string context = std::to_string(t) + " threads";
+    ExpectIdenticalTiles(seq, par, context);
+    ExpectIdenticalQueries(seq, par, context);
+  }
+}
+
+TEST(ParallelBuildTest, TwoLayerGridBatchMatchesSequential) {
+  const auto data = testing::RandomEntries(12000, 0.02, 903);
+  const GridLayout layout(kUnit, 24, 24);
+  TwoLayerGrid seq(layout);
+  seq.Build(data, /*num_threads=*/1);
+  TwoLayerGrid par(layout);
+  par.Build(data, /*num_threads=*/4);
+
+  const auto queries = testing::RandomWindows(60, 5353);
+  // Tiles-based batch evaluation (§VI) over both builds, itself threaded.
+  const auto counts_seq = BatchExecutor::RunTilesBased(seq, queries, 2);
+  const auto counts_par = BatchExecutor::RunTilesBased(par, queries, 2);
+  EXPECT_EQ(counts_seq, counts_par);
+  EXPECT_EQ(BatchExecutor::CollectTilesBased(seq, queries),
+            BatchExecutor::CollectTilesBased(par, queries));
+}
+
+TEST(ParallelBuildTest, TwoLayerPlusGridMatchesSequential) {
+  const auto data = testing::RandomEntries(15000, 0.04, 904);
+  const GridLayout layout(kUnit, 21, 17);
+  TwoLayerPlusGrid seq(layout);
+  seq.Build(data, /*num_threads=*/1);
+  ASSERT_TRUE(seq.CheckInvariants());
+  for (std::size_t t : kThreadCounts) {
+    TwoLayerPlusGrid par(layout);
+    par.Build(data, t);
+    ASSERT_TRUE(par.CheckInvariants()) << t << " threads";
+    ExpectIdenticalTiles(seq.record_layer(), par.record_layer(),
+                         std::to_string(t) + " threads (record layer)");
+    ExpectIdenticalQueries(seq, par, std::to_string(t) + " threads");
+  }
+}
+
+/// Tied coordinate values are where sort-order identity can silently break:
+/// the decomposed tables sort by (value, id), so duplicated coordinates must
+/// still yield the same table order for every thread count.
+TEST(ParallelBuildTest, TwoLayerPlusGridTiedCoordinates) {
+  Rng rng(905);
+  std::vector<BoxEntry> data;
+  for (std::size_t k = 0; k < 4000; ++k) {
+    // Snap every coordinate to a coarse lattice: many exact ties per tile.
+    const double x = rng.NextBelow(40) / 40.0;
+    const double y = rng.NextBelow(40) / 40.0;
+    const double w = rng.NextBelow(4) / 40.0;
+    const double h = rng.NextBelow(4) / 40.0;
+    data.push_back(BoxEntry{Box{x, y, std::min(1.0, x + w),
+                                std::min(1.0, y + h)},
+                            static_cast<ObjectId>(k)});
+  }
+  const GridLayout layout(kUnit, 10, 10);
+  TwoLayerPlusGrid seq(layout);
+  seq.Build(data, /*num_threads=*/1);
+  for (std::size_t t : kThreadCounts) {
+    TwoLayerPlusGrid par(layout);
+    par.Build(data, t);
+    ASSERT_TRUE(par.CheckInvariants()) << t << " threads";
+    ExpectIdenticalQueries(seq, par, std::to_string(t) + " threads (ties)");
+  }
+}
+
+/// Degenerate shapes: more threads than tiles, more threads than entries,
+/// and empty input — the chunk/ownership math must not over-run or drop.
+TEST(ParallelBuildTest, DegenerateShapes) {
+  const GridLayout tiny(kUnit, 2, 2);  // 4 tiles, 8 threads
+  const auto data = testing::RandomEntries(500, 0.2, 906);
+  TwoLayerGrid seq(tiny);
+  seq.Build(data, 1);
+  TwoLayerGrid par(tiny);
+  par.Build(data, 8);
+  ASSERT_TRUE(par.CheckInvariants());
+  ExpectIdenticalTiles(seq, par, "8 threads, 4 tiles");
+
+  const auto few = testing::RandomEntries(5, 0.1, 907);
+  for (std::size_t t : kThreadCounts) {
+    OneLayerGrid one(GridLayout(kUnit, 8, 8));
+    one.Build(few, t);
+    for (const Box& w : QueryWindows()) {
+      testing::CheckWindowAgainstBruteForce(one, few, w, "5 entries");
+    }
+    TwoLayerPlusGrid plus(GridLayout(kUnit, 8, 8));
+    plus.Build(few, t);
+    ASSERT_TRUE(plus.CheckInvariants());
+    for (const Box& w : QueryWindows()) {
+      testing::CheckWindowAgainstBruteForce(plus, few, w, "5 entries");
+    }
+  }
+
+  TwoLayerGrid empty(GridLayout(kUnit, 4, 4));
+  empty.Build({}, 4);
+  ASSERT_TRUE(empty.CheckInvariants());
+  EXPECT_EQ(empty.entry_count(), 0u);
+  std::vector<ObjectId> out;
+  empty.WindowQuery(kUnit, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+/// num_threads = 0 auto-selects but must still match the sequential build.
+TEST(ParallelBuildTest, AutoThreadCountMatchesSequential) {
+  const auto data = testing::RandomEntries(70000, 0.01, 908);  // above cutoff
+  const GridLayout layout(kUnit, 48, 48);
+  TwoLayerGrid seq(layout);
+  seq.Build(data, 1);
+  TwoLayerGrid aut(layout);
+  aut.Build(data);  // default num_threads = 0
+  ASSERT_TRUE(aut.CheckInvariants());
+  ExpectIdenticalTiles(seq, aut, "auto threads");
+}
+
+}  // namespace
+}  // namespace tlp

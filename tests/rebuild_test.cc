@@ -1,0 +1,123 @@
+// Regression tests for the Build() full-rebuild contract
+// (api/spatial_index.h): Build on a non-empty index must be equivalent to
+// Build on a freshly constructed one. Historically two grids violated it —
+// OneLayerGrid appended the new entries into the still-populated tiles, and
+// TwoLayerPlusGrid appended into tile_tables_ (duplicating every table) and
+// never reset the id->MBR column. Each scenario here failed before the fix:
+// Build-twice with the same data (duplicated results), Build with *smaller*
+// data after a larger one (stale survivors), and Insert-then-Build.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/two_layer_grid.h"
+#include "core/two_layer_plus_grid.h"
+#include "grid/grid_layout.h"
+#include "grid/one_layer_grid.h"
+#include "test_util.h"
+
+namespace tlp {
+namespace {
+
+const Box kUnit{0, 0, 1, 1};
+
+GridLayout Layout() { return GridLayout(kUnit, 13, 11); }
+
+/// `index` must answer exactly like brute force over `data` (ExpectSameIdSet
+/// inside also rejects duplicate ids — the signature of an append-Build).
+void ExpectMatchesData(const SpatialIndex& index,
+                       const std::vector<BoxEntry>& data,
+                       const std::string& context) {
+  for (const Box& w : testing::RandomWindows(25, 77)) {
+    testing::CheckWindowAgainstBruteForce(index, data, w, context);
+  }
+  Rng rng(78);
+  for (int t = 0; t < 10; ++t) {
+    const Point q{rng.NextDouble(), rng.NextDouble()};
+    testing::CheckDiskAgainstBruteForce(index, data, q,
+                                        rng.NextDouble() * 0.2, context);
+  }
+}
+
+template <typename Index>
+void RunRebuildScenarios(const std::string& name) {
+  const auto big = testing::RandomEntries(3000, 0.05, 31);
+  // Disjoint, smaller id space: any survivor from `big` is visible as an
+  // unexpected id, not masked by an identical fresh entry.
+  auto small = testing::RandomEntries(1200, 0.05, 32);
+
+  {
+    Index index(Layout());
+    index.Build(big);
+    index.Build(big);  // same data twice: duplicates if Build appends
+    ExpectMatchesData(index, big, name + ": build twice, same data");
+  }
+  {
+    Index index(Layout());
+    index.Build(big);
+    index.Build(small);  // shrinking rebuild: stale entries if Build appends
+    ExpectMatchesData(index, small, name + ": rebuild with smaller data");
+  }
+  {
+    Index index(Layout());
+    for (std::size_t k = 0; k < 200; ++k) index.Insert(big[k]);
+    index.Build(small);  // Build must also discard prior Inserts
+    ExpectMatchesData(index, small, name + ": insert then build");
+  }
+  {
+    Index index(Layout());
+    index.Build(big);
+    index.Build({});  // rebuild to empty
+    std::vector<ObjectId> out;
+    index.WindowQuery(kUnit, &out);
+    EXPECT_TRUE(out.empty()) << name << ": rebuild to empty";
+  }
+}
+
+TEST(RebuildTest, OneLayerGrid) { RunRebuildScenarios<OneLayerGrid>("1-layer"); }
+
+TEST(RebuildTest, TwoLayerGrid) { RunRebuildScenarios<TwoLayerGrid>("2-layer"); }
+
+TEST(RebuildTest, TwoLayerPlusGrid) {
+  RunRebuildScenarios<TwoLayerPlusGrid>("2-layer+");
+}
+
+/// The structural invariants must hold after a rebuild too — the 2-layer+
+/// check cross-validates table sizes against the record layer, which is
+/// exactly what drifts when Build appends to one layer but not the other.
+TEST(RebuildTest, InvariantsHoldAfterRebuild) {
+  const auto a = testing::RandomEntries(2500, 0.04, 33);
+  const auto b = testing::RandomEntries(900, 0.04, 34);
+
+  TwoLayerGrid grid(Layout());
+  grid.Build(a);
+  grid.Build(b);
+  EXPECT_TRUE(grid.CheckInvariants());
+  EXPECT_EQ(grid.entry_count(), [&] {
+    TwoLayerGrid fresh(Layout());
+    fresh.Build(b);
+    return fresh.entry_count();
+  }());
+
+  TwoLayerPlusGrid plus(Layout());
+  plus.Build(a);
+  plus.Build(b);
+  EXPECT_TRUE(plus.CheckInvariants());
+}
+
+/// Parallel rebuilds obey the same contract.
+TEST(RebuildTest, ParallelRebuild) {
+  const auto a = testing::RandomEntries(4000, 0.03, 35);
+  const auto b = testing::RandomEntries(1500, 0.03, 36);
+  TwoLayerPlusGrid plus(Layout());
+  plus.Build(a, /*num_threads=*/4);
+  plus.Build(b, /*num_threads=*/4);
+  EXPECT_TRUE(plus.CheckInvariants());
+  ExpectMatchesData(plus, b, "2-layer+: parallel rebuild");
+}
+
+}  // namespace
+}  // namespace tlp

@@ -215,6 +215,45 @@ TEST(SnapshotFrozen, UpdatesThrowUntilThaw) {
   ASSERT_TRUE(index.Thaw().ok());  // idempotent on an owned index
 }
 
+/// The record-layer grid has the same frozen contract when its sections are
+/// loaded out of a mapping: every mutating path — Build (sequential and
+/// parallel), Insert, Delete — must throw instead of writing into the
+/// read-only mapping. This guard is load-bearing in release builds, where
+/// the old assert-based check compiled away and the first Insert after a
+/// mapped load would SIGSEGV on the mapped page.
+TEST(SnapshotFrozen, TwoLayerGridUpdatesThrowUntilThaw) {
+  const auto data = MakeData(SpatialDistribution::kUniform, 1000);
+  TwoLayerGrid original(SmallLayout());
+  original.Build(data);
+  const std::string path = TempPath("frozen_record.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(path, SnapshotReader::Mode::kMapped).ok());
+  TwoLayerGrid index(SmallLayout());
+  ASSERT_TRUE(index.LoadSnapshotSections(reader, /*mapped=*/true).ok());
+  ASSERT_TRUE(index.frozen());
+
+  const BoxEntry extra{Box{0.1, 0.2, 0.3, 0.4},
+                       static_cast<ObjectId>(data.size())};
+  EXPECT_THROW(index.Insert(extra), std::logic_error);
+  EXPECT_THROW(index.Delete(data[0].id, data[0].box), std::logic_error);
+  EXPECT_THROW(index.Build(data, /*num_threads=*/1), std::logic_error);
+  EXPECT_THROW(index.Build(data, /*num_threads=*/4), std::logic_error);
+  CheckAllQueries(index, data, "frozen record grid still queryable");
+
+  ASSERT_TRUE(index.Thaw().ok());
+  EXPECT_FALSE(index.frozen());
+  index.Insert(extra);
+  EXPECT_TRUE(index.Delete(data[0].id, data[0].box));
+  EXPECT_TRUE(index.CheckInvariants());
+  auto expected = data;
+  expected.erase(expected.begin());
+  expected.push_back(extra);
+  CheckAllQueries(index, expected, "record grid post-thaw updates");
+  std::remove(path.c_str());
+}
+
 /// Recomputes every checksum (section payloads, section table, header) so a
 /// deliberately patched payload still passes all CRC verification — the
 /// loader must reject it on *structural* validation, which is exactly what a
