@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/query_stats.h"
+#include "common/file_system.h"
 #include "common/status.h"
 #include "geometry/box.h"
 #include "geometry/point.h"
@@ -59,20 +60,29 @@ class SpatialIndex {
 /// (1-layer, 2-layer, 2-layer+).
 ///
 /// Contract:
-///  * Save writes a versioned, checksummed snapshot; Load replaces this
-///    index's contents with the snapshot's (the index's current layout and
-///    entries are discarded). Load never crashes on malformed input: a
-///    corrupt, truncated, foreign-endian, or wrong-version file yields a
-///    descriptive error and leaves the index exactly as it was (still
-///    queryable, no partially applied state).
+///  * Save writes a versioned, checksummed snapshot, atomically: the bytes
+///    stream into a temp file that is fsync()ed and rename(2)d onto `path`
+///    only once complete (docs/ROBUSTNESS.md). A crash or I/O failure mid-
+///    save leaves the destination exactly as it was — the previous snapshot
+///    or no file — never a torn one. Load replaces this index's contents
+///    with the snapshot's (the index's current layout and entries are
+///    discarded). Load never crashes on malformed input: a corrupt,
+///    truncated, foreign-endian, or wrong-version file yields a descriptive
+///    error (StatusCode::kCorruption / kKindMismatch / kIoError) and leaves
+///    the index exactly as it was (still queryable, no partially applied
+///    state).
 ///  * An index may be *frozen* after a zero-copy mapped load
 ///    (TwoLayerPlusGrid::LoadMapped): queries run directly out of the
 ///    mapped snapshot, and Insert/Delete throw std::logic_error until
 ///    Thaw() copies the mapped columns into owned memory.
+/// Save/Load take an optional FileSystem through which every file
+/// operation is routed (tests inject a FaultInjectingFs to exercise crash
+/// and I/O-failure points); null means the POSIX default.
 class PersistentIndex : public SpatialIndex {
  public:
-  virtual Status Save(const std::string& path) const = 0;
-  virtual Status Load(const std::string& path) = 0;
+  virtual Status Save(const std::string& path,
+                      FileSystem* fs = nullptr) const = 0;
+  virtual Status Load(const std::string& path, FileSystem* fs = nullptr) = 0;
 
   /// True when backed by a read-only snapshot mapping (updates rejected).
   virtual bool frozen() const { return false; }

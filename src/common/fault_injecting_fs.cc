@@ -1,0 +1,234 @@
+#include "common/fault_injecting_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlp {
+
+/// Routes a WritableFile's operations back through the owning fs's fault
+/// counter, so Append/Sync/Close are injectable like any other op. At
+/// namespace scope (not file-local) to match the friend declaration that
+/// grants it access to FaultInjectingFs::Count.
+class FaultInjectingWritableFile final : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingFs* fs, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : fs_(fs), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const void* data, std::size_t n) override;
+  Status WriteAt(std::uint64_t offset, const void* data,
+                 std::size_t n) override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectingFs* const fs_;
+  const std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+const char* FaultInjectingFs::OpName(Op op) {
+  switch (op) {
+    case Op::kNewWritableFile: return "create";
+    case Op::kAppend: return "append";
+    case Op::kWriteAt: return "write-at";
+    case Op::kSync: return "sync";
+    case Op::kClose: return "close";
+    case Op::kReadFile: return "read";
+    case Op::kMap: return "map";
+    case Op::kRename: return "rename";
+    case Op::kRemove: return "remove";
+    case Op::kSyncDir: return "sync-dir";
+    case Op::kTruncate: return "truncate";
+    case Op::kListDir: return "list-dir";
+  }
+  return "unknown";
+}
+
+bool FaultInjectingFs::ParseOp(const std::string& name, Op* out) {
+  for (const Op op :
+       {Op::kNewWritableFile, Op::kAppend, Op::kWriteAt, Op::kSync,
+        Op::kClose, Op::kReadFile, Op::kMap, Op::kRename, Op::kRemove,
+        Op::kSyncDir, Op::kTruncate, Op::kListDir}) {
+    if (name == OpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjectingFs::FaultInjectingFs(FileSystem* base)
+    : base_(ResolveFs(base)) {}
+
+void FaultInjectingFs::FailOperation(std::uint64_t k) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_op_armed_ = true;
+  fail_op_index_ = k;
+}
+
+void FaultInjectingFs::FailNextOf(Op op) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_kind_armed_ = true;
+  fail_kind_ = op;
+}
+
+void FaultInjectingFs::ShortWriteAt(std::uint64_t k, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  short_write_armed_ = true;
+  short_write_index_ = k;
+  short_write_bytes_ = bytes;
+}
+
+void FaultInjectingFs::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_op_ = 0;
+  log_.clear();
+  fault_fired_ = false;
+  fail_op_armed_ = fail_kind_armed_ = short_write_armed_ = false;
+}
+
+std::uint64_t FaultInjectingFs::op_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_op_;
+}
+
+bool FaultInjectingFs::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_fired_;
+}
+
+std::vector<FaultInjectingFs::Op> FaultInjectingFs::OperationLog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+Status FaultInjectingFs::Count(Op op, const std::string& path,
+                               std::size_t* short_write_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t index = next_op_++;
+  log_.push_back(op);
+  if (short_write_armed_ && index == short_write_index_ &&
+      op == Op::kAppend && short_write_bytes != nullptr) {
+    short_write_armed_ = false;
+    fault_fired_ = true;
+    *short_write_bytes = short_write_bytes_;
+    return Status::IoError(path + ": injected short write (op " +
+                           std::to_string(index) + ")");
+  }
+  if (fail_op_armed_ && index == fail_op_index_) {
+    fail_op_armed_ = false;
+    fault_fired_ = true;
+    return Status::IoError(path + ": injected fault: " +
+                           std::string(OpName(op)) + " failed at op " +
+                           std::to_string(index) +
+                           " (No space left on device)");
+  }
+  if (fail_kind_armed_ && op == fail_kind_) {
+    fail_kind_armed_ = false;
+    fault_fired_ = true;
+    return Status::IoError(path + ": injected fault: " +
+                           std::string(OpName(op)) + " failed at op " +
+                           std::to_string(index));
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingWritableFile::Append(const void* data, std::size_t n) {
+  std::size_t short_bytes = 0;
+  Status s = fs_->Count(FaultInjectingFs::Op::kAppend, path_, &short_bytes);
+  if (!s.ok()) {
+    // A short write leaves a prefix in the file — exactly the torn state a
+    // crash mid-write(2) produces — before reporting the failure.
+    if (short_bytes > 0) {
+      (void)base_->Append(data, std::min(short_bytes, n)).ok();
+      (void)base_->Close().ok();
+    }
+    return s;
+  }
+  return base_->Append(data, n);
+}
+
+Status FaultInjectingWritableFile::WriteAt(std::uint64_t offset,
+                                           const void* data, std::size_t n) {
+  Status s = fs_->Count(FaultInjectingFs::Op::kWriteAt, path_);
+  if (!s.ok()) return s;
+  return base_->WriteAt(offset, data, n);
+}
+
+Status FaultInjectingWritableFile::Sync() {
+  Status s = fs_->Count(FaultInjectingFs::Op::kSync, path_);
+  if (!s.ok()) return s;
+  return base_->Sync();
+}
+
+Status FaultInjectingWritableFile::Close() {
+  Status s = fs_->Count(FaultInjectingFs::Op::kClose, path_);
+  if (!s.ok()) return s;
+  return base_->Close();
+}
+
+Status FaultInjectingFs::NewWritableFile(const std::string& path,
+                                         std::unique_ptr<WritableFile>* out) {
+  Status s = Count(Op::kNewWritableFile, path);
+  if (!s.ok()) return s;
+  std::unique_ptr<WritableFile> base_file;
+  s = base_->NewWritableFile(path, &base_file);
+  if (!s.ok()) return s;
+  *out = std::make_unique<FaultInjectingWritableFile>(this, path,
+                                                      std::move(base_file));
+  return Status::OK();
+}
+
+Status FaultInjectingFs::ReadFile(const std::string& path,
+                                  std::vector<unsigned char>* out) {
+  Status s = Count(Op::kReadFile, path);
+  if (!s.ok()) return s;
+  return base_->ReadFile(path, out);
+}
+
+Status FaultInjectingFs::MapReadOnly(const std::string& path,
+                                     MappedFile* out) {
+  Status s = Count(Op::kMap, path);
+  if (!s.ok()) return s;
+  return base_->MapReadOnly(path, out);
+}
+
+Status FaultInjectingFs::RenameFile(const std::string& from,
+                                    const std::string& to) {
+  Status s = Count(Op::kRename, from);
+  if (!s.ok()) return s;
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingFs::RemoveFile(const std::string& path) {
+  Status s = Count(Op::kRemove, path);
+  if (!s.ok()) return s;
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingFs::SyncDir(const std::string& path) {
+  Status s = Count(Op::kSyncDir, path);
+  if (!s.ok()) return s;
+  return base_->SyncDir(path);
+}
+
+Status FaultInjectingFs::Truncate(const std::string& path,
+                                  std::uint64_t size) {
+  Status s = Count(Op::kTruncate, path);
+  if (!s.ok()) return s;
+  return base_->Truncate(path, size);
+}
+
+bool FaultInjectingFs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingFs::ListDir(const std::string& path,
+                                 std::vector<std::string>* names) {
+  Status s = Count(Op::kListDir, path);
+  if (!s.ok()) return s;
+  return base_->ListDir(path, names);
+}
+
+}  // namespace tlp

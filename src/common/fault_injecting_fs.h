@@ -1,0 +1,129 @@
+#ifndef TLP_COMMON_FAULT_INJECTING_FS_H_
+#define TLP_COMMON_FAULT_INJECTING_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/file_system.h"
+
+namespace tlp {
+
+/// A FileSystem decorator that makes I/O failures reproducible in unit
+/// tests (the LevelDB failpoint recipe; docs/ROBUSTNESS.md shows how to
+/// write tests against it). It delegates every call to a base filesystem
+/// (Default() unless given another), counts the operations as they stream
+/// through, and injects a failure at an armed point:
+///
+///   FaultInjectingFs fs;
+///   fs.FailOperation(k);              // ENOSPC-style error on the k-th op
+///   Status s = index.Save(path, &fs); // must fail without a torn file
+///
+/// Supported injections:
+///  * FailOperation(k)       — the k-th counted operation fails outright.
+///  * FailNextOf(op)         — the next operation of one kind fails (e.g.
+///                             the rename, modelling a crash just before
+///                             the snapshot becomes visible).
+///  * ShortWriteAt(k, bytes) — if the k-th operation is an Append, only a
+///                             `bytes`-byte prefix reaches the file before
+///                             the error (a torn write).
+///  * Truncate(path, n)      — inherited: cut a file to any prefix.
+///
+/// A sweep test arms k = 0, 1, 2, ... until a run completes with no fault
+/// fired (op_count() tells how many operations a clean run needs), proving
+/// an invariant at *every* failure point of a protocol rather than at the
+/// few a hand-written mock happens to cover.
+///
+/// Counting and arming are mutex-guarded so parallel users (the thread
+/// pool's workers) can share one instance under TSan.
+class FaultInjectingFs final : public FileSystem {
+ public:
+  enum class Op {
+    kNewWritableFile,
+    kAppend,
+    kWriteAt,
+    kSync,
+    kClose,
+    kReadFile,
+    kMap,
+    kRename,
+    kRemove,
+    kSyncDir,
+    kTruncate,
+    kListDir,
+  };
+  static const char* OpName(Op op);
+  /// Parses an OpName ("rename", "sync", ...); false on unknown names.
+  static bool ParseOp(const std::string& name, Op* out);
+
+  /// Wraps `base` (FileSystem::Default() when null; not owned).
+  explicit FaultInjectingFs(FileSystem* base = nullptr);
+
+  /// Arms a hard failure of the k-th (0-based) counted operation. The op
+  /// does not reach the base filesystem.
+  void FailOperation(std::uint64_t k);
+
+  /// Arms a hard failure of the next operation of kind `op`.
+  void FailNextOf(Op op);
+
+  /// Arms a short write: the k-th operation, when it is an Append, writes
+  /// only the first `bytes` bytes and then fails.
+  void ShortWriteAt(std::uint64_t k, std::size_t bytes);
+
+  /// Disarms everything and resets the counter and log.
+  void Reset();
+
+  /// Operations counted so far (whether injected or passed through).
+  std::uint64_t op_count() const;
+
+  /// True once an armed fault has fired.
+  bool fault_fired() const;
+
+  /// Every operation observed since the last Reset(), in order — tests
+  /// assert protocol ordering (e.g. Sync before Rename before SyncDir)
+  /// against this.
+  std::vector<Op> OperationLog() const;
+
+  // FileSystem:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override;
+  Status ReadFile(const std::string& path,
+                  std::vector<unsigned char>* out) override;
+  Status MapReadOnly(const std::string& path, MappedFile* out) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Status Truncate(const std::string& path, std::uint64_t size) override;
+  bool FileExists(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  /// Counts one operation; returns a failure Status when a fault fires.
+  /// `short_write_bytes` (when non-null) receives the armed short-write
+  /// length if this op is the armed short write.
+  Status Count(Op op, const std::string& path,
+               std::size_t* short_write_bytes = nullptr);
+
+  FileSystem* const base_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_op_ = 0;
+  std::vector<Op> log_;
+  bool fault_fired_ = false;
+
+  bool fail_op_armed_ = false;
+  std::uint64_t fail_op_index_ = 0;
+  bool fail_kind_armed_ = false;
+  Op fail_kind_ = Op::kAppend;
+  bool short_write_armed_ = false;
+  std::uint64_t short_write_index_ = 0;
+  std::size_t short_write_bytes_ = 0;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_FAULT_INJECTING_FS_H_

@@ -6,27 +6,78 @@
 
 namespace tlp {
 
-/// Lightweight success-or-message result used by the fallible, non-hot-path
-/// parts of the library (snapshot persistence, file I/O). An empty message
-/// means success; a failure always carries a human-readable diagnostic so
-/// callers (CLI, tests) can surface *why* a load was rejected instead of
-/// crashing on malformed input.
+/// Failure classes coarse enough to stay stable and fine enough to act on:
+/// the CLI maps them to distinct exit codes, and callers can distinguish "the
+/// environment failed me" (retry elsewhere) from "the input is bad" (do not
+/// retry).
+enum class StatusCode {
+  kOk = 0,
+  /// Unclassified failure (the legacy Status::Error constructor).
+  kUnknown,
+  /// The caller's request is malformed (bad arguments, malformed input
+  /// text such as a WKT line or CSV row).
+  kInvalidArgument,
+  /// The environment failed: open/read/write/rename/fsync errors, ENOSPC,
+  /// permissions, missing files.
+  kIoError,
+  /// The bytes were read fine but are not a valid artifact: bad magic,
+  /// checksum mismatch, truncation, structurally inconsistent sections.
+  kCorruption,
+  /// A valid snapshot of the wrong index kind (or a kind that does not
+  /// support the requested load mode).
+  kKindMismatch,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kUnknown: return "unknown";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCorruption: return "corruption";
+    case StatusCode::kKindMismatch: return "kind-mismatch";
+  }
+  return "?";
+}
+
+/// Lightweight success-or-(code, message) result used by the fallible,
+/// non-hot-path parts of the library (snapshot persistence, file I/O). A
+/// failure always carries a human-readable diagnostic so callers (CLI,
+/// tests) can surface *why* a load was rejected instead of crashing on
+/// malformed input, plus a StatusCode so they can react per failure class
+/// (the CLI's exit codes, for one) without parsing message text.
 class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
   static Status OK() { return Status(); }
   static Status Error(std::string message) {
-    Status s;
-    s.message_ = std::move(message);
-    if (s.message_.empty()) s.message_ = "unknown error";
-    return s;
+    return Status(StatusCode::kUnknown, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status KindMismatch(std::string message) {
+    return Status(StatusCode::kKindMismatch, std::move(message));
   }
 
-  bool ok() const { return message_.empty(); }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
  private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    if (message_.empty()) message_ = StatusCodeName(code_);
+  }
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

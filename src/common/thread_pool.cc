@@ -17,6 +17,9 @@ ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
+    // An unconsumed error dies with the pool: rethrowing from a destructor
+    // would terminate, which is exactly what this pool exists to prevent.
+    first_error_ = nullptr;
   }
   task_ready_.notify_all();
   for (auto& worker : workers_) worker.join();
@@ -34,11 +37,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    // Consume before rethrowing so the error surfaces exactly once and the
+    // pool is reusable afterwards.
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    bool discard;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock,
@@ -49,8 +60,22 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      // Once a task has thrown, the rest of the batch is moot: drain the
+      // queue without running it so Wait() can report the failure promptly
+      // (and still observe in_flight_ reach zero — no deadlock, no leak).
+      discard = first_error_ != nullptr;
     }
-    task();
+    if (!discard) {
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
+    }
+    task = nullptr;  // run destructors of captures outside the lock
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -73,7 +98,7 @@ void ParallelFor(ThreadPool& pool, std::size_t count,
     const std::size_t end = std::min(count, begin + chunk_size);
     pool.Submit([&body, begin, end] { body(begin, end); });
   }
-  pool.Wait();
+  pool.Wait();  // rethrows the first chunk exception, if any
 }
 
 void ParallelForChunks(
@@ -94,7 +119,7 @@ void ParallelForChunks(
       body(c, chunk_begin(c), chunk_begin(c + 1));
     });
   }
-  pool.Wait();
+  pool.Wait();  // rethrows the first chunk exception, if any
 }
 
 }  // namespace tlp

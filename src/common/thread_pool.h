@@ -1,9 +1,9 @@
 #ifndef TLP_COMMON_THREAD_POOL_H_
 #define TLP_COMMON_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,7 +14,19 @@ namespace tlp {
 
 /// Fixed-size worker pool. The paper uses OpenMP; we use std::thread so the
 /// library has no compiler-extension dependency. Used by the batch executors
-/// (§VI) and the distributed-execution simulator.
+/// (§VI), the parallel Build() paths, and the distributed-execution
+/// simulator.
+///
+/// Exception safety: a task that throws does not touch std::terminate. The
+/// pool captures the first exception (std::exception_ptr), discards the
+/// tasks still queued in that batch (they are counted as finished but never
+/// run — failing fast instead of burning cores on work whose batch already
+/// failed), and Wait() rethrows the captured exception on the calling
+/// thread exactly once after every submitted task has finished or been
+/// discarded. After the rethrow the pool is clean and reusable. Destroying
+/// a pool with an unconsumed error just drops it — destructors must not
+/// throw. ParallelFor/ParallelForChunks and everything built on them
+/// (BatchExecutor, parallel Build) inherit this contract through Wait().
 ///
 /// Not copyable or movable: workers capture `this`.
 class ThreadPool {
@@ -27,10 +39,15 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  /// Enqueues a task. Tasks must not themselves block on Wait().
+  /// Enqueues a task. Tasks must not themselves block on Wait(). A task
+  /// submitted while a captured exception is pending joins the poisoned
+  /// batch: it may be discarded unrun.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing (or was
+  /// discarded after a failure), then rethrows the first exception any
+  /// task of the batch threw. Returns normally when no task threw. Safe to
+  /// call with zero submitted tasks.
   void Wait();
 
   std::size_t num_threads() const { return workers_.size(); }
@@ -45,11 +62,16 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait(); guarded by
+  /// mutex_. Non-null also serves as the "discard queued work" flag.
+  std::exception_ptr first_error_;
 };
 
 /// Splits [0, count) into contiguous chunks and runs `body(begin, end)` for
 /// each chunk on the pool, blocking until all chunks complete. When the pool
 /// has one worker this degenerates to a sequential loop with no queuing.
+/// Rethrows the first exception a chunk threw (after all chunks finished or
+/// were discarded, so `body` is never still referenced when this returns).
 void ParallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -60,7 +82,7 @@ void ParallelFor(ThreadPool& pool, std::size_t count,
 /// scratch state (e.g. a per-chunk count array) and merge deterministically
 /// afterwards. Chunks may be empty (begin == end); every chunk index is
 /// still invoked. With a one-worker pool the chunks run sequentially in
-/// index order.
+/// index order. Exceptions propagate as in ParallelFor.
 void ParallelForChunks(
     ThreadPool& pool, std::size_t count, std::size_t num_chunks,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body);

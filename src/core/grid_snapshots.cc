@@ -89,17 +89,17 @@ Status TwoLayerGrid::LoadSnapshotSections(const SnapshotReader& reader,
                 kBeginBytes);
     const auto& b = tiles[t].begin;
     if (b[0] != 0) {
-      return Status::Error("corrupt snapshot: tile begin[0] != 0");
+      return Status::Corruption("corrupt snapshot: tile begin[0] != 0");
     }
     for (int c = 0; c < kNumClasses; ++c) {
       if (b[c] > b[c + 1]) {
-        return Status::Error(
+        return Status::Corruption(
             "corrupt snapshot: non-monotone tile class boundaries");
       }
     }
     total += b[kNumClasses];
     if (total > max_entries) {
-      return Status::Error(
+      return Status::Corruption(
           "corrupt snapshot: tile begins claim more entries than the "
           "entries section holds");
     }
@@ -134,17 +134,17 @@ void TwoLayerGrid::ThawStorage() {
   frozen_ = false;
 }
 
-Status TwoLayerGrid::Save(const std::string& path) const {
+Status TwoLayerGrid::Save(const std::string& path, FileSystem* fs) const {
   SnapshotWriter writer;
-  Status s = writer.Open(path, SnapshotIndexKind::kTwoLayerGrid);
+  Status s = writer.Open(path, SnapshotIndexKind::kTwoLayerGrid, fs);
   if (!s.ok()) return s;
   AppendSnapshotSections(&writer);
   return writer.Finalize(SizeBytes(), entry_count());
 }
 
-Status TwoLayerGrid::Load(const std::string& path) {
+Status TwoLayerGrid::Load(const std::string& path, FileSystem* fs) {
   SnapshotReader reader;
-  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered);
+  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered, fs);
   if (!s.ok()) return s;
   s = ExpectKind(reader, SnapshotIndexKind::kTwoLayerGrid, "TwoLayerGrid");
   if (!s.ok()) return s;
@@ -153,9 +153,10 @@ Status TwoLayerGrid::Load(const std::string& path) {
 
 TwoLayerPlusGrid::~TwoLayerPlusGrid() = default;
 
-Status TwoLayerPlusGrid::Save(const std::string& path) const {
+Status TwoLayerPlusGrid::Save(const std::string& path,
+                              FileSystem* fs) const {
   SnapshotWriter writer;
-  Status s = writer.Open(path, SnapshotIndexKind::kTwoLayerPlusGrid);
+  Status s = writer.Open(path, SnapshotIndexKind::kTwoLayerPlusGrid, fs);
   if (!s.ok()) return s;
 
   record_.AppendSnapshotSections(&writer);
@@ -225,16 +226,18 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
   if (Status f = reader.Find(kSecTableIds, &ids_span); !f.ok()) return f;
 
   if (mbrs_span.size % sizeof(Box) != 0) {
-    return Status::Error("corrupt snapshot: MBR section not a Box array");
+    return Status::Corruption(
+        "corrupt snapshot: MBR section not a Box array");
   }
   const std::size_t mbr_count = mbrs_span.size / sizeof(Box);
   if (dir_span.size % sizeof(SnapshotTableDirEntry) != 0) {
-    return Status::Error("corrupt snapshot: malformed table directory");
+    return Status::Corruption(
+        "corrupt snapshot: malformed table directory");
   }
   const std::size_t dir_count =
       dir_span.size / sizeof(SnapshotTableDirEntry);
   if (dir_count > g.tile_count()) {
-    return Status::Error(
+    return Status::Corruption(
         "corrupt snapshot: more table directory entries than tiles");
   }
 
@@ -255,7 +258,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
     const SnapshotTableDirEntry& e = dir[d];
     if (e.tile_id >= g.tile_count() ||
         (d > 0 && e.tile_id <= prev_tile)) {
-      return Status::Error(
+      return Status::Corruption(
           "corrupt snapshot: table directory tiles not strictly increasing");
     }
     prev_tile = e.tile_id;
@@ -268,7 +271,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
         const std::uint32_t n = e.count[c][k];
         const bool stored = TableStored(cls, static_cast<CoordKind>(k));
         if ((!stored && n != 0) || (stored && n != expected)) {
-          return Status::Error(
+          return Status::Corruption(
               "corrupt snapshot: table sizes disagree with the record "
               "layer's partitions");
         }
@@ -276,7 +279,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
       }
     }
     if (column_total > max_columns) {
-      return Status::Error(
+      return Status::Corruption(
           "corrupt snapshot: table directory claims more columns than the "
           "values section holds");
     }
@@ -286,7 +289,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
                       record.ClassCount(i, j, ObjectClass::kD);
   }
   if (entries_in_dir != record.entry_count()) {
-    return Status::Error(
+    return Status::Corruption(
         "corrupt snapshot: table directory misses tiles that hold entries");
   }
   if (Status f = ExpectSectionSize(values_span, column_total, sizeof(Coord),
@@ -310,7 +313,7 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
     // internally consistent checksums.
     for (std::uint64_t x = 0; x < column_total; ++x) {
       if (ids[x] >= mbr_count) {
-        return Status::Error(
+        return Status::Corruption(
             "corrupt snapshot: table id out of MBR-table range");
       }
     }
@@ -355,9 +358,9 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
   return Status::OK();
 }
 
-Status TwoLayerPlusGrid::Load(const std::string& path) {
+Status TwoLayerPlusGrid::Load(const std::string& path, FileSystem* fs) {
   SnapshotReader reader;
-  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered);
+  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered, fs);
   if (!s.ok()) return s;
   s = ExpectKind(reader, SnapshotIndexKind::kTwoLayerPlusGrid,
                  "TwoLayerPlusGrid");
@@ -370,9 +373,9 @@ Status TwoLayerPlusGrid::Load(const std::string& path) {
 }
 
 Status TwoLayerPlusGrid::LoadMapped(const std::string& path,
-                                    bool verify_checksums) {
+                                    bool verify_checksums, FileSystem* fs) {
   auto reader = std::make_unique<SnapshotReader>();
-  Status s = reader->Open(path, SnapshotReader::Mode::kMapped);
+  Status s = reader->Open(path, SnapshotReader::Mode::kMapped, fs);
   if (!s.ok()) return s;
   if (verify_checksums) {
     s = reader->VerifyPayloadChecksums();

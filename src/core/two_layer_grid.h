@@ -94,8 +94,9 @@ class TwoLayerGrid final : public PersistentIndex {
   std::string name() const override { return "2-layer"; }
 
   /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
-  Status Save(const std::string& path) const override;
-  Status Load(const std::string& path) override;
+  Status Save(const std::string& path,
+              FileSystem* fs = nullptr) const override;
+  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
 
   /// Container-level snapshot plumbing: writes/reads this grid's sections
   /// (layout, tile begins, tile entries) inside an open snapshot. Used by

@@ -71,8 +71,9 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
   /// Save works in any state (a frozen index saves its mapped contents);
   /// Load deserializes into owned storage and leaves the index mutable.
-  Status Save(const std::string& path) const override;
-  Status Load(const std::string& path) override;
+  Status Save(const std::string& path,
+              FileSystem* fs = nullptr) const override;
+  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
 
   /// Zero-copy cold start: mmap()s the snapshot read-only and points every
   /// per-tile SortedTable column and the id->MBR table straight into the
@@ -85,7 +86,8 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// eagerly, so the payload contents are trusted: use the default only on
   /// snapshots that never crossed a trust boundary (docs/PERSISTENCE.md).
   /// On any failure the index is left exactly as it was.
-  Status LoadMapped(const std::string& path, bool verify_checksums = false);
+  Status LoadMapped(const std::string& path, bool verify_checksums = false,
+                    FileSystem* fs = nullptr);
 
   bool frozen() const override { return frozen_; }
 

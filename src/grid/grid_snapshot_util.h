@@ -51,9 +51,10 @@ inline Status ReadLayoutSection(const SnapshotReader& reader,
   Status s = reader.Find(kSecLayout, &span);
   if (!s.ok()) return s;
   if (span.size != sizeof(LayoutBlob)) {
-    return Status::Error("corrupt snapshot: layout section has " +
-                         std::to_string(span.size) + " bytes, expected " +
-                         std::to_string(sizeof(LayoutBlob)));
+    return Status::Corruption("corrupt snapshot: layout section has " +
+                              std::to_string(span.size) +
+                              " bytes, expected " +
+                              std::to_string(sizeof(LayoutBlob)));
   }
   LayoutBlob blob;
   std::memcpy(&blob, span.data, sizeof(blob));
@@ -61,7 +62,7 @@ inline Status ReadLayoutSection(const SnapshotReader& reader,
       !std::isfinite(blob.xu) || !std::isfinite(blob.yu) ||
       blob.xu <= blob.xl || blob.yu <= blob.yl || blob.nx < 1 ||
       blob.ny < 1) {
-    return Status::Error("corrupt snapshot: invalid grid layout");
+    return Status::Corruption("corrupt snapshot: invalid grid layout");
   }
   *out = GridLayout(Box{blob.xl, blob.yl, blob.xu, blob.yu}, blob.nx,
                     blob.ny);
@@ -78,11 +79,11 @@ inline Status ExpectSectionSize(const SnapshotReader::Span& span,
                                 std::uint64_t count, std::size_t record_size,
                                 const char* what) {
   if (span.size % record_size != 0 || span.size / record_size != count) {
-    return Status::Error("corrupt snapshot: " + std::string(what) +
-                         " section has " + std::to_string(span.size) +
-                         " bytes, expected " + std::to_string(count) +
-                         " records of " + std::to_string(record_size) +
-                         " bytes");
+    return Status::Corruption("corrupt snapshot: " + std::string(what) +
+                              " section has " + std::to_string(span.size) +
+                              " bytes, expected " + std::to_string(count) +
+                              " records of " + std::to_string(record_size) +
+                              " bytes");
   }
   return Status::OK();
 }
@@ -92,7 +93,7 @@ inline Status ExpectKind(const SnapshotReader& reader, SnapshotIndexKind kind,
                          const char* loader_name) {
   const std::uint32_t got = reader.header().index_kind;
   if (got != static_cast<std::uint32_t>(kind)) {
-    return Status::Error(
+    return Status::KindMismatch(
         std::string(loader_name) + " cannot load a '" +
         SnapshotIndexKindName(static_cast<SnapshotIndexKind>(got)) +
         "' snapshot (expected '" + SnapshotIndexKindName(kind) + "')");

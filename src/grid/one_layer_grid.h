@@ -55,8 +55,9 @@ class OneLayerGrid final : public PersistentIndex {
   /// Snapshot persistence (src/persist; defined in grid/one_layer_snapshot
   /// .cc). The baseline grid only supports owned (deserializing) loads; the
   /// dedup policy travels with the snapshot.
-  Status Save(const std::string& path) const override;
-  Status Load(const std::string& path) override;
+  Status Save(const std::string& path,
+              FileSystem* fs = nullptr) const override;
+  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
 
   const GridLayout& layout() const { return layout_; }
 

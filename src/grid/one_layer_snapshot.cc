@@ -20,9 +20,9 @@ using snapshot_internal::ExpectSectionSize;
 using snapshot_internal::ReadLayoutSection;
 using snapshot_internal::WriteLayoutSection;
 
-Status OneLayerGrid::Save(const std::string& path) const {
+Status OneLayerGrid::Save(const std::string& path, FileSystem* fs) const {
   SnapshotWriter writer;
-  Status s = writer.Open(path, SnapshotIndexKind::kOneLayerGrid);
+  Status s = writer.Open(path, SnapshotIndexKind::kOneLayerGrid, fs);
   if (!s.ok()) return s;
 
   WriteLayoutSection(&writer, layout_);
@@ -46,9 +46,9 @@ Status OneLayerGrid::Save(const std::string& path) const {
   return writer.Finalize(SizeBytes(), entry_count());
 }
 
-Status OneLayerGrid::Load(const std::string& path) {
+Status OneLayerGrid::Load(const std::string& path, FileSystem* fs) {
   SnapshotReader reader;
-  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered);
+  Status s = reader.Open(path, SnapshotReader::Mode::kBuffered, fs);
   if (!s.ok()) return s;
   s = ExpectKind(reader, SnapshotIndexKind::kOneLayerGrid, "OneLayerGrid");
   if (!s.ok()) return s;
@@ -73,8 +73,8 @@ Status OneLayerGrid::Load(const std::string& path) {
   std::memcpy(&policy, policy_span.data, sizeof(policy));
   if (policy != static_cast<std::uint32_t>(DedupPolicy::kReferencePoint) &&
       policy != static_cast<std::uint32_t>(DedupPolicy::kHash)) {
-    return Status::Error("corrupt snapshot: unknown dedup policy " +
-                         std::to_string(policy));
+    return Status::Corruption("corrupt snapshot: unknown dedup policy " +
+                              std::to_string(policy));
   }
 
   const std::size_t tile_count = layout.tile_count();
@@ -94,7 +94,7 @@ Status OneLayerGrid::Load(const std::string& path) {
   for (const std::uint32_t c : counts) {
     total += c;
     if (total > max_entries) {
-      return Status::Error(
+      return Status::Corruption(
           "corrupt snapshot: tile counts claim more entries than the "
           "entries section holds");
     }

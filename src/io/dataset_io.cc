@@ -1,9 +1,11 @@
 #include "io/dataset_io.h"
 
+#include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <string_view>
+#include <utility>
 
 #include "io/wkt.h"
 
@@ -11,12 +13,7 @@ namespace tlp {
 
 namespace {
 
-bool Fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
-
-bool SkippableLine(const std::string& line) {
+bool SkippableLine(std::string_view line) {
   for (const char c : line) {
     if (c == '#') return true;
     if (!std::isspace(static_cast<unsigned char>(c))) return false;
@@ -24,103 +21,130 @@ bool SkippableLine(const std::string& line) {
   return true;  // blank
 }
 
+std::string AtLine(const std::string& path, std::size_t line_no) {
+  return path + ":" + std::to_string(line_no) + ": ";
+}
+
+/// Calls `line_fn(line, line_no)` for every line of the file at `path`
+/// (handling a trailing CRLF and a missing final newline), stopping at the
+/// first failure. Factors the read-whole-file-then-split loop the text
+/// loaders share.
+template <typename LineFn>
+Status ForEachLine(FileSystem* fs, const std::string& path, LineFn line_fn) {
+  std::vector<unsigned char> bytes;
+  Status s = ResolveFs(fs)->ReadFile(path, &bytes);
+  if (!s.ok()) return s;
+  const std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  std::size_t line_no = 0;
+  for (std::size_t begin = 0; begin < text.size();) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(begin, end - begin);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_no;
+    s = line_fn(line, line_no);
+    if (!s.ok()) return s;
+    begin = end + 1;
+  }
+  return Status::OK();
+}
+
+Status WriteTextFile(FileSystem* fs, const std::string& path,
+                     const std::string& text) {
+  std::unique_ptr<WritableFile> file;
+  Status s = ResolveFs(fs)->NewWritableFile(path, &file);
+  if (!s.ok()) return s;
+  s = file->Append(text.data(), text.size());
+  Status closed = file->Close();
+  if (s.ok()) s = std::move(closed);
+  return s;
+}
+
 }  // namespace
 
-std::optional<GeometryStore> LoadWktFile(const std::string& path,
-                                         std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    Fail(error, "cannot open " + path);
-    return std::nullopt;
-  }
+Status LoadWktFile(const std::string& path, GeometryStore* out,
+                   FileSystem* fs) {
   GeometryStore store;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (SkippableLine(line)) continue;
-    std::string parse_error;
-    auto geometry = ParseWkt(line, &parse_error);
-    if (!geometry.has_value()) {
-      Fail(error, path + ":" + std::to_string(line_no) + ": " + parse_error);
-      return std::nullopt;
-    }
-    store.Add(std::move(*geometry));
-  }
-  return store;
-}
-
-bool SaveWktFile(const GeometryStore& store, const std::string& path,
-                 std::string* error) {
-  std::ofstream out(path);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
-  for (ObjectId id = 0; id < store.size(); ++id) {
-    out << ToWkt(store.geometry(id)) << '\n';
-  }
-  out.flush();
-  if (!out) return Fail(error, "write error on " + path);
-  return true;
-}
-
-std::optional<std::vector<BoxEntry>> LoadMbrCsv(const std::string& path,
-                                                std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    Fail(error, "cannot open " + path);
-    return std::nullopt;
-  }
-  std::vector<BoxEntry> entries;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (SkippableLine(line)) continue;
-    Box b;
-    double* fields[4] = {&b.xl, &b.yl, &b.xu, &b.yu};
-    const char* p = line.data();
-    const char* end = line.data() + line.size();
-    bool ok = true;
-    for (int f = 0; f < 4 && ok; ++f) {
-      while (p < end && (*p == ' ' || *p == '\t')) ++p;
-      const auto result = std::from_chars(p, end, *fields[f]);
-      if (result.ec != std::errc{}) {
-        ok = false;
-        break;
-      }
-      p = result.ptr;
-      while (p < end && (*p == ' ' || *p == '\t')) ++p;
-      if (f < 3) {
-        if (p >= end || *p != ',') {
-          ok = false;
-          break;
+  Status s = ForEachLine(
+      fs, path, [&](std::string_view line, std::size_t line_no) -> Status {
+        if (SkippableLine(line)) return Status::OK();
+        std::string parse_error;
+        auto geometry = ParseWkt(line, &parse_error);
+        if (!geometry.has_value()) {
+          return Status::InvalidArgument(AtLine(path, line_no) + parse_error);
         }
-        ++p;
-      }
-    }
-    if (!ok || b.xl > b.xu || b.yl > b.yu) {
-      Fail(error,
-           path + ":" + std::to_string(line_no) + ": malformed MBR row");
-      return std::nullopt;
-    }
-    entries.push_back(
-        BoxEntry{b, static_cast<ObjectId>(entries.size())});
-  }
-  return entries;
+        store.Add(std::move(*geometry));
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+  *out = std::move(store);
+  return Status::OK();
 }
 
-bool SaveMbrCsv(const std::vector<BoxEntry>& entries, const std::string& path,
-                std::string* error) {
-  std::ofstream out(path);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
+Status SaveWktFile(const GeometryStore& store, const std::string& path,
+                   FileSystem* fs) {
+  std::string text;
+  for (ObjectId id = 0; id < store.size(); ++id) {
+    text += ToWkt(store.geometry(id));
+    text += '\n';
+  }
+  return WriteTextFile(fs, path, text);
+}
+
+Status LoadMbrCsv(const std::string& path, std::vector<BoxEntry>* out,
+                  FileSystem* fs) {
+  std::vector<BoxEntry> entries;
+  Status s = ForEachLine(
+      fs, path, [&](std::string_view line, std::size_t line_no) -> Status {
+        if (SkippableLine(line)) return Status::OK();
+        auto malformed = [&](const char* why) {
+          return Status::InvalidArgument(AtLine(path, line_no) +
+                                         "malformed MBR row: " + why);
+        };
+        Box b;
+        double* fields[4] = {&b.xl, &b.yl, &b.xu, &b.yu};
+        const char* p = line.data();
+        const char* end = line.data() + line.size();
+        for (int f = 0; f < 4; ++f) {
+          while (p < end && (*p == ' ' || *p == '\t')) ++p;
+          const auto result = std::from_chars(p, end, *fields[f]);
+          if (result.ec != std::errc{}) {
+            return malformed("expected 4 numeric fields");
+          }
+          if (!std::isfinite(*fields[f])) {
+            return malformed("non-finite coordinate");
+          }
+          p = result.ptr;
+          while (p < end && (*p == ' ' || *p == '\t')) ++p;
+          if (f < 3) {
+            if (p >= end || *p != ',') return malformed("expected ','");
+            ++p;
+          }
+        }
+        // Anything after the 4th field is an error, not silently dropped: a
+        // 5-column file almost certainly is not the xl,yl,xu,yu this parser
+        // assumes.
+        if (p != end) return malformed("trailing characters");
+        if (b.xl > b.xu || b.yl > b.yu) return malformed("inverted box");
+        entries.push_back(BoxEntry{b, static_cast<ObjectId>(entries.size())});
+        return Status::OK();
+      });
+  if (!s.ok()) return s;
+  *out = std::move(entries);
+  return Status::OK();
+}
+
+Status SaveMbrCsv(const std::vector<BoxEntry>& entries,
+                  const std::string& path, FileSystem* fs) {
+  std::string text;
   char buffer[160];
   for (const BoxEntry& e : entries) {
     std::snprintf(buffer, sizeof(buffer), "%.17g,%.17g,%.17g,%.17g\n",
                   e.box.xl, e.box.yl, e.box.xu, e.box.yu);
-    out << buffer;
+    text += buffer;
   }
-  out.flush();
-  if (!out) return Fail(error, "write error on " + path);
-  return true;
+  return WriteTextFile(fs, path, text);
 }
 
 }  // namespace tlp

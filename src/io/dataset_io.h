@@ -1,35 +1,46 @@
 #ifndef TLP_IO_DATASET_IO_H_
 #define TLP_IO_DATASET_IO_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/file_system.h"
+#include "common/status.h"
 #include "geometry/box.h"
 #include "geometry/geometry_store.h"
 
 namespace tlp {
 
+/// Dataset text formats. All functions route their file I/O through the
+/// given FileSystem (POSIX default when null) and report failures as a
+/// Status: the environment failing to read/write is kIoError; malformed
+/// input text is kInvalidArgument with the offending `path:line` in the
+/// message. Loaders only assign `*out` on success — a failed load never
+/// leaves a partially parsed dataset behind. Saves are plain writes, not
+/// the snapshot layer's atomic temp+rename protocol: datasets are inputs
+/// regenerable from their source, not the system of record.
+
 /// Loads a dataset of WKT geometries, one per line (the format of the
 /// public TIGER extracts used by SpatialHadoop and the paper), into a
 /// GeometryStore. Empty lines and lines starting with '#' are skipped;
-/// malformed lines abort the load. Returns nullopt and sets `*error` (with
-/// the line number) on failure.
-std::optional<GeometryStore> LoadWktFile(const std::string& path,
-                                         std::string* error = nullptr);
+/// a malformed line aborts the load.
+Status LoadWktFile(const std::string& path, GeometryStore* out,
+                   FileSystem* fs = nullptr);
 
 /// Writes a GeometryStore as one WKT per line (inverse of LoadWktFile).
-bool SaveWktFile(const GeometryStore& store, const std::string& path,
-                 std::string* error = nullptr);
+Status SaveWktFile(const GeometryStore& store, const std::string& path,
+                   FileSystem* fs = nullptr);
 
 /// Loads MBR entries from CSV lines `xl,yl,xu,yu` (ids are assigned by line
-/// order) — the cheap format for filtering-only experiments.
-std::optional<std::vector<BoxEntry>> LoadMbrCsv(const std::string& path,
-                                                std::string* error = nullptr);
+/// order) — the cheap format for filtering-only experiments. Rows with
+/// non-numeric or non-finite coordinates, missing fields, trailing garbage,
+/// or an inverted box are rejected with their line number.
+Status LoadMbrCsv(const std::string& path, std::vector<BoxEntry>* out,
+                  FileSystem* fs = nullptr);
 
 /// Writes MBR entries as CSV (inverse of LoadMbrCsv; ids are implicit).
-bool SaveMbrCsv(const std::vector<BoxEntry>& entries, const std::string& path,
-                std::string* error = nullptr);
+Status SaveMbrCsv(const std::vector<BoxEntry>& entries,
+                  const std::string& path, FileSystem* fs = nullptr);
 
 }  // namespace tlp
 

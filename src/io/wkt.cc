@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace tlp {
@@ -53,6 +54,10 @@ class Cursor {
     const char* end = text_.data() + text_.size();
     const auto result = std::from_chars(begin, end, *out);
     if (result.ec != std::errc{}) return false;
+    // from_chars accepts "inf"/"nan" spellings and overflowing exponents;
+    // a non-finite coordinate would poison every box computation downstream
+    // (NaN compares false with everything), so reject it here.
+    if (!std::isfinite(*out)) return false;
     pos_ += result.ptr - begin;
     return true;
   }
@@ -72,13 +77,21 @@ bool Fail(std::string* error, const char* message) {
   return false;
 }
 
+/// One geometry never legitimately carries this many vertices in the TIGER
+/// extracts; past it the line is malformed (or hostile) and rejecting beats
+/// buffering an unbounded point list.
+constexpr std::size_t kMaxVertices = 1u << 22;  // ~4M points, ~64 MiB
+
 bool ParsePointList(Cursor& cur, std::vector<Point>* points,
                     std::string* error) {
   if (!cur.ConsumeChar('(')) return Fail(error, "expected '('");
   do {
     Point p;
     if (!cur.ParseDouble(&p.x) || !cur.ParseDouble(&p.y)) {
-      return Fail(error, "expected coordinate pair");
+      return Fail(error, "expected finite coordinate pair");
+    }
+    if (points->size() >= kMaxVertices) {
+      return Fail(error, "geometry exceeds the vertex limit");
     }
     points->push_back(p);
   } while (cur.ConsumeChar(','));

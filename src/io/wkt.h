@@ -12,7 +12,9 @@ namespace tlp {
 /// Parses one Well-Known Text geometry: POINT, LINESTRING, or POLYGON
 /// (outer ring only; WKT's closing vertex is dropped since Polygon rings
 /// are implicitly closed). Returns nullopt on malformed input; sets
-/// `*error` (when non-null) to a human-readable reason.
+/// `*error` (when non-null) to a human-readable reason. Malformed covers
+/// hostile input too: non-finite coordinates ("inf"/"nan"/overflowing
+/// exponents) and oversized vertex lists are rejected, never propagated.
 ///
 /// Grammar subset:
 ///   POINT (x y)

@@ -17,9 +17,10 @@ GridLayout BootstrapLayout() { return GridLayout(Box{0, 0, 1, 1}, 1, 1); }
 
 }  // namespace
 
-Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out) {
+Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out,
+                        FileSystem* fs) {
   SnapshotReader reader;
-  Status s = reader.Open(path, SnapshotReader::Mode::kMapped);
+  Status s = reader.Open(path, SnapshotReader::Mode::kMapped, fs);
   if (!s.ok()) return s;
   const SnapshotHeader& h = reader.header();
   out->kind = static_cast<SnapshotIndexKind>(h.index_kind);
@@ -31,54 +32,56 @@ Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out) {
   return Status::OK();
 }
 
-Status VerifySnapshot(const std::string& path) {
+Status VerifySnapshot(const std::string& path, FileSystem* fs) {
   SnapshotReader reader;
-  Status s = reader.Open(path, SnapshotReader::Mode::kMapped);
+  Status s = reader.Open(path, SnapshotReader::Mode::kMapped, fs);
   if (!s.ok()) return s;
   return reader.VerifyPayloadChecksums();
 }
 
 Status OpenSnapshot(const std::string& path, bool mapped,
-                    std::unique_ptr<PersistentIndex>* out) {
+                    std::unique_ptr<PersistentIndex>* out, FileSystem* fs) {
   SnapshotInfo info;
-  Status s = ReadSnapshotInfo(path, &info);
+  Status s = ReadSnapshotInfo(path, &info, fs);
   if (!s.ok()) return s;
 
   switch (info.kind) {
     case SnapshotIndexKind::kOneLayerGrid: {
       if (mapped) {
-        return Status::Error(
+        return Status::KindMismatch(
             "mapped load is only supported for 2-layer+ snapshots; '" + path +
             "' holds a 1-layer index");
       }
       auto index = std::make_unique<OneLayerGrid>(BootstrapLayout());
-      s = index->Load(path);
+      s = index->Load(path, fs);
       if (!s.ok()) return s;
       *out = std::move(index);
       return Status::OK();
     }
     case SnapshotIndexKind::kTwoLayerGrid: {
       if (mapped) {
-        return Status::Error(
+        return Status::KindMismatch(
             "mapped load is only supported for 2-layer+ snapshots; '" + path +
             "' holds a 2-layer index");
       }
       auto index = std::make_unique<TwoLayerGrid>(BootstrapLayout());
-      s = index->Load(path);
+      s = index->Load(path, fs);
       if (!s.ok()) return s;
       *out = std::move(index);
       return Status::OK();
     }
     case SnapshotIndexKind::kTwoLayerPlusGrid: {
       auto index = std::make_unique<TwoLayerPlusGrid>(BootstrapLayout());
-      s = mapped ? index->LoadMapped(path) : index->Load(path);
+      s = mapped ? index->LoadMapped(path, /*verify_checksums=*/false, fs)
+                 : index->Load(path, fs);
       if (!s.ok()) return s;
       *out = std::move(index);
       return Status::OK();
     }
   }
-  return Status::Error("snapshot '" + path + "' holds unknown index kind " +
-                       std::to_string(static_cast<std::uint32_t>(info.kind)));
+  return Status::Corruption(
+      "snapshot '" + path + "' holds unknown index kind " +
+      std::to_string(static_cast<std::uint32_t>(info.kind)));
 }
 
 }  // namespace tlp

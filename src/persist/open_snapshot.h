@@ -6,6 +6,7 @@
 #include <string>
 
 #include "api/spatial_index.h"
+#include "common/file_system.h"
 #include "common/status.h"
 #include "persist/snapshot_format.h"
 
@@ -22,19 +23,22 @@ struct SnapshotInfo {
 };
 
 /// Validates the header/section table of `path` (O(1) pages, no payload
-/// read) and reports what the snapshot holds.
-Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out);
+/// read) and reports what the snapshot holds. `fs` routes the file I/O
+/// (POSIX default when null), as everywhere in this header.
+Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out,
+                        FileSystem* fs = nullptr);
 
 /// Full integrity pass: header, section table, and every payload CRC.
-Status VerifySnapshot(const std::string& path);
+Status VerifySnapshot(const std::string& path, FileSystem* fs = nullptr);
 
 /// Opens `path` as whatever index kind it holds — the snapshot, not the
 /// caller, names the class. With `mapped` the 2-layer+ zero-copy load path
-/// is used (other kinds have no mapped representation and are refused, so a
-/// caller asking for O(pages) cold start never silently pays a full
-/// deserialization).
+/// is used (other kinds have no mapped representation and are refused with
+/// StatusCode::kKindMismatch, so a caller asking for O(pages) cold start
+/// never silently pays a full deserialization).
 Status OpenSnapshot(const std::string& path, bool mapped,
-                    std::unique_ptr<PersistentIndex>* out);
+                    std::unique_ptr<PersistentIndex>* out,
+                    FileSystem* fs = nullptr);
 
 }  // namespace tlp
 

@@ -1,12 +1,7 @@
 #include "persist/snapshot_reader.h"
 
-#include <sys/stat.h>
-
-#include <cerrno>
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <limits>
 
 namespace tlp {
 
@@ -18,46 +13,22 @@ std::string SectionName(std::uint32_t id) {
 
 }  // namespace
 
-Status SnapshotReader::Open(const std::string& path, Mode mode) {
+Status SnapshotReader::Open(const std::string& path, Mode mode,
+                            FileSystem* fs) {
+  FileSystem* const resolved = ResolveFs(fs);
   mode_ = mode;
   table_.clear();
   base_ = nullptr;
   if (mode == Mode::kMapped) {
-    std::string error;
-    if (!MappedFile::Open(path, &map_, &error)) return Status::Error(error);
+    Status s = resolved->MapReadOnly(path, &map_);
+    if (!s.ok()) return s;
     base_ = map_.data();
     return Validate(path, map_.size());
   }
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::Error(path + ": cannot open snapshot: " +
-                         std::strerror(errno));
-  }
-  // Size via fstat: seek/tell would cap the size at LONG_MAX (2 GiB on
-  // LP32-style platforms) and silently ignore seek failures.
-  struct stat st;
-  if (::fstat(::fileno(f), &st) != 0) {
-    const std::string reason = std::strerror(errno);
-    std::fclose(f);
-    return Status::Error(path + ": cannot size snapshot: " + reason);
-  }
-  if (!S_ISREG(st.st_mode)) {
-    std::fclose(f);
-    return Status::Error(path + ": not a regular file");
-  }
-  const auto file_size = static_cast<std::uint64_t>(st.st_size);
-  if (file_size > std::numeric_limits<std::size_t>::max()) {
-    std::fclose(f);
-    return Status::Error(path + ": snapshot too large for this platform");
-  }
-  buffer_.resize(static_cast<std::size_t>(file_size));
-  const std::size_t got = std::fread(buffer_.data(), 1, buffer_.size(), f);
-  std::fclose(f);
-  if (got != buffer_.size()) {
-    return Status::Error(path + ": short read");
-  }
+  Status s = resolved->ReadFile(path, &buffer_);
+  if (!s.ok()) return s;
   base_ = buffer_.data();
-  Status s = Validate(path, buffer_.size());
+  s = Validate(path, buffer_.size());
   if (!s.ok()) return s;
   return VerifyPayloadChecksums();
 }
@@ -65,32 +36,33 @@ Status SnapshotReader::Open(const std::string& path, Mode mode) {
 Status SnapshotReader::Validate(const std::string& path,
                                 std::size_t actual_size) {
   if (actual_size < sizeof(SnapshotHeader)) {
-    return Status::Error(path + ": not a snapshot (file smaller than the " +
+    return Status::Corruption(path + ": not a snapshot (file smaller than the " +
                          std::to_string(sizeof(SnapshotHeader)) +
                          "-byte header)");
   }
   std::memcpy(&header_, base_, sizeof(SnapshotHeader));
   if (!SnapshotMagicMatches(header_)) {
-    return Status::Error(path + ": not a snapshot (bad magic)");
+    return Status::Corruption(path + ": not a snapshot (bad magic)");
   }
   const std::uint32_t expected_crc =
       Crc32(&header_, sizeof(SnapshotHeader) - sizeof(std::uint32_t));
   if (header_.header_crc != expected_crc) {
-    return Status::Error(path + ": header checksum mismatch (corrupt file)");
+    return Status::Corruption(path +
+                              ": header checksum mismatch (corrupt file)");
   }
   if (header_.endian_tag != kSnapshotEndianTag) {
-    return Status::Error(
+    return Status::Corruption(
         path + ": snapshot was written on a machine with different "
                "endianness; refusing to misread it");
   }
   if (header_.format_version != kSnapshotFormatVersion) {
-    return Status::Error(
+    return Status::Corruption(
         path + ": unsupported snapshot format version " +
         std::to_string(header_.format_version) + " (this build reads version " +
         std::to_string(kSnapshotFormatVersion) + ")");
   }
   if (header_.file_size != actual_size) {
-    return Status::Error(path + ": truncated snapshot (header records " +
+    return Status::Corruption(path + ": truncated snapshot (header records " +
                          std::to_string(header_.file_size) +
                          " bytes, file has " + std::to_string(actual_size) +
                          ")");
@@ -100,19 +72,19 @@ Status SnapshotReader::Validate(const std::string& path,
   if (header_.table_offset > actual_size ||
       table_bytes > actual_size - header_.table_offset ||
       header_.table_offset % alignof(SectionDesc) != 0) {
-    return Status::Error(path + ": section table out of bounds");
+    return Status::Corruption(path + ": section table out of bounds");
   }
   table_.resize(header_.section_count);
   std::memcpy(table_.data(), base_ + header_.table_offset, table_bytes);
   if (header_.table_crc != Crc32(table_.data(), table_bytes)) {
-    return Status::Error(path +
-                         ": section table checksum mismatch (corrupt file)");
+    return Status::Corruption(
+        path + ": section table checksum mismatch (corrupt file)");
   }
   for (const SectionDesc& sec : table_) {
     if (sec.offset % kSnapshotAlignment != 0 || sec.offset > actual_size ||
         sec.size > actual_size - sec.offset) {
-      return Status::Error(path + ": " + SectionName(sec.id) +
-                           " out of bounds (corrupt file)");
+      return Status::Corruption(path + ": " + SectionName(sec.id) +
+                                " out of bounds (corrupt file)");
     }
   }
   return Status::OK();
@@ -133,14 +105,15 @@ Status SnapshotReader::Find(std::uint32_t id, Span* out) const {
       return Status::OK();
     }
   }
-  return Status::Error("snapshot is missing mandatory " + SectionName(id));
+  return Status::Corruption("snapshot is missing mandatory " +
+                            SectionName(id));
 }
 
 Status SnapshotReader::VerifyPayloadChecksums() const {
   for (const SectionDesc& sec : table_) {
     if (Crc32(base_ + sec.offset, sec.size) != sec.crc32) {
-      return Status::Error(SectionName(sec.id) +
-                           " checksum mismatch (corrupt snapshot)");
+      return Status::Corruption(SectionName(sec.id) +
+                                " checksum mismatch (corrupt snapshot)");
     }
   }
   return Status::OK();

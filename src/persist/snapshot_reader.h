@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/file_system.h"
 #include "common/status.h"
 #include "persist/snapshot_format.h"
 
@@ -40,10 +41,13 @@ class SnapshotReader {
   SnapshotReader(SnapshotReader&&) = default;
   SnapshotReader& operator=(SnapshotReader&&) = default;
 
-  /// Opens and validates `path`. Any malformed input — wrong magic, foreign
-  /// endianness, unsupported version, truncation, checksum mismatch,
-  /// out-of-bounds section — yields a descriptive error, never a crash.
-  Status Open(const std::string& path, Mode mode);
+  /// Opens and validates `path` through `fs` (POSIX default when null).
+  /// Failures are classified: the environment failing to open/read/map the
+  /// file is StatusCode::kIoError; a file that reads fine but is malformed —
+  /// wrong magic, foreign endianness, unsupported version, truncation,
+  /// checksum mismatch, out-of-bounds section — is StatusCode::kCorruption.
+  /// Either way the result is a descriptive error, never a crash.
+  Status Open(const std::string& path, Mode mode, FileSystem* fs = nullptr);
 
   const SnapshotHeader& header() const { return header_; }
   const std::vector<SectionDesc>& sections() const { return table_; }

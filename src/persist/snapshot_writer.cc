@@ -1,54 +1,101 @@
 #include "persist/snapshot_writer.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cassert>
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 
 #include "common/env.h"
 
 namespace tlp {
 
-SnapshotWriter::~SnapshotWriter() { Abandon(); }
+namespace {
 
-void SnapshotWriter::Abandon() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-    // Never leave a half-written snapshot behind: a partial file without a
-    // finalized header is indistinguishable from corruption to a reader.
-    std::remove(path_.c_str());
+/// Temp names are `<final>.tmp.<pid>.<seq>`: the pid+sequence keeps
+/// concurrent saves of *different* destinations in one directory from
+/// colliding, and the `<final>.tmp.` prefix lets the next save of the same
+/// destination recognise and collect temps a crashed process left behind.
+std::string MakeTempPath(const std::string& final_path) {
+  static std::atomic<std::uint64_t> seq{0};
+  return final_path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1));
+}
+
+/// Best-effort removal of stale temps from earlier crashed saves of this
+/// destination. Failures are swallowed: a leftover temp costs disk space,
+/// not correctness, and must not block a new save.
+void CleanupStaleTemps(FileSystem* fs, const std::string& final_path) {
+  const std::string dir = DirnameOf(final_path);
+  std::string base = final_path;
+  if (const auto slash = base.find_last_of('/'); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  const std::string prefix = base + ".tmp.";
+  std::vector<std::string> names;
+  if (!fs->ListDir(dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      (void)fs->RemoveFile(dir + "/" + name).ok();
+    }
   }
 }
 
-Status SnapshotWriter::Open(const std::string& path, SnapshotIndexKind kind) {
-  Abandon();
+}  // namespace
+
+SnapshotWriter::~SnapshotWriter() { (void)Abandon().ok(); }
+
+Status SnapshotWriter::Abandon() {
+  if (file_ == nullptr && temp_path_.empty()) return Status::OK();
+  Status result;
+  if (file_ != nullptr) {
+    result = file_->Close();
+    file_ = nullptr;
+  }
+  if (!temp_path_.empty()) {
+    Status removed = fs_->RemoveFile(temp_path_);
+    if (result.ok()) result = std::move(removed);
+    temp_path_.clear();
+  }
+  return result;
+}
+
+Status SnapshotWriter::Open(const std::string& path, SnapshotIndexKind kind,
+                            FileSystem* fs) {
+  (void)Abandon().ok();
+  fs_ = ResolveFs(fs);
   status_ = Status::OK();
   sections_.clear();
   in_section_ = false;
-  path_ = path;
+  final_path_ = path;
   kind_ = kind;
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    status_ = Status::Error(path + ": cannot create snapshot: " +
-                            std::strerror(errno));
+  CleanupStaleTemps(fs_, path);
+  temp_path_ = MakeTempPath(path);
+  Status s = fs_->NewWritableFile(temp_path_, &file_);
+  if (!s.ok()) {
+    temp_path_.clear();
+    status_ = Status::IoError(path + ": cannot create snapshot temp: " +
+                              s.message());
     return status_;
   }
-  // Placeholder header; Finalize seeks back and writes the real one.
+  // Placeholder header; Finalize overwrites it in place once the section
+  // table location and checksums are known.
   const SnapshotHeader zero{};
   offset_ = 0;
   PutBytes(&zero, sizeof(zero));
   return status_;
 }
 
-void SnapshotWriter::Fail(const std::string& message) {
-  if (status_.ok()) status_ = Status::Error(message);
+void SnapshotWriter::Fail(Status status) {
+  assert(!status.ok());
+  if (status_.ok()) status_ = std::move(status);
 }
 
 void SnapshotWriter::PutBytes(const void* data, std::size_t n) {
   if (!status_.ok() || file_ == nullptr || n == 0) return;
-  if (std::fwrite(data, 1, n, file_) != n) {
-    Fail(path_ + ": write failed: " + std::strerror(errno));
+  Status s = file_->Append(data, n);
+  if (!s.ok()) {
+    Fail(Status::IoError(temp_path_ + ": write failed: " + s.message()));
     return;
   }
   offset_ += n;
@@ -63,7 +110,7 @@ void SnapshotWriter::PadTo(std::size_t alignment) {
 void SnapshotWriter::BeginSection(std::uint32_t id) {
   assert(!in_section_ && "BeginSection with a section still open");
   if (file_ == nullptr) {
-    Fail("BeginSection on a writer that is not open");
+    Fail(Status::Error("BeginSection on a writer that is not open"));
     return;
   }
   PadTo(kSnapshotAlignment);
@@ -95,7 +142,7 @@ Status SnapshotWriter::Finalize(std::uint64_t index_size_bytes,
                                 std::uint64_t entry_count) {
   assert(!in_section_ && "Finalize with a section still open");
   if (file_ == nullptr && status_.ok()) {
-    Fail("Finalize on a writer that is not open");
+    Fail(Status::Error("Finalize on a writer that is not open"));
   }
   if (status_.ok()) {
     PadTo(alignof(SectionDesc));
@@ -117,20 +164,48 @@ Status SnapshotWriter::Finalize(std::uint64_t index_size_bytes,
     header.header_crc =
         Crc32(&header, sizeof(SnapshotHeader) - sizeof(std::uint32_t));
     if (status_.ok()) {
-      if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-          std::fwrite(&header, 1, sizeof(header), file_) != sizeof(header) ||
-          std::fflush(file_) != 0) {
-        Fail(path_ + ": header write failed: " + std::strerror(errno));
+      Status s = file_->WriteAt(0, &header, sizeof(header));
+      if (!s.ok()) {
+        Fail(Status::IoError(temp_path_ + ": header write failed: " +
+                             s.message()));
+      }
+    }
+    // The temp's bytes must be durable BEFORE the rename publishes it: a
+    // rename is only atomic against crashes if the renamed content already
+    // survives them.
+    if (status_.ok()) {
+      Status s = file_->Sync();
+      if (!s.ok()) {
+        Fail(Status::IoError(temp_path_ + ": fsync failed: " + s.message()));
       }
     }
   }
   if (file_ != nullptr) {
-    if (std::fclose(file_) != 0) {
-      Fail(path_ + ": close failed: " + std::strerror(errno));
-    }
+    Status s = file_->Close();
     file_ = nullptr;
+    if (!s.ok()) {
+      Fail(Status::IoError(temp_path_ + ": close failed: " + s.message()));
+    }
   }
-  if (!status_.ok()) std::remove(path_.c_str());
+  if (status_.ok()) {
+    Status s = fs_->RenameFile(temp_path_, final_path_);
+    if (!s.ok()) {
+      Fail(Status::IoError(final_path_ + ": rename failed: " + s.message()));
+    } else {
+      // The rename consumed the temp; nothing left to abandon.
+      temp_path_.clear();
+      // Make the rename itself durable. If this fails the new snapshot is
+      // already complete and valid at the destination — report the error
+      // (durability is not guaranteed) but leave the file in place.
+      s = fs_->SyncDir(DirnameOf(final_path_));
+      if (!s.ok()) {
+        Fail(Status::IoError(final_path_ +
+                             ": parent directory fsync failed: " +
+                             s.message()));
+      }
+    }
+  }
+  if (!status_.ok()) (void)Abandon().ok();
   return status_;
 }
 

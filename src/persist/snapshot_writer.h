@@ -1,11 +1,12 @@
 #ifndef TLP_PERSIST_SNAPSHOT_WRITER_H_
 #define TLP_PERSIST_SNAPSHOT_WRITER_H_
 
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/file_system.h"
 #include "common/status.h"
 #include "persist/snapshot_format.h"
 
@@ -24,7 +25,21 @@ namespace tlp {
 /// as it streams through; Finalize appends the section table and rewrites
 /// the header with the table location and checksums. Errors are sticky: any
 /// failed call poisons the writer and Finalize reports the first failure.
-/// A failed or abandoned writer removes its partial output file.
+///
+/// Crash-safe atomic save (durability contract, docs/ROBUSTNESS.md): the
+/// writer never touches the destination path until the snapshot is complete
+/// and durable. Open creates `path.tmp.<pid>.<seq>` (removing stale temps a
+/// crashed earlier save of the same destination left behind); Finalize
+/// writes the section table and header, fsync()s the temp file, atomically
+/// rename(2)s it onto `path`, and fsync()s the parent directory so the
+/// rename itself survives power loss. A crash or failure at ANY point
+/// before the rename leaves the destination exactly as it was — the
+/// complete previous snapshot, or no file — never a torn one. Concurrent
+/// saves to the same destination are unsupported (last rename wins).
+///
+/// All file I/O goes through a pluggable FileSystem (tests inject a
+/// FaultInjectingFs to exercise every failure point); pass nothing to use
+/// the POSIX default.
 class SnapshotWriter {
  public:
   SnapshotWriter() = default;
@@ -32,8 +47,10 @@ class SnapshotWriter {
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
-  /// Creates/truncates `path` and reserves space for the header.
-  Status Open(const std::string& path, SnapshotIndexKind kind);
+  /// Starts an atomic save targeting `path`: cleans up stale temp files of
+  /// this destination, creates the new temp, and reserves header space.
+  Status Open(const std::string& path, SnapshotIndexKind kind,
+              FileSystem* fs = nullptr);
 
   /// Starts a new section (finishing any open one is a caller bug).
   void BeginSection(std::uint32_t id);
@@ -47,18 +64,28 @@ class SnapshotWriter {
   }
   void EndSection();
 
-  /// Writes the section table and final header, then closes the file. After
-  /// Finalize returns OK the file is a complete, verifiable snapshot.
+  /// Completes the atomic save: section table, final header, file fsync,
+  /// rename onto the destination, directory fsync. After Finalize returns
+  /// OK the destination is a complete snapshot that survives a crash; on
+  /// failure the temp file is removed and the destination is untouched.
   Status Finalize(std::uint64_t index_size_bytes, std::uint64_t entry_count);
 
+  /// Abandons an in-progress save: closes and removes the temp file, never
+  /// touching the destination. Returns the first failure encountered while
+  /// cleaning up (a leaked temp file is worth reporting — it holds disk
+  /// space until the next save of the same destination collects it). The
+  /// destructor calls this and drops the result.
+  Status Abandon();
+
  private:
-  void Fail(const std::string& message);
+  void Fail(Status status);
   void PutBytes(const void* data, std::size_t n);
   void PadTo(std::size_t alignment);
-  void Abandon();
 
-  std::FILE* file_ = nullptr;
-  std::string path_;
+  FileSystem* fs_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
+  std::string final_path_;
+  std::string temp_path_;
   SnapshotIndexKind kind_ = SnapshotIndexKind::kTwoLayerGrid;
   std::vector<SectionDesc> sections_;
   std::uint64_t offset_ = 0;

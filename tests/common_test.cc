@@ -1,5 +1,6 @@
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <set>
 #include <utility>
 #include <vector>
@@ -107,6 +108,88 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  pool.Wait();  // and again: no stale state from the first call
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrownAndOnlyOnce) {
+  ThreadPool pool(2);
+  for (int k = 0; k < 8; ++k) {
+    pool.Submit([] { throw std::runtime_error("task boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error was consumed: a second Wait() with no new work is clean.
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, FailedBatchDiscardsQueuedTasksButWaitStillReturns) {
+  // One worker makes the schedule deterministic: the throwing task runs
+  // first, so everything behind it in the queue belongs to the poisoned
+  // batch and may be discarded. Wait() must neither deadlock nor run a
+  // discarded task after rethrowing.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int k = 0; k < 100; ++k) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  for (int k = 0; k < 50; ++k) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructionWithUnconsumedErrorDoesNotTerminate) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  // No Wait(): the destructor must drop the captured exception quietly.
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(pool, 1000,
+                  [&](std::size_t begin, std::size_t) {
+                    if (begin == 0) throw std::runtime_error("chunk boom");
+                  }),
+      std::runtime_error);
+  // The pool survives for the next loop.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 10,
+              [&](std::size_t begin, std::size_t end) {
+                counter.fetch_add(static_cast<int>(end - begin));
+              });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForChunksTest, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelForChunks(
+                   pool, 100, 8,
+                   [&](std::size_t chunk, std::size_t, std::size_t) {
+                     if (chunk == 3) throw std::runtime_error("chunk boom");
+                   }),
+               std::runtime_error);
 }
 
 TEST(ParallelForTest, CoversRangeExactlyOnce) {

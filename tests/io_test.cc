@@ -4,6 +4,7 @@
 
 #include "gtest/gtest.h"
 
+#include "common/fault_injecting_fs.h"
 #include "common/rng.h"
 #include "datagen/tiger_like.h"
 #include "io/dataset_io.h"
@@ -83,13 +84,14 @@ TEST(DatasetIoTest, WktFileRoundTrip) {
   config.cardinality = 200;
   const GeometryStore original = GenerateTigerLike(config);
   const std::string path = TempPath("tlp_io_test.wkt");
-  std::string error;
-  ASSERT_TRUE(SaveWktFile(original, path, &error)) << error;
-  const auto loaded = LoadWktFile(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
-  ASSERT_EQ(loaded->size(), original.size());
+  Status s = SaveWktFile(original, path);
+  ASSERT_TRUE(s.ok()) << s.message();
+  GeometryStore loaded;
+  s = LoadWktFile(path, &loaded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  ASSERT_EQ(loaded.size(), original.size());
   for (ObjectId id = 0; id < original.size(); ++id) {
-    EXPECT_EQ(loaded->mbr(id), original.mbr(id)) << id;
+    EXPECT_EQ(loaded.mbr(id), original.mbr(id)) << id;
   }
   std::remove(path.c_str());
 }
@@ -100,11 +102,61 @@ TEST(DatasetIoTest, WktFileSkipsCommentsAndReportsLineNumbers) {
     std::ofstream out(path);
     out << "# header comment\n\nPOINT (0.1 0.2)\nBROKEN (1)\n";
   }
-  std::string error;
-  const auto loaded = LoadWktFile(path, &error);
-  EXPECT_FALSE(loaded.has_value());
-  EXPECT_NE(error.find(":4:"), std::string::npos) << error;
+  GeometryStore loaded;
+  const Status s = LoadWktFile(path, &loaded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find(":4:"), std::string::npos) << s.message();
   std::remove(path.c_str());
+}
+
+// A failed load must not leave a half-parsed dataset in the out-param: the
+// good lines before the bad one stay invisible to the caller.
+TEST(DatasetIoTest, WktFileFailedLoadLeavesOutputUntouched) {
+  const std::string path = TempPath("tlp_io_partial.wkt");
+  {
+    std::ofstream out(path);
+    out << "POINT (0.1 0.2)\nPOINT (0.3 0.4)\nBROKEN (1)\n";
+  }
+  GeometryStore loaded;
+  loaded.Add(Geometry{Point{9.0, 9.0}});
+  EXPECT_FALSE(LoadWktFile(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 1u);  // the pre-existing entry, nothing else
+  EXPECT_EQ(loaded.mbr(0), (Box{9.0, 9.0, 9.0, 9.0}));
+  std::remove(path.c_str());
+}
+
+// Every malformed-line class the loaders guard against, each pinned to the
+// line number the Status must carry.
+TEST(DatasetIoTest, WktFileMalformedCorpus) {
+  const struct {
+    const char* text;
+    std::size_t bad_line;
+  } corpus[] = {
+      {"POINT (1 2)\nPOINT (nan nan)\n", 2},        // non-finite coords
+      {"POINT (inf 0)\n", 1},                        // infinity
+      {"POINT (1e999 0)\n", 1},                      // overflowing exponent
+      {"LINESTRING (0 0, 1\n", 1},                   // truncated mid-pair
+      {"POINT (1 2)\nPOLYGON ((0 0, 1 0\n", 2},     // unclosed ring
+      {"POINT (a b)\n", 1},                          // non-numeric
+      {"POINT (1 2)\n\n# ok\nPOINT (3 4) tail\n", 4},  // trailing garbage
+  };
+  for (const auto& c : corpus) {
+    const std::string path = TempPath("tlp_io_malformed.wkt");
+    {
+      std::ofstream out(path);
+      out << c.text;
+    }
+    GeometryStore loaded;
+    const Status s = LoadWktFile(path, &loaded);
+    EXPECT_FALSE(s.ok()) << c.text;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.text;
+    const std::string line_no = std::to_string(c.bad_line);
+    const std::string tag = ":" + line_no + ":";
+    EXPECT_NE(s.message().find(tag), std::string::npos)
+        << c.text << " -> " << s.message();
+    std::remove(path.c_str());
+  }
 }
 
 TEST(DatasetIoTest, MbrCsvRoundTrip) {
@@ -116,34 +168,108 @@ TEST(DatasetIoTest, MbrCsvRoundTrip) {
                                static_cast<ObjectId>(k)});
   }
   const std::string path = TempPath("tlp_io_test.csv");
-  std::string error;
-  ASSERT_TRUE(SaveMbrCsv(entries, path, &error)) << error;
-  const auto loaded = LoadMbrCsv(path, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
-  ASSERT_EQ(loaded->size(), entries.size());
+  Status s = SaveMbrCsv(entries, path);
+  ASSERT_TRUE(s.ok()) << s.message();
+  std::vector<BoxEntry> loaded;
+  s = LoadMbrCsv(path, &loaded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  ASSERT_EQ(loaded.size(), entries.size());
   for (std::size_t k = 0; k < entries.size(); ++k) {
-    EXPECT_EQ((*loaded)[k].box, entries[k].box);
-    EXPECT_EQ((*loaded)[k].id, entries[k].id);
+    EXPECT_EQ(loaded[k].box, entries[k].box);
+    EXPECT_EQ(loaded[k].id, entries[k].id);
   }
   std::remove(path.c_str());
 }
 
 TEST(DatasetIoTest, MbrCsvRejectsMalformedRows) {
-  const std::string path = TempPath("tlp_io_bad.csv");
+  const struct {
+    const char* text;
+    std::size_t bad_line;
+  } corpus[] = {
+      {"0.1,0.1,0.2,0.2\n0.5,0.5,0.4,0.6\n", 2},       // inverted box
+      {"0.1,0.1,0.2\n", 1},                             // missing field
+      {"0.1,0.1,0.2,abc\n", 1},                         // non-numeric
+      {"0.1,0.1,0.2,nan\n", 1},                         // non-finite
+      {"0.1,0.1,0.2,1e999\n", 1},                       // overflow
+      {"# ok\n0.1,0.1,0.2,0.2,0.9\n", 2},              // 5th column
+      {"0.1,0.1,0.2,0.2 junk\n", 1},                    // trailing garbage
+  };
+  for (const auto& c : corpus) {
+    const std::string path = TempPath("tlp_io_bad.csv");
+    {
+      std::ofstream out(path);
+      out << c.text;
+    }
+    std::vector<BoxEntry> loaded;
+    const Status s = LoadMbrCsv(path, &loaded);
+    EXPECT_FALSE(s.ok()) << c.text;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.text;
+    const std::string line_no = std::to_string(c.bad_line);
+    const std::string tag = ":" + line_no + ":";
+    EXPECT_NE(s.message().find(tag), std::string::npos)
+        << c.text << " -> " << s.message();
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+  }
+}
+
+// CRLF datasets (files produced on Windows) parse identically.
+TEST(DatasetIoTest, HandlesCrlfLines) {
+  const std::string path = TempPath("tlp_io_crlf.csv");
   {
     std::ofstream out(path);
-    out << "0.1,0.1,0.2,0.2\n0.5,0.5,0.4,0.6\n";  // xu < xl on line 2
+    out << "0.1,0.1,0.2,0.2\r\n0.3,0.3,0.4,0.4\r\n";
   }
-  std::string error;
-  EXPECT_FALSE(LoadMbrCsv(path, &error).has_value());
-  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  std::vector<BoxEntry> loaded;
+  const Status s = LoadMbrCsv(path, &loaded);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(loaded.size(), 2u);
   std::remove(path.c_str());
 }
 
-TEST(DatasetIoTest, MissingFile) {
-  std::string error;
-  EXPECT_FALSE(LoadWktFile("/nonexistent/tlp.wkt", &error).has_value());
-  EXPECT_FALSE(LoadMbrCsv("/nonexistent/tlp.csv", &error).has_value());
+TEST(DatasetIoTest, MissingFileIsIoError) {
+  GeometryStore store;
+  Status s = LoadWktFile("/nonexistent/tlp.wkt", &store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  std::vector<BoxEntry> entries;
+  s = LoadMbrCsv("/nonexistent/tlp.csv", &entries);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// The loaders run through the injected filesystem: a read failure surfaces
+// as kIoError even when the file itself is perfectly valid.
+TEST(DatasetIoTest, InjectedReadFailure) {
+  const std::string path = TempPath("tlp_io_inject.csv");
+  {
+    std::ofstream out(path);
+    out << "0.1,0.1,0.2,0.2\n";
+  }
+  FaultInjectingFs fs;
+  fs.FailNextOf(FaultInjectingFs::Op::kReadFile);
+  std::vector<BoxEntry> loaded;
+  const Status s = LoadMbrCsv(path, &loaded, &fs);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  std::remove(path.c_str());
+}
+
+// Saves route their writes through the filesystem too: a failed Append is
+// reported, not swallowed.
+TEST(DatasetIoTest, InjectedWriteFailure) {
+  const std::string path = TempPath("tlp_io_inject_w.csv");
+  FaultInjectingFs fs;
+  fs.FailNextOf(FaultInjectingFs::Op::kAppend);
+  const std::vector<BoxEntry> entries = {
+      BoxEntry{Box{0, 0, 1, 1}, 0},
+  };
+  const Status s = SaveMbrCsv(entries, path, &fs);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(fs.fault_fired());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -16,18 +16,33 @@
 //   tlp_snapshot info   <in.tlps>
 //       Print the header summary as JSON (no payload access).
 //
-// Exit status: 0 on success, 1 on any error (message on stderr).
+// Exit status (messages on stderr) — scripts branch on the class, not the
+// message text:
+//   0  success
+//   1  unclassified failure
+//   2  bad usage / malformed input (arguments, CSV/WKT parse errors)
+//   3  I/O error (cannot open/read/write/rename, ENOSPC, ...)
+//   4  corrupt snapshot (bad magic, checksum mismatch, truncation)
+//   5  kind mismatch (valid snapshot, wrong index kind for the request)
+//
+// Fault injection (CI crash tests): when TLP_SNAPSHOT_FAULT_OP is set, all
+// file I/O of build/save runs through a FaultInjectingFs with that fault
+// armed — an integer arms the k-th operation, an op name ("rename", "sync",
+// ...) arms the next operation of that kind. The save must then fail with
+// exit 3 and must NOT have published anything at the destination.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/fault_injecting_fs.h"
+#include "common/file_system.h"
 #include "common/query_stats.h"
 #include "core/two_layer_grid.h"
 #include "core/two_layer_plus_grid.h"
@@ -42,6 +57,30 @@ namespace {
 
 using tlp::BoxEntry;
 using tlp::Status;
+using tlp::StatusCode;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUnknown = 1,
+  kExitUsage = 2,
+  kExitIo = 3,
+  kExitCorruption = 4,
+  kExitKindMismatch = 5,
+};
+
+/// Maps a failed Status to the documented exit code, printing the message.
+int Report(const Status& s, const char* what) {
+  std::fprintf(stderr, "tlp_snapshot: %s: %s\n", what, s.message().c_str());
+  switch (s.code()) {
+    case StatusCode::kOk: return kExitOk;
+    case StatusCode::kUnknown: return kExitUnknown;
+    case StatusCode::kInvalidArgument: return kExitUsage;
+    case StatusCode::kIoError: return kExitIo;
+    case StatusCode::kCorruption: return kExitCorruption;
+    case StatusCode::kKindMismatch: return kExitKindMismatch;
+  }
+  return kExitUnknown;
+}
 
 double NowSeconds() {
   return std::chrono::duration<double>(
@@ -72,7 +111,7 @@ int Usage() {
       "  save   --from-csv=FILE --kind=... --grid=D\n"
       "  load   [--mmap] [--queries=N] [--area=PCT]\n"
       "  verify / info take no options\n");
-  return 1;
+  return kExitUsage;
 }
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -87,31 +126,66 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       *value = arg.substr(len);
       return true;
     };
-    std::string v;
-    if (arg == "--mmap") {
-      out->mmap = true;
-    } else if (eat("--kind=", &v)) {
-      out->kind = v;
-    } else if (eat("--dist=", &v)) {
-      out->dist = v;
-    } else if (eat("--from-csv=", &v)) {
-      out->from_csv = v;
-    } else if (eat("--n=", &v)) {
-      out->n = std::stoull(v);
-    } else if (eat("--seed=", &v)) {
-      out->seed = std::stoull(v);
-    } else if (eat("--grid=", &v)) {
-      out->grid = static_cast<std::uint32_t>(std::stoul(v));
-    } else if (eat("--queries=", &v)) {
-      out->queries = std::stoull(v);
-    } else if (eat("--area=", &v)) {
-      out->area_percent = std::stod(v);
-    } else {
-      std::fprintf(stderr, "tlp_snapshot: unknown option '%s'\n",
-                   arg.c_str());
+    // stoull/stod throw on junk ("--n=ten") and overflow; a CLI reports
+    // usage errors, it does not die on an uncaught exception.
+    try {
+      std::string v;
+      if (arg == "--mmap") {
+        out->mmap = true;
+      } else if (eat("--kind=", &v)) {
+        out->kind = v;
+      } else if (eat("--dist=", &v)) {
+        out->dist = v;
+      } else if (eat("--from-csv=", &v)) {
+        out->from_csv = v;
+      } else if (eat("--n=", &v)) {
+        out->n = std::stoull(v);
+      } else if (eat("--seed=", &v)) {
+        out->seed = std::stoull(v);
+      } else if (eat("--grid=", &v)) {
+        out->grid = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (eat("--queries=", &v)) {
+        out->queries = std::stoull(v);
+      } else if (eat("--area=", &v)) {
+        out->area_percent = std::stod(v);
+      } else {
+        std::fprintf(stderr, "tlp_snapshot: unknown option '%s'\n",
+                     arg.c_str());
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "tlp_snapshot: bad value in '%s'\n", arg.c_str());
       return false;
     }
   }
+  return true;
+}
+
+/// The filesystem save/build write through: the POSIX default, or a
+/// FaultInjectingFs armed from TLP_SNAPSHOT_FAULT_OP (see file comment).
+/// Returns false on a malformed knob value.
+bool SaveFileSystem(std::unique_ptr<tlp::FaultInjectingFs>* holder,
+                    tlp::FileSystem** out) {
+  *out = nullptr;  // library default
+  const char* knob = std::getenv("TLP_SNAPSHOT_FAULT_OP");
+  if (knob == nullptr || *knob == '\0') return true;
+  auto fs = std::make_unique<tlp::FaultInjectingFs>();
+  tlp::FaultInjectingFs::Op op;
+  if (tlp::FaultInjectingFs::ParseOp(knob, &op)) {
+    fs->FailNextOf(op);
+  } else {
+    try {
+      fs->FailOperation(std::stoull(knob));
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "tlp_snapshot: TLP_SNAPSHOT_FAULT_OP='%s' is neither an "
+                   "operation name nor an index\n",
+                   knob);
+      return false;
+    }
+  }
+  *out = fs.get();
+  *holder = std::move(fs);
   return true;
 }
 
@@ -137,6 +211,9 @@ tlp::GridLayout LayoutFor(const std::vector<BoxEntry>& entries,
 }
 
 int BuildAndSave(const Options& opt, const std::vector<BoxEntry>& entries) {
+  std::unique_ptr<tlp::FaultInjectingFs> fault_fs;
+  tlp::FileSystem* fs = nullptr;
+  if (!SaveFileSystem(&fault_fs, &fs)) return kExitUsage;
   const tlp::GridLayout layout = LayoutFor(entries, opt.grid);
   Status s = Status::OK();
   double built_at = 0;
@@ -145,33 +222,29 @@ int BuildAndSave(const Options& opt, const std::vector<BoxEntry>& entries) {
     tlp::TwoLayerPlusGrid index(layout);
     index.Build(entries);
     built_at = NowSeconds();
-    s = index.Save(opt.path);
+    s = index.Save(opt.path, fs);
   } else if (opt.kind == "2layer") {
     tlp::TwoLayerGrid index(layout);
     index.Build(entries);
     built_at = NowSeconds();
-    s = index.Save(opt.path);
+    s = index.Save(opt.path, fs);
   } else if (opt.kind == "1layer") {
     tlp::OneLayerGrid index(layout);
     index.Build(entries);
     built_at = NowSeconds();
-    s = index.Save(opt.path);
+    s = index.Save(opt.path, fs);
   } else {
     std::fprintf(stderr, "tlp_snapshot: unknown --kind '%s'\n",
                  opt.kind.c_str());
-    return 1;
+    return kExitUsage;
   }
-  if (!s.ok()) {
-    std::fprintf(stderr, "tlp_snapshot: save failed: %s\n",
-                 s.message().c_str());
-    return 1;
-  }
+  if (!s.ok()) return Report(s, "save failed");
   const double done = NowSeconds();
   std::printf(
       "saved %s: kind=%s entries=%zu grid=%ux%u build=%.3fs save=%.3fs\n",
       opt.path.c_str(), opt.kind.c_str(), entries.size(), layout.nx(),
       layout.ny(), built_at - start, done - built_at);
-  return 0;
+  return kExitOk;
 }
 
 int CmdBuild(const Options& opt) {
@@ -183,7 +256,7 @@ int CmdBuild(const Options& opt) {
   } else if (opt.dist != "uniform") {
     std::fprintf(stderr, "tlp_snapshot: unknown --dist '%s'\n",
                  opt.dist.c_str());
-    return 1;
+    return kExitUsage;
   }
   return BuildAndSave(opt, tlp::GenerateSyntheticRects(config));
 }
@@ -191,15 +264,12 @@ int CmdBuild(const Options& opt) {
 int CmdSave(const Options& opt) {
   if (opt.from_csv.empty()) {
     std::fprintf(stderr, "tlp_snapshot: save requires --from-csv=FILE\n");
-    return 1;
+    return kExitUsage;
   }
-  std::string error;
-  auto entries = tlp::LoadMbrCsv(opt.from_csv, &error);
-  if (!entries) {
-    std::fprintf(stderr, "tlp_snapshot: %s\n", error.c_str());
-    return 1;
-  }
-  return BuildAndSave(opt, *entries);
+  std::vector<BoxEntry> entries;
+  Status s = tlp::LoadMbrCsv(opt.from_csv, &entries);
+  if (!s.ok()) return Report(s, "cannot load CSV");
+  return BuildAndSave(opt, entries);
 }
 
 int CmdLoad(const Options& opt) {
@@ -207,11 +277,7 @@ int CmdLoad(const Options& opt) {
   const double t0 = NowSeconds();
   Status s = tlp::OpenSnapshot(opt.path, opt.mmap, &index);
   const double load_seconds = NowSeconds() - t0;
-  if (!s.ok()) {
-    std::fprintf(stderr, "tlp_snapshot: load failed: %s\n",
-                 s.message().c_str());
-    return 1;
-  }
+  if (!s.ok()) return Report(s, "load failed");
   std::printf("loaded %s: index=%s size=%zu bytes frozen=%d load=%.4fs\n",
               opt.path.c_str(), index->name().c_str(), index->SizeBytes(),
               index->frozen() ? 1 : 0, load_seconds);
@@ -251,27 +317,20 @@ int CmdLoad(const Options& opt) {
                     .c_str());
 #endif
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdVerify(const Options& opt) {
   Status s = tlp::VerifySnapshot(opt.path);
-  if (!s.ok()) {
-    std::fprintf(stderr, "tlp_snapshot: verify FAILED: %s\n",
-                 s.message().c_str());
-    return 1;
-  }
+  if (!s.ok()) return Report(s, "verify FAILED");
   std::printf("%s: OK (all checksums verified)\n", opt.path.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int CmdInfo(const Options& opt) {
   tlp::SnapshotInfo info;
   Status s = tlp::ReadSnapshotInfo(opt.path, &info);
-  if (!s.ok()) {
-    std::fprintf(stderr, "tlp_snapshot: %s\n", s.message().c_str());
-    return 1;
-  }
+  if (!s.ok()) return Report(s, "info failed");
   std::printf(
       "{\"path\": \"%s\", \"kind\": \"%s\", \"format_version\": %u, "
       "\"sections\": %u, \"file_size\": %llu, \"index_size_bytes\": %llu, "
@@ -281,7 +340,7 @@ int CmdInfo(const Options& opt) {
       static_cast<unsigned long long>(info.file_size),
       static_cast<unsigned long long>(info.index_size_bytes),
       static_cast<unsigned long long>(info.entry_count));
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Smoke test for the tlp_snapshot CLI: pins the documented exit code of every
+# failure class (see the header of tools/tlp_snapshot.cc), checks that errors
+# go to stderr, and exercises the TLP_SNAPSHOT_FAULT_OP crash-before-rename
+# path. Run by ctest as: tlp_snapshot_smoke.sh <path-to-tlp_snapshot>.
+set -u
+
+BIN=${1:?usage: tlp_snapshot_smoke.sh <path-to-tlp_snapshot>}
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+# check <expected-exit> <description> <command...>
+# Stdout is discarded; stderr is kept to assert error placement.
+check() {
+  want=$1; desc=$2; shift 2
+  "$@" > "$TMP/out" 2> "$TMP/err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+  if [ "$want" -ne 0 ] && [ ! -s "$TMP/err" ]; then
+    echo "FAIL: $desc: failure produced no stderr message" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+  echo "ok: $desc (exit $got)"
+}
+
+GOOD="$TMP/good.tlps"
+
+# --- exit 0: success paths ---------------------------------------------------
+check 0 "build succeeds"            "$BIN" build "$GOOD" --kind=2layer+ --n=64
+check 0 "verify accepts good file"  "$BIN" verify "$GOOD"
+check 0 "info accepts good file"    "$BIN" info "$GOOD"
+check 0 "load accepts good file"    "$BIN" load "$GOOD" --queries=4
+
+# --- exit 2: bad usage / malformed input -------------------------------------
+check 2 "unknown subcommand"        "$BIN" frobnicate "$GOOD"
+check 2 "missing arguments"         "$BIN" build
+check 2 "non-numeric --n"           "$BIN" build "$TMP/x.tlps" --n=banana
+printf '0.1,0.1,0.2\n' > "$TMP/bad.csv"   # 3 fields, not 4
+check 2 "malformed CSV row"         "$BIN" save "$TMP/x.tlps" --from-csv="$TMP/bad.csv"
+
+# --- exit 3: I/O errors ------------------------------------------------------
+check 3 "missing input file"        "$BIN" verify "$TMP/does-not-exist.tlps"
+check 3 "unwritable destination"    "$BIN" build "$TMP/no-such-dir/out.tlps" --n=16
+
+# --- exit 4: corruption ------------------------------------------------------
+head -c 100 "$GOOD" > "$TMP/truncated.tlps"
+check 4 "truncated snapshot"        "$BIN" verify "$TMP/truncated.tlps"
+check 4 "truncated snapshot load"   "$BIN" load "$TMP/truncated.tlps"
+
+# --- exit 5: kind mismatch ---------------------------------------------------
+# 1layer/2layer snapshots deserialize but refuse the zero-copy mapped path.
+check 0 "build 2layer"              "$BIN" build "$TMP/2layer.tlps" --kind=2layer --n=64
+check 5 "mmap-load of 2layer"       "$BIN" load "$TMP/2layer.tlps" --mmap
+
+# --- fault injection: crash before rename publishes nothing ------------------
+DEST="$TMP/crashed.tlps"
+check 3 "injected rename failure" \
+  env TLP_SNAPSHOT_FAULT_OP=rename "$BIN" build "$DEST" --n=64
+if [ -e "$DEST" ]; then
+  echo "FAIL: failed save published a file at the destination" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+for leftover in "$DEST".tmp.*; do
+  if [ -e "$leftover" ]; then
+    echo "FAIL: failed save leaked temp file $leftover" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+# Arming by operation index works too (op 0 is the swallowed stale-temp
+# scan, op 1 is the temp-file create — the first fatal one).
+check 3 "injected create failure" \
+  env TLP_SNAPSHOT_FAULT_OP=1 "$BIN" build "$DEST" --n=64
+check 2 "bad fault-op value" \
+  env TLP_SNAPSHOT_FAULT_OP=nonsense "$BIN" build "$DEST" --n=64
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke check(s) failed" >&2
+  exit 1
+fi
+echo "all smoke checks passed"
