@@ -70,7 +70,8 @@ void BM_Build(benchmark::State& state, const std::string& name) {
     seconds += watch.ElapsedSeconds();
     benchmark::DoNotOptimize(index);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(n));
   state.counters["threads"] = static_cast<double>(threads);
   const double per_build = seconds / static_cast<double>(state.iterations());
   if (threads == 1) BaselineSeconds(name, n) = per_build;

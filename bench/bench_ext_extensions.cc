@@ -23,7 +23,8 @@ using namespace tlp::bench;
 std::vector<BoxEntry> JoinSide(std::uint64_t seed) {
   SyntheticConfig config;
   config.cardinality = static_cast<std::size_t>(
-      EnvInt64("TLP_CARD_JOIN", 200000) * DatasetScale());
+      static_cast<double>(EnvInt64("TLP_CARD_JOIN", 200000)) *
+      DatasetScale());
   config.area = 1e-8;
   config.seed = seed;
   return GenerateSyntheticRects(config);

@@ -33,7 +33,8 @@ Fixture& GetFixture(TigerFlavor flavor) {
     TigerConfig config;
     config.flavor = flavor;
     config.cardinality = static_cast<std::size_t>(
-        EnvInt64("TLP_CARD_FIG6", 500000) * DatasetScale());
+        static_cast<double>(EnvInt64("TLP_CARD_FIG6", 500000)) *
+        DatasetScale());
     Fixture& f = it->second;
     f.store = GenerateTigerLike(config);
     f.entries = f.store.AllEntries();

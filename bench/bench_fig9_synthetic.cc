@@ -17,8 +17,9 @@ using namespace tlp::bench;
 constexpr double kDefaultDataArea = 1e-10;
 
 std::size_t DefaultCardinality() {
-  return static_cast<std::size_t>(EnvInt64("TLP_CARD_SYNTH", 1000000) *
-                                  DatasetScale());
+  return static_cast<std::size_t>(
+      static_cast<double>(EnvInt64("TLP_CARD_SYNTH", 1000000)) *
+      DatasetScale());
 }
 
 /// Cached synthetic datasets keyed by (distribution, cardinality, area).

@@ -19,7 +19,8 @@ void RegisterUpdateBench(const std::string& name, TigerFlavor flavor,
       [factory, flavor](benchmark::State& state) {
         const auto& data = Dataset(flavor);
         const std::size_t cut = data.size() * 9 / 10;
-        const std::vector<BoxEntry> initial(data.begin(), data.begin() + cut);
+        const std::vector<BoxEntry> initial(
+            data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
         for (auto _ : state) {
           auto index = factory(initial);
           Stopwatch watch;

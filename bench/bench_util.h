@@ -30,7 +30,7 @@ inline std::size_t DatasetCardinality(TigerFlavor flavor) {
   const auto base = static_cast<std::size_t>(
       EnvInt64(var, static_cast<std::int64_t>(
                         TigerDefaultCardinality(flavor))));
-  return static_cast<std::size_t>(base * DatasetScale());
+  return static_cast<std::size_t>(static_cast<double>(base) * DatasetScale());
 }
 
 /// Cached MBR-only dataset for a flavor (one generation per process).

@@ -74,8 +74,9 @@ int main(int argc, char** argv) {
 
   const auto windows = GenerateWindowQueries(data, 2000, 0.001);
   const auto disks = GenerateDiskQueries(data, 500, 0.001);
-  const auto dim =
-      std::max<std::uint32_t>(64, std::sqrt(double(data.size())) / 4);
+  const auto dim = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(
+              std::sqrt(static_cast<double>(data.size())) / 4));
   const GridLayout layout(kUnit, dim, dim);
 
   std::printf("%zu objects, %zu window + %zu disk queries (0.1%% area)\n\n",
@@ -95,18 +96,21 @@ int main(int argc, char** argv) {
       out.clear();
       index->WindowQuery(w, &out);
     }
-    const double window_qps = windows.size() / wq.ElapsedSeconds();
+    const double window_qps =
+        static_cast<double>(windows.size()) / wq.ElapsedSeconds();
 
     Stopwatch dq;
     for (const DiskQuerySpec& d : disks) {
       out.clear();
       index->DiskQuery(d.center, d.radius, &out);
     }
-    const double disk_qps = disks.size() / dq.ElapsedSeconds();
+    const double disk_qps =
+        static_cast<double>(disks.size()) / dq.ElapsedSeconds();
 
+    const double size_mib =
+        static_cast<double>(index->SizeBytes()) / (1024.0 * 1024.0);
     std::printf("%-18s %10.1f %9.1f %14.0f %14.0f\n", index->name().c_str(),
-                build_ms, index->SizeBytes() / (1024.0 * 1024.0), window_qps,
-                disk_qps);
+                build_ms, size_mib, window_qps, disk_qps);
   }
   return 0;
 }

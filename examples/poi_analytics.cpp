@@ -33,8 +33,9 @@ int main(int argc, char** argv) {
   config.distribution = SpatialDistribution::kZipfian;
   const std::vector<BoxEntry> regions = GenerateSyntheticRects(config);
 
-  const auto dim =
-      std::max<std::uint32_t>(64, std::sqrt(double(regions.size())) / 4);
+  const auto dim = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(
+              std::sqrt(static_cast<double>(regions.size())) / 4));
   TwoLayerGrid grid(GridLayout(Box{0, 0, 1, 1}, dim, dim));
   grid.Build(regions);
   std::printf("indexed %zu influence regions (%ux%u grid)\n", regions.size(),
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
                       return counts_q[a] > counts_q[b];
                     });
   std::printf("top contested placements (overlapping regions):\n");
-  for (int k = 0; k < 5; ++k) {
+  for (std::size_t k = 0; k < 5; ++k) {
     const Box& w = queries[order[k]];
     std::printf("  (%.4f, %.4f): %u regions\n", w.center().x, w.center().y,
                 counts_q[order[k]]);

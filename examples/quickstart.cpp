@@ -30,14 +30,15 @@ int main(int argc, char** argv) {
 
   // 2. Build the index. A granularity of ~sqrt(n)/4 partitions per dimension
   // is a good default (the paper shows a wide flat optimum).
-  const auto dim =
-      std::max<std::uint32_t>(64, std::sqrt(double(data.size())) / 4);
+  const auto dim = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(
+              std::sqrt(static_cast<double>(data.size())) / 4));
   Stopwatch build_watch;
   TwoLayerGrid grid(GridLayout(Box{0, 0, 1, 1}, dim, dim));
   grid.Build(data);
   std::printf("built 2-layer grid (%ux%u tiles) in %.1f ms, %.1f MB\n", dim,
               dim, build_watch.ElapsedMillis(),
-              grid.SizeBytes() / (1024.0 * 1024.0));
+              static_cast<double>(grid.SizeBytes()) / (1024.0 * 1024.0));
 
   // 3. Window query: every object whose MBR intersects the window, exactly
   // once, with no deduplication pass.
@@ -60,8 +61,9 @@ int main(int argc, char** argv) {
   Stopwatch insert_watch;
   for (int k = 0; k < 1000; ++k) {
     const double x = 0.4 + 0.0001 * k;
-    grid.Insert(BoxEntry{Box{x, 0.42, x + 0.001, 0.421},
-                         static_cast<ObjectId>(data.size() + k)});
+    const auto id =
+        static_cast<ObjectId>(data.size() + static_cast<std::size_t>(k));
+    grid.Insert(BoxEntry{Box{x, 0.42, x + 0.001, 0.421}, id});
   }
   std::printf("1000 inserts in %.1f ms\n", insert_watch.ElapsedMillis());
 

@@ -26,8 +26,9 @@ int main(int argc, char** argv) {
   const std::vector<BoxEntry> entries = store.AllEntries();
   std::printf("generated %zu road linestrings\n", store.size());
 
-  const auto dim =
-      std::max<std::uint32_t>(64, std::sqrt(double(entries.size())) / 4);
+  const auto dim = std::max<std::uint32_t>(
+      64, static_cast<std::uint32_t>(
+              std::sqrt(static_cast<double>(entries.size())) / 4));
   TwoLayerGrid grid(GridLayout(Box{0, 0, 1, 1}, dim, dim));
   grid.Build(entries);
   const RefinementEngine engine(grid, store);

@@ -49,10 +49,10 @@ class SpatialIndex {
 
   /// Approximate main-memory footprint of the index structure in bytes
   /// (entries + directory; excludes the GeometryStore).
-  virtual std::size_t SizeBytes() const = 0;
+  [[nodiscard]] virtual std::size_t SizeBytes() const = 0;
 
   /// Human-readable method name as used in the paper's tables.
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// A SpatialIndex that can round-trip through the on-disk snapshot format
@@ -80,16 +80,17 @@ class SpatialIndex {
 /// and I/O-failure points); null means the POSIX default.
 class PersistentIndex : public SpatialIndex {
  public:
-  virtual Status Save(const std::string& path,
-                      FileSystem* fs = nullptr) const = 0;
-  virtual Status Load(const std::string& path, FileSystem* fs = nullptr) = 0;
+  [[nodiscard]] virtual Status Save(const std::string& path,
+                                    FileSystem* fs = nullptr) const = 0;
+  [[nodiscard]] virtual Status Load(const std::string& path,
+                                    FileSystem* fs = nullptr) = 0;
 
   /// True when backed by a read-only snapshot mapping (updates rejected).
-  virtual bool frozen() const { return false; }
+  [[nodiscard]] virtual bool frozen() const { return false; }
 
   /// Copies any mapped storage into owned memory and releases the mapping,
   /// re-enabling Insert/Delete. No-op on an index that is not frozen.
-  virtual Status Thaw() { return Status::OK(); }
+  [[nodiscard]] virtual Status Thaw() { return Status::OK(); }
 };
 
 /// Reference implementation of the query contract by exhaustive scan; the
@@ -115,11 +116,11 @@ class BruteForceIndex final : public SpatialIndex {
 
   void Insert(const BoxEntry& entry) override { entries_.push_back(entry); }
 
-  std::size_t SizeBytes() const override {
+  [[nodiscard]] std::size_t SizeBytes() const override {
     return entries_.capacity() * sizeof(BoxEntry);
   }
 
-  std::string name() const override { return "brute-force"; }
+  [[nodiscard]] std::string name() const override { return "brute-force"; }
 
  private:
   std::vector<BoxEntry> entries_;

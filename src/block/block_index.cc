@@ -6,7 +6,7 @@ namespace tlp {
 
 BlockIndex::BlockIndex(const Box& domain, int max_level)
     : domain_(domain), max_level_(max_level) {
-  levels_.reserve(max_level_ + 1);
+  levels_.reserve(static_cast<std::size_t>(max_level_) + 1);
   for (int l = 0; l <= max_level_; ++l) {
     const auto n = static_cast<std::uint32_t>(1u << l);
     levels_.push_back(Level{GridLayout(domain, n, n), {}});
@@ -18,7 +18,7 @@ int BlockIndex::LevelFor(const Box& b) const {
   // Finest level whose cell still covers the object's extent; the home cell
   // (of the object's center) then overhangs by at most one cell per side.
   for (int l = max_level_; l >= 0; --l) {
-    const Level& level = levels_[l];
+    const Level& level = levels_[static_cast<std::size_t>(l)];
     if (b.width() <= level.layout.tile_width() &&
         b.height() <= level.layout.tile_height()) {
       return l;
@@ -32,7 +32,7 @@ void BlockIndex::Build(const std::vector<BoxEntry>& entries) {
 }
 
 void BlockIndex::Insert(const BoxEntry& entry) {
-  Level& level = levels_[LevelFor(entry.box)];
+  Level& level = levels_[static_cast<std::size_t>(LevelFor(entry.box))];
   const TileCoord t = level.layout.TileOf(entry.box.center());
   level.cells[level.layout.TileId(t)].push_back(entry);
 }

@@ -1,6 +1,8 @@
 #ifndef TLP_CORE_CLASSES_H_
 #define TLP_CORE_CLASSES_H_
 
+#include <cstddef>
+
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "grid/grid_layout.h"
@@ -18,7 +20,7 @@ namespace tlp {
 /// its lower corner) and may appear in classes B/C/D of other tiles.
 enum class ObjectClass : unsigned char { kA = 0, kB = 1, kC = 2, kD = 3 };
 
-inline constexpr int kNumClasses = 4;
+inline constexpr std::size_t kNumClasses = 4;
 
 /// Classifies rectangle `r` relative to the tile whose lower corner is
 /// `tile_origin`. Two comparisons, as promised in the paper.
@@ -46,8 +48,8 @@ inline ObjectClass ClassifyEntryInTile(const GridLayout& grid,
 /// Segments are laid out D|C|B|A: class A is the only class every object
 /// belongs to exactly once (by far the most populated), so putting it last
 /// makes the common-case insert a plain append (cf. TwoLayerGrid::Insert).
-inline constexpr int SegmentOf(ObjectClass c) {
-  return kNumClasses - 1 - static_cast<int>(c);
+inline constexpr std::size_t SegmentOf(ObjectClass c) {
+  return kNumClasses - 1 - static_cast<std::size_t>(c);
 }
 
 /// True iff the class starts before the tile in x (classes C and D).
@@ -62,7 +64,7 @@ inline bool StartsBeforeY(ObjectClass c) {
 
 inline const char* ClassName(ObjectClass c) {
   constexpr const char* kNames[kNumClasses] = {"A", "B", "C", "D"};
-  return kNames[static_cast<int>(c)];
+  return kNames[static_cast<std::size_t>(c)];
 }
 
 }  // namespace tlp

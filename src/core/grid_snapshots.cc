@@ -91,7 +91,7 @@ Status TwoLayerGrid::LoadSnapshotSections(const SnapshotReader& reader,
     if (b[0] != 0) {
       return Status::Corruption("corrupt snapshot: tile begin[0] != 0");
     }
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
       if (b[c] > b[c + 1]) {
         return Status::Corruption(
             "corrupt snapshot: non-monotone tile class boundaries");
@@ -171,8 +171,8 @@ Status TwoLayerPlusGrid::Save(const std::string& path,
     if (tt == nullptr) continue;
     SnapshotTableDirEntry dir{};
     dir.tile_id = static_cast<std::uint32_t>(t);
-    for (int c = 0; c < kNumClasses; ++c) {
-      for (int k = 0; k < 4; ++k) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (std::size_t k = 0; k < 4; ++k) {
         dir.count[c][k] =
             static_cast<std::uint32_t>(tt->tables[c][k].size());
       }
@@ -264,10 +264,10 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
     prev_tile = e.tile_id;
     const auto i = static_cast<std::uint32_t>(e.tile_id % g.nx());
     const auto j = static_cast<std::uint32_t>(e.tile_id / g.nx());
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
       const auto cls = static_cast<ObjectClass>(c);
       const std::size_t expected = record.ClassCount(i, j, cls);
-      for (int k = 0; k < 4; ++k) {
+      for (std::size_t k = 0; k < 4; ++k) {
         const std::uint32_t n = e.count[c][k];
         const bool stored = TableStored(cls, static_cast<CoordKind>(k));
         if ((!stored && n != 0) || (stored && n != expected)) {
@@ -334,8 +334,8 @@ Status TwoLayerPlusGrid::LoadFromReader(const SnapshotReader& reader,
   std::uint64_t cursor = 0;
   for (const SnapshotTableDirEntry& e : dir) {
     auto tt = std::make_unique<TileTables>();
-    for (int c = 0; c < kNumClasses; ++c) {
-      for (int k = 0; k < 4; ++k) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (std::size_t k = 0; k < 4; ++k) {
         const std::uint32_t n = e.count[c][k];
         if (n == 0) continue;
         SortedTable& table = tt->tables[c][k];

@@ -46,8 +46,9 @@ std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
   if (results.size() > k) {
     // All candidates within `radius` are present and the k-th smallest
     // distance is <= radius, so the k smallest are the exact answer.
-    std::nth_element(results.begin(), results.begin() + k, results.end(),
-                     by_distance);
+    std::nth_element(results.begin(),
+                     results.begin() + static_cast<std::ptrdiff_t>(k),
+                     results.end(), by_distance);
     results.resize(k);
   }
   std::sort(results.begin(), results.end(), by_distance);

@@ -1,10 +1,20 @@
 #include "core/spatial_join.h"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace tlp {
 
 namespace {
+
+/// Both join variants require the operands to share one grid geometry (the
+/// per-tile pairing is meaningless otherwise). Checked in every build mode.
+void RequireSameLayout(const TwoLayerGrid& left, const TwoLayerGrid& right) {
+  const GridLayout& g = left.layout();
+  if (g.nx() != right.layout().nx() || g.ny() != right.layout().ny()) {
+    throw std::invalid_argument(
+        "TwoLayerJoin: operands must share the same grid layout");
+  }
+}
 
 /// True iff a pair from classes (cl, cr) can be the non-duplicate copy of a
 /// result in this tile: at least one of the two starts inside the tile in
@@ -31,16 +41,16 @@ void JoinSpans(const BoxEntry* l, std::size_t nl, const BoxEntry* r,
 
 std::vector<JoinPair> TwoLayerJoin::Join(const TwoLayerGrid& left,
                                          const TwoLayerGrid& right) {
+  RequireSameLayout(left, right);
   const GridLayout& g = left.layout();
-  assert(g.nx() == right.layout().nx() && g.ny() == right.layout().ny());
   std::vector<JoinPair> out;
   for (std::uint32_t j = 0; j < g.ny(); ++j) {
     for (std::uint32_t i = 0; i < g.nx(); ++i) {
-      for (int cl = 0; cl < kNumClasses; ++cl) {
+      for (std::size_t cl = 0; cl < kNumClasses; ++cl) {
         const auto [lp, ln] =
             left.ClassSpan(i, j, static_cast<ObjectClass>(cl));
         if (ln == 0) continue;
-        for (int cr = 0; cr < kNumClasses; ++cr) {
+        for (std::size_t cr = 0; cr < kNumClasses; ++cr) {
           if (!ClassPairAllowed(static_cast<ObjectClass>(cl),
                                 static_cast<ObjectClass>(cr))) {
             continue;
@@ -58,18 +68,18 @@ std::vector<JoinPair> TwoLayerJoin::Join(const TwoLayerGrid& left,
 
 std::vector<JoinPair> TwoLayerJoin::JoinReferencePoint(
     const TwoLayerGrid& left, const TwoLayerGrid& right) {
+  RequireSameLayout(left, right);
   const GridLayout& g = left.layout();
-  assert(g.nx() == right.layout().nx() && g.ny() == right.layout().ny());
   std::vector<JoinPair> out;
   for (std::uint32_t j = 0; j < g.ny(); ++j) {
     for (std::uint32_t i = 0; i < g.nx(); ++i) {
       // All classes on both sides, followed by the reference-point test on
       // each candidate pair (the classic PBSM-style dedup [9]).
-      for (int cl = 0; cl < kNumClasses; ++cl) {
+      for (std::size_t cl = 0; cl < kNumClasses; ++cl) {
         const auto [lp, ln] =
             left.ClassSpan(i, j, static_cast<ObjectClass>(cl));
         for (std::size_t a = 0; a < ln; ++a) {
-          for (int cr = 0; cr < kNumClasses; ++cr) {
+          for (std::size_t cr = 0; cr < kNumClasses; ++cr) {
             const auto [rp, rn] =
                 right.ClassSpan(i, j, static_cast<ObjectClass>(cr));
             for (std::size_t b = 0; b < rn; ++b) {

@@ -59,7 +59,7 @@ void TwoLayerGrid::BuildSequential(const std::vector<BoxEntry>& entries) {
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
     Tile& tile = tiles_[t];
     std::uint32_t total = 0;
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
       tile.begin[c] = total;
       total += counts[t][c];
     }
@@ -74,7 +74,8 @@ void TwoLayerGrid::BuildSequential(const std::vector<BoxEntry>& entries) {
     for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
       for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
         const std::size_t t = layout_.TileId(i, j);
-        const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, e.box));
+        const std::size_t seg =
+            SegmentOf(ClassifyEntryInTile(layout_, i, j, e.box));
         Tile& tile = tiles_[t];
         tile.entries.vec()[tile.begin[seg] + cursors[t][seg]++] = e;
       }
@@ -102,7 +103,7 @@ void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
           const TileRange& r = ranges[k];
           for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
             for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
-              const int seg =
+              const std::size_t seg =
                   SegmentOf(ClassifyEntryInTile(layout_, i, j, entries[k].box));
               ++counts[layout_.TileId(i, j)][seg];
             }
@@ -117,11 +118,13 @@ void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
     for (std::size_t t = begin; t < end; ++t) {
       std::array<std::uint32_t, kNumClasses> total = {0, 0, 0, 0};
       for (const auto& counts : chunk_counts) {
-        for (int s = 0; s < kNumClasses; ++s) total[s] += counts[t][s];
+        for (std::size_t s = 0; s < kNumClasses; ++s) {
+          total[s] += counts[t][s];
+        }
       }
       Tile& tile = tiles_[t];
       std::uint32_t acc = 0;
-      for (int s = 0; s < kNumClasses; ++s) {
+      for (std::size_t s = 0; s < kNumClasses; ++s) {
         tile.begin[s] = acc;
         acc += total[s];
       }
@@ -155,7 +158,7 @@ void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
           for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
             const std::size_t t = layout_.TileId(i, j);
             if (t < lo || t >= hi) continue;
-            const int seg =
+            const std::size_t seg =
                 SegmentOf(ClassifyEntryInTile(layout_, i, j, entries[k].box));
             Tile& tile = tiles_[t];
             tile.entries.vec()[tile.begin[seg] + cursors[t][seg]++] =
@@ -174,7 +177,7 @@ void TwoLayerGrid::Insert(const BoxEntry& entry) {
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       Tile& tile = tiles_[layout_.TileId(i, j)];
-      const int seg =
+      const std::size_t seg =
           SegmentOf(ClassifyEntryInTile(layout_, i, j, entry.box));
       // O(1) insertion into the segmented vector: grow by one slot, then
       // relocate only the first element of each later segment to its
@@ -183,11 +186,11 @@ void TwoLayerGrid::Insert(const BoxEntry& entry) {
       // keeping grid updates as cheap as the 1-layer baseline's (Table VI).
       auto& v = tile.entries.vec();
       v.push_back(entry);
-      for (int k = kNumClasses; k > seg + 1; --k) {
+      for (std::size_t k = kNumClasses; k > seg + 1; --k) {
         v[tile.begin[k]] = v[tile.begin[k - 1]];
       }
       v[tile.begin[seg + 1]] = entry;
-      for (int k = seg + 1; k <= kNumClasses; ++k) ++tile.begin[k];
+      for (std::size_t k = seg + 1; k <= kNumClasses; ++k) ++tile.begin[k];
     }
   }
 }
@@ -199,7 +202,8 @@ bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       Tile& tile = tiles_[layout_.TileId(i, j)];
-      const int seg = SegmentOf(ClassifyEntryInTile(layout_, i, j, box));
+      const std::size_t seg =
+          SegmentOf(ClassifyEntryInTile(layout_, i, j, box));
       auto& v = tile.entries.vec();
       for (std::uint32_t k = tile.begin[seg]; k < tile.begin[seg + 1]; ++k) {
         if (v[k].id != id) continue;
@@ -207,11 +211,11 @@ bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
         // rotating each later segment's last element into its front
         // (inverse of the Insert relocation).
         v[k] = v[tile.begin[seg + 1] - 1];
-        for (int t = seg + 1; t < kNumClasses; ++t) {
+        for (std::size_t t = seg + 1; t < kNumClasses; ++t) {
           v[tile.begin[t] - 1] = v[tile.begin[t + 1] - 1];
         }
         v.pop_back();
-        for (int t = seg + 1; t <= kNumClasses; ++t) --tile.begin[t];
+        for (std::size_t t = seg + 1; t <= kNumClasses; ++t) --tile.begin[t];
         found = true;
         break;
       }
@@ -226,7 +230,7 @@ void TwoLayerGrid::ScanTile(const Tile& tile, const Box& w, unsigned base_mask,
                             Emit&& emit) const {
   const BoxEntry* data = tile.entries.data();
   auto class_span = [&](ObjectClass c, const BoxEntry*& p, std::size_t& n) {
-    const int k = SegmentOf(c);
+    const std::size_t k = SegmentOf(c);
     p = data + tile.begin[k];
     n = tile.begin[k + 1] - tile.begin[k];
   };
@@ -398,7 +402,7 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
 
       const BoxEntry* data = tile.entries.data();
       auto scan = [&](ObjectClass c, bool dedup_rows) {
-        const int k = SegmentOf(c);
+        const std::size_t k = SegmentOf(c);
         const BoxEntry* p = data + tile.begin[k];
         const std::size_t n = tile.begin[k + 1] - tile.begin[k];
         TLP_STATS_CLASS_SCANNED(c, n);
@@ -479,7 +483,7 @@ std::size_t TwoLayerGrid::entry_count() const {
 std::size_t TwoLayerGrid::ClassCount(std::uint32_t i, std::uint32_t j,
                                      ObjectClass c) const {
   const Tile& tile = tiles_[layout_.TileId(i, j)];
-  const int k = SegmentOf(c);
+  const std::size_t k = SegmentOf(c);
   return tile.begin[k + 1] - tile.begin[k];
 }
 
@@ -488,14 +492,14 @@ bool TwoLayerGrid::CheckInvariants() const {
     for (std::uint32_t i = 0; i < layout_.nx(); ++i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
       if (tile.begin[0] != 0) return false;
-      for (int s = 0; s < kNumClasses; ++s) {
+      for (std::size_t s = 0; s < kNumClasses; ++s) {
         if (tile.begin[s] > tile.begin[s + 1]) return false;
       }
       if (tile.begin[kNumClasses] != tile.entries.size()) return false;
       // Every entry must sit in the segment of its class; Insert/Delete
       // rotations that misplace a single element break the lemmas silently,
       // which is exactly what this catches.
-      for (int s = 0; s < kNumClasses; ++s) {
+      for (std::size_t s = 0; s < kNumClasses; ++s) {
         for (std::uint32_t k = tile.begin[s]; k < tile.begin[s + 1]; ++k) {
           const ObjectClass c =
               ClassifyEntryInTile(layout_, i, j, tile.entries[k].box);
@@ -510,7 +514,7 @@ bool TwoLayerGrid::CheckInvariants() const {
 std::pair<const BoxEntry*, std::size_t> TwoLayerGrid::ClassSpan(
     std::uint32_t i, std::uint32_t j, ObjectClass c) const {
   const Tile& tile = tiles_[layout_.TileId(i, j)];
-  const int k = SegmentOf(c);
+  const std::size_t k = SegmentOf(c);
   return {tile.entries.data() + tile.begin[k],
           tile.begin[k + 1] - tile.begin[k]};
 }

@@ -94,9 +94,10 @@ class TwoLayerGrid final : public PersistentIndex {
   std::string name() const override { return "2-layer"; }
 
   /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
-  Status Save(const std::string& path,
-              FileSystem* fs = nullptr) const override;
-  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
+  [[nodiscard]] Status Save(const std::string& path,
+                            FileSystem* fs = nullptr) const override;
+  [[nodiscard]] Status Load(const std::string& path,
+                            FileSystem* fs = nullptr) override;
 
   /// Container-level snapshot plumbing: writes/reads this grid's sections
   /// (layout, tile begins, tile entries) inside an open snapshot. Used by
@@ -107,13 +108,14 @@ class TwoLayerGrid final : public PersistentIndex {
   /// ThawStorage()/Thaw() — without the guard a release-mode update would
   /// write straight into the read-only mapping (SIGSEGV, not an error).
   void AppendSnapshotSections(SnapshotWriter* writer) const;
-  Status LoadSnapshotSections(const SnapshotReader& reader, bool mapped);
+  [[nodiscard]] Status LoadSnapshotSections(const SnapshotReader& reader,
+                                            bool mapped);
   /// Copies any mapped tile-entry views into owned storage and unfreezes.
   void ThawStorage();
 
   /// True after a mapped LoadSnapshotSections (updates rejected).
-  bool frozen() const override { return frozen_; }
-  Status Thaw() override {
+  [[nodiscard]] bool frozen() const override { return frozen_; }
+  [[nodiscard]] Status Thaw() override {
     ThawStorage();
     return Status::OK();
   }

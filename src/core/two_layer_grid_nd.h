@@ -2,9 +2,9 @@
 #define TLP_CORE_TWO_LAYER_GRID_ND_H_
 
 #include <array>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/types.h"
@@ -26,11 +26,13 @@ namespace tlp {
 /// Axis-aligned box in `Dims` dimensions with closed intervals.
 template <int Dims>
 struct BoxNd {
-  std::array<Coord, Dims> lo{};
-  std::array<Coord, Dims> hi{};
+  static constexpr std::size_t kDims = static_cast<std::size_t>(Dims);
+
+  std::array<Coord, kDims> lo{};
+  std::array<Coord, kDims> hi{};
 
   bool Intersects(const BoxNd& o) const {
-    for (int d = 0; d < Dims; ++d) {
+    for (std::size_t d = 0; d < kDims; ++d) {
       if (lo[d] > o.hi[d] || hi[d] < o.lo[d]) return false;
     }
     return true;
@@ -54,14 +56,23 @@ struct BoxEntryNd {
 template <int Dims>
 class GridLayoutNd {
  public:
+  static constexpr std::size_t kDims = static_cast<std::size_t>(Dims);
+
   GridLayoutNd(const BoxNd<Dims>& domain,
-               const std::array<std::uint32_t, Dims>& cells_per_dim)
+               const std::array<std::uint32_t, kDims>& cells_per_dim)
       : domain_(domain), cells_(cells_per_dim) {
     std::size_t total = 1;
-    for (int d = 0; d < Dims; ++d) {
-      assert(cells_[d] >= 1);
+    for (std::size_t d = 0; d < kDims; ++d) {
+      if (cells_[d] < 1) {
+        throw std::invalid_argument(
+            "GridLayoutNd: every dimension needs >= 1 cell");
+      }
       const Coord width = domain_.hi[d] - domain_.lo[d];
-      assert(width > 0);
+      if (!(width > 0)) {
+        throw std::invalid_argument(
+            "GridLayoutNd: domain must have positive extent in every "
+            "dimension");
+      }
       inv_cell_w_[d] = cells_[d] / width;
       stride_[d] = total;
       total *= cells_[d];
@@ -70,11 +81,11 @@ class GridLayoutNd {
   }
 
   std::size_t tile_count() const { return tile_count_; }
-  std::uint32_t cells(int d) const { return cells_[d]; }
+  std::uint32_t cells(std::size_t d) const { return cells_[d]; }
   const BoxNd<Dims>& domain() const { return domain_; }
 
   /// Cell index of coordinate `x` along dimension `d`, clamped.
-  std::uint32_t CellOf(int d, Coord x) const {
+  std::uint32_t CellOf(std::size_t d, Coord x) const {
     const Coord rel = (x - domain_.lo[d]) * inv_cell_w_[d];
     if (rel <= 0) return 0;
     const auto c = static_cast<std::int64_t>(rel);
@@ -82,17 +93,17 @@ class GridLayoutNd {
         std::min<std::int64_t>(c, static_cast<std::int64_t>(cells_[d]) - 1));
   }
 
-  std::size_t TileId(const std::array<std::uint32_t, Dims>& cell) const {
+  std::size_t TileId(const std::array<std::uint32_t, kDims>& cell) const {
     std::size_t id = 0;
-    for (int d = 0; d < Dims; ++d) id += cell[d] * stride_[d];
+    for (std::size_t d = 0; d < kDims; ++d) id += cell[d] * stride_[d];
     return id;
   }
 
   /// Inclusive per-dimension cell ranges of the tiles a box touches.
   void RangesFor(const BoxNd<Dims>& b,
-                 std::array<std::uint32_t, Dims>* first,
-                 std::array<std::uint32_t, Dims>* last) const {
-    for (int d = 0; d < Dims; ++d) {
+                 std::array<std::uint32_t, kDims>* first,
+                 std::array<std::uint32_t, kDims>* last) const {
+    for (std::size_t d = 0; d < kDims; ++d) {
       (*first)[d] = CellOf(d, b.lo[d]);
       (*last)[d] = CellOf(d, b.hi[d]);
     }
@@ -100,9 +111,9 @@ class GridLayoutNd {
 
  private:
   BoxNd<Dims> domain_;
-  std::array<std::uint32_t, Dims> cells_;
-  std::array<Coord, Dims> inv_cell_w_{};
-  std::array<std::size_t, Dims> stride_{};
+  std::array<std::uint32_t, kDims> cells_;
+  std::array<Coord, kDims> inv_cell_w_{};
+  std::array<std::size_t, kDims> stride_{};
   std::size_t tile_count_ = 0;
 };
 
@@ -113,7 +124,8 @@ class GridLayoutNd {
 template <int Dims>
 class TwoLayerGridNd {
  public:
-  static constexpr int kClasses = 1 << Dims;
+  static constexpr std::size_t kDims = static_cast<std::size_t>(Dims);
+  static constexpr std::size_t kClasses = std::size_t{1} << kDims;
 
   explicit TwoLayerGridNd(const GridLayoutNd<Dims>& layout)
       : layout_(layout), tiles_(layout.tile_count()) {}
@@ -124,28 +136,28 @@ class TwoLayerGridNd {
   }
 
   void Insert(const BoxEntryNd<Dims>& entry) {
-    std::array<std::uint32_t, Dims> first{}, last{}, cell{};
+    std::array<std::uint32_t, kDims> first{}, last{}, cell{};
     layout_.RangesFor(entry.box, &first, &last);
     cell = first;
     for (;;) {
       Tile& tile = tiles_[layout_.TileId(cell)];
-      const int seg = SegmentOfClass(ClassOf(cell, first));
+      const std::size_t seg = SegmentOfClass(ClassOf(cell, first));
       // O(1) segmented insert, as in the 2D grid: relocate one boundary
       // element per later segment.
       auto& v = tile.entries;
       v.push_back(entry);
-      for (int k = kClasses; k > seg + 1; --k) {
+      for (std::size_t k = kClasses; k > seg + 1; --k) {
         v[tile.begin[k]] = v[tile.begin[k - 1]];
       }
       v[tile.begin[seg + 1]] = entry;
-      for (int k = seg + 1; k <= kClasses; ++k) ++tile.begin[k];
+      for (std::size_t k = seg + 1; k <= kClasses; ++k) ++tile.begin[k];
       if (!AdvanceOdometer(&cell, first, last)) break;
     }
   }
 
   /// Window query: appends each intersecting id exactly once.
   void WindowQuery(const BoxNd<Dims>& w, std::vector<ObjectId>* out) const {
-    std::array<std::uint32_t, Dims> first{}, last{}, cell{};
+    std::array<std::uint32_t, kDims> first{}, last{}, cell{};
     layout_.RangesFor(w, &first, &last);
     cell = first;
     for (;;) {
@@ -162,10 +174,10 @@ class TwoLayerGridNd {
   }
 
   /// Entries of one class in one tile; exposed for tests.
-  std::size_t ClassCount(const std::array<std::uint32_t, Dims>& cell,
-                         int klass) const {
+  std::size_t ClassCount(const std::array<std::uint32_t, kDims>& cell,
+                         std::size_t klass) const {
     const Tile& tile = tiles_[layout_.TileId(cell)];
-    const int seg = SegmentOfClass(klass);
+    const std::size_t seg = SegmentOfClass(klass);
     return tile.begin[seg + 1] - tile.begin[seg];
   }
 
@@ -177,24 +189,27 @@ class TwoLayerGridNd {
     std::array<std::uint32_t, kClasses + 1> begin{};
   };
 
-  static int SegmentOfClass(int klass) { return kClasses - 1 - klass; }
+  static std::size_t SegmentOfClass(std::size_t klass) {
+    return kClasses - 1 - klass;
+  }
 
   /// Class of a box in the tile `cell`, given the box's first-touched cell
   /// per dimension: bit d set iff the box starts before this tile in d.
-  static int ClassOf(const std::array<std::uint32_t, Dims>& cell,
-                     const std::array<std::uint32_t, Dims>& box_first) {
-    int klass = 0;
-    for (int d = 0; d < Dims; ++d) {
-      if (box_first[d] < cell[d]) klass |= 1 << d;
+  static std::size_t ClassOf(
+      const std::array<std::uint32_t, kDims>& cell,
+      const std::array<std::uint32_t, kDims>& box_first) {
+    std::size_t klass = 0;
+    for (std::size_t d = 0; d < kDims; ++d) {
+      if (box_first[d] < cell[d]) klass |= std::size_t{1} << d;
     }
     return klass;
   }
 
   /// Row-major odometer over the inclusive multi-dimensional range.
-  static bool AdvanceOdometer(std::array<std::uint32_t, Dims>* cell,
-                              const std::array<std::uint32_t, Dims>& first,
-                              const std::array<std::uint32_t, Dims>& last) {
-    for (int d = 0; d < Dims; ++d) {
+  static bool AdvanceOdometer(std::array<std::uint32_t, kDims>* cell,
+                              const std::array<std::uint32_t, kDims>& first,
+                              const std::array<std::uint32_t, kDims>& last) {
+    for (std::size_t d = 0; d < kDims; ++d) {
       if ((*cell)[d] < last[d]) {
         ++(*cell)[d];
         return true;
@@ -204,36 +219,37 @@ class TwoLayerGridNd {
     return false;
   }
 
-  void ScanTile(const Tile& tile, const std::array<std::uint32_t, Dims>& cell,
-                const std::array<std::uint32_t, Dims>& first,
-                const std::array<std::uint32_t, Dims>& last,
+  void ScanTile(const Tile& tile,
+                const std::array<std::uint32_t, kDims>& cell,
+                const std::array<std::uint32_t, kDims>& first,
+                const std::array<std::uint32_t, kDims>& last,
                 const BoxNd<Dims>& w, std::vector<ObjectId>* out) const {
     // Generalized Lemmas 1-2: a class with bit d set may only be accessed
     // in tiles of the window's first slice in dimension d.
-    int accessible_mask = 0;  // bit d usable in before-classes
+    std::size_t accessible_mask = 0;  // bit d usable in before-classes
     // Generalized Lemmas 3-4 comparison plan for this tile: which dims need
     // the lower-end test (w starts in this tile's slice) / upper-end test.
-    std::array<bool, Dims> need_ge{}, need_le{};
-    for (int d = 0; d < Dims; ++d) {
+    std::array<bool, kDims> need_ge{}, need_le{};
+    for (std::size_t d = 0; d < kDims; ++d) {
       if (cell[d] == first[d]) {
-        accessible_mask |= 1 << d;
+        accessible_mask |= std::size_t{1} << d;
         need_ge[d] = true;  // r.hi[d] >= w.lo[d]
       }
       if (cell[d] == last[d]) need_le[d] = true;  // r.lo[d] <= w.hi[d]
     }
-    for (int klass = 0; klass < kClasses; ++klass) {
+    for (std::size_t klass = 0; klass < kClasses; ++klass) {
       // Skip classes that would produce duplicates: every "starts before"
       // bit must be in the window's first slice.
       if ((klass & ~accessible_mask) != 0) continue;
-      const int seg = SegmentOfClass(klass);
+      const std::size_t seg = SegmentOfClass(klass);
       for (std::uint32_t k = tile.begin[seg]; k < tile.begin[seg + 1]; ++k) {
         const BoxEntryNd<Dims>& e = tile.entries[k];
         bool keep = true;
-        for (int d = 0; d < Dims && keep; ++d) {
+        for (std::size_t d = 0; d < kDims && keep; ++d) {
           if (need_ge[d] && e.box.hi[d] < w.lo[d]) keep = false;
           // The lower-end comparison is implied for dims where the class
           // starts before the tile (Table II generalization).
-          if (need_le[d] && (klass & (1 << d)) == 0 &&
+          if (need_le[d] && (klass & (std::size_t{1} << d)) == 0 &&
               e.box.lo[d] > w.hi[d]) {
             keep = false;
           }

@@ -62,7 +62,7 @@ bool TwoLayerPlusGrid::SortedTable::EraseSorted(Coord v, ObjectId id) {
   for (auto it = std::lower_bound(vals.begin(), vals.end(), v);
        it != vals.end() && *it == v; ++it) {
     const auto pos = it - vals.begin();
-    if (ids[pos] != id) continue;
+    if (ids[static_cast<std::size_t>(pos)] != id) continue;
     vals.erase(it);
     ids.vec().erase(ids.vec().begin() + pos);
     return true;
@@ -137,9 +137,9 @@ void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries,
         for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
           const ObjectClass c = ClassifyEntryInTile(g, i, j, e.box);
           auto& tables =
-              MutableTables(g.TileId(i, j)).tables[static_cast<int>(c)];
+              MutableTables(g.TileId(i, j)).tables[static_cast<std::size_t>(c)];
           const Coord coords[4] = {e.box.xl, e.box.xu, e.box.yl, e.box.yu};
-          for (int k = 0; k < 4; ++k) {
+          for (std::size_t k = 0; k < 4; ++k) {
             if (TableStored(c, static_cast<CoordKind>(k))) {
               tables[k].Add(coords[k], e.id);
             }
@@ -189,11 +189,11 @@ void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries,
         const auto i = static_cast<std::uint32_t>(t % g.nx());
         const auto j = static_cast<std::uint32_t>(t / g.nx());
         TileTables& tt = MutableTables(t);
-        for (int c = 0; c < kNumClasses; ++c) {
+        for (std::size_t c = 0; c < kNumClasses; ++c) {
           const auto cls = static_cast<ObjectClass>(c);
           const std::size_t count = record_.ClassCount(i, j, cls);
           if (count == 0) continue;
-          for (int k = 0; k < 4; ++k) {
+          for (std::size_t k = 0; k < 4; ++k) {
             if (!TableStored(cls, static_cast<CoordKind>(k))) continue;
             tt.tables[c][k].values.vec().reserve(count);
             tt.tables[c][k].ids.vec().reserve(count);
@@ -212,8 +212,8 @@ void TwoLayerPlusGrid::Build(const std::vector<BoxEntry>& entries,
             const std::size_t t = g.TileId(i, j);
             if (t < lo || t >= hi) continue;
             const ObjectClass c = ClassifyEntryInTile(g, i, j, b);
-            auto& tables = tile_tables_[t]->tables[static_cast<int>(c)];
-            for (int k = 0; k < 4; ++k) {
+            auto& tables = tile_tables_[t]->tables[static_cast<std::size_t>(c)];
+            for (std::size_t k = 0; k < 4; ++k) {
               if (TableStored(c, static_cast<CoordKind>(k))) {
                 tables[k].Add(coords[k], entries[e].id);
               }
@@ -245,10 +245,10 @@ void TwoLayerPlusGrid::Insert(const BoxEntry& entry) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
       const ObjectClass c = ClassifyEntryInTile(g, i, j, entry.box);
       auto& tables =
-          MutableTables(g.TileId(i, j)).tables[static_cast<int>(c)];
+          MutableTables(g.TileId(i, j)).tables[static_cast<std::size_t>(c)];
       const Coord coords[4] = {entry.box.xl, entry.box.xu, entry.box.yl,
                                entry.box.yu};
-      for (int k = 0; k < 4; ++k) {
+      for (std::size_t k = 0; k < 4; ++k) {
         if (TableStored(c, static_cast<CoordKind>(k))) {
           tables[k].InsertSorted(coords[k], entry.id);
         }
@@ -269,9 +269,9 @@ bool TwoLayerPlusGrid::Delete(ObjectId id, const Box& box) {
       auto& slot = tile_tables_[g.TileId(i, j)];
       if (slot == nullptr) continue;
       const ObjectClass c = ClassifyEntryInTile(g, i, j, box);
-      auto& tables = slot->tables[static_cast<int>(c)];
+      auto& tables = slot->tables[static_cast<std::size_t>(c)];
       const Coord coords[4] = {box.xl, box.xu, box.yl, box.yu};
-      for (int k = 0; k < 4; ++k) {
+      for (std::size_t k = 0; k < 4; ++k) {
         if (TableStored(c, static_cast<CoordKind>(k))) {
           tables[k].EraseSorted(coords[k], id);
         }
@@ -285,7 +285,7 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
                                      unsigned mask, const Box& w,
                                      const Box& tile_box,
                                      std::vector<ObjectId>* out) const {
-  const auto& tables = tt.tables[static_cast<int>(c)];
+  const auto& tables = tt.tables[static_cast<std::size_t>(c)];
   if (tables[kXu].size() == 0) return;  // Empty partition (xu always stored).
 
   if (mask == 0) {
@@ -324,19 +324,21 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
   consider(kCmpYlLeWyu, kYl, false, w.yu,
            static_cast<double>(w.yu - tile_box.yl) / th);
 
-  const SortedTable& table = tables[best.coord];
+  const SortedTable& table = tables[static_cast<std::size_t>(best.coord)];
   // A binary search over n sorted values costs about log2(n)+1 probes.
   TLP_STATS_ADD(binary_search_probes, std::bit_width(table.size()));
   std::size_t begin = 0;
   std::size_t end = table.size();
   if (best.ge) {
-    begin = std::lower_bound(table.values.begin(), table.values.end(),
-                             best.bound) -
-            table.values.begin();
+    begin = static_cast<std::size_t>(
+        std::lower_bound(table.values.begin(), table.values.end(),
+                         best.bound) -
+        table.values.begin());
   } else {
-    end = std::upper_bound(table.values.begin(), table.values.end(),
-                           best.bound) -
-          table.values.begin();
+    end = static_cast<std::size_t>(
+        std::upper_bound(table.values.begin(), table.values.end(),
+                         best.bound) -
+        table.values.begin());
   }
   TLP_STATS_CLASS_SCANNED(c, end - begin);
 
@@ -413,10 +415,10 @@ bool TwoLayerPlusGrid::CheckInvariants() const {
   for (std::uint32_t j = 0; j < g.ny(); ++j) {
     for (std::uint32_t i = 0; i < g.nx(); ++i) {
       const TileTables* tt = tile_tables_[g.TileId(i, j)].get();
-      for (int c = 0; c < kNumClasses; ++c) {
+      for (std::size_t c = 0; c < kNumClasses; ++c) {
         const auto cls = static_cast<ObjectClass>(c);
         const std::size_t expected = record_.ClassCount(i, j, cls);
-        for (int k = 0; k < 4; ++k) {
+        for (std::size_t k = 0; k < 4; ++k) {
           const SortedTable* table =
               tt != nullptr ? &tt->tables[c][k] : nullptr;
           const std::size_t n = table != nullptr ? table->size() : 0;

@@ -71,9 +71,10 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// Snapshot persistence (src/persist; defined in core/grid_snapshots.cc).
   /// Save works in any state (a frozen index saves its mapped contents);
   /// Load deserializes into owned storage and leaves the index mutable.
-  Status Save(const std::string& path,
-              FileSystem* fs = nullptr) const override;
-  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
+  [[nodiscard]] Status Save(const std::string& path,
+                            FileSystem* fs = nullptr) const override;
+  [[nodiscard]] Status Load(const std::string& path,
+                            FileSystem* fs = nullptr) override;
 
   /// Zero-copy cold start: mmap()s the snapshot read-only and points every
   /// per-tile SortedTable column and the id->MBR table straight into the
@@ -86,14 +87,15 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// eagerly, so the payload contents are trusted: use the default only on
   /// snapshots that never crossed a trust boundary (docs/PERSISTENCE.md).
   /// On any failure the index is left exactly as it was.
-  Status LoadMapped(const std::string& path, bool verify_checksums = false,
-                    FileSystem* fs = nullptr);
+  [[nodiscard]] Status LoadMapped(const std::string& path,
+                                  bool verify_checksums = false,
+                                  FileSystem* fs = nullptr);
 
-  bool frozen() const override { return frozen_; }
+  [[nodiscard]] bool frozen() const override { return frozen_; }
 
   /// Copies all mapped columns into owned heap storage and releases the
   /// snapshot mapping; Insert/Delete work again afterwards.
-  Status Thaw() override;
+  [[nodiscard]] Status Thaw() override;
 
   const GridLayout& layout() const { return record_.layout(); }
   const TwoLayerGrid& record_layer() const { return record_; }
@@ -152,7 +154,7 @@ class TwoLayerPlusGrid final : public PersistentIndex {
   /// `validate_ids` every stored table id is range-checked against the MBR
   /// table (always on for owned loads, opt-in via verify_checksums for
   /// mapped ones).
-  Status LoadFromReader(const SnapshotReader& reader, bool mapped,
+  [[nodiscard]] Status LoadFromReader(const SnapshotReader& reader, bool mapped,
                         bool validate_ids);
 
   TwoLayerGrid record_;

@@ -60,13 +60,14 @@ Polygon MakePolygon(const Box& b, Rng& rng) {
   poly.ring.reserve(n);
   // Star-shaped about the center: strictly increasing angles keep the ring
   // simple (non-self-intersecting).
-  double angle = rng.Uniform(0, 6.283185307179586 / n);
+  const double dn = static_cast<double>(n);
+  double angle = rng.Uniform(0, 6.283185307179586 / dn);
   for (std::size_t k = 0; k < n; ++k) {
     const double rx = b.width() / 2 * rng.Uniform(0.5, 1.0);
     const double ry = b.height() / 2 * rng.Uniform(0.5, 1.0);
     poly.ring.push_back(
         Point{c.x + rx * std::cos(angle), c.y + ry * std::sin(angle)});
-    angle += 6.283185307179586 / n * rng.Uniform(0.6, 1.4);
+    angle += 6.283185307179586 / dn * rng.Uniform(0.6, 1.4);
   }
   return poly;
 }
@@ -109,7 +110,7 @@ class TigerModel {
     const int f = static_cast<int>(config.flavor);
     n_ = config.cardinality != 0 ? config.cardinality
                                  : TigerDefaultCardinality(config.flavor);
-    n_ = static_cast<std::size_t>(n_ * config.scale);
+    n_ = static_cast<std::size_t>(static_cast<double>(n_) * config.scale);
     // Density-preserving extent scaling: with 1/k-th of the paper's objects,
     // extents grow by sqrt(k) so a query window of a given relative area
     // keeps a comparable object/replication profile (DESIGN.md §3).

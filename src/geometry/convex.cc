@@ -1,8 +1,8 @@
 #include "geometry/convex.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+#include <stdexcept>
 
 namespace tlp {
 
@@ -16,16 +16,23 @@ Coord Cross(const Point& o, const Point& a, const Point& b) {
 
 ConvexPolygon::ConvexPolygon(std::vector<Point> vertices)
     : vertices_(std::move(vertices)) {
-  assert(vertices_.size() >= 3);
+  // Query shapes come from user input (datagen, future query parsers); the
+  // preconditions are validated in every build mode, not just Debug — a
+  // concave "convex" polygon silently returns wrong query results.
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument(
+        "ConvexPolygon: at least 3 vertices required");
+  }
   for (const Point& v : vertices_) mbr_.ExpandToInclude(v);
-#ifndef NDEBUG
   // Convexity + CCW: every consecutive triple turns left (or is collinear).
   const std::size_t n = vertices_.size();
   for (std::size_t k = 0; k < n; ++k) {
-    assert(Cross(vertices_[k], vertices_[(k + 1) % n],
-                 vertices_[(k + 2) % n]) >= 0);
+    if (Cross(vertices_[k], vertices_[(k + 1) % n],
+              vertices_[(k + 2) % n]) < 0) {
+      throw std::invalid_argument(
+          "ConvexPolygon: vertices must be convex in CCW order");
+    }
   }
-#endif
 }
 
 bool ConvexPolygon::Contains(const Point& p) const {

@@ -36,8 +36,9 @@ inline bool ReferencePointInTile(const GridLayout& grid, const Box& r,
 /// argues against).
 inline void SortUniqueIds(std::vector<ObjectId>* ids, std::size_t begin) {
   const std::size_t before = ids->size();
-  std::sort(ids->begin() + begin, ids->end());
-  ids->erase(std::unique(ids->begin() + begin, ids->end()), ids->end());
+  const auto first = ids->begin() + static_cast<std::ptrdiff_t>(begin);
+  std::sort(first, ids->end());
+  ids->erase(std::unique(first, ids->end()), ids->end());
   TLP_STATS_ADD(posthoc_dedup, before - ids->size());
   (void)before;
 }

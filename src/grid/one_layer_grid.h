@@ -55,9 +55,10 @@ class OneLayerGrid final : public PersistentIndex {
   /// Snapshot persistence (src/persist; defined in grid/one_layer_snapshot
   /// .cc). The baseline grid only supports owned (deserializing) loads; the
   /// dedup policy travels with the snapshot.
-  Status Save(const std::string& path,
-              FileSystem* fs = nullptr) const override;
-  Status Load(const std::string& path, FileSystem* fs = nullptr) override;
+  [[nodiscard]] Status Save(const std::string& path,
+                            FileSystem* fs = nullptr) const override;
+  [[nodiscard]] Status Load(const std::string& path,
+                            FileSystem* fs = nullptr) override;
 
   const GridLayout& layout() const { return layout_; }
 

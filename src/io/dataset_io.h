@@ -24,23 +24,26 @@ namespace tlp {
 /// public TIGER extracts used by SpatialHadoop and the paper), into a
 /// GeometryStore. Empty lines and lines starting with '#' are skipped;
 /// a malformed line aborts the load.
-Status LoadWktFile(const std::string& path, GeometryStore* out,
-                   FileSystem* fs = nullptr);
+[[nodiscard]] Status LoadWktFile(const std::string& path, GeometryStore* out,
+                                 FileSystem* fs = nullptr);
 
 /// Writes a GeometryStore as one WKT per line (inverse of LoadWktFile).
-Status SaveWktFile(const GeometryStore& store, const std::string& path,
-                   FileSystem* fs = nullptr);
+[[nodiscard]] Status SaveWktFile(const GeometryStore& store,
+                                 const std::string& path,
+                                 FileSystem* fs = nullptr);
 
 /// Loads MBR entries from CSV lines `xl,yl,xu,yu` (ids are assigned by line
 /// order) — the cheap format for filtering-only experiments. Rows with
 /// non-numeric or non-finite coordinates, missing fields, trailing garbage,
 /// or an inverted box are rejected with their line number.
-Status LoadMbrCsv(const std::string& path, std::vector<BoxEntry>* out,
-                  FileSystem* fs = nullptr);
+[[nodiscard]] Status LoadMbrCsv(const std::string& path,
+                                std::vector<BoxEntry>* out,
+                                FileSystem* fs = nullptr);
 
 /// Writes MBR entries as CSV (inverse of LoadMbrCsv; ids are implicit).
-Status SaveMbrCsv(const std::vector<BoxEntry>& entries,
-                  const std::string& path, FileSystem* fs = nullptr);
+[[nodiscard]] Status SaveMbrCsv(const std::vector<BoxEntry>& entries,
+                                const std::string& path,
+                                FileSystem* fs = nullptr);
 
 }  // namespace tlp
 

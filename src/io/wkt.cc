@@ -58,7 +58,7 @@ class Cursor {
     // a non-finite coordinate would poison every box computation downstream
     // (NaN compares false with everything), so reject it here.
     if (!std::isfinite(*out)) return false;
-    pos_ += result.ptr - begin;
+    pos_ += static_cast<std::size_t>(result.ptr - begin);
     return true;
   }
 

@@ -20,12 +20,12 @@ namespace tlp {
 ///   POINT (x y)
 ///   LINESTRING (x y, x y, ...)
 ///   POLYGON ((x y, x y, ..., x0 y0))
-std::optional<Geometry> ParseWkt(std::string_view text,
-                                 std::string* error = nullptr);
+[[nodiscard]] std::optional<Geometry> ParseWkt(std::string_view text,
+                                               std::string* error = nullptr);
 
 /// Serializes a geometry to WKT (inverse of ParseWkt; polygons are emitted
 /// with the explicit closing vertex).
-std::string ToWkt(const Geometry& geometry);
+[[nodiscard]] std::string ToWkt(const Geometry& geometry);
 
 }  // namespace tlp
 

@@ -25,20 +25,22 @@ struct SnapshotInfo {
 /// Validates the header/section table of `path` (O(1) pages, no payload
 /// read) and reports what the snapshot holds. `fs` routes the file I/O
 /// (POSIX default when null), as everywhere in this header.
-Status ReadSnapshotInfo(const std::string& path, SnapshotInfo* out,
-                        FileSystem* fs = nullptr);
+[[nodiscard]] Status ReadSnapshotInfo(const std::string& path,
+                                      SnapshotInfo* out,
+                                      FileSystem* fs = nullptr);
 
 /// Full integrity pass: header, section table, and every payload CRC.
-Status VerifySnapshot(const std::string& path, FileSystem* fs = nullptr);
+[[nodiscard]] Status VerifySnapshot(const std::string& path,
+                                    FileSystem* fs = nullptr);
 
 /// Opens `path` as whatever index kind it holds — the snapshot, not the
 /// caller, names the class. With `mapped` the 2-layer+ zero-copy load path
 /// is used (other kinds have no mapped representation and are refused with
 /// StatusCode::kKindMismatch, so a caller asking for O(pages) cold start
 /// never silently pays a full deserialization).
-Status OpenSnapshot(const std::string& path, bool mapped,
-                    std::unique_ptr<PersistentIndex>* out,
-                    FileSystem* fs = nullptr);
+[[nodiscard]] Status OpenSnapshot(const std::string& path, bool mapped,
+                                  std::unique_ptr<PersistentIndex>* out,
+                                  FileSystem* fs = nullptr);
 
 }  // namespace tlp
 

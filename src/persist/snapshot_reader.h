@@ -47,19 +47,22 @@ class SnapshotReader {
   /// wrong magic, foreign endianness, unsupported version, truncation,
   /// checksum mismatch, out-of-bounds section — is StatusCode::kCorruption.
   /// Either way the result is a descriptive error, never a crash.
-  Status Open(const std::string& path, Mode mode, FileSystem* fs = nullptr);
+  [[nodiscard]] Status Open(const std::string& path, Mode mode,
+                            FileSystem* fs = nullptr);
 
-  const SnapshotHeader& header() const { return header_; }
-  const std::vector<SectionDesc>& sections() const { return table_; }
-  bool mapped() const { return mode_ == Mode::kMapped; }
+  [[nodiscard]] const SnapshotHeader& header() const { return header_; }
+  [[nodiscard]] const std::vector<SectionDesc>& sections() const {
+    return table_;
+  }
+  [[nodiscard]] bool mapped() const { return mode_ == Mode::kMapped; }
 
-  bool Has(std::uint32_t id) const;
+  [[nodiscard]] bool Has(std::uint32_t id) const;
   /// Locates section `id`; missing sections are an error (every section is
   /// mandatory for the index kind that wrote it).
-  Status Find(std::uint32_t id, Span* out) const;
+  [[nodiscard]] Status Find(std::uint32_t id, Span* out) const;
 
   /// CRC32-verifies every section payload (already done on kBuffered open).
-  Status VerifyPayloadChecksums() const;
+  [[nodiscard]] Status VerifyPayloadChecksums() const;
 
  private:
   Status Validate(const std::string& path, std::size_t actual_size);

@@ -3,8 +3,8 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <cassert>
 #include <cstring>
+#include <stdexcept>
 
 #include "common/env.h"
 
@@ -87,7 +87,9 @@ Status SnapshotWriter::Open(const std::string& path, SnapshotIndexKind kind,
 }
 
 void SnapshotWriter::Fail(Status status) {
-  assert(!status.ok());
+  if (status.ok()) {
+    throw std::logic_error("SnapshotWriter::Fail called with an OK status");
+  }
   if (status_.ok()) status_ = std::move(status);
 }
 
@@ -108,7 +110,13 @@ void SnapshotWriter::PadTo(std::size_t alignment) {
 }
 
 void SnapshotWriter::BeginSection(std::uint32_t id) {
-  assert(!in_section_ && "BeginSection with a section still open");
+  // Protocol-state misuse throws in every build mode: an assert here would
+  // compile out under NDEBUG and let a miswritten codec emit a snapshot
+  // with silently interleaved sections.
+  if (in_section_) {
+    throw std::logic_error(
+        "SnapshotWriter::BeginSection with a section still open");
+  }
   if (file_ == nullptr) {
     Fail(Status::Error("BeginSection on a writer that is not open"));
     return;
@@ -125,7 +133,10 @@ void SnapshotWriter::BeginSection(std::uint32_t id) {
 }
 
 void SnapshotWriter::Write(const void* data, std::size_t n) {
-  assert(in_section_ && "Write outside BeginSection/EndSection");
+  if (!in_section_) {
+    throw std::logic_error(
+        "SnapshotWriter::Write outside BeginSection/EndSection");
+  }
   if (!status_.ok() || n == 0) return;
   section_crc_ = Crc32(data, n, section_crc_);
   PutBytes(data, n);
@@ -133,14 +144,20 @@ void SnapshotWriter::Write(const void* data, std::size_t n) {
 }
 
 void SnapshotWriter::EndSection() {
-  assert(in_section_);
+  if (!in_section_) {
+    throw std::logic_error(
+        "SnapshotWriter::EndSection without an open section");
+  }
   if (!sections_.empty()) sections_.back().crc32 = section_crc_;
   in_section_ = false;
 }
 
 Status SnapshotWriter::Finalize(std::uint64_t index_size_bytes,
                                 std::uint64_t entry_count) {
-  assert(!in_section_ && "Finalize with a section still open");
+  if (in_section_) {
+    throw std::logic_error(
+        "SnapshotWriter::Finalize with a section still open");
+  }
   if (file_ == nullptr && status_.ok()) {
     Fail(Status::Error("Finalize on a writer that is not open"));
   }

@@ -49,8 +49,8 @@ class SnapshotWriter {
 
   /// Starts an atomic save targeting `path`: cleans up stale temp files of
   /// this destination, creates the new temp, and reserves header space.
-  Status Open(const std::string& path, SnapshotIndexKind kind,
-              FileSystem* fs = nullptr);
+  [[nodiscard]] Status Open(const std::string& path, SnapshotIndexKind kind,
+                            FileSystem* fs = nullptr);
 
   /// Starts a new section (finishing any open one is a caller bug).
   void BeginSection(std::uint32_t id);
@@ -68,14 +68,15 @@ class SnapshotWriter {
   /// rename onto the destination, directory fsync. After Finalize returns
   /// OK the destination is a complete snapshot that survives a crash; on
   /// failure the temp file is removed and the destination is untouched.
-  Status Finalize(std::uint64_t index_size_bytes, std::uint64_t entry_count);
+  [[nodiscard]] Status Finalize(std::uint64_t index_size_bytes,
+                                std::uint64_t entry_count);
 
   /// Abandons an in-progress save: closes and removes the temp file, never
   /// touching the destination. Returns the first failure encountered while
   /// cleaning up (a leaked temp file is worth reporting — it holds disk
   /// space until the next save of the same destination collects it). The
   /// destructor calls this and drops the result.
-  Status Abandon();
+  [[nodiscard]] Status Abandon();
 
  private:
   void Fail(Status status);

@@ -43,11 +43,12 @@ void MxcifQuadTree::Insert(const BoxEntry& entry) {
   while (node->depth < max_depth_) {
     const int quadrant = ContainingQuadrant(node->cell, entry.box);
     if (quadrant < 0) break;
-    if (node->children[quadrant] == nullptr) {
-      node->children[quadrant].reset(
+    const auto q = static_cast<std::size_t>(quadrant);
+    if (node->children[q] == nullptr) {
+      node->children[q].reset(
           new Node{QuadrantBox(node->cell, quadrant), node->depth + 1, {}, {}});
     }
-    node = node->children[quadrant].get();
+    node = node->children[q].get();
   }
   node->entries.push_back(entry);
 }

@@ -50,17 +50,17 @@ void QuadTree::InsertInto(Node* node, const BoxEntry& entry) {
 void QuadTree::AddToLeaf(Node* node, const BoxEntry& entry) {
   // Entries stay grouped by class (A|B|C|D) relative to the leaf cell; the
   // reference-point mode simply scans all groups.
-  const int c = static_cast<int>(
+  const auto c = static_cast<std::size_t>(
       ClassifyEntry(Point{node->cell.xl, node->cell.yl}, entry.box));
   // O(1) class-segmented insertion (cf. TwoLayerGrid::Insert): shift one
   // boundary element per later class instead of the whole tail.
   auto& v = node->entries;
   v.push_back(entry);
-  for (int k = kNumClasses; k > c + 1; --k) {
+  for (std::size_t k = kNumClasses; k > c + 1; --k) {
     v[node->begin[k]] = v[node->begin[k - 1]];
   }
   v[node->begin[c + 1]] = entry;
-  for (int k = c + 1; k <= kNumClasses; ++k) ++node->begin[k];
+  for (std::size_t k = c + 1; k <= kNumClasses; ++k) ++node->begin[k];
 }
 
 void QuadTree::Split(Node* node) {
@@ -71,7 +71,7 @@ void QuadTree::Split(Node* node) {
       Box{node->cell.xl, c.y, c.x, node->cell.yu},
       Box{c.x, c.y, node->cell.xu, node->cell.yu},
   };
-  for (int k = 0; k < 4; ++k) {
+  for (std::size_t k = 0; k < 4; ++k) {
     node->children[k].reset(
         new Node{quads[k], node->depth + 1, {}, {0, 0, 0, 0, 0}, {}});
   }
@@ -116,7 +116,7 @@ void QuadTree::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
   VisitLeaves(root_.get(), w, [&](const Node& leaf) {
     const bool skip_before_x = w.xl < leaf.cell.xl;  // Lemma 1: drop C, D
     const bool skip_before_y = w.yl < leaf.cell.yl;  // Lemma 2: drop B, D
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
       const auto klass = static_cast<ObjectClass>(c);
       if (skip_before_x && StartsBeforeX(klass)) continue;
       if (skip_before_y && StartsBeforeY(klass)) continue;
@@ -146,7 +146,7 @@ void QuadTree::DiskQuery(const Point& q, Coord radius,
     }
     const bool skip_before_x = mbr.xl < leaf.cell.xl;
     const bool skip_before_y = mbr.yl < leaf.cell.yl;
-    for (int c = 0; c < kNumClasses; ++c) {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
       const auto klass = static_cast<ObjectClass>(c);
       if (skip_before_x && StartsBeforeX(klass)) continue;
       if (skip_before_y && StartsBeforeY(klass)) continue;
@@ -173,7 +173,8 @@ std::size_t QuadTree::CountLeaves(const Node* node) const {
 }
 
 std::size_t QuadTree::NodeBytes(const Node* node) const {
-  std::size_t bytes = sizeof(Node) + node->entries.capacity() * sizeof(BoxEntry);
+  std::size_t bytes =
+      sizeof(Node) + node->entries.capacity() * sizeof(BoxEntry);
   if (!node->leaf()) {
     for (const auto& child : node->children) bytes += NodeBytes(child.get());
   }

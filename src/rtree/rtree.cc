@@ -27,6 +27,14 @@ struct RTree::Node {
 
 namespace {
 
+/// Iterator advance by an unsigned count (all sizes here are std::size_t;
+/// iterator arithmetic wants ptrdiff_t and -Wsign-conversion riles at the
+/// implicit mix).
+template <typename It>
+It At(It it, std::size_t n) {
+  return it + static_cast<std::ptrdiff_t>(n);
+}
+
 /// R* split [Beckmann et al.]: sorts `items` in place along the axis with
 /// the smallest margin sum and returns the split position of the
 /// distribution minimizing overlap (ties: minimum total area).
@@ -108,7 +116,7 @@ RTree::Node* RTree::SplitNode(Node* node) {
         node->entries, min_fill_, [](const BoxEntry& e) -> const Box& {
           return e.box;
         });
-    sibling->entries.assign(node->entries.begin() + split,
+    sibling->entries.assign(At(node->entries.begin(), split),
                             node->entries.end());
     node->entries.resize(split);
   } else {
@@ -118,7 +126,7 @@ RTree::Node* RTree::SplitNode(Node* node) {
                      return c->box;
                    });
     sibling->children.assign(
-        std::make_move_iterator(node->children.begin() + split),
+        std::make_move_iterator(At(node->children.begin(), split)),
         std::make_move_iterator(node->children.end()));
     node->children.resize(split);
   }
@@ -175,7 +183,7 @@ RTree::Node* RTree::InsertRec(Node* node, const BoxEntry& entry,
       const std::size_t evict = std::max<std::size_t>(1, fanout_ * 3 / 10);
       const Point c = node->box.center();
       std::partial_sort(
-          node->entries.begin(), node->entries.begin() + evict,
+          node->entries.begin(), At(node->entries.begin(), evict),
           node->entries.end(), [&](const BoxEntry& a, const BoxEntry& b) {
             const Point ca = a.box.center(), cb = b.box.center();
             const double da = (ca.x - c.x) * (ca.x - c.x) +
@@ -185,9 +193,9 @@ RTree::Node* RTree::InsertRec(Node* node, const BoxEntry& entry,
             return da > db;
           });
       reinsert_list->assign(node->entries.begin(),
-                            node->entries.begin() + evict);
+                            At(node->entries.begin(), evict));
       node->entries.erase(node->entries.begin(),
-                          node->entries.begin() + evict);
+                          At(node->entries.begin(), evict));
       node->RecomputeBox();
       return nullptr;
     }
@@ -253,14 +261,14 @@ void RTree::StrPack(std::vector<BoxEntry> entries) {
   std::vector<std::unique_ptr<Node>> level;
   for (std::size_t s = 0; s < n; s += slab_size) {
     const std::size_t end = std::min(n, s + slab_size);
-    std::sort(entries.begin() + s, entries.begin() + end,
+    std::sort(At(entries.begin(), s), At(entries.begin(), end),
               [](const BoxEntry& a, const BoxEntry& b) {
                 return a.box.yl + a.box.yu < b.box.yl + b.box.yu;
               });
     for (std::size_t k = s; k < end; k += fanout_) {
       auto leaf = std::make_unique<Node>();
-      leaf->entries.assign(entries.begin() + k,
-                           entries.begin() + std::min(end, k + fanout_));
+      leaf->entries.assign(At(entries.begin(), k),
+                           At(entries.begin(), std::min(end, k + fanout_)));
       leaf->RecomputeBox();
       level.push_back(std::move(leaf));
     }
@@ -269,7 +277,8 @@ void RTree::StrPack(std::vector<BoxEntry> entries) {
   // Upper levels: STR-pack the node MBRs the same way.
   while (level.size() > 1) {
     std::sort(level.begin(), level.end(),
-              [](const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+              [](const std::unique_ptr<Node>& a,
+                 const std::unique_ptr<Node>& b) {
                 return a->box.xl + a->box.xu < b->box.xl + b->box.xu;
               });
     const std::size_t m = level.size();
@@ -280,7 +289,7 @@ void RTree::StrPack(std::vector<BoxEntry> entries) {
     std::vector<std::unique_ptr<Node>> parents;
     for (std::size_t s = 0; s < m; s += pslab_size) {
       const std::size_t end = std::min(m, s + pslab_size);
-      std::sort(level.begin() + s, level.begin() + end,
+      std::sort(At(level.begin(), s), At(level.begin(), end),
                 [](const std::unique_ptr<Node>& a,
                    const std::unique_ptr<Node>& b) {
                   return a->box.yl + a->box.yu < b->box.yl + b->box.yu;

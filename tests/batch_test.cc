@@ -63,7 +63,7 @@ TEST_P(BatchThreadsTest, ParallelCountsEqualSequential) {
   const auto queries = testing::RandomWindows(150, 84);
   const auto expected = BatchExecutor::RunQueriesBased(grid, queries, 1);
 
-  const int threads = GetParam();
+  const auto threads = static_cast<std::size_t>(GetParam());
   EXPECT_EQ(BatchExecutor::RunQueriesBased(grid, queries, threads), expected);
   EXPECT_EQ(BatchExecutor::RunTilesBased(grid, queries, threads), expected);
 }

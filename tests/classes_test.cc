@@ -76,8 +76,12 @@ TEST(ClassesTest, BeforeClassesImplyNeighborAssignment) {
     for (std::uint32_t j = r.j0; j <= r.j1; ++j) {
       for (std::uint32_t i = r.i0; i <= r.i1; ++i) {
         const ObjectClass c = ClassifyEntryInTile(g, i, j, e.box);
-        if (StartsBeforeX(c)) EXPECT_GT(i, r.i0);
-        if (StartsBeforeY(c)) EXPECT_GT(j, r.j0);
+        if (StartsBeforeX(c)) {
+          EXPECT_GT(i, r.i0);
+        }
+        if (StartsBeforeY(c)) {
+          EXPECT_GT(j, r.j0);
+        }
       }
     }
   }

@@ -56,10 +56,14 @@ TEST(ConvexPolygonTest, IntersectsBoxAgainstSampling) {
           sampled_hit = poly.Contains(p);
         }
       }
-      if (sampled_hit) EXPECT_TRUE(poly.Intersects(box));
+      if (sampled_hit) {
+        EXPECT_TRUE(poly.Intersects(box));
+      }
       // And vice versa: polygon vertices inside the box force it too.
       for (const Point& v : poly.vertices()) {
-        if (box.Contains(v)) EXPECT_TRUE(poly.Intersects(box));
+        if (box.Contains(v)) {
+          EXPECT_TRUE(poly.Intersects(box));
+        }
       }
     }
   }

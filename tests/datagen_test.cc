@@ -125,7 +125,7 @@ TEST(TigerLikeTest, ExtentScalingTracksCardinality) {
   auto mean_width = [](const GeometryStore& s) {
     double sum = 0;
     for (ObjectId id = 0; id < s.size(); ++id) sum += s.mbr(id).width();
-    return sum / s.size();
+    return sum / static_cast<double>(s.size());
   };
   const double mw_small = mean_width(GenerateTigerLike(small));
   const double mw_large = mean_width(GenerateTigerLike(large));

@@ -98,7 +98,9 @@ TEST(GridLayoutTest, ColumnOfIsMonotoneAndSpansAllColumns) {
     // this tolerance never matters for correctness).
     const Box cell = g.TileBox(col, 0);
     EXPECT_GE(x, cell.xl - 1e-12);
-    if (col + 1 < g.nx()) EXPECT_LT(x, cell.xu + 1e-12);
+    if (col + 1 < g.nx()) {
+      EXPECT_LT(x, cell.xu + 1e-12);
+    }
     prev = col;
   }
   EXPECT_EQ(prev, g.nx() - 1);

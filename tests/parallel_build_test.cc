@@ -68,7 +68,7 @@ void ExpectIdenticalTiles(const TwoLayerGrid& seq, const TwoLayerGrid& par,
   const GridLayout& g = seq.layout();
   for (std::uint32_t j = 0; j < g.ny(); ++j) {
     for (std::uint32_t i = 0; i < g.nx(); ++i) {
-      for (int c = 0; c < kNumClasses; ++c) {
+      for (std::size_t c = 0; c < kNumClasses; ++c) {
         const auto cls = static_cast<ObjectClass>(c);
         const auto [pa, na] = seq.ClassSpan(i, j, cls);
         const auto [pb, nb] = par.ClassSpan(i, j, cls);
@@ -156,10 +156,10 @@ TEST(ParallelBuildTest, TwoLayerPlusGridTiedCoordinates) {
   std::vector<BoxEntry> data;
   for (std::size_t k = 0; k < 4000; ++k) {
     // Snap every coordinate to a coarse lattice: many exact ties per tile.
-    const double x = rng.NextBelow(40) / 40.0;
-    const double y = rng.NextBelow(40) / 40.0;
-    const double w = rng.NextBelow(4) / 40.0;
-    const double h = rng.NextBelow(4) / 40.0;
+    const double x = static_cast<double>(rng.NextBelow(40)) / 40.0;
+    const double y = static_cast<double>(rng.NextBelow(40)) / 40.0;
+    const double w = static_cast<double>(rng.NextBelow(4)) / 40.0;
+    const double h = static_cast<double>(rng.NextBelow(4)) / 40.0;
     data.push_back(BoxEntry{Box{x, y, std::min(1.0, x + w),
                                 std::min(1.0, y + h)},
                             static_cast<ObjectId>(k)});

@@ -71,8 +71,9 @@ TEST_P(QuadTreeModeTest, MaxDepthBoundsSplitting) {
 INSTANTIATE_TEST_SUITE_P(Modes, QuadTreeModeTest,
                          ::testing::Values(QuadTreeMode::kReferencePoint,
                                            QuadTreeMode::kTwoLayer),
-                         [](const auto& info) {
-                           return info.param == QuadTreeMode::kReferencePoint
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          QuadTreeMode::kReferencePoint
                                       ? "refpoint"
                                       : "twolayer";
                          });

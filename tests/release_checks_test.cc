@@ -1,0 +1,107 @@
+/// Regression tests for validation that used to live in `assert(...)` and
+/// therefore vanished under NDEBUG. Those checks are now unconditional
+/// throws (the Column::vec()/RequireMutable contract, see
+/// docs/STATIC_ANALYSIS.md): each test here constructs the invalid input
+/// and demands the exception in EVERY build mode. CMake compiles this TU
+/// with NDEBUG forced (tests/CMakeLists.txt), so a regression back to
+/// assert() in any header-inline path turns these into crashes or silent
+/// passes-of-garbage that the EXPECT_THROW immediately reports; the .cc
+/// library paths get the same proof from the Release CI jobs.
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "core/spatial_join.h"
+#include "core/two_layer_grid.h"
+#include "core/two_layer_grid_nd.h"
+#include "geometry/convex.h"
+#include "grid/grid_layout.h"
+#include "persist/snapshot_writer.h"
+#include "gtest/gtest.h"
+
+namespace tlp {
+namespace {
+
+TEST(ReleaseChecksTest, NdebugIsActuallyDefined) {
+  // The point of this suite: prove the checks below survive an NDEBUG
+  // build. If this fails, the CMake wiring that forces NDEBUG onto this TU
+  // was lost and the suite is no longer testing what it claims.
+#ifndef NDEBUG
+  FAIL() << "release_checks_test must be compiled with NDEBUG";
+#endif
+}
+
+TEST(ReleaseChecksTest, GridLayoutRejectsZeroTiles) {
+  const Box unit{0, 0, 1, 1};
+  EXPECT_THROW(GridLayout(unit, 0, 4), std::invalid_argument);
+  EXPECT_THROW(GridLayout(unit, 4, 0), std::invalid_argument);
+}
+
+TEST(ReleaseChecksTest, GridLayoutRejectsEmptyDomain) {
+  EXPECT_THROW(GridLayout(Box{0, 0, 0, 1}, 4, 4), std::invalid_argument);
+  EXPECT_THROW(GridLayout(Box{0, 0, 1, 0}, 4, 4), std::invalid_argument);
+  // Inverted extents are just as empty.
+  EXPECT_THROW(GridLayout(Box{1, 0, 0, 1}, 4, 4), std::invalid_argument);
+}
+
+TEST(ReleaseChecksTest, GridLayoutNdRejectsBadGeometry) {
+  BoxNd<3> domain;
+  domain.lo = {0, 0, 0};
+  domain.hi = {1, 1, 1};
+  EXPECT_NO_THROW((GridLayoutNd<3>(domain, {4, 4, 4})));
+  EXPECT_THROW((GridLayoutNd<3>(domain, {4, 0, 4})), std::invalid_argument);
+  BoxNd<3> flat = domain;
+  flat.hi[2] = 0;  // zero extent in one dimension
+  EXPECT_THROW((GridLayoutNd<3>(flat, {4, 4, 4})), std::invalid_argument);
+}
+
+TEST(ReleaseChecksTest, ConvexPolygonRejectsTooFewVertices) {
+  EXPECT_THROW(ConvexPolygon({{0, 0}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(ConvexPolygon({}), std::invalid_argument);
+}
+
+TEST(ReleaseChecksTest, ConvexPolygonRejectsConcaveOrClockwiseRings) {
+  // Clockwise triangle: right turns everywhere.
+  EXPECT_THROW(ConvexPolygon({{0, 0}, {0, 1}, {1, 0}}),
+               std::invalid_argument);
+  // Concave quad: the dent at (0.5, 0.5) turns right.
+  EXPECT_THROW(ConvexPolygon({{0, 0}, {1, 0}, {0.5, 0.5}, {1, 1}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ConvexPolygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+}
+
+TEST(ReleaseChecksTest, JoinRejectsMismatchedLayouts) {
+  const TwoLayerGrid a(GridLayout(Box{0, 0, 1, 1}, 4, 4));
+  const TwoLayerGrid b(GridLayout(Box{0, 0, 1, 1}, 8, 8));
+  EXPECT_THROW(TwoLayerJoin::Join(a, b), std::invalid_argument);
+  EXPECT_THROW(TwoLayerJoin::JoinReferencePoint(a, b),
+               std::invalid_argument);
+}
+
+// The writer's section protocol is a state machine driven by index codecs;
+// misuse used to be assert-only and simply produced torn snapshots in
+// Release. Every transition violation must now throw.
+TEST(ReleaseChecksTest, SnapshotWriterProtocolMisuseThrows) {
+  {
+    SnapshotWriter w;  // never opened
+    const char byte = 'x';
+    EXPECT_THROW(w.Write(&byte, 1), std::logic_error);  // no open section
+    EXPECT_THROW(w.EndSection(), std::logic_error);
+  }
+  {
+    SnapshotWriter w;
+    ASSERT_TRUE(
+        w.Open("/tmp/tlp_release_checks.tlps", SnapshotIndexKind::kTwoLayerGrid)
+            .ok());
+    w.BeginSection(kSecLayout);
+    EXPECT_THROW(w.BeginSection(kSecMbrs), std::logic_error);
+    EXPECT_THROW(w.Finalize(0, 0), std::logic_error);
+    w.EndSection();
+    EXPECT_THROW(w.EndSection(), std::logic_error);
+    EXPECT_TRUE(w.Abandon().ok());
+  }
+}
+
+}  // namespace
+}  // namespace tlp

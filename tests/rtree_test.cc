@@ -93,8 +93,8 @@ TEST_P(RTreeVariantTest, DuplicateAndDegenerateEntries) {
 INSTANTIATE_TEST_SUITE_P(Variants, RTreeVariantTest,
                          ::testing::Values(RTreeVariant::kStr,
                                            RTreeVariant::kRStar),
-                         [](const auto& info) {
-                           return info.param == RTreeVariant::kStr ? "str"
+                         [](const auto& param_info) {
+                           return param_info.param == RTreeVariant::kStr ? "str"
                                                                    : "rstar";
                          });
 

@@ -45,7 +45,9 @@ void ExpectWithinPayloadBounds(std::size_t size_bytes, std::size_t payload,
                                const std::string& context) {
   EXPECT_GE(size_bytes, payload) << context;
   EXPECT_LE(size_bytes,
-            static_cast<std::size_t>(payload * max_overhead_factor) + (1u << 20))
+            static_cast<std::size_t>(static_cast<double>(payload) *
+                                     max_overhead_factor) +
+                (1u << 20))
       << context << ": reported " << size_bytes << " for payload " << payload;
 }
 
@@ -74,10 +76,10 @@ TEST(SizeBytesAudit, TwoLayerPlusCountsDecomposedTables) {
   // <Coord, ObjectId> columns, B and C store 3, D stores 2.
   const GridLayout& g = index.layout();
   std::size_t payload = index.record_layer().entry_count() * sizeof(BoxEntry);
-  const int cols[kNumClasses] = {4, 3, 3, 2};
+  const std::size_t cols[kNumClasses] = {4, 3, 3, 2};
   for (std::uint32_t j = 0; j < g.ny(); ++j) {
     for (std::uint32_t i = 0; i < g.nx(); ++i) {
-      for (int c = 0; c < kNumClasses; ++c) {
+      for (std::size_t c = 0; c < kNumClasses; ++c) {
         payload += cols[c] *
                    index.record_layer().ClassCount(
                        i, j, static_cast<ObjectClass>(c)) *

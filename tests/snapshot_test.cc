@@ -488,8 +488,10 @@ TEST(SnapshotRobustness, TruncationsAreRejected) {
   for (const std::size_t keep :
        {std::size_t{0}, std::size_t{1}, std::size_t{17}, std::size_t{63},
         std::size_t{64}, pristine.size() / 2, pristine.size() - 1}) {
-    WriteFile(cut, std::vector<unsigned char>(pristine.begin(),
-                                              pristine.begin() + keep));
+    WriteFile(cut,
+              std::vector<unsigned char>(
+                  pristine.begin(),
+                  pristine.begin() + static_cast<std::ptrdiff_t>(keep)));
     TwoLayerGrid loaded(SmallLayout());
     const Status s = loaded.Load(cut);
     EXPECT_FALSE(s.ok()) << "truncated to " << keep << " bytes";

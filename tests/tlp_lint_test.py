@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/tlp_lint.py.
+
+Each test seeds a known violation into a throwaway fake repo and asserts the
+linter flags it with the right rule id and a nonzero exit — proving the CI
+gate actually fires, not just that it exits 0 on a clean tree. Runs under
+ctest as `tlp_lint_test` (no GTest; plain unittest).
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "tools", "tlp_lint.py")
+CXX = os.environ.get("CXX") or ("g++" if shutil.which("g++") else "c++")
+HAVE_CXX = shutil.which(CXX) is not None
+
+CLEAN_HEADER = """#ifndef FAKE_OK_H_
+#define FAKE_OK_H_
+#include <cstdint>
+inline std::uint32_t TileId(std::uint32_t i, std::uint32_t j,
+                            std::uint32_t nx) {
+  return j * nx + i;
+}
+#endif  // FAKE_OK_H_
+"""
+
+
+class LintHarness(unittest.TestCase):
+    """Builds a fake repo per test; runs the linter against it."""
+
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="tlp_lint_test_")
+        os.makedirs(os.path.join(self.dir, "src", "fake"))
+        self.write("src/fake/ok.h", CLEAN_HEADER)
+
+    def tearDown(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def write(self, rel, text):
+        path = os.path.join(self.dir, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+    def lint(self, *extra):
+        args = [sys.executable, LINT, "--repo", self.dir, "--compiler", CXX]
+        if not HAVE_CXX and "--skip-headers" not in extra:
+            extra = extra + ("--skip-headers",)
+        return subprocess.run(args + list(extra), capture_output=True,
+                              text=True)
+
+    def assert_flags(self, proc, rule, path_fragment):
+        self.assertEqual(proc.returncode, 1,
+                         "expected exit 1, got %d\nstdout:\n%s\nstderr:\n%s"
+                         % (proc.returncode, proc.stdout, proc.stderr))
+        hits = [l for l in proc.stdout.splitlines()
+                if ("[%s]" % rule) in l and path_fragment in l]
+        self.assertTrue(hits, "no %s finding for %s in:\n%s"
+                        % (rule, path_fragment, proc.stdout))
+        return hits
+
+    # ---- the seeded-violation cases the ISSUE names ----
+
+    def test_clean_tree_exits_zero(self):
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_stray_fopen_is_tlp001(self):
+        self.write("src/fake/bad_io.cc",
+                   '#include <cstdio>\n'
+                   'void Leak(const char* p) { auto* f = fopen(p, "rb");'
+                   ' (void)f; }\n')
+        self.assert_flags(self.lint("--skip-headers"), "TLP001", "bad_io.cc")
+
+    def test_ifstream_and_filesystem_are_tlp001(self):
+        self.write("src/fake/bad_stream.cc",
+                   "#include <fstream>\n"
+                   "int CountBytes(const char* p) {\n"
+                   "  std::ifstream in(p);\n"
+                   "  return in.good() ? 1 : 0;\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        # Both the <fstream> include and the std::ifstream use are flagged.
+        self.assertGreaterEqual(
+            len(self.assert_flags(proc, "TLP001", "bad_stream.cc")), 2)
+
+    def test_assert_in_header_is_tlp002(self):
+        self.write("src/fake/bad_assert.h",
+                   "#include <cassert>\n"
+                   "inline int Decode(int n) { assert(n >= 0); return n; }\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP002",
+                          "bad_assert.h")
+
+    def test_static_assert_is_not_tlp002(self):
+        self.write("src/fake/ok_static_assert.h",
+                   "static_assert(sizeof(int) == 4, \"ILP32/LP64 only\");\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_assert_in_cc_is_allowed(self):
+        # Only headers lose their asserts to NDEBUG consumers; .cc internal
+        # invariants may keep them (Debug CI exercises those).
+        self.write("src/fake/ok_assert.cc",
+                   "#include <cassert>\n"
+                   "void Check(int n) { assert(n >= 0); }\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_rand_is_tlp003(self):
+        self.write("src/fake/bad_rand.cc",
+                   "#include <cstdlib>\n"
+                   "int Jitter() { return rand() % 7; }\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP003",
+                          "bad_rand.cc")
+
+    def test_random_device_and_system_clock_are_tlp003(self):
+        self.write("src/fake/bad_entropy.cc",
+                   "#include <chrono>\n"
+                   "#include <random>\n"
+                   "unsigned Seed() { return std::random_device{}(); }\n"
+                   "long Now() {\n"
+                   "  return std::chrono::system_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assert_flags(proc, "TLP003", "bad_entropy.cc:3")
+        self.assert_flags(proc, "TLP003", "bad_entropy.cc:5")
+
+    def test_steady_clock_is_allowed(self):
+        self.write("src/fake/ok_clock.cc",
+                   "#include <chrono>\n"
+                   "long Tick() {\n"
+                   "  return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    @unittest.skipUnless(HAVE_CXX, "no C++ compiler for TLP004")
+    def test_non_self_contained_header_is_tlp004(self):
+        # Uses std::uint32_t without including <cstdint>: compiles fine
+        # inside a TU that happened to include it first, fails standalone.
+        self.write("src/fake/bad_hermetic.h",
+                   "inline std::uint32_t Next(std::uint32_t x) "
+                   "{ return x + 1; }\n")
+        self.assert_flags(self.lint(), "TLP004", "bad_hermetic.h")
+
+    @unittest.skipUnless(HAVE_CXX, "no C++ compiler for TLP004")
+    def test_self_contained_headers_pass(self):
+        proc = self.lint()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("header(s) self-containment-checked", proc.stderr)
+
+    # ---- suppression policy ----
+
+    def test_suppression_with_reason_is_honoured(self):
+        self.write("src/fake/seam.cc",
+                   '#include <cstdio>\n'
+                   'void* Raw(const char* p) { return fopen(p, "rb"); }'
+                   '  // tlp-lint: allow(TLP001) test seam fixture\n')
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_reasonless_suppression_is_tlp000(self):
+        self.write("src/fake/lazy.cc",
+                   '#include <cstdio>\n'
+                   'void* Raw(const char* p) { return fopen(p, "rb"); }'
+                   '  // tlp-lint: allow(TLP001)\n')
+        self.assert_flags(self.lint("--skip-headers"), "TLP000", "lazy.cc")
+
+    def test_suppression_for_wrong_rule_does_not_mask(self):
+        self.write("src/fake/mismatch.cc",
+                   '#include <cstdio>\n'
+                   'void* Raw(const char* p) { return fopen(p, "rb"); }'
+                   '  // tlp-lint: allow(TLP003) wrong rule\n')
+        self.assert_flags(self.lint("--skip-headers"), "TLP001",
+                          "mismatch.cc")
+
+    # ---- false-positive guards: prose and fixtures must not trip rules ----
+
+    def test_tokens_in_comments_and_strings_are_ignored(self):
+        self.write("src/fake/ok_prose.cc",
+                   "// Never call fopen() directly; see docs.\n"
+                   "/* assert( and rand() in prose */\n"
+                   "const char* kDoc = \"std::ifstream is banned\";\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_list_rules(self):
+        proc = subprocess.run([sys.executable, LINT, "--list-rules"],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("TLP000", "TLP001", "TLP002", "TLP003", "TLP004"):
+            self.assertIn(rule, proc.stdout)
+
+
+class RealRepoTest(unittest.TestCase):
+    """The actual tree must be clean — this is the same gate CI runs."""
+
+    def test_real_repo_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--repo", REPO, "--skip-headers"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0,
+                         "tree has lint violations:\n%s" % proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -76,8 +76,12 @@ TEST(TwoLayerGridTest, CandidatesMatchWindowQueryAndFlagsAreSound) {
     for (const Candidate& c : cands) {
       cand_ids.push_back(c.id);
       // Soundness of the §V implied flags.
-      if (c.x_start_implied) EXPECT_LT(w.xl, c.box.xl + 1e-15);
-      if (c.y_start_implied) EXPECT_LT(w.yl, c.box.yl + 1e-15);
+      if (c.x_start_implied) {
+        EXPECT_LT(w.xl, c.box.xl + 1e-15);
+      }
+      if (c.y_start_implied) {
+        EXPECT_LT(w.yl, c.box.yl + 1e-15);
+      }
       EXPECT_EQ(c.box, entries[c.id].box);
     }
     testing::ExpectSameIdSet(ids, cand_ids);
@@ -162,10 +166,14 @@ INSTANTIATE_TEST_SUITE_P(
                       GridCase{64, 64, 0.02, 104}, GridCase{5, 31, 0.1, 105},
                       GridCase{128, 128, 0.5, 106},
                       GridCase{16, 16, 0.0, 107}),
-    [](const ::testing::TestParamInfo<GridCase>& info) {
-      return "g" + std::to_string(info.param.nx) + "x" +
-             std::to_string(info.param.ny) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<GridCase>& param_info) {
+      std::string name = "g";
+      name += std::to_string(param_info.param.nx);
+      name += "x";
+      name += std::to_string(param_info.param.ny);
+      name += "_s";
+      name += std::to_string(param_info.param.seed);
+      return name;
     });
 
 }  // namespace

@@ -17,7 +17,7 @@ std::vector<BoxEntryNd<Dims>> RandomEntriesNd(std::size_t n, double max_extent,
   Rng rng(seed);
   std::vector<BoxEntryNd<Dims>> entries(n);
   for (std::size_t k = 0; k < n; ++k) {
-    for (int d = 0; d < Dims; ++d) {
+    for (std::size_t d = 0; d < static_cast<std::size_t>(Dims); ++d) {
       const double lo = rng.NextDouble();
       const double w =
           rng.NextDouble() < 0.1 ? 0 : rng.NextDouble() * max_extent;
@@ -34,7 +34,7 @@ std::vector<BoxNd<Dims>> RandomWindowsNd(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<BoxNd<Dims>> windows(n);
   for (std::size_t k = 0; k < n; ++k) {
-    for (int d = 0; d < Dims; ++d) {
+    for (std::size_t d = 0; d < static_cast<std::size_t>(Dims); ++d) {
       const double lo = rng.NextDouble();
       windows[k].lo[d] = lo;
       windows[k].hi[d] =
@@ -43,7 +43,7 @@ std::vector<BoxNd<Dims>> RandomWindowsNd(std::size_t n, std::uint64_t seed) {
   }
   // Full-domain window as an edge case.
   BoxNd<Dims> full;
-  for (int d = 0; d < Dims; ++d) {
+  for (std::size_t d = 0; d < static_cast<std::size_t>(Dims); ++d) {
     full.lo[d] = 0;
     full.hi[d] = 1;
   }
@@ -54,7 +54,7 @@ std::vector<BoxNd<Dims>> RandomWindowsNd(std::size_t n, std::uint64_t seed) {
 template <int Dims>
 BoxNd<Dims> UnitDomainNd() {
   BoxNd<Dims> b;
-  for (int d = 0; d < Dims; ++d) {
+  for (std::size_t d = 0; d < static_cast<std::size_t>(Dims); ++d) {
     b.lo[d] = 0;
     b.hi[d] = 1;
   }

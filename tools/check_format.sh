@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# check_format.sh — clang-format check over *changed* files only.
+#
+# Policy (docs/STATIC_ANALYSIS.md): formatting is enforced incrementally.
+# Only the C++ files a change touches must match .clang-format; the repo is
+# never reformatted wholesale, so blame stays useful and unrelated diffs
+# stay empty.
+#
+# Usage:
+#   tools/check_format.sh [BASE_REF]
+#
+# Compares the working tree (plus committed changes) against BASE_REF
+# (default: origin/main if it exists, else main, else HEAD~1). In CI the
+# workflow passes the PR base SHA explicitly. Exits 0 when every changed
+# file is clang-format-clean or when there is nothing to check; exits 1
+# with a diff listing otherwise; exits 0 with a notice when clang-format
+# is not installed (the CI job installs it; local runs may not have it).
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root" || exit 2
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping (CI installs it)" >&2
+  exit 0
+fi
+
+base_ref="${1:-}"
+if [ -z "$base_ref" ]; then
+  for candidate in origin/main main "HEAD~1"; do
+    if git rev-parse --verify --quiet "$candidate" >/dev/null; then
+      base_ref="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$base_ref" ]; then
+  echo "check_format: no base ref found" >&2
+  exit 2
+fi
+
+# Changed C++ files vs. the merge base, plus uncommitted/untracked ones.
+merge_base="$(git merge-base "$base_ref" HEAD 2>/dev/null || echo "$base_ref")"
+changed="$( (git diff --name-only --diff-filter=d "$merge_base" -- '*.cc' '*.h'
+             git diff --name-only --diff-filter=d -- '*.cc' '*.h'
+             git ls-files --others --exclude-standard -- '*.cc' '*.h') |
+           sort -u)"
+
+if [ -z "$changed" ]; then
+  echo "check_format: no changed C++ files vs $base_ref"
+  exit 0
+fi
+
+status=0
+count=0
+while IFS= read -r file; do
+  [ -f "$file" ] || continue
+  count=$((count + 1))
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$file" >/dev/null 2>&1; then
+    echo "check_format: $file needs formatting:" >&2
+    "$CLANG_FORMAT" "$file" | diff -u "$file" - | head -40 >&2
+    status=1
+  fi
+done <<EOF
+$changed
+EOF
+
+if [ "$status" -eq 0 ]; then
+  echo "check_format: $count changed file(s) clean vs $base_ref"
+else
+  echo "check_format: run '$CLANG_FORMAT -i <file>' on the files above" >&2
+fi
+exit "$status"

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""tlp_lint.py — TLP project-invariant linter.
+
+Enforces the handful of project rules that generic tooling (clang-tidy,
+compiler warnings) cannot express, because they are about *which* code is
+allowed to do something, not *how* it does it:
+
+  TLP001 raw-io
+      All file I/O in library code (src/) must route through the
+      tlp::FileSystem seam (src/common/file_system.cc) or the low-level
+      mapping helpers (src/common/env.cc). Anything else — fopen, ::open,
+      std::ifstream/ofstream/fstream, std::filesystem — bypasses the
+      fault-injection and atomic-save machinery docs/ROBUSTNESS.md is built
+      on, and is invisible to FaultInjectingFs tests.
+
+  TLP002 assert-in-header
+      `assert(` in a library header under src/ compiles out in Release
+      (NDEBUG) builds, so any mutation guard or load-path validation it
+      expresses silently vanishes in production. Library headers must
+      throw (std::logic_error and friends) or return Status instead — the
+      contract Column::vec() and RequireMutable already follow. .cc files
+      may keep asserts for internal invariants that tests exercise in
+      Debug builds, except on snapshot load/decode paths.
+
+  TLP003 nondeterminism
+      Parallel Build() is bit-deterministic for every thread count; that
+      proof breaks the moment library code consults ambient entropy or
+      wall-clock time. rand()/srand(), std::random_device and
+      std::chrono::system_clock are therefore confined to common/rng.h
+      (the seeded PRNG wrapper) and common/timer.h. Monotonic
+      steady_clock is allowed anywhere: it feeds stats, not decisions.
+
+  TLP004 header-not-self-contained
+      Every public header under src/ must compile as the sole include of
+      a translation unit (with the project include root only). Headers
+      that lean on their includer's includes break IWYU, precompiled
+      headers, and any tool that parses headers standalone — clang-tidy
+      among them.
+
+Suppressions: append `// tlp-lint: allow(TLPnnn) <reason>` to the
+offending line. The reason is mandatory; a bare allow() is itself a
+violation (TLP000). Suppressions are for the seam files themselves and
+for the rare case where the rule's letter defeats its spirit — document
+why, or fix the code.
+
+Usage:
+  tools/tlp_lint.py [--repo DIR] [--skip-headers] [--compiler CXX]
+                    [--list-rules] [--jobs N]
+
+Exit codes: 0 clean, 1 violations found, 2 internal/usage error.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# Files (repo-relative, POSIX separators) exempt from a given rule. These
+# are the designated seams: the rule exists to funnel everything through
+# them, so they are the one place the forbidden tokens are legal.
+RULE_EXEMPT = {
+    "TLP001": {
+        "src/common/file_system.cc",   # the FileSystem seam itself
+        "src/common/file_system.h",    # documents the raw calls it wraps
+        "src/common/env.cc",           # mmap/CRC low-level helpers
+        "src/common/fault_injecting_fs.cc",  # decorates the seam, same layer
+    },
+    "TLP003": {
+        "src/common/rng.h",    # the seeded PRNG wrapper
+        "src/common/timer.h",  # the timing wrapper
+    },
+}
+
+# TLP001: tokens that reach the OS or the C/C++ file APIs directly.
+RAW_IO_RE = re.compile(
+    r"""(?x)
+    \b(?:fopen|freopen|tmpfile|fdopen)\s*\(      # C stdio file creation
+  | ::\s*(?:open|openat|creat)\s*\(              # POSIX open family
+  | \bstd::(?:i|o)?fstream\b                     # C++ file streams
+  | \bstd::filesystem\b                          # std::filesystem anything
+  | ^\s*\#\s*include\s*<(?:fstream|filesystem)>  # and their headers
+    """,
+    re.M,
+)
+
+# TLP002: assert in a header. Matches the call, not the word (so
+# "static_assert" and identifiers like my_assert do not trip it).
+ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+
+# TLP003: ambient entropy / wall-clock sources.
+NONDET_RE = re.compile(
+    r"""(?x)
+    (?<![A-Za-z0-9_])(?:rand|srand)\s*\(   # C PRNG
+  | \bstd::random_device\b
+  | \bsystem_clock\b                       # std::chrono::system_clock
+    """
+)
+
+SUPPRESS_RE = re.compile(r"//\s*tlp-lint:\s*allow\((TLP\d{3})\)\s*(\S?.*)$")
+
+RULES = {
+    "TLP000": "malformed or reasonless tlp-lint suppression",
+    "TLP001": "raw file I/O outside the FileSystem/Env seam",
+    "TLP002": "assert() in a library header (compiles out under NDEBUG)",
+    "TLP003": "ambient randomness or wall-clock outside rng.h/timer.h",
+    "TLP004": "header is not self-contained",
+}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving line
+    structure, so lint regexes never fire on prose or test fixtures.
+    Line comments are *kept* (blanked only up to `//`? no — kept intact)
+    — they are matched separately for suppression directives; block
+    comments and literals are replaced by spaces."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":  # line comment: keep (suppressions live here)
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(text[i:j])
+            i = j
+        elif c == "/" and nxt == "*":  # block comment: blank, keep newlines
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j + 2]))
+            i = j + 2
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(quote + " " * max(0, j - i - 1))
+            if j < n and text[j] == quote:
+                out.append(quote)
+                j += 1
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Violation:
+    def __init__(self, rule, path, line, detail):
+        self.rule, self.path, self.line, self.detail = rule, path, line, detail
+
+    def __str__(self):
+        return "%s:%d: %s [%s] %s" % (self.path, self.line, RULES[self.rule],
+                                      self.rule, self.detail)
+
+
+def iter_source_files(repo, subdir="src"):
+    root = os.path.join(repo, subdir)
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def relpath(repo, path):
+    return os.path.relpath(path, repo).replace(os.sep, "/")
+
+
+def line_suppressions(line):
+    """Returns (rule_or_None, ok): the suppression on this line, and whether
+    it is well-formed (has a reason)."""
+    m = SUPPRESS_RE.search(line)
+    if not m:
+        return None, True
+    return m.group(1), bool(m.group(2).strip())
+
+
+def scan_text_rules(repo):
+    violations = []
+    for path in iter_source_files(repo):
+        rel = relpath(repo, path)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError as e:
+            violations.append(Violation("TLP000", rel, 0, "unreadable: %s" % e))
+            continue
+        stripped = strip_comments_and_strings(raw)
+        is_header = rel.endswith(".h")
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            suppressed_rule, well_formed = line_suppressions(line)
+            if suppressed_rule and not well_formed:
+                violations.append(Violation(
+                    "TLP000", rel, lineno,
+                    "allow(%s) without a reason" % suppressed_rule))
+                suppressed_rule = None
+            # Strip the trailing line comment before matching code tokens.
+            code = line.split("//", 1)[0]
+
+            def check(rule, regex, detail):
+                if rel in RULE_EXEMPT.get(rule, set()):
+                    return
+                m = regex.search(code)
+                if not m:
+                    return
+                if suppressed_rule == rule:
+                    return
+                violations.append(Violation(rule, rel, lineno,
+                                            "'%s' %s" % (m.group(0).strip(),
+                                                         detail)))
+
+            check("TLP001", RAW_IO_RE,
+                  "— route this through tlp::FileSystem (common/file_system.h)")
+            if is_header:
+                check("TLP002", ASSERT_RE,
+                      "— throw or return Status; NDEBUG erases this check")
+            check("TLP003", NONDET_RE,
+                  "— use tlp::Rng (common/rng.h) / Timer (common/timer.h)")
+    return violations
+
+
+def check_headers_self_contained(repo, compiler, jobs):
+    """TLP004: each src/**/*.h must compile as the only include of a TU."""
+    headers = [p for p in iter_source_files(repo) if p.endswith(".h")]
+    violations = []
+    tmpdir = tempfile.mkdtemp(prefix="tlp_lint_hdr_")
+    base_cmd = [compiler, "-std=c++20", "-fsyntax-only", "-x", "c++",
+                "-I", os.path.join(repo, "src"), "-Wall", "-Wextra"]
+
+    def compile_one(header):
+        rel = relpath(repo, header)
+        tu = os.path.join(
+            tmpdir, rel.replace("/", "_").replace(".h", "_tu.cc"))
+        with open(tu, "w", encoding="utf-8") as f:
+            f.write('#include "%s"\n' % rel[len("src/"):])
+        proc = subprocess.run(base_cmd + [tu], capture_output=True, text=True)
+        if proc.returncode != 0:
+            first_err = next(
+                (l for l in proc.stderr.splitlines() if "error" in l),
+                proc.stderr.strip().splitlines()[0] if proc.stderr.strip()
+                else "compile failed")
+            return Violation("TLP004", rel, 1, first_err.strip())
+        return None
+
+    try:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as ex:
+            for v in ex.map(compile_one, headers):
+                if v:
+                    violations.append(v)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return violations, len(headers)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--skip-headers", action="store_true",
+                    help="skip the TLP004 header self-containment compiles")
+    ap.add_argument("--compiler", default=os.environ.get("CXX") or "c++",
+                    help="C++ compiler for TLP004 (default: $CXX or c++)")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print("%s  %s" % (rule, desc))
+        return 0
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(repo, "src")):
+        print("tlp_lint: no src/ under --repo %s" % repo, file=sys.stderr)
+        return 2
+
+    violations = scan_text_rules(repo)
+    headers_checked = 0
+    if not args.skip_headers:
+        if shutil.which(args.compiler):
+            hdr_violations, headers_checked = check_headers_self_contained(
+                repo, args.compiler, args.jobs)
+            violations.extend(hdr_violations)
+        else:
+            print("tlp_lint: compiler '%s' not found; TLP004 skipped"
+                  % args.compiler, file=sys.stderr)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in violations:
+        print(v)
+    summary = "tlp_lint: %d violation(s)" % len(violations)
+    if headers_checked:
+        summary += ", %d header(s) self-containment-checked" % headers_checked
+    print(summary, file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
