@@ -8,6 +8,7 @@
 
 #include "batch/batch_executor.h"
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "common/timer.h"
 
 namespace {
@@ -71,8 +72,10 @@ int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   tlp::bench::WarnIfStatsInstrumented();
-  benchmark::RunSpecifiedBenchmarks();
+  tlp::bench::TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   tlp::bench::PrintQueryStatsJson("fig10");
+  tlp::bench::AppendBenchTrajectory("fig10_batch", reporter.records());
   benchmark::Shutdown();
   return 0;
 }

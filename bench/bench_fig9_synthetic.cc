@@ -7,6 +7,7 @@
 // elimination) and keep a stable advantage even for point-like data.
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "datagen/synthetic.h"
 
 namespace {
@@ -134,8 +135,10 @@ int main(int argc, char** argv) {
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   tlp::bench::WarnIfStatsInstrumented();
-  benchmark::RunSpecifiedBenchmarks();
+  tlp::bench::TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   tlp::bench::PrintQueryStatsJson("fig9");
+  tlp::bench::AppendBenchTrajectory("fig9_synthetic", reporter.records());
   benchmark::Shutdown();
   return 0;
 }

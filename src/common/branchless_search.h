@@ -1,0 +1,77 @@
+#ifndef TLP_COMMON_BRANCHLESS_SEARCH_H_
+#define TLP_COMMON_BRANCHLESS_SEARCH_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace tlp {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TLP_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define TLP_PREFETCH(addr) ((void)0)
+#endif
+
+/// Tables at or below this size take the plain std::lower_bound/upper_bound
+/// path: they span a handful of cache lines, their probes predict well, and
+/// the cmov loop's serialized data-dependent loads cost more than the
+/// mispredicts it avoids. Fine-granularity grids put most per-tile tables
+/// under this bound; the branchless loop pays off on the long tables of
+/// coarse layouts.
+inline constexpr std::size_t kBranchlessSearchMinSize = 64;
+
+/// Branchless binary searches over a sorted array. Above
+/// kBranchlessSearchMinSize, each halving step updates the base with a
+/// conditional move instead of a taken/not-taken branch, so the pipeline
+/// never mispredicts on random probe outcomes, and both possible next probes
+/// are prefetched one step ahead. Returns exactly what std::lower_bound /
+/// std::upper_bound return (as an index); the 2-layer+ EvaluateClass
+/// searches run through these (paper §IV-C — the binary search over a
+/// decomposed coordinate table is the per-tile hot operation).
+///
+/// First index in [0, n) with a[i] >= key, or n if none.
+template <typename T>
+inline std::size_t BranchlessLowerBound(const T* a, std::size_t n,
+                                        const T& key) {
+  if (n == 0) return 0;
+  if (n <= kBranchlessSearchMinSize) {
+    return static_cast<std::size_t>(std::lower_bound(a, a + n, key) - a);
+  }
+  std::size_t lo = 0;
+  std::size_t len = n;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    TLP_PREFETCH(&a[lo + half / 2]);
+    TLP_PREFETCH(&a[lo + half + (len - half) / 2]);
+    // Compiles to a conditional move: probe below key => discard low half.
+    lo += (a[lo + half - 1] < key) ? half : 0;
+    len -= half;
+  }
+  return (a[lo] < key) ? lo + 1 : lo;
+}
+
+/// First index in [0, n) with a[i] > key, or n if none.
+template <typename T>
+inline std::size_t BranchlessUpperBound(const T* a, std::size_t n,
+                                        const T& key) {
+  if (n == 0) return 0;
+  if (n <= kBranchlessSearchMinSize) {
+    return static_cast<std::size_t>(std::upper_bound(a, a + n, key) - a);
+  }
+  std::size_t lo = 0;
+  std::size_t len = n;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    TLP_PREFETCH(&a[lo + half / 2]);
+    TLP_PREFETCH(&a[lo + half + (len - half) / 2]);
+    lo += (a[lo + half - 1] <= key) ? half : 0;
+    len -= half;
+  }
+  return (a[lo] <= key) ? lo + 1 : lo;
+}
+
+#undef TLP_PREFETCH
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_BRANCHLESS_SEARCH_H_

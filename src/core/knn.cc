@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace tlp {
 
@@ -12,8 +13,10 @@ std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
 
   const GridLayout& g = grid.layout();
   const Box& domain = g.domain();
-  // Any point of the domain is within this radius of any query point, so a
-  // disk this large sees every object (queries may lie outside the domain).
+  // Any point of the DOMAIN is within this radius of any query point. The
+  // grid clamps out-of-domain entries into border tiles, though, so objects
+  // farther than this can still be stored — the radius is where doubling
+  // stops paying, not a proven data bound.
   const Coord max_radius =
       std::max(std::abs(q.x - domain.xl), std::abs(domain.xu - q.x)) +
       std::max(std::abs(q.y - domain.yl), std::abs(domain.yu - q.y));
@@ -28,12 +31,24 @@ std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
   Coord radius = 2 * std::max(g.tile_width(), g.tile_height()) *
                  std::sqrt(static_cast<double>(k));
   Coord prev_radius = -1;  // < 0: first probe scans the whole disk
+  bool final_probe = false;
   std::vector<BoxEntry> candidates;
   for (;;) {
     grid.DiskQueryEntries(q, radius, &candidates, prev_radius);
-    if (candidates.size() >= k || radius >= max_radius) break;
+    if (candidates.size() >= k || final_probe) break;
     prev_radius = radius;
-    radius = std::min(max_radius, radius * 2);
+    if (radius >= max_radius) {
+      // Beyond max_radius the whole domain is covered, but entries CLAMPED
+      // into border tiles can sit arbitrarily far outside it. One last
+      // annulus probe at infinite radius picks those up (an infinite disk's
+      // tile range is every tile, and sqrt/distance arithmetic is
+      // inf-clean), so k results are returned whenever k objects exist
+      // instead of silently fewer.
+      radius = std::numeric_limits<Coord>::infinity();
+      final_probe = true;
+    } else {
+      radius = std::min(max_radius, radius * 2);
+    }
   }
 
   results.reserve(candidates.size());

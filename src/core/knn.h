@@ -26,8 +26,11 @@ struct KnnResult {
 /// geometrically growing radius, seeded from the grid granularity. Once a
 /// radius returns >= k candidates, the k-th smallest candidate distance
 /// d_k <= radius bounds the true answer, so the first k candidates by
-/// distance are exact. Returns fewer than k results only when the dataset
-/// holds fewer than k objects; ties beyond position k are cut by id order.
+/// distance are exact. Entries outside the declared domain (the grid clamps
+/// them into border tiles) are covered by a final infinite-radius probe when
+/// the domain-derived doubling bound runs out, so the query returns fewer
+/// than k results only when the dataset holds fewer than k objects; ties
+/// beyond position k are cut by id order.
 std::vector<KnnResult> KnnQuery(const TwoLayerGrid& grid, const Point& q,
                                 std::size_t k);
 

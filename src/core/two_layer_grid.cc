@@ -1,6 +1,7 @@
 #include "core/two_layer_grid.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "grid/parallel_build.h"
@@ -9,7 +10,30 @@
 namespace tlp {
 
 TwoLayerGrid::TwoLayerGrid(const GridLayout& layout)
-    : layout_(layout), tiles_(layout.tile_count()) {}
+    : layout_(layout), tiles_(layout.tile_count()) {
+  occupancy_.Reset(tiles_.size());
+}
+
+void TwoLayerGrid::RebuildOccupancy() {
+  occupancy_.Reset(tiles_.size());
+  has_out_of_domain_ = false;
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (tiles_[t].empty()) continue;
+    occupancy_.Set(t);
+    for (const BoxEntry& e : tiles_[t].entries) {
+      if (!InDomain(e.box)) {
+        has_out_of_domain_ = true;
+        break;
+      }
+    }
+  }
+}
+
+bool TwoLayerGrid::InDomain(const Box& b) const {
+  const Box& d = layout_.domain();
+  // Written so NaN coordinates fail every comparison and count as outside.
+  return b.xl >= d.xl && b.xu <= d.xu && b.yl >= d.yl && b.yu <= d.yu;
+}
 
 void TwoLayerGrid::RequireMutable(const char* op) const {
   if (frozen_) {
@@ -81,6 +105,7 @@ void TwoLayerGrid::BuildSequential(const std::vector<BoxEntry>& entries) {
       }
     }
   }
+  RebuildOccupancy();
 }
 
 void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
@@ -169,14 +194,20 @@ void TwoLayerGrid::BuildOnPool(const std::vector<BoxEntry>& entries,
     });
   }
   pool.Wait();
+  // Sequentially: an occupancy word covers 64 tiles and so can straddle the
+  // workers' tile-ownership cuts — setting bits from the workers would race.
+  RebuildOccupancy();
 }
 
 void TwoLayerGrid::Insert(const BoxEntry& entry) {
   RequireMutable("Insert");
+  if (!InDomain(entry.box)) has_out_of_domain_ = true;
   const TileRange range = layout_.TilesFor(entry.box);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      Tile& tile = tiles_[layout_.TileId(i, j)];
+      const std::size_t tile_id = layout_.TileId(i, j);
+      Tile& tile = tiles_[tile_id];
+      occupancy_.Set(tile_id);
       const std::size_t seg =
           SegmentOf(ClassifyEntryInTile(layout_, i, j, entry.box));
       // O(1) insertion into the segmented vector: grow by one slot, then
@@ -201,7 +232,8 @@ bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
   bool found = false;
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      Tile& tile = tiles_[layout_.TileId(i, j)];
+      const std::size_t tile_id = layout_.TileId(i, j);
+      Tile& tile = tiles_[tile_id];
       const std::size_t seg =
           SegmentOf(ClassifyEntryInTile(layout_, i, j, box));
       auto& v = tile.entries.vec();
@@ -216,6 +248,7 @@ bool TwoLayerGrid::Delete(ObjectId id, const Box& box) {
         }
         v.pop_back();
         for (std::size_t t = seg + 1; t <= kNumClasses; ++t) --tile.begin[t];
+        if (v.empty()) occupancy_.Clear(tile_id);
         found = true;
         break;
       }
@@ -289,6 +322,22 @@ void TwoLayerGrid::WindowQueryTile(std::uint32_t i, std::uint32_t j,
   const bool first_row = j == range.j0;
   const unsigned mask =
       TileComparisonMask(first_col, i == range.i1, first_row, j == range.j1);
+#ifdef TLP_SIMD_HOT_SCANS
+  if (mask == 0 && !first_col && !first_row) {
+    // Interior tile: only class A is scanned and every entry qualifies
+    // without a comparison, so append the segment's id column in one growth
+    // step instead of a capacity-checked push per entry. Interior tiles are
+    // the bulk of any multi-tile window, and this emit loop is its hot spot.
+    const std::size_t seg = SegmentOf(ObjectClass::kA);
+    const BoxEntry* p = tile.entries.data() + tile.begin[seg];
+    const std::size_t n = tile.begin[seg + 1] - tile.begin[seg];
+    const std::size_t base = out->size();
+    out->resize(base + n);
+    ObjectId* dst = out->data() + base;
+    for (std::size_t k = 0; k < n; ++k) dst[k] = p[k].id;
+    return;
+  }
+#endif  // TLP_SIMD_HOT_SCANS
   ScanTile(tile, w, mask, first_col, first_row, [&](const BoxEntry& e) {
     TLP_STATS_ADD(candidates, 1);
     out->push_back(e.id);
@@ -299,9 +348,9 @@ void TwoLayerGrid::WindowQuery(const Box& w, std::vector<ObjectId>* out) const {
   TLP_STATS_QUERY_TIMER();
   const TileRange range = layout_.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      WindowQueryTile(i, j, w, range, out);
-    }
+    ForEachOccupiedColumn(
+        occupancy_, layout_, j, range.i0, range.i1,
+        [&](std::uint32_t i) { WindowQueryTile(i, j, w, range, out); });
   }
 }
 
@@ -310,24 +359,27 @@ void TwoLayerGrid::WindowCandidates(const Box& w,
   TLP_STATS_QUERY_TIMER();
   const TileRange range = layout_.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      const Tile& tile = tiles_[layout_.TileId(i, j)];
-      if (tile.empty()) continue;
-      TLP_STATS_ADD(tiles_visited, 1);
-      const bool first_col = i == range.i0;
-      const bool first_row = j == range.j0;
-      const unsigned mask = TileComparisonMask(first_col, i == range.i1,
-                                               first_row, j == range.j1);
-      // In a non-first column only classes starting inside the tile in x are
-      // accessed, so W.xl < r.xl is implied for every candidate; likewise
-      // for rows (paper §V).
-      const bool x_implied = !first_col;
-      const bool y_implied = !first_row;
-      ScanTile(tile, w, mask, first_col, first_row, [&](const BoxEntry& e) {
-        TLP_STATS_ADD(candidates, 1);
-        out->push_back(Candidate{e.id, e.box, x_implied, y_implied});
-      });
-    }
+    ForEachOccupiedColumn(
+        occupancy_, layout_, j, range.i0, range.i1, [&](std::uint32_t i) {
+          const Tile& tile = tiles_[layout_.TileId(i, j)];
+          if (tile.empty()) return;
+          TLP_STATS_ADD(tiles_visited, 1);
+          const bool first_col = i == range.i0;
+          const bool first_row = j == range.j0;
+          const unsigned mask = TileComparisonMask(first_col, i == range.i1,
+                                                   first_row, j == range.j1);
+          // In a non-first column only classes starting inside the tile in x
+          // are accessed, so W.xl < r.xl is implied for every candidate;
+          // likewise for rows (paper §V).
+          const bool x_implied = !first_col;
+          const bool y_implied = !first_row;
+          ScanTile(tile, w, mask, first_col, first_row,
+                   [&](const BoxEntry& e) {
+                     TLP_STATS_ADD(candidates, 1);
+                     out->push_back(Candidate{e.id, e.box, x_implied,
+                                              y_implied});
+                   });
+        });
   }
 }
 
@@ -353,8 +405,18 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
   std::vector<RowRange> rows(num_rows);
   const Coord r2 = radius * radius;
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    const Coord row_yl = layout_.domain().yl + j * layout_.tile_height();
-    const Coord row_yu = row_yl + layout_.tile_height();
+    Coord row_yl = layout_.domain().yl + j * layout_.tile_height();
+    Coord row_yu = row_yl + layout_.tile_height();
+    // Border rows own every entry CLAMPED into them from beyond the domain,
+    // so once such entries exist their effective y-extent is half-infinite:
+    // dy underestimates instead of cutting a row (and hence a clamped
+    // entry within `radius`) that the tile box alone would rule out.
+    if (has_out_of_domain_) {
+      if (j == 0) row_yl = -std::numeric_limits<Coord>::infinity();
+      if (j + 1 == layout_.ny()) {
+        row_yu = std::numeric_limits<Coord>::infinity();
+      }
+    }
     const Coord dy = std::max({row_yl - q.y, Coord{0}, q.y - row_yu});
     if (dy > radius) continue;  // Row misses the disk: range stays empty.
     const Coord half_width = std::sqrt(std::max(Coord{0}, r2 - dy * dy));
@@ -386,16 +448,32 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
     if (row.empty()) break;  // Nonempty rows are contiguous.
     const RowRange* prev_row =
         j > first_row ? &rows[j - 1 - range.j0] : nullptr;
-    for (std::uint32_t i = row.lo; i <= row.hi; ++i) {
+    // The first/previous-row flags below depend only on the column index i,
+    // never on which earlier columns were visited, so skipping empty tiles
+    // through the occupancy bitset cannot change the exactly-once reporting.
+    ForEachOccupiedColumn(occupancy_, layout_, j, row.lo, row.hi, [&](
+                                                      std::uint32_t i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
-      if (tile.empty()) continue;
+      if (tile.empty()) return;
       const Box tile_box = layout_.TileBox(i, j);
-      if (annulus && tile_box.MaxDistanceTo(q) <= min_radius) continue;
+      // A border tile's box does not bound its clamped out-of-domain
+      // entries, so the tile-box distance shortcuts below are only valid
+      // for interior tiles once such entries exist. (Entries overlapping
+      // the domain always geometrically overlap the tiles they register
+      // in; only wholly-outside coordinates are clamped.)
+      const bool tile_bounds_entries =
+          !has_out_of_domain_ ||
+          (i != 0 && i + 1 != layout_.nx() && j != 0 &&
+           j + 1 != layout_.ny());
+      if (annulus && tile_bounds_entries &&
+          tile_box.MaxDistanceTo(q) <= min_radius) {
+        return;
+      }
       TLP_STATS_ADD(tiles_visited, 1);
       // Tiles totally covered by the disk skip all distance verification
       // (§IV-E) — unless the annulus filter needs the distance anyway.
-      const bool covered =
-          !annulus && tile_box.MaxDistanceTo(q) <= radius;
+      const bool covered = !annulus && tile_bounds_entries &&
+                           tile_box.MaxDistanceTo(q) <= radius;
       const bool west_missing = i == row.lo;
       const bool north_missing =
           prev_row == nullptr || i < prev_row->lo || i > prev_row->hi;
@@ -443,7 +521,7 @@ void TwoLayerGrid::ForEachDiskResult(const Point& q, Coord radius,
                       tile.begin[SegmentOf(ObjectClass::kD) + 1] -
                           tile.begin[SegmentOf(ObjectClass::kD)]);
       }
-    }
+    });
   }
 }
 
@@ -488,9 +566,15 @@ std::size_t TwoLayerGrid::ClassCount(std::uint32_t i, std::uint32_t j,
 }
 
 bool TwoLayerGrid::CheckInvariants() const {
+  if (occupancy_.bit_count() != tiles_.size()) return false;
   for (std::uint32_t j = 0; j < layout_.ny(); ++j) {
     for (std::uint32_t i = 0; i < layout_.nx(); ++i) {
       const Tile& tile = tiles_[layout_.TileId(i, j)];
+      // The occupancy bit must agree with the tile's emptiness, or queries
+      // routed through the bitset would silently drop (or re-scan) tiles.
+      if (occupancy_.Test(layout_.TileId(i, j)) != !tile.empty()) {
+        return false;
+      }
       if (tile.begin[0] != 0) return false;
       for (std::size_t s = 0; s < kNumClasses; ++s) {
         if (tile.begin[s] > tile.begin[s + 1]) return false;

@@ -11,6 +11,7 @@
 #include "common/column.h"
 #include "core/classes.h"
 #include "grid/grid_layout.h"
+#include "grid/occupancy_bitset.h"
 
 namespace tlp {
 
@@ -145,9 +146,16 @@ class TwoLayerGrid final : public PersistentIndex {
 
   /// Full structural check of every tile's segmented vector: begin[0] == 0,
   /// begin[] monotone, begin[kNumClasses] == entries.size(), and every entry
-  /// stored in the segment of its class. O(total entries); for tests — the
-  /// Insert/Delete rotation logic must preserve all four properties.
+  /// stored in the segment of its class — plus the occupancy bitset agreeing
+  /// with every tile's emptiness. O(total entries); for tests — the
+  /// Insert/Delete rotation logic must preserve all five properties.
   bool CheckInvariants() const;
+
+  /// Per-tile occupancy bits (set iff the tile holds entries); queries use
+  /// it to skip empty tile runs word-wide. TwoLayerPlusGrid's window query
+  /// reuses this bitset of its record layer: a record tile is non-empty iff
+  /// the corresponding decomposed tables are.
+  const OccupancyBitset& occupancy() const { return occupancy_; }
 
  private:
   /// A tile's entries, grouped into class segments laid out D|C|B|A;
@@ -172,6 +180,18 @@ class TwoLayerGrid final : public PersistentIndex {
   /// Rejects updates while frozen (mapped); throws std::logic_error.
   void RequireMutable(const char* op) const;
 
+  /// Recomputes the occupancy bitset and the out-of-domain flag from the
+  /// tiles. O(entries); used after bulk loads and snapshot loads (both are
+  /// derived state and not persisted — rebuilding keeps the snapshot format
+  /// unchanged).
+  void RebuildOccupancy();
+
+  /// True iff `b` lies entirely inside the declared domain (NaN coordinates
+  /// count as outside). Entries failing this are CLAMPED into border tiles
+  /// they do not geometrically overlap, which invalidates tile-box distance
+  /// reasoning there — see has_out_of_domain_.
+  bool InDomain(const Box& b) const;
+
   /// Runs the §IV-B masked scans over the relevant classes of one tile.
   /// `emit(entry)` receives every reported entry.
   template <typename Emit>
@@ -195,6 +215,14 @@ class TwoLayerGrid final : public PersistentIndex {
 
   GridLayout layout_;
   std::vector<Tile> tiles_;
+  OccupancyBitset occupancy_;
+  /// True if any stored entry lies (partly) outside the declared domain.
+  /// Such entries are clamped into border tiles whose boxes do not bound
+  /// them, so disk queries must treat border tiles conservatively: no
+  /// tile-box distance shortcuts, and border rows extend to infinity when
+  /// computing per-row disk extents. Sticky across Deletes (conservative);
+  /// recomputed by RebuildOccupancy on bulk/snapshot loads.
+  bool has_out_of_domain_ = false;
   /// True while the tile entry columns view a read-only snapshot mapping.
   bool frozen_ = false;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/branchless_search.h"
 #include "grid/parallel_build.h"
 #include "grid/scan.h"
 // Completes the forward-declared SnapshotReader the snapshot_ member holds.
@@ -309,7 +310,19 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
   auto consider = [&](unsigned flag, CoordKind k, bool ge, Coord bound,
                       double kept) {
     if ((mask & flag) == 0) return;
-    SearchPlan plan{flag, k, ge, bound, std::max(0.0, kept)};
+    // Degenerate windows and extreme-aspect tiles can make the estimate
+    // non-finite: 0/0 gives NaN, overflow gives +-inf. NaN compares false
+    // against everything, so an unguarded NaN would beat any finite best in
+    // the `<` below (and std::max(0.0, NaN) is 0.0 — the old clamp made it
+    // win outright). Send NaN to 2.0, which strictly loses to every clamped
+    // [0, 1] estimate; ties keep the first candidate in the fixed
+    // consideration order (xu, xl, yu, yl), so the plan is deterministic.
+    if (std::isnan(kept)) {
+      kept = 2.0;
+    } else {
+      kept = std::clamp(kept, 0.0, 1.0);
+    }
+    SearchPlan plan{flag, k, ge, bound, kept};
     if (!have_best || plan.kept_fraction < best.kept_fraction) {
       best = plan;
       have_best = true;
@@ -329,6 +342,17 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
   TLP_STATS_ADD(binary_search_probes, std::bit_width(table.size()));
   std::size_t begin = 0;
   std::size_t end = table.size();
+#ifdef TLP_SIMD_ENABLED
+  // Branchless probes (conditional-move steps + prefetch) return exactly the
+  // std::lower_bound / std::upper_bound indices; see common/
+  // branchless_search.h.
+  if (best.ge) {
+    begin = BranchlessLowerBound(table.values.data(), table.size(),
+                                 best.bound);
+  } else {
+    end = BranchlessUpperBound(table.values.data(), table.size(), best.bound);
+  }
+#else
   if (best.ge) {
     begin = static_cast<std::size_t>(
         std::lower_bound(table.values.begin(), table.values.end(),
@@ -340,6 +364,7 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
                          best.bound) -
         table.values.begin());
   }
+#endif
   TLP_STATS_CLASS_SCANNED(c, end - begin);
 
   const unsigned residual = mask & ~best.flag;
@@ -351,6 +376,40 @@ void TwoLayerPlusGrid::EvaluateClass(const TileTables& tt, ObjectClass c,
   }
   // Verify the remaining comparisons on the full MBR (fetched by id), as the
   // paper does for two-comparison border tiles.
+#ifdef TLP_SIMD_HOT_SCANS
+  // The vector kernel pays off here (unlike the border-tile scans, which
+  // short-circuit predictably): a table range mixes passing and failing
+  // entries, so the scalar multi-compare loop mispredicts, while the
+  // transposed 4-box kernel decides four entries branch-free. Only
+  // worthwhile with two or more residual comparisons — a single compare
+  // is cheaper left scalar. The id -> MBR fetch is a random gather over
+  // the mbrs_ table; prefetch a group ahead so the misses overlap.
+  if (std::popcount(residual) >= 2) {
+    const simd::LaneBounds lb = LaneBoundsForMask(w, residual);
+    const ObjectId* ids = table.ids.data();
+    constexpr std::size_t kVerifyPrefetchAhead = 8;
+    std::size_t k = begin;
+    for (; k + 4 <= end; k += 4) {
+      if (k + kVerifyPrefetchAhead + 4 <= end) {
+        TLP_PREFETCH_RO(&mbrs_[ids[k + kVerifyPrefetchAhead]]);
+        TLP_PREFETCH_RO(&mbrs_[ids[k + kVerifyPrefetchAhead + 1]]);
+        TLP_PREFETCH_RO(&mbrs_[ids[k + kVerifyPrefetchAhead + 2]]);
+        TLP_PREFETCH_RO(&mbrs_[ids[k + kVerifyPrefetchAhead + 3]]);
+      }
+      const Coord* lanes[4] = {&mbrs_[ids[k]].xl, &mbrs_[ids[k + 1]].xl,
+                               &mbrs_[ids[k + 2]].xl, &mbrs_[ids[k + 3]].xl};
+      const unsigned hits = simd::MatchesMask4(lanes, lb);
+      if (hits == 0) continue;
+      for (unsigned s = 0; s < 4; ++s) {
+        if ((hits >> s) & 1u) out->push_back(ids[k + s]);
+      }
+    }
+    for (; k < end; ++k) {
+      if (simd::Matches(&mbrs_[ids[k]].xl, lb)) out->push_back(ids[k]);
+    }
+    return;
+  }
+#endif  // TLP_SIMD_HOT_SCANS
   for (std::size_t k = begin; k < end; ++k) {
     const ObjectId id = table.ids[k];
     if (PassesComparisonMask(mbrs_[id], w, residual)) {
@@ -366,9 +425,13 @@ void TwoLayerPlusGrid::WindowQuery(const Box& w,
   const GridLayout& g = record_.layout();
   const TileRange range = g.TilesFor(w);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+    // The record layer's occupancy doubles as this layer's: a record tile is
+    // non-empty exactly when the decomposed tables hold entries
+    // (CheckInvariants pins the mirror property).
+    ForEachOccupiedColumn(record_.occupancy(), g, j, range.i0, range.i1, [&](
+                                                      std::uint32_t i) {
       const TileTables* tt = tile_tables_[g.TileId(i, j)].get();
-      if (tt == nullptr) continue;
+      if (tt == nullptr) return;
       TLP_STATS_ADD(tiles_visited, 1);
       const bool first_col = i == range.i0;
       const bool first_row = j == range.j0;
@@ -400,7 +463,7 @@ void TwoLayerPlusGrid::WindowQuery(const Box& w,
                       tt->tables[static_cast<int>(ObjectClass::kD)][kXu]
                           .size());
       }
-    }
+    });
   }
 }
 

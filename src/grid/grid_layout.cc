@@ -1,7 +1,5 @@
 #include "grid/grid_layout.h"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 namespace tlp {
@@ -25,18 +23,21 @@ GridLayout::GridLayout(const Box& domain, std::uint32_t nx, std::uint32_t ny)
 
 std::uint32_t GridLayout::ColumnOf(Coord x) const {
   const Coord rel = (x - domain_.xl) * inv_tile_w_;
-  if (rel <= 0) return 0;
-  const auto i = static_cast<std::int64_t>(rel);
-  return static_cast<std::uint32_t>(
-      std::min<std::int64_t>(i, static_cast<std::int64_t>(nx_) - 1));
+  // Negated comparison so NaN (x = NaN, or 0 * inf from infinite coordinates
+  // on an infinite-width domain) lands in column 0 deterministically.
+  if (!(rel > 0)) return 0;
+  // Clamp in floating point BEFORE any integer cast: converting a Coord
+  // beyond int64 range (x ~ 1e300 on a unit domain, or +inf) is undefined
+  // behaviour, not a saturating min.
+  if (rel >= static_cast<Coord>(nx_ - 1)) return nx_ - 1;
+  return static_cast<std::uint32_t>(rel);
 }
 
 std::uint32_t GridLayout::RowOf(Coord y) const {
   const Coord rel = (y - domain_.yl) * inv_tile_h_;
-  if (rel <= 0) return 0;
-  const auto j = static_cast<std::int64_t>(rel);
-  return static_cast<std::uint32_t>(
-      std::min<std::int64_t>(j, static_cast<std::int64_t>(ny_) - 1));
+  if (!(rel > 0)) return 0;
+  if (rel >= static_cast<Coord>(ny_ - 1)) return ny_ - 1;
+  return static_cast<std::uint32_t>(rel);
 }
 
 Box GridLayout::TileBox(std::uint32_t i, std::uint32_t j) const {

@@ -6,7 +6,24 @@
 namespace tlp {
 
 OneLayerGrid::OneLayerGrid(const GridLayout& layout, DedupPolicy dedup)
-    : layout_(layout), dedup_(dedup), tiles_(layout.tile_count()) {}
+    : layout_(layout), dedup_(dedup), tiles_(layout.tile_count()) {
+  occupancy_.Reset(tiles_.size());
+}
+
+void OneLayerGrid::RebuildOccupancy() {
+  occupancy_.Reset(tiles_.size());
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (!tiles_[t].empty()) occupancy_.Set(t);
+  }
+}
+
+bool OneLayerGrid::CheckInvariants() const {
+  if (occupancy_.bit_count() != tiles_.size()) return false;
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (occupancy_.Test(t) != !tiles_[t].empty()) return false;
+  }
+  return true;
+}
 
 void OneLayerGrid::Build(const std::vector<BoxEntry>& entries,
                          std::size_t num_threads) {
@@ -34,6 +51,7 @@ void OneLayerGrid::Build(const std::vector<BoxEntry>& entries,
       tiles_[t].reserve(counts[t]);
     }
     for (const BoxEntry& e : entries) Insert(e);
+    RebuildOccupancy();
     return;
   }
 
@@ -97,13 +115,18 @@ void OneLayerGrid::Build(const std::vector<BoxEntry>& entries,
     });
   }
   pool.Wait();
+  // Sequentially: an occupancy word covers 64 tiles and so can straddle the
+  // workers' tile-ownership cuts — setting bits from the workers would race.
+  RebuildOccupancy();
 }
 
 void OneLayerGrid::Insert(const BoxEntry& entry) {
   const TileRange range = layout_.TilesFor(entry.box);
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      tiles_[layout_.TileId(i, j)].push_back(entry);
+      const std::size_t t = layout_.TileId(i, j);
+      tiles_[t].push_back(entry);
+      occupancy_.Set(t);
     }
   }
 }
@@ -113,11 +136,13 @@ bool OneLayerGrid::Delete(ObjectId id, const Box& box) {
   bool found = false;
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
     for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
-      auto& tile = tiles_[layout_.TileId(i, j)];
+      const std::size_t t = layout_.TileId(i, j);
+      auto& tile = tiles_[t];
       for (std::size_t k = 0; k < tile.size(); ++k) {
         if (tile[k].id == id) {
           tile[k] = tile.back();  // order within a tile is irrelevant
           tile.pop_back();
+          if (tile.empty()) occupancy_.Clear(t);
           found = true;
           break;
         }
@@ -133,9 +158,10 @@ void OneLayerGrid::WindowQuery(const Box& w,
   const TileRange range = layout_.TilesFor(w);
   const std::size_t first_result = out->size();
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+    ForEachOccupiedColumn(occupancy_, layout_, j, range.i0, range.i1, [&](
+                                                      std::uint32_t i) {
       const auto& tile = tiles_[layout_.TileId(i, j)];
-      if (tile.empty()) continue;
+      if (tile.empty()) return;
       TLP_STATS_ADD(tiles_visited, 1);
       TLP_STATS_ADD(scanned_flat, tile.size());
       const unsigned mask = TileComparisonMask(i == range.i0, i == range.i1,
@@ -163,7 +189,7 @@ void OneLayerGrid::WindowQuery(const Box& w,
                                 out->push_back(e.id);
                               });
       }
-    }
+    });
   }
   if (dedup_ == DedupPolicy::kHash) SortUniqueIds(out, first_result);
 }
@@ -175,9 +201,10 @@ void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
   const TileRange range = layout_.TilesFor(mbr);
   const std::size_t first_result = out->size();
   for (std::uint32_t j = range.j0; j <= range.j1; ++j) {
-    for (std::uint32_t i = range.i0; i <= range.i1; ++i) {
+    ForEachOccupiedColumn(occupancy_, layout_, j, range.i0, range.i1, [&](
+                                                      std::uint32_t i) {
       const auto& tile = tiles_[layout_.TileId(i, j)];
-      if (tile.empty()) continue;
+      if (tile.empty()) return;
       const Box tile_box = layout_.TileBox(i, j);
       // With reference-point dedup, tiles of the MBR range that lie outside
       // the disk must still be scanned: the reference point of a qualifying
@@ -185,7 +212,7 @@ void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
       // qualifying object always appears in some tile touching the disk).
       if (dedup_ == DedupPolicy::kHash &&
           tile_box.MinDistanceTo(q) > radius) {
-        continue;
+        return;
       }
       TLP_STATS_ADD(tiles_visited, 1);
       TLP_STATS_ADD(scanned_flat, tile.size());
@@ -207,7 +234,7 @@ void OneLayerGrid::DiskQuery(const Point& q, Coord radius,
         out->push_back(e.id);
       };
       ScanPartitionDispatch(mask, tile.data(), tile.size(), mbr, handle);
-    }
+    });
   }
   if (dedup_ == DedupPolicy::kHash) SortUniqueIds(out, first_result);
 }

@@ -8,6 +8,7 @@
 #include "api/spatial_index.h"
 #include "grid/dedup.h"
 #include "grid/grid_layout.h"
+#include "grid/occupancy_bitset.h"
 
 namespace tlp {
 
@@ -65,10 +66,23 @@ class OneLayerGrid final : public PersistentIndex {
   /// Total number of stored (MBR, id) entries, replicas included.
   std::size_t entry_count() const;
 
+  /// Per-tile occupancy bits (set iff the tile holds entries); queries use
+  /// it to skip empty tile runs word-wide.
+  const OccupancyBitset& occupancy() const { return occupancy_; }
+
+  /// Structural check: the occupancy bitset must agree with every tile's
+  /// emptiness. O(tiles); for tests and the update oracle.
+  bool CheckInvariants() const;
+
  private:
+  /// Recomputes the occupancy bitset from the tiles; used after bulk loads
+  /// and snapshot loads (the bitset is derived state and is not persisted).
+  void RebuildOccupancy();
+
   GridLayout layout_;
   DedupPolicy dedup_;
   std::vector<std::vector<BoxEntry>> tiles_;
+  OccupancyBitset occupancy_;
 };
 
 }  // namespace tlp

@@ -116,6 +116,8 @@ Status OneLayerGrid::Load(const std::string& path, FileSystem* fs) {
     entry += counts[t];
   }
   tiles_ = std::move(tiles);
+  // Occupancy is derived state, not a snapshot section; rebuild in O(tiles).
+  RebuildOccupancy();
   return Status::OK();
 }
 

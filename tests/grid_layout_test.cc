@@ -1,5 +1,7 @@
 #include "grid/grid_layout.h"
 
+#include <limits>
+
 #include "gtest/gtest.h"
 
 namespace tlp {
@@ -82,6 +84,47 @@ TEST(GridLayoutTest, TileOriginMatchesTileBox) {
       EXPECT_DOUBLE_EQ(o.x, b.xl);
       EXPECT_DOUBLE_EQ(o.y, b.yl);
     }
+  }
+}
+
+TEST(GridLayoutTest, FarOutCoordinatesClampWithoutOverflow) {
+  // Regression: ColumnOf/RowOf used to cast the unbounded scaled coordinate
+  // straight to int64 — undefined behaviour once (x - xl) / tile_w exceeds
+  // ~9.2e18, e.g. querying near +-1e300 on a unit domain. The clamp must
+  // happen in floating point, before any integer conversion.
+  const GridLayout g(kUnit, 4, 4);
+  EXPECT_EQ(g.ColumnOf(1e300), 3u);
+  EXPECT_EQ(g.ColumnOf(-1e300), 0u);
+  EXPECT_EQ(g.RowOf(1e300), 3u);
+  EXPECT_EQ(g.RowOf(-1e300), 0u);
+  // Just beyond the int64 range, where the old cast became UB.
+  EXPECT_EQ(g.ColumnOf(9.3e18), 3u);
+  EXPECT_EQ(g.RowOf(9.3e18), 3u);
+  const TileRange r = g.TilesFor(Box{-1e300, -1e300, 1e300, 1e300});
+  EXPECT_EQ(r.count(), 16u);
+}
+
+TEST(GridLayoutTest, NonFiniteCoordinatesClampDeterministically) {
+  const GridLayout g(kUnit, 4, 4);
+  constexpr Coord inf = std::numeric_limits<Coord>::infinity();
+  constexpr Coord nan = std::numeric_limits<Coord>::quiet_NaN();
+  EXPECT_EQ(g.ColumnOf(inf), 3u);
+  EXPECT_EQ(g.ColumnOf(-inf), 0u);
+  EXPECT_EQ(g.RowOf(inf), 3u);
+  EXPECT_EQ(g.RowOf(-inf), 0u);
+  // NaN maps to the first cell, deterministically, instead of whatever an
+  // undefined float->int conversion produced.
+  EXPECT_EQ(g.ColumnOf(nan), 0u);
+  EXPECT_EQ(g.RowOf(nan), 0u);
+  const TileRange full = g.TilesFor(Box{-inf, -inf, inf, inf});
+  EXPECT_EQ(full.count(), 16u);
+}
+
+TEST(GridLayoutTest, SingleColumnGridClampsEverythingToZero) {
+  const GridLayout g(kUnit, 1, 1);
+  for (const Coord x : {-1e300, -0.5, 0.0, 0.5, 1.0, 2.0, 1e300}) {
+    EXPECT_EQ(g.ColumnOf(x), 0u) << x;
+    EXPECT_EQ(g.RowOf(x), 0u) << x;
   }
 }
 

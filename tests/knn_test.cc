@@ -135,6 +135,45 @@ TEST(KnnTest, DiskQueryEntriesAnnulusMatchesOracle) {
   }
 }
 
+/// Regression: the grid clamps entries lying outside the declared domain
+/// into border tiles, but the doubling loop's stop radius is derived from
+/// the DOMAIN corners — it used to terminate there with fewer than k
+/// candidates and silently return a short (or empty) answer. A final
+/// infinite-radius annulus probe must pick up the far-out entries.
+TEST(KnnTest, EntriesOutsideDomainAreStillFound) {
+  std::vector<BoxEntry> data;
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double x = 50.0 + static_cast<double>(k);
+    data.push_back(
+        BoxEntry{Box{x, 40.0, x + 0.5, 40.5}, static_cast<ObjectId>(k)});
+  }
+  TwoLayerGrid grid(GridLayout(kUnit, 8, 8));
+  grid.Build(data);
+  const Point q{0.5, 0.5};  // max_radius from the unit domain is ~1; data ~65
+  for (const std::size_t k : {1u, 5u, 10u}) {
+    EXPECT_EQ(KnnQuery(grid, q, k), BruteForceKnn(data, q, k)) << "k=" << k;
+  }
+}
+
+TEST(KnnTest, MixedInAndOutOfDomainEntriesMatchOracle) {
+  auto data = testing::RandomEntries(100, 0.05, 180);
+  const Box outliers[] = {Box{-30, 0.2, -29, 0.4}, Box{0.3, 77, 0.4, 78},
+                          Box{12, -9, 13, -8}, Box{-5, -5, -4.5, -4.5}};
+  ObjectId next = 100;
+  for (const Box& b : outliers) data.push_back(BoxEntry{b, next++});
+  TwoLayerGrid grid(GridLayout(kUnit, 16, 16));
+  grid.Build(data);
+  const Point queries[] = {Point{0.5, 0.5}, Point{-2, -2}, Point{40, 40}};
+  for (const Point& q : queries) {
+    // k > in-domain count forces the probe past the domain bound; k equal
+    // to the full dataset must return every entry.
+    for (const std::size_t k : {5u, 101u, 104u}) {
+      EXPECT_EQ(KnnQuery(grid, q, k), BruteForceKnn(data, q, k))
+          << "q=(" << q.x << "," << q.y << ") k=" << k;
+    }
+  }
+}
+
 TEST(KnnTest, ResultsAreSortedByDistance) {
   const auto data = testing::RandomEntries(500, 0.02, 176);
   TwoLayerGrid grid(GridLayout(kUnit, 16, 16));

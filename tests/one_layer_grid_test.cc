@@ -61,6 +61,44 @@ TEST(OneLayerGridTest, InsertThenQuery) {
   }
 }
 
+/// Occupancy-bitset oracle: the bitset must track tile emptiness exactly
+/// through Build, Insert and Delete (CheckInvariants compares every tile
+/// against its bit), and queries must stay exact while tiles empty out.
+TEST(OneLayerGridTest, OccupancyTracksUpdates) {
+  OneLayerGrid grid(GridLayout(kUnit, 8, 8));
+  auto entries = testing::RandomEntries(150, 0.1, 49);
+  grid.Build(entries);
+  ASSERT_TRUE(grid.CheckInvariants());
+
+  Rng rng(50);
+  for (int step = 0; step < 100 && !entries.empty(); ++step) {
+    if (rng.Next() % 2 == 0) {
+      const Coord x = rng.NextDouble() * 0.9;
+      const Coord y = rng.NextDouble() * 0.9;
+      const BoxEntry e{Box{x, y, x + rng.NextDouble() * 0.1,
+                           y + rng.NextDouble() * 0.1},
+                       static_cast<ObjectId>(1000 + step)};
+      grid.Insert(e);
+      entries.push_back(e);
+    } else {
+      const std::size_t victim = rng.NextBelow(entries.size());
+      ASSERT_TRUE(grid.Delete(entries[victim].id, entries[victim].box));
+      entries.erase(entries.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_TRUE(grid.CheckInvariants()) << "step " << step;
+  }
+  for (const Box& w : testing::RandomWindows(30, 51)) {
+    testing::CheckWindowAgainstBruteForce(grid, entries, w, "after updates");
+  }
+  // Drain to empty: every occupancy bit must clear.
+  for (const BoxEntry& e : entries) ASSERT_TRUE(grid.Delete(e.id, e.box));
+  ASSERT_TRUE(grid.CheckInvariants());
+  std::vector<ObjectId> out;
+  grid.WindowQuery(kUnit, &out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(OneLayerGridTest, NamesReflectDedupPolicy) {
   OneLayerGrid a(GridLayout(kUnit, 2, 2), DedupPolicy::kReferencePoint);
   OneLayerGrid b(GridLayout(kUnit, 2, 2), DedupPolicy::kHash);
