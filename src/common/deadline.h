@@ -1,0 +1,101 @@
+#ifndef TLP_COMMON_DEADLINE_H_
+#define TLP_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace tlp {
+
+/// The monotonic-clock seam (lint rule TLP003, docs/STATIC_ANALYSIS.md).
+///
+/// Everywhere else in the library, time feeds statistics; here it feeds a
+/// *decision* — "has this connection been idle too long?" (src/net). Such
+/// decisions are the one legitimate consumer of the ambient monotonic clock
+/// outside common/timer.h, so they are funneled through this header, which
+/// in exchange offers a process-wide test override: tests freeze or step
+/// the clock and timeout logic becomes fully deterministic.
+///
+/// Not a wall clock: the epoch is arbitrary (steady_clock's), values only
+/// ever grow, and they never appear in query results or snapshots.
+
+namespace deadline_internal {
+
+using NowFn = std::uint64_t (*)();
+
+inline std::uint64_t SteadyNowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline std::atomic<NowFn>& NowFnSlot() {
+  static std::atomic<NowFn> slot{&SteadyNowNanos};
+  return slot;
+}
+
+}  // namespace deadline_internal
+
+/// Current monotonic time in nanoseconds (arbitrary epoch). All deadline
+/// arithmetic in the library reads the clock through this function only.
+inline std::uint64_t MonotonicNowNanos() {
+  return deadline_internal::NowFnSlot().load(std::memory_order_relaxed)();
+}
+
+/// Replaces the clock behind MonotonicNowNanos() for tests (nullptr
+/// restores the real steady_clock). Affects every Deadline in the process;
+/// tests that install a fake clock must restore it before finishing.
+inline void SetMonotonicClockForTest(deadline_internal::NowFn fn) {
+  deadline_internal::NowFnSlot().store(
+      fn != nullptr ? fn : &deadline_internal::SteadyNowNanos,
+      std::memory_order_relaxed);
+}
+
+/// A point in monotonic time a connection must make progress by. Value
+/// type; copying is cheap and comparison against "now" is one clock read.
+class Deadline {
+ public:
+  /// Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  static Deadline AfterMillis(std::uint64_t ms) {
+    Deadline d;
+    const std::uint64_t now = MonotonicNowNanos();
+    const std::uint64_t delta =
+        ms > kNever / 1'000'000 ? kNever : ms * 1'000'000;
+    d.at_nanos_ = now > kNever - delta ? kNever : now + delta;
+    return d;
+  }
+
+  bool never() const { return at_nanos_ == kNever; }
+
+  bool expired() const {
+    return !never() && MonotonicNowNanos() >= at_nanos_;
+  }
+
+  /// Milliseconds until expiry, rounded UP (so a poll() sleeping for the
+  /// returned value cannot wake before the deadline): 0 when expired, -1
+  /// when the deadline never expires — exactly poll()'s timeout encoding.
+  int RemainingPollMillis() const {
+    if (never()) return -1;
+    const std::uint64_t now = MonotonicNowNanos();
+    if (now >= at_nanos_) return 0;
+    const std::uint64_t ms = (at_nanos_ - now + 999'999) / 1'000'000;
+    constexpr std::uint64_t kMaxPoll = std::numeric_limits<int>::max();
+    return static_cast<int>(ms > kMaxPoll ? kMaxPoll : ms);
+  }
+
+ private:
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::uint64_t at_nanos_ = kNever;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_DEADLINE_H_

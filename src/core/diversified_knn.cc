@@ -1,0 +1,139 @@
+#include "core/diversified_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/query_stats.h"
+
+namespace tlp {
+
+namespace {
+
+/// Euclidean distance between MBR centers — the diversity metric. Tests'
+/// brute-force oracle replicates this expression operation for operation,
+/// so results are compared bit-identically; keep it in sync.
+Coord CenterDistance(const Box& a, const Box& b) {
+  const Point ca = a.center();
+  const Point cb = b.center();
+  const Coord dx = ca.x - cb.x;
+  const Coord dy = ca.y - cb.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+std::vector<RankedEntry> KnnEntries(const TwoLayerGrid& grid, const Point& q,
+                                    std::size_t k,
+                                    const EntryPredicate& keep) {
+  std::vector<RankedEntry> results;
+  if (k == 0 || grid.entry_count() == 0) return results;
+
+  const GridLayout& g = grid.layout();
+  const Box& domain = g.domain();
+  // Doubling stops paying beyond this radius: every point of the DOMAIN is
+  // within it. Entries clamped into border tiles can sit farther out; the
+  // final infinite-radius probe covers those (as in KnnQuery).
+  const Coord max_radius =
+      std::max(std::abs(q.x - domain.xl), std::abs(domain.xu - q.x)) +
+      std::max(std::abs(q.y - domain.yl), std::abs(domain.yu - q.y));
+
+  // Expanding duplicate-free annulus probes, exactly as core/knn.cc, but
+  // only entries passing `keep` count toward the k target. Each probe
+  // appends the new annulus to `candidates`; the predicate runs once per
+  // object (the scan cursor never revisits a candidate).
+  Coord radius = 2 * std::max(g.tile_width(), g.tile_height()) *
+                 std::sqrt(static_cast<double>(k));
+  Coord prev_radius = -1;  // < 0: first probe scans the whole disk
+  bool final_probe = false;
+  std::vector<BoxEntry> candidates;
+  std::size_t scanned = 0;
+  for (;;) {
+    grid.DiskQueryEntries(q, radius, &candidates, prev_radius);
+    for (; scanned < candidates.size(); ++scanned) {
+      const BoxEntry& e = candidates[scanned];
+      if (keep && !keep(e)) continue;
+      results.push_back(RankedEntry{e, e.box.MinDistanceTo(q)});
+    }
+    if (results.size() >= k || final_probe) break;
+    prev_radius = radius;
+    if (radius >= max_radius) {
+      radius = std::numeric_limits<Coord>::infinity();
+      final_probe = true;
+    } else {
+      radius = std::min(max_radius, radius * 2);
+    }
+  }
+
+  // All matching candidates within the final radius are present and the
+  // k-th smallest matching distance is <= that radius, so the k smallest
+  // are the exact answer; ties beyond position k are cut by id.
+  auto by_rank = [](const RankedEntry& a, const RankedEntry& b) {
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.entry.id < b.entry.id;
+  };
+  if (results.size() > k) {
+    std::nth_element(results.begin(),
+                     results.begin() + static_cast<std::ptrdiff_t>(k),
+                     results.end(), by_rank);
+    results.resize(k);
+  }
+  std::sort(results.begin(), results.end(), by_rank);
+  return results;
+}
+
+std::vector<RankedEntry> DiversifiedKnnQuery(const TwoLayerGrid& grid,
+                                             const Point& q,
+                                             const DivKnnOptions& opts,
+                                             const EntryPredicate& keep) {
+  std::vector<RankedEntry> out;
+  if (opts.k == 0) return out;
+  const double lambda = std::clamp(opts.lambda, 0.0, 1.0);
+
+  constexpr std::size_t kMaxSize = std::numeric_limits<std::size_t>::max();
+  std::size_t fetch = opts.fetch;
+  if (fetch == 0) fetch = opts.k > kMaxSize / 4 ? kMaxSize : 4 * opts.k;
+  if (fetch < opts.k) fetch = opts.k;
+
+  const std::vector<RankedEntry> pool = KnnEntries(grid, q, fetch, keep);
+  if (pool.empty()) return out;
+
+  const std::size_t n = pool.size();
+  const std::size_t want = std::min(opts.k, n);
+  std::vector<bool> taken(n, false);
+  // min_center[i]: min center distance from pool[i] to the selected set so
+  // far. Updated incrementally — the min of a fixed set of doubles does not
+  // depend on accumulation order, so this matches a full recomputation
+  // bit for bit (the oracle in tests recomputes).
+  std::vector<Coord> min_center(n,
+                                std::numeric_limits<Coord>::infinity());
+  out.reserve(want);
+
+  std::size_t pick = 0;  // pool head: nearest overall, ties by id
+  for (;;) {
+    taken[pick] = true;
+    out.push_back(pool[pick]);
+    if (out.size() == want) break;
+    std::size_t best = n;
+    double best_score = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      const Coord d =
+          CenterDistance(pool[i].entry.box, pool[pick].entry.box);
+      if (d < min_center[i]) min_center[i] = d;
+      const double score =
+          lambda * min_center[i] - (1.0 - lambda) * pool[i].distance;
+      TLP_STATS_ADD(comparisons, 1);
+      // Strictly greater wins; ties keep the earlier pool position, i.e.
+      // (distance, id) order — the deterministic tie-break.
+      if (best == n || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    pick = best;
+  }
+  return out;
+}
+
+}  // namespace tlp

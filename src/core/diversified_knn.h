@@ -1,0 +1,74 @@
+#ifndef TLP_CORE_DIVERSIFIED_KNN_H_
+#define TLP_CORE_DIVERSIFIED_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entry_predicate.h"
+#include "core/two_layer_grid.h"
+
+namespace tlp {
+
+/// A pool/result element of the diversified-kNN pipeline: the stored entry
+/// plus its relevance attribute, the MBR minimum distance to the query
+/// point (Box::MinDistanceTo).
+struct RankedEntry {
+  BoxEntry entry;
+  Coord distance = 0;
+
+  friend bool operator==(const RankedEntry& a, const RankedEntry& b) {
+    return a.entry.id == b.entry.id && a.entry.box == b.entry.box &&
+           a.distance == b.distance;
+  }
+};
+
+/// The k nearest entries to `q` that satisfy `keep`, with their boxes and
+/// distances, sorted by (distance, id). Same expanding-annulus algorithm as
+/// KnnQuery (core/knn.h) — duplicate-free §IV-E disk probes with geometric
+/// radius doubling, a domain-derived doubling bound, and a final
+/// infinite-radius probe for entries clamped into border tiles — except
+/// that candidates failing `keep` do not count toward k, so the disk keeps
+/// expanding until k *matching* candidates are in hand (or the data is
+/// exhausted). This is the fetch stage of DiversifiedKnnQuery, exposed
+/// separately for the query evaluator and for differential tests.
+std::vector<RankedEntry> KnnEntries(const TwoLayerGrid& grid, const Point& q,
+                                    std::size_t k,
+                                    const EntryPredicate& keep = {});
+
+struct DivKnnOptions {
+  /// Number of results to return.
+  std::size_t k = 0;
+  /// Size of the over-fetched candidate pool the greedy re-ranker draws
+  /// from; 0 means the default 4*k. Values below k are raised to k.
+  std::size_t fetch = 0;
+  /// Relevance/diversity trade-off in [0, 1]: 0 degenerates to plain kNN
+  /// order, 1 ranks purely by spread. Values outside [0, 1] are clamped.
+  double lambda = 0.5;
+};
+
+/// Diversified k-nearest-neighbor query: fetches the `fetch` nearest
+/// matching entries as a pool (KnnEntries), then greedily re-ranks them
+/// max-min style. The first selection is the pool head (nearest overall;
+/// ties by id). Each further step scores every unselected pool member as
+///
+///   score(e) = lambda * min_{s in selected} CenterDistance(e, s)
+///              - (1 - lambda) * e.distance
+///
+/// where CenterDistance is the Euclidean distance between MBR centers
+/// (sqrt(dx*dx + dy*dy) on Box::center() differences), and selects the
+/// strictly greatest score, breaking ties by pool order — i.e. by
+/// (distance, id). Fully deterministic: the result is a pure function of
+/// the stored set, q, and the options. Returns min(k, matching objects)
+/// entries in selection (rank) order, which is NOT distance order.
+///
+/// Duplicate-free by construction: the pool comes from the §IV-E annulus
+/// probes which report each object exactly once (Lemmas 1-4), and the
+/// greedy pass only reorders that pool.
+std::vector<RankedEntry> DiversifiedKnnQuery(const TwoLayerGrid& grid,
+                                             const Point& q,
+                                             const DivKnnOptions& opts,
+                                             const EntryPredicate& keep = {});
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_DIVERSIFIED_KNN_H_

@@ -1,0 +1,22 @@
+#ifndef TLP_CORE_ENTRY_PREDICATE_H_
+#define TLP_CORE_ENTRY_PREDICATE_H_
+
+#include <functional>
+
+#include "geometry/box.h"
+
+namespace tlp {
+
+/// Optional per-object filter for the advanced query types (skyline,
+/// diversified kNN) — the hook the query language's WHERE clause compiles
+/// into. An empty function keeps everything.
+///
+/// Predicates restrict the *input set* before the query semantics apply:
+/// the skyline of the filtered set is computed (not a filter over the
+/// unrestricted skyline), and diversified kNN picks the k nearest
+/// *matching* objects (not matching members of the unrestricted top-k).
+using EntryPredicate = std::function<bool(const BoxEntry&)>;
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_ENTRY_PREDICATE_H_

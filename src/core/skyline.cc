@@ -1,0 +1,123 @@
+#include "core/skyline.h"
+
+#include <algorithm>
+
+#include "common/query_stats.h"
+
+namespace tlp {
+
+namespace {
+
+/// Minimum distance from coordinate v to the closed interval [lo, hi];
+/// 0 when inside. One axis of Box::MinDistanceTo, without the hypot.
+Coord AxisDistance(Coord lo, Coord hi, Coord v) {
+  return std::max({lo - v, Coord{0}, v - hi});
+}
+
+/// True iff attribute point (adx, ady) dominates (bdx, bdy): <= in both
+/// axes, < in at least one. Equal points do not dominate each other.
+bool Dominates(Coord adx, Coord ady, Coord bdx, Coord bdy) {
+  return adx <= bdx && ady <= bdy && (adx < bdx || ady < bdy);
+}
+
+}  // namespace
+
+std::vector<SkylineEntry> SkylineQuery(const TwoLayerGrid& grid,
+                                       const Point& q, const Box* region,
+                                       const EntryPredicate& keep) {
+  TLP_STATS_QUERY_TIMER();
+  std::vector<SkylineEntry> sky;
+  if (region != nullptr && region->IsEmpty()) return sky;
+
+  const GridLayout& g = grid.layout();
+
+  // Feeds one candidate through the incremental skyline: reject it if a
+  // kept point dominates it, else admit it and evict what it dominates.
+  // The skyline of a set is unique, so arrival order never changes the
+  // final contents — only how much pruning the tile bounds achieve.
+  const auto consider = [&](const BoxEntry& e) {
+    TLP_STATS_ADD(comparisons, 1);
+    if (region != nullptr && !e.box.Intersects(*region)) return;
+    if (keep && !keep(e)) return;
+    const Coord dx = AxisDistance(e.box.xl, e.box.xu, q.x);
+    const Coord dy = AxisDistance(e.box.yl, e.box.yu, q.y);
+    for (const SkylineEntry& s : sky) {
+      if (Dominates(s.dx, s.dy, dx, dy)) return;
+    }
+    std::erase_if(sky, [&](const SkylineEntry& s) {
+      return Dominates(dx, dy, s.dx, s.dy);
+    });
+    sky.push_back(SkylineEntry{e, dx, dy});
+  };
+
+  // Candidate tiles: the class-A partitions hold every object exactly
+  // once. A region prunes the tile rectangle from above: an object
+  // intersecting the region starts at or before its upper corner, and
+  // ColumnOf/RowOf are monotone, so its class-A tile cannot lie beyond
+  // the region's upper tile in either dimension.
+  std::uint32_t imax = g.nx() - 1;
+  std::uint32_t jmax = g.ny() - 1;
+  if (region != nullptr) {
+    imax = g.ColumnOf(region->xu);
+    jmax = g.RowOf(region->yu);
+  }
+
+  // Per-tile attribute lower bounds. Class-A entries of tile (i, j) start
+  // inside the tile, so their (dx, dy) are bounded below by the distance
+  // from q to the tile's lower corner — relaxed by one full tile so that
+  // (a) the ulp gap between the multiplicative tile origin and the
+  // floor-based cell mapping (see core/classes.h) and (b) out-of-domain
+  // entries clamped into border tiles (column/row 0) can never make the
+  // bound optimistic. Sorting by bound lets early skyline points prune
+  // whole tiles before their entries are ever scanned.
+  struct TileRef {
+    Coord lbx, lby, key;
+    std::uint32_t i, j;
+  };
+  std::vector<TileRef> tiles;
+  for (std::uint32_t j = 0; j <= jmax; ++j) {
+    for (std::uint32_t i = 0; i <= imax; ++i) {
+      if (grid.ClassSpan(i, j, ObjectClass::kA).second == 0) continue;
+      const Coord lbx =
+          i == 0 ? 0
+                 : std::max(Coord{0}, g.TileOrigin(i - 1, j).x - q.x);
+      const Coord lby =
+          j == 0 ? 0
+                 : std::max(Coord{0}, g.TileOrigin(i, j - 1).y - q.y);
+      tiles.push_back(TileRef{lbx, lby, lbx + lby, i, j});
+    }
+  }
+  std::sort(tiles.begin(), tiles.end(),
+            [](const TileRef& a, const TileRef& b) {
+              if (a.key != b.key) return a.key < b.key;
+              if (a.j != b.j) return a.j < b.j;
+              return a.i < b.i;
+            });
+
+  for (const TileRef& t : tiles) {
+    bool tile_dominated = false;
+    for (const SkylineEntry& s : sky) {
+      // s dominates EVERY possible attribute point >= (lbx, lby) of this
+      // tile, so no entry in it can survive: skip without scanning.
+      if (s.dx <= t.lbx && s.dy <= t.lby &&
+          (s.dx < t.lbx || s.dy < t.lby)) {
+        tile_dominated = true;
+        break;
+      }
+    }
+    if (tile_dominated) continue;
+    const auto span = grid.ClassSpan(t.i, t.j, ObjectClass::kA);
+    TLP_STATS_ADD(tiles_visited, 1);
+    TLP_STATS_CLASS_SCANNED(ObjectClass::kA, span.second);
+    for (std::size_t n = 0; n < span.second; ++n) consider(span.first[n]);
+  }
+
+  std::sort(sky.begin(), sky.end(),
+            [](const SkylineEntry& a, const SkylineEntry& b) {
+              return a.entry.id < b.entry.id;
+            });
+  TLP_STATS_ADD(candidates, sky.size());
+  return sky;
+}
+
+}  // namespace tlp

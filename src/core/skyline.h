@@ -1,0 +1,56 @@
+#ifndef TLP_CORE_SKYLINE_H_
+#define TLP_CORE_SKYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entry_predicate.h"
+#include "core/two_layer_grid.h"
+
+namespace tlp {
+
+/// One skyline result: the stored entry plus its dominance attributes —
+/// the per-axis minimum distances from the query point to the MBR
+/// (dx = dist(q.x, [xl, xu]), dy = dist(q.y, [yl, yu]); 0 when the query
+/// coordinate falls inside the interval).
+struct SkylineEntry {
+  BoxEntry entry;
+  Coord dx = 0;
+  Coord dy = 0;
+
+  friend bool operator==(const SkylineEntry& a, const SkylineEntry& b) {
+    return a.entry.id == b.entry.id && a.entry.box == b.entry.box &&
+           a.dx == b.dx && a.dy == b.dy;
+  }
+};
+
+/// Skyline query over a two-layer grid: the objects not dominated in the
+/// (dx, dy) attribute space. Object a dominates b iff a.dx <= b.dx and
+/// a.dy <= b.dy with at least one strict; objects with identical (dx, dy)
+/// do not dominate each other, so attribute ties are all reported. The
+/// skyline of a set is unique, so the result does not depend on scan
+/// order; it is returned sorted by id.
+///
+/// Duplicate-free by construction: without a region the candidates are the
+/// class-A secondary partitions (every object belongs to class A of
+/// exactly one tile — the one holding its MBR's lower corner); with a
+/// `region` they come from WindowCandidates, duplicate-free by Lemmas 1-4.
+/// No post-hoc deduplication ever runs (asserted via TLP_STATS in tests).
+///
+/// Index acceleration: class-A entries of tile T satisfy r.xl >= T.xl and
+/// r.yl >= T.yl, so (max(0, T.xl - q.x), max(0, T.yl - q.y)) lower-bounds
+/// every entry's (dx, dy) in the tile. Tiles are visited in ascending
+/// lower-bound order and a tile whose bound is already dominated by a
+/// found skyline point is skipped without scanning its entries.
+///
+/// `region`, when non-null, restricts the input to objects whose MBR
+/// intersects it (closed intervals, like WindowQuery). `keep`, when
+/// non-empty, further restricts the input set.
+std::vector<SkylineEntry> SkylineQuery(const TwoLayerGrid& grid,
+                                       const Point& q,
+                                       const Box* region = nullptr,
+                                       const EntryPredicate& keep = {});
+
+}  // namespace tlp
+
+#endif  // TLP_CORE_SKYLINE_H_

@@ -1,0 +1,187 @@
+#include "net/query_eval.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/query_stats.h"
+#include "core/diversified_knn.h"
+#include "core/skyline.h"
+
+namespace tlp::net {
+
+namespace {
+
+const char* StatsLabel(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kWindow: return "serve/window";
+    case QueryKind::kDisk: return "serve/disk";
+    case QueryKind::kKnn: return "serve/knn";
+    case QueryKind::kSkyline: return "serve/skyline";
+    case QueryKind::kDivKnn: return "serve/divknn";
+  }
+  return "serve/?";
+}
+
+std::string IdRow(ObjectId id) { return std::to_string(id); }
+
+std::string RankedRow(const RankedEntry& r) {
+  std::string row = std::to_string(r.entry.id);
+  row.push_back(' ');
+  row += FormatNumber(r.distance);
+  return row;
+}
+
+std::string SkylineRow(const SkylineEntry& s) {
+  std::string row = std::to_string(s.entry.id);
+  row.push_back(' ');
+  row += FormatNumber(s.dx);
+  row.push_back(' ');
+  row += FormatNumber(s.dy);
+  return row;
+}
+
+/// Filters (id, box) candidates through `keep`, emits ids in ascending
+/// order — the shared tail of WINDOW and DISK evaluation.
+void EmitIdRows(const std::vector<ObjectId>& ids,
+                std::vector<std::string>* rows) {
+  std::vector<ObjectId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  rows->reserve(sorted.size());
+  for (const ObjectId id : sorted) rows->push_back(IdRow(id));
+}
+
+}  // namespace
+
+double FieldValue(const BoxEntry& entry, Field field) {
+  switch (field) {
+    case Field::kId: return static_cast<double>(entry.id);
+    case Field::kXl: return entry.box.xl;
+    case Field::kYl: return entry.box.yl;
+    case Field::kXu: return entry.box.xu;
+    case Field::kYu: return entry.box.yu;
+    case Field::kWidth: return entry.box.width();
+    case Field::kHeight: return entry.box.height();
+    case Field::kArea: return entry.box.area();
+  }
+  return 0;
+}
+
+bool EvalExpr(const Expr& e, const BoxEntry& entry) {
+  switch (e.kind) {
+    case Expr::Kind::kCompare: {
+      const double v = FieldValue(entry, e.field);
+      switch (e.op) {
+        case CmpOp::kLt: return v < e.value;
+        case CmpOp::kLe: return v <= e.value;
+        case CmpOp::kGt: return v > e.value;
+        case CmpOp::kGe: return v >= e.value;
+        case CmpOp::kEq: return v == e.value;
+        case CmpOp::kNe: return v != e.value;
+      }
+      return false;
+    }
+    case Expr::Kind::kAnd:
+      for (const auto& child : e.children) {
+        if (!EvalExpr(*child, entry)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const auto& child : e.children) {
+        if (EvalExpr(*child, entry)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return e.children.empty() || !EvalExpr(*e.children[0], entry);
+  }
+  return false;
+}
+
+EntryPredicate CompileWhere(const Expr* where) {
+  if (where == nullptr) return {};
+  return [where](const BoxEntry& entry) { return EvalExpr(*where, entry); };
+}
+
+Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
+                     EvalResult* out) {
+  // Sanity ceiling: k/fetch size the result or pool the server must
+  // materialize; 2^32 already exceeds any dataset this serves.
+  constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 32;
+  if (q.k > kMaxCount) {
+    return Status::InvalidArgument("k too large");
+  }
+  if (q.has_fetch && q.fetch > kMaxCount) {
+    return Status::InvalidArgument("fetch too large");
+  }
+
+  out->rows.clear();
+  out->stats_json.clear();
+  if (q.with_stats) ResetQueryStats();
+  const EntryPredicate keep = CompileWhere(q.where.get());
+
+  switch (q.kind) {
+    case QueryKind::kWindow: {
+      std::vector<ObjectId> ids;
+      if (!q.box.IsEmpty()) {
+        if (q.where == nullptr) {
+          grid.WindowQuery(q.box, &ids);
+        } else {
+          std::vector<Candidate> candidates;
+          grid.WindowCandidates(q.box, &candidates);
+          for (const Candidate& c : candidates) {
+            if (keep(BoxEntry{c.box, c.id})) ids.push_back(c.id);
+          }
+        }
+      }
+      EmitIdRows(ids, &out->rows);
+      break;
+    }
+    case QueryKind::kDisk: {
+      std::vector<BoxEntry> entries;
+      grid.DiskQueryEntries(q.point, q.radius, &entries);
+      std::vector<ObjectId> ids;
+      ids.reserve(entries.size());
+      for (const BoxEntry& e : entries) {
+        if (!keep || keep(e)) ids.push_back(e.id);
+      }
+      EmitIdRows(ids, &out->rows);
+      break;
+    }
+    case QueryKind::kKnn: {
+      const auto results =
+          KnnEntries(grid, q.point, static_cast<std::size_t>(q.k), keep);
+      out->rows.reserve(results.size());
+      for (const RankedEntry& r : results) {
+        out->rows.push_back(RankedRow(r));
+      }
+      break;
+    }
+    case QueryKind::kSkyline: {
+      const Box* region = q.has_region ? &q.box : nullptr;
+      const auto sky = SkylineQuery(grid, q.point, region, keep);
+      out->rows.reserve(sky.size());
+      for (const SkylineEntry& s : sky) {
+        out->rows.push_back(SkylineRow(s));
+      }
+      break;
+    }
+    case QueryKind::kDivKnn: {
+      DivKnnOptions opts;
+      opts.k = static_cast<std::size_t>(q.k);
+      if (q.has_fetch) opts.fetch = static_cast<std::size_t>(q.fetch);
+      if (q.has_lambda) opts.lambda = q.lambda;
+      const auto results = DiversifiedKnnQuery(grid, q.point, opts, keep);
+      out->rows.reserve(results.size());
+      for (const RankedEntry& r : results) {
+        out->rows.push_back(RankedRow(r));
+      }
+      break;
+    }
+  }
+
+  if (q.with_stats && kQueryStatsEnabled) {
+    out->stats_json = GetQueryStats().ToJson(StatsLabel(q.kind));
+  }
+  return Status::OK();
+}
+
+}  // namespace tlp::net

@@ -1,0 +1,55 @@
+#ifndef TLP_NET_QUERY_EVAL_H_
+#define TLP_NET_QUERY_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/entry_predicate.h"
+#include "core/two_layer_grid.h"
+#include "net/query_lang.h"
+
+namespace tlp::net {
+
+/// Bridges the parsed query language onto the library's query paths.
+/// Row formats are deterministic (a pure function of the stored set and
+/// the query), so differential tests can compare replies as strings:
+///
+///   WINDOW / DISK : "<id>"                    ascending id order
+///   KNN / DIVKNN  : "<id> <distance>"         rank order
+///   SKYLINE       : "<id> <dx> <dy>"          ascending id order
+///
+/// Numbers use the canonical shortest round-trip formatting
+/// (FormatNumber). WHERE clauses compile to an EntryPredicate and restrict
+/// the input set of every query kind (for KNN: the k nearest *matching*
+/// objects).
+
+struct EvalResult {
+  std::vector<std::string> rows;
+  /// One-line QueryStats JSON for this query alone; empty unless the
+  /// query said WITH STATS (always empty in a TLP_STATS=OFF build — the
+  /// reply then carries no STATS line, which clients must tolerate).
+  std::string stats_json;
+};
+
+/// Evaluates `q` against `grid`. WITH STATS resets and reads the calling
+/// thread's TLP_STATS accumulator, so the reported counters cover exactly
+/// this query. Returns kInvalidArgument for resource-insane parameters
+/// (k or fetch beyond 2^32) — the "eval" error class on the wire.
+[[nodiscard]] Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
+                                   EvalResult* out);
+
+/// The WHERE-clause scalar a field denotes for one stored entry.
+double FieldValue(const BoxEntry& entry, Field field);
+
+/// Evaluates a WHERE expression tree for one entry.
+bool EvalExpr(const Expr& e, const BoxEntry& entry);
+
+/// Compiles a WHERE tree (may be null) into an EntryPredicate; the tree
+/// must outlive the returned predicate. Null compiles to the empty
+/// (keep-everything) predicate.
+EntryPredicate CompileWhere(const Expr* where);
+
+}  // namespace tlp::net
+
+#endif  // TLP_NET_QUERY_EVAL_H_

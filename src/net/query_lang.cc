@@ -1,0 +1,538 @@
+#include "net/query_lang.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <utility>
+
+namespace tlp::net {
+
+namespace {
+
+// ---------------------------------------------------------------- tokens
+
+struct Token {
+  enum class Kind : std::uint8_t { kWord, kNumber, kSymbol, kEnd };
+
+  Kind kind = Kind::kEnd;
+  std::string text;     // uppercased word, or the symbol spelling
+  double number = 0;    // kNumber payload
+  std::size_t offset = 0;
+};
+
+bool IsWordStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Splits `text` into tokens (appending one kEnd token). Returns false and
+/// fills `err` on a malformed number or a character outside the language.
+bool Tokenize(std::string_view text, std::vector<Token>* out,
+              ParseError* err) {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsWordStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsWordChar(text[j])) ++j;
+      tok.kind = Token::Kind::kWord;
+      tok.text.reserve(j - i);
+      for (std::size_t p = i; p < j; ++p) {
+        tok.text.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(text[p]))));
+      }
+      i = j;
+    } else if (IsDigit(c) || c == '.' || c == '-' || c == '+') {
+      // Number: [+-]? digits? [. digits?] [eE [+-]? digits]. At least one
+      // digit must appear before the exponent.
+      std::size_t j = i;
+      if (text[j] == '+' || text[j] == '-') ++j;
+      std::size_t digits = 0;
+      while (j < n && IsDigit(text[j])) ++j, ++digits;
+      if (j < n && text[j] == '.') {
+        ++j;
+        while (j < n && IsDigit(text[j])) ++j, ++digits;
+      }
+      if (digits == 0) {
+        err->offset = i;
+        err->message = "malformed number";
+        return false;
+      }
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        std::size_t e = j + 1;
+        if (e < n && (text[e] == '+' || text[e] == '-')) ++e;
+        std::size_t exp_digits = 0;
+        while (e < n && IsDigit(text[e])) ++e, ++exp_digits;
+        if (exp_digits == 0) {
+          err->offset = i;
+          err->message = "malformed number exponent";
+          return false;
+        }
+        j = e;
+      }
+      const char* first = text.data() + i;
+      const char* last = text.data() + j;
+      double value = 0;
+      const auto res = std::from_chars(first, last, value);
+      if (res.ec != std::errc{} || res.ptr != last ||
+          !std::isfinite(value)) {
+        err->offset = i;
+        err->message = "number out of range";
+        return false;
+      }
+      tok.kind = Token::Kind::kNumber;
+      tok.number = value;
+      tok.text.assign(first, last);
+      i = j;
+    } else if (c == '(' || c == ')' || c == '=') {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text.assign(1, c);
+      ++i;
+    } else if (c == '<' || c == '>') {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text.push_back(c);
+      ++i;
+      if (i < n && text[i] == '=') {
+        tok.text.push_back('=');
+        ++i;
+      }
+    } else if (c == '!' && i + 1 < n && text[i + 1] == '=') {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = "!=";
+      i += 2;
+    } else {
+      err->offset = i;
+      err->message = "unexpected character";
+      return false;
+    }
+    out->push_back(std::move(tok));
+  }
+  Token end;
+  end.offset = n;
+  out->push_back(std::move(end));
+  return true;
+}
+
+// ---------------------------------------------------------------- parser
+
+const char* FieldName(Field f) {
+  switch (f) {
+    case Field::kId: return "ID";
+    case Field::kXl: return "XL";
+    case Field::kYl: return "YL";
+    case Field::kXu: return "XU";
+    case Field::kYu: return "YU";
+    case Field::kWidth: return "WIDTH";
+    case Field::kHeight: return "HEIGHT";
+    case Field::kArea: return "AREA";
+  }
+  return "?";
+}
+
+const char* OpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParseError* err)
+      : tokens_(std::move(tokens)), err_(err) {}
+
+  bool Run(Query* out) {
+    if (!ExpectWord("SELECT")) return false;
+    if (!ParseKind(out)) return false;
+    if (AcceptWord("WHERE")) {
+      out->where = ParseOr();
+      if (out->where == nullptr) return false;
+    }
+    if (AcceptWord("WITH")) {
+      if (!ExpectWord("STATS")) return false;
+      out->with_stats = true;
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Fail(Peek(), "unexpected trailing input");
+    }
+    return true;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool Fail(const Token& at, std::string message) {
+    err_->offset = at.offset;
+    err_->message = std::move(message);
+    return false;
+  }
+
+  bool AcceptWord(const char* word) {
+    if (Peek().kind == Token::Kind::kWord && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ExpectWord(const char* word) {
+    if (AcceptWord(word)) return true;
+    return Fail(Peek(), std::string("expected ") + word);
+  }
+
+  bool ExpectNumber(double* out, const char* what) {
+    if (Peek().kind != Token::Kind::kNumber) {
+      return Fail(Peek(), std::string("expected ") + what);
+    }
+    *out = Next().number;
+    return true;
+  }
+
+  /// A number token holding an exact non-negative integer <= 2^53.
+  bool ExpectCount(std::uint64_t* out, const char* what) {
+    const Token& tok = Peek();
+    double value = 0;
+    if (!ExpectNumber(&value, what)) return false;
+    constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+    if (value < 0 || value > kMaxExact || std::floor(value) != value) {
+      return Fail(tok, std::string(what) +
+                           " must be a non-negative integer");
+    }
+    *out = static_cast<std::uint64_t>(value);
+    return true;
+  }
+
+  bool ParsePoint(Point* p) {
+    return ExpectNumber(&p->x, "x coordinate") &&
+           ExpectNumber(&p->y, "y coordinate");
+  }
+
+  bool ParseBox(Box* b) {
+    return ExpectNumber(&b->xl, "box xl") &&
+           ExpectNumber(&b->yl, "box yl") &&
+           ExpectNumber(&b->xu, "box xu") && ExpectNumber(&b->yu, "box yu");
+  }
+
+  bool ParseKind(Query* out) {
+    if (AcceptWord("WINDOW")) {
+      out->kind = QueryKind::kWindow;
+      return ParseBox(&out->box);
+    }
+    if (AcceptWord("DISK")) {
+      out->kind = QueryKind::kDisk;
+      if (!ParsePoint(&out->point)) return false;
+      const Token& r = Peek();
+      if (!ExpectNumber(&out->radius, "radius")) return false;
+      if (out->radius < 0) return Fail(r, "radius must be non-negative");
+      return true;
+    }
+    if (AcceptWord("KNN")) {
+      out->kind = QueryKind::kKnn;
+      return ParsePoint(&out->point) && ExpectCount(&out->k, "k");
+    }
+    if (AcceptWord("SKYLINE")) {
+      out->kind = QueryKind::kSkyline;
+      if (!ParsePoint(&out->point)) return false;
+      if (AcceptWord("IN")) {
+        out->has_region = true;
+        return ParseBox(&out->box);
+      }
+      return true;
+    }
+    if (AcceptWord("DIVKNN")) {
+      out->kind = QueryKind::kDivKnn;
+      if (!ParsePoint(&out->point)) return false;
+      if (!ExpectCount(&out->k, "k")) return false;
+      if (AcceptWord("LAMBDA")) {
+        out->has_lambda = true;
+        if (!ExpectNumber(&out->lambda, "lambda")) return false;
+      }
+      if (AcceptWord("FETCH")) {
+        out->has_fetch = true;
+        if (!ExpectCount(&out->fetch, "fetch")) return false;
+      }
+      return true;
+    }
+    return Fail(Peek(),
+                "expected WINDOW, DISK, KNN, SKYLINE, or DIVKNN");
+  }
+
+  // WHERE grammar. AND/OR nodes are built n-ary: appending a child of the
+  // same kind splices its children instead, so every association of the
+  // same chain parses to the same tree (the printer's fixed point needs
+  // that).
+  static void AppendChild(Expr* parent, std::unique_ptr<Expr> child) {
+    if (child->kind == parent->kind) {
+      for (auto& grandchild : child->children) {
+        parent->children.push_back(std::move(grandchild));
+      }
+    } else {
+      parent->children.push_back(std::move(child));
+    }
+  }
+
+  std::unique_ptr<Expr> ParseOr() {
+    auto first = ParseAnd();
+    if (first == nullptr || !AcceptWord("OR")) return first;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kOr;
+    AppendChild(node.get(), std::move(first));
+    do {
+      auto next = ParseAnd();
+      if (next == nullptr) return nullptr;
+      AppendChild(node.get(), std::move(next));
+    } while (AcceptWord("OR"));
+    return node;
+  }
+
+  std::unique_ptr<Expr> ParseAnd() {
+    auto first = ParseUnary();
+    if (first == nullptr || !AcceptWord("AND")) return first;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kAnd;
+    AppendChild(node.get(), std::move(first));
+    do {
+      auto next = ParseUnary();
+      if (next == nullptr) return nullptr;
+      AppendChild(node.get(), std::move(next));
+    } while (AcceptWord("AND"));
+    return node;
+  }
+
+  std::unique_ptr<Expr> ParseUnary() {
+    if (AcceptWord("NOT")) {
+      auto child = ParseUnary();
+      if (child == nullptr) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    if (Peek().kind == Token::Kind::kSymbol && Peek().text == "(") {
+      ++pos_;
+      auto inner = ParseOr();
+      if (inner == nullptr) return nullptr;
+      if (Peek().kind != Token::Kind::kSymbol || Peek().text != ")") {
+        Fail(Peek(), "expected )");
+        return nullptr;
+      }
+      ++pos_;
+      return inner;
+    }
+    return ParseCompare();
+  }
+
+  std::unique_ptr<Expr> ParseCompare() {
+    const Token& field_tok = Peek();
+    Field field{};
+    if (field_tok.kind != Token::Kind::kWord ||
+        !LookupField(field_tok.text, &field)) {
+      Fail(field_tok, "expected a field (ID, XL, YL, XU, YU, WIDTH, "
+                      "HEIGHT, AREA), NOT, or (");
+      return nullptr;
+    }
+    ++pos_;
+    const Token& op_tok = Peek();
+    CmpOp op{};
+    if (op_tok.kind != Token::Kind::kSymbol ||
+        !LookupOp(op_tok.text, &op)) {
+      Fail(op_tok, "expected a comparison operator");
+      return nullptr;
+    }
+    ++pos_;
+    double value = 0;
+    if (!ExpectNumber(&value, "comparison value")) return nullptr;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCompare;
+    node->field = field;
+    node->op = op;
+    node->value = value;
+    return node;
+  }
+
+  static bool LookupField(const std::string& word, Field* out) {
+    static constexpr std::pair<const char*, Field> kFields[] = {
+        {"ID", Field::kId},        {"XL", Field::kXl},
+        {"YL", Field::kYl},        {"XU", Field::kXu},
+        {"YU", Field::kYu},        {"WIDTH", Field::kWidth},
+        {"HEIGHT", Field::kHeight}, {"AREA", Field::kArea},
+    };
+    for (const auto& [name, field] : kFields) {
+      if (word == name) {
+        *out = field;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool LookupOp(const std::string& text, CmpOp* out) {
+    static constexpr std::pair<const char*, CmpOp> kOps[] = {
+        {"<", CmpOp::kLt},  {"<=", CmpOp::kLe}, {">", CmpOp::kGt},
+        {">=", CmpOp::kGe}, {"=", CmpOp::kEq},  {"!=", CmpOp::kNe},
+    };
+    for (const auto& [name, op] : kOps) {
+      if (text == name) {
+        *out = op;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParseError* err_;
+};
+
+// --------------------------------------------------------------- printer
+
+/// Binding strength; a node is parenthesized when printed in a context
+/// requiring more binding than it has.
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kOr: return 0;
+    case Expr::Kind::kAnd: return 1;
+    case Expr::Kind::kNot: return 2;
+    case Expr::Kind::kCompare: return 3;
+  }
+  return 3;
+}
+
+void PrintExpr(const Expr& e, int context, std::string* out) {
+  const int prec = Precedence(e);
+  const bool parens = prec < context;
+  if (parens) out->push_back('(');
+  switch (e.kind) {
+    case Expr::Kind::kCompare:
+      out->append(FieldName(e.field));
+      out->push_back(' ');
+      out->append(OpName(e.op));
+      out->push_back(' ');
+      out->append(FormatNumber(e.value));
+      break;
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const char* joiner = e.kind == Expr::Kind::kAnd ? " AND " : " OR ";
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out->append(joiner);
+        PrintExpr(*e.children[i], prec + 1, out);
+      }
+      break;
+    }
+    case Expr::Kind::kNot:
+      out->append("NOT ");
+      if (!e.children.empty()) PrintExpr(*e.children[0], prec, out);
+      break;
+  }
+  if (parens) out->push_back(')');
+}
+
+void PrintPoint(const Point& p, std::string* out) {
+  out->append(FormatNumber(p.x));
+  out->push_back(' ');
+  out->append(FormatNumber(p.y));
+}
+
+void PrintBox(const Box& b, std::string* out) {
+  out->append(FormatNumber(b.xl));
+  out->push_back(' ');
+  out->append(FormatNumber(b.yl));
+  out->push_back(' ');
+  out->append(FormatNumber(b.xu));
+  out->push_back(' ');
+  out->append(FormatNumber(b.yu));
+}
+
+}  // namespace
+
+std::string FormatNumber(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+bool ParseQuery(std::string_view text, Query* out, ParseError* err) {
+  ParseError local;
+  if (err == nullptr) err = &local;
+  std::vector<Token> tokens;
+  if (!Tokenize(text, &tokens, err)) return false;
+  Query q;
+  Parser parser(std::move(tokens), err);
+  if (!parser.Run(&q)) return false;
+  *out = std::move(q);
+  return true;
+}
+
+std::string PrintQuery(const Query& q) {
+  std::string s = "SELECT ";
+  switch (q.kind) {
+    case QueryKind::kWindow:
+      s += "WINDOW ";
+      PrintBox(q.box, &s);
+      break;
+    case QueryKind::kDisk:
+      s += "DISK ";
+      PrintPoint(q.point, &s);
+      s.push_back(' ');
+      s += FormatNumber(q.radius);
+      break;
+    case QueryKind::kKnn:
+      s += "KNN ";
+      PrintPoint(q.point, &s);
+      s.push_back(' ');
+      s += std::to_string(q.k);
+      break;
+    case QueryKind::kSkyline:
+      s += "SKYLINE ";
+      PrintPoint(q.point, &s);
+      if (q.has_region) {
+        s += " IN ";
+        PrintBox(q.box, &s);
+      }
+      break;
+    case QueryKind::kDivKnn:
+      s += "DIVKNN ";
+      PrintPoint(q.point, &s);
+      s.push_back(' ');
+      s += std::to_string(q.k);
+      if (q.has_lambda) {
+        s += " LAMBDA ";
+        s += FormatNumber(q.lambda);
+      }
+      if (q.has_fetch) {
+        s += " FETCH ";
+        s += std::to_string(q.fetch);
+      }
+      break;
+  }
+  if (q.where != nullptr) {
+    s += " WHERE ";
+    PrintExpr(*q.where, 0, &s);
+  }
+  if (q.with_stats) s += " WITH STATS";
+  return s;
+}
+
+}  // namespace tlp::net

@@ -1,0 +1,118 @@
+#ifndef TLP_NET_QUERY_LANG_H_
+#define TLP_NET_QUERY_LANG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace tlp::net {
+
+/// The tlp_serve query language (docs/SERVING.md): one line of text per
+/// request, parsed by a hand-written recursive-descent parser into the AST
+/// below. Grammar (keywords case-insensitive; numbers are C-like decimal
+/// literals with optional sign/fraction/exponent):
+///
+///   query   := SELECT kind [WHERE or] [WITH STATS]
+///   kind    := WINDOW xl yl xu yu
+///            | DISK x y radius
+///            | KNN x y k
+///            | SKYLINE x y [IN xl yl xu yu]
+///            | DIVKNN x y k [LAMBDA l] [FETCH f]
+///   or      := and (OR and)*
+///   and     := unary (AND unary)*
+///   unary   := NOT unary | '(' or ')' | field op number
+///   field   := ID | XL | YL | XU | YU | WIDTH | HEIGHT | AREA
+///   op      := < | <= | > | >= | = | !=
+///
+/// PrintQuery emits a canonical form (uppercase keywords, single spaces,
+/// shortest round-trip number formatting, flattened AND/OR chains) with the
+/// parse -> print fixed-point property: for any valid input,
+/// Print(Parse(s)) == Print(Parse(Print(Parse(s)))). Parse errors carry the
+/// BYTE OFFSET into the input where the problem starts, which the wire
+/// protocol forwards verbatim ("ERR parse <offset> <message>").
+
+/// WHERE-clause predicate field: a per-object scalar derived from the
+/// stored (MBR, id) entry. Comparisons are evaluated in double (ids are
+/// converted exactly up to 2^53).
+enum class Field : std::uint8_t {
+  kId,
+  kXl,
+  kYl,
+  kXu,
+  kYu,
+  kWidth,
+  kHeight,
+  kArea,
+};
+
+enum class CmpOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// WHERE-clause expression tree. AND/OR nodes are n-ary (>= 2 children,
+/// parser-flattened so (a OR b) OR c and a OR (b OR c) build the same
+/// tree); NOT has exactly one child.
+struct Expr {
+  enum class Kind : std::uint8_t { kCompare, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kCompare;
+  // kCompare payload.
+  Field field = Field::kId;
+  CmpOp op = CmpOp::kEq;
+  double value = 0;
+  // kAnd/kOr/kNot payload.
+  std::vector<std::unique_ptr<Expr>> children;
+};
+
+enum class QueryKind : std::uint8_t {
+  kWindow,
+  kDisk,
+  kKnn,
+  kSkyline,
+  kDivKnn,
+};
+
+/// A parsed request. Field validity depends on `kind`; unused fields keep
+/// their defaults and are ignored by the printer and evaluator.
+struct Query {
+  QueryKind kind = QueryKind::kWindow;
+  Box box;                  // WINDOW box / SKYLINE IN region
+  Point point;              // DISK / KNN / SKYLINE / DIVKNN anchor
+  Coord radius = 0;         // DISK
+  std::uint64_t k = 0;      // KNN / DIVKNN
+  bool has_region = false;  // SKYLINE: IN clause present
+  double lambda = 0.5;      // DIVKNN
+  bool has_lambda = false;
+  std::uint64_t fetch = 0;  // DIVKNN: 0 = default pool size
+  bool has_fetch = false;
+  bool with_stats = false;
+  std::unique_ptr<Expr> where;  // null when no WHERE clause
+};
+
+/// A rejected parse: `offset` is the byte position in the input where the
+/// offending token starts (input size for unexpected end of input).
+struct ParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parses one query. On success fills `*out` and returns true; on failure
+/// fills `*err` and returns false. Never throws on malformed input — the
+/// fuzz corpus in tests/query_lang_test.cc holds it to that.
+bool ParseQuery(std::string_view text, Query* out, ParseError* err);
+
+/// Canonical text form of a parsed query (see fixed-point property above).
+std::string PrintQuery(const Query& q);
+
+/// Shortest round-trip decimal formatting of a double (std::to_chars); the
+/// printer and the result-row formatting share this so values survive a
+/// print -> parse cycle bit-identically.
+std::string FormatNumber(double value);
+
+}  // namespace tlp::net
+
+#endif  // TLP_NET_QUERY_LANG_H_

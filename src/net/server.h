@@ -1,0 +1,146 @@
+#ifndef TLP_NET_SERVER_H_
+#define TLP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/two_layer_grid.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace tlp::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind; loopback by default — exposing an index to a
+  /// network is an explicit decision.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (read the chosen one back via port()).
+  std::uint16_t port = 0;
+  /// Query-execution workers (the exception-safe ThreadPool).
+  std::size_t num_workers = 1;
+  /// Admission control: queries dispatched but not yet answered. A frame
+  /// arriving at the ceiling is answered BUSY instead of queueing — the
+  /// client learns immediately and can back off, instead of waiting in an
+  /// unbounded queue that grows latency without bound.
+  std::size_t max_inflight = 64;
+  /// Per-connection idle deadline (ms) while waiting for a request;
+  /// 0 = never time out. Uses common/deadline.h, so tests can freeze it.
+  std::uint64_t idle_timeout_ms = 0;
+  /// Upper bound on one reply write stalling on a client that stopped
+  /// reading; the connection is dropped when exceeded.
+  std::uint64_t write_timeout_ms = 10'000;
+};
+
+/// Serves the query language over TCP against one in-memory TwoLayerGrid.
+///
+/// Architecture (sized for "many connections, few cores"): a single
+/// reactor thread owns every socket and runs the poll() loop — accepting,
+/// reading, frame reassembly, admission control, timeouts — while a
+/// ThreadPool executes queries. A connection whose frame was dispatched is
+/// parked (removed from the poll set, at most one in-flight query per
+/// connection, replies in request order); the worker writes the reply
+/// straight to the socket and notifies the reactor through a wake pipe.
+/// Socket counts are therefore bounded by memory, not threads: 64+
+/// connections on a 1-core box is the design point, not the limit.
+///
+/// Shutdown is graceful: RequestShutdown() (async-signal-safe) stops
+/// accepting and closes idle connections; queries already executing finish
+/// and their replies are delivered before the reactor exits.
+class QueryServer {
+ public:
+  /// Monotonic totals since Start(); readable any time via counters().
+  struct Counters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t queries_ok = 0;       // OK replies sent
+    std::uint64_t queries_error = 0;    // ERR replies sent
+    std::uint64_t busy_rejected = 0;    // BUSY replies sent
+    std::uint64_t idle_disconnects = 0;
+    std::uint64_t protocol_errors = 0;  // oversized frame etc.
+  };
+
+  /// `grid` must outlive the server and is not mutated through it.
+  QueryServer(const TwoLayerGrid& grid, ServerOptions options);
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+  ~QueryServer();
+
+  /// Binds, listens, and spawns the reactor + workers.
+  [[nodiscard]] Status Start();
+
+  /// The bound port (after a successful Start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Triggers a graceful shutdown without blocking. Callable from any
+  /// thread and from signal handlers (atomic store + pipe write).
+  void RequestShutdown();
+
+  /// RequestShutdown() and block until the drain completes and every
+  /// thread is joined. Idempotent.
+  void Shutdown();
+
+  Counters counters() const;
+
+  /// Test seam: when set (before Start()), runs on the worker thread
+  /// right before a query is parsed/evaluated. Lets tests hold queries
+  /// in-flight to exercise BUSY admission and shutdown draining
+  /// deterministically.
+  std::function<void()> pre_eval_hook_for_test;
+
+ private:
+  struct Conn {
+    UniqueFd fd;
+    FrameDecoder decoder;
+    enum class State : std::uint8_t { kReading, kExecuting } state =
+        State::kReading;
+    Deadline idle_deadline;
+    /// Set by the worker when its reply write failed; the reactor closes
+    /// the connection at completion instead of resuming reads.
+    std::atomic<bool> dead{false};
+  };
+
+  void ReactorLoop();
+  void AcceptNewConnections();
+  /// Reads available bytes; returns false when the connection died.
+  bool ReadFromConn(Conn* c);
+  /// Dispatches the next buffered frame (if any, and admission allows).
+  void MaybeDispatch(Conn* c);
+  void ExecuteOnWorker(Conn* c, std::string payload);
+  void ProcessCompletions();
+  void CloseConn(int fd);
+  void RefreshIdleDeadline(Conn* c);
+
+  const TwoLayerGrid& grid_;
+  const ServerOptions options_;
+
+  UniqueFd listen_fd_;
+  std::uint16_t bound_port_ = 0;
+  WakePipe wake_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread reactor_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  /// Reactor-thread-only state.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::size_t inflight_ = 0;
+
+  /// Shared worker/reactor state.
+  mutable std::mutex mutex_;
+  std::vector<int> completed_fds_;
+  Counters counters_;
+};
+
+}  // namespace tlp::net
+
+#endif  // TLP_NET_SERVER_H_

@@ -1,0 +1,144 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace tlp::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status FillAddr(const std::string& host, std::uint16_t port,
+                sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 dotted-quad address: " +
+                                   host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status ListenTcp(const std::string& bind_address, std::uint16_t port,
+                 UniqueFd* out, std::uint16_t* bound_port) {
+  sockaddr_in addr{};
+  if (Status s = FillAddr(bind_address, port, &addr); !s.ok()) return s;
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError(Errno("bind"));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    return Status::IoError(Errno("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IoError(Errno("getsockname"));
+  }
+  *bound_port = ntohs(bound.sin_port);
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status ConnectTcp(const std::string& host, std::uint16_t port,
+                  UniqueFd* out) {
+  sockaddr_in addr{};
+  if (Status s = FillAddr(host, port, &addr); !s.ok()) return s;
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IoError(Errno("socket"));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Status::IoError(Errno("connect"));
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(fd);
+  return Status::OK();
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::IoError(Errno("fcntl(F_GETFL)"));
+  const int wanted =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Status::IoError(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(Errno("write"));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+long ReadSome(int fd, char* buf, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, size);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+Status WakePipe::Open() {
+  int fds[2];
+  if (::pipe(fds) != 0) return Status::IoError(Errno("pipe"));
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  if (Status s = SetNonBlocking(read_end_.get(), true); !s.ok()) return s;
+  // Nonblocking write end: Notify from a signal handler must never block
+  // on a full pipe — a pending byte already guarantees a wakeup.
+  return SetNonBlocking(write_end_.get(), true);
+}
+
+void WakePipe::Notify() const {
+  const char byte = 1;
+  // EAGAIN (pipe full) and EINTR are both fine: a wakeup is pending.
+  (void)!::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::Drain() const {
+  char buf[256];
+  while (ReadSome(read_end_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace tlp::net

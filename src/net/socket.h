@@ -1,0 +1,93 @@
+#ifndef TLP_NET_SOCKET_H_
+#define TLP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tlp::net {
+
+/// Thin RAII + error-mapping layer over the TCP socket syscalls. This
+/// subsystem (src/net) is the one place in the library sanctioned to make
+/// socket syscalls (lint rule TLP001, docs/STATIC_ANALYSIS.md); everything
+/// above it — server, client, tools — works in terms of these wrappers.
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listening socket on `bind_address:port` (IPv4 dotted quad;
+/// port 0 picks an ephemeral port). On success fills `*out` and
+/// `*bound_port` with the actually-bound port.
+[[nodiscard]] Status ListenTcp(const std::string& bind_address,
+                               std::uint16_t port, UniqueFd* out,
+                               std::uint16_t* bound_port);
+
+/// Blocking TCP connect to `host:port` (IPv4 dotted quad).
+[[nodiscard]] Status ConnectTcp(const std::string& host, std::uint16_t port,
+                                UniqueFd* out);
+
+/// Switches O_NONBLOCK on or off.
+[[nodiscard]] Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Writes all of `data`, retrying on EINTR and short writes (fd must be
+/// blocking). Returns kUnavailable on a connection error.
+[[nodiscard]] Status WriteAll(int fd, std::string_view data);
+
+/// Reads up to `size` bytes. Returns the byte count; 0 = clean EOF,
+/// -1 = would block (nonblocking fd), -2 = connection error. Retries EINTR.
+long ReadSome(int fd, char* buf, std::size_t size);
+
+/// A pipe whose write end is async-signal-safe to poke (one byte per
+/// Notify); the read end is nonblocking and joins a poll() set. Used for
+/// reactor wakeups and signal-triggered shutdown.
+class WakePipe {
+ public:
+  [[nodiscard]] Status Open();
+  /// Writes one byte; safe from signal handlers and any thread. No-op
+  /// when the pipe is full (a pending wakeup is already queued).
+  void Notify() const;
+  /// Drains every pending byte (call after poll() reports readability).
+  void Drain() const;
+  int read_fd() const { return read_end_.get(); }
+  bool valid() const { return read_end_.valid(); }
+
+ private:
+  UniqueFd read_end_;
+  UniqueFd write_end_;
+};
+
+}  // namespace tlp::net
+
+#endif  // TLP_NET_SOCKET_H_

@@ -1,0 +1,428 @@
+// End-to-end tests for the tlp_serve network stack (src/net): wire
+// framing, reply parsing, and a live QueryServer driven over loopback
+// TCP — differential round-trips against direct evaluation, BUSY
+// admission shedding, graceful shutdown draining, idle disconnects, and
+// protocol-violation handling. The server seams (pre_eval_hook_for_test,
+// ephemeral ports) keep every scenario deterministic.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/query_stats.h"
+#include "core/two_layer_grid.h"
+#include "grid/grid_layout.h"
+#include "net/client.h"
+#include "net/query_eval.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "tests/test_util.h"
+
+namespace tlp::net {
+namespace {
+
+// --- wire layer --------------------------------------------------------------
+
+TEST(WireTest, FramesSurviveArbitrarySegmentation) {
+  const std::string payloads[] = {"", "x", "SELECT WINDOW 0 0 1 1",
+                                  std::string(70'000, 'q')};
+  std::string stream;
+  for (const std::string& p : payloads) stream += EncodeFrame(p);
+
+  // Deliver the byte stream in every chunk size; the decoder must emit
+  // exactly the original payload sequence each time.
+  for (const std::size_t chunk : {1ul, 2ul, 3ul, 4097ul, stream.size()}) {
+    FrameDecoder decoder;
+    std::vector<std::string> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      decoder.Append(stream.data() + off,
+                     std::min(chunk, stream.size() - off));
+      std::string payload;
+      while (decoder.Next(&payload)) got.push_back(payload);
+    }
+    ASSERT_EQ(got.size(), 4u) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], payloads[i]) << "chunk=" << chunk;
+    }
+    EXPECT_EQ(decoder.pending_bytes(), 0u);
+    EXPECT_FALSE(decoder.overflowed());
+  }
+}
+
+TEST(WireTest, OversizedFrameOverflowsInsteadOfBuffering) {
+  // A 4-byte prefix declaring > kMaxFrameBytes must poison the stream
+  // immediately — no waiting for the (never-arriving) payload.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  FrameDecoder decoder;
+  decoder.Append(prefix, sizeof(prefix));
+  std::string payload;
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_TRUE(decoder.overflowed());
+}
+
+TEST(WireTest, ReplyEncodingRoundTrips) {
+  Reply r;
+  ASSERT_TRUE(ParseReply(EncodeOkReply({"1", "2 0.5", "3"}, ""), &r));
+  EXPECT_EQ(r.kind, Reply::Kind::kOk);
+  EXPECT_EQ(r.count, 3u);
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[1], "2 0.5");
+  EXPECT_TRUE(r.stats_json.empty());
+
+  ASSERT_TRUE(ParseReply(EncodeOkReply({}, "{\"tiles_visited\": 4}"), &r));
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.stats_json, "{\"tiles_visited\": 4}");
+
+  ASSERT_TRUE(ParseReply(EncodeErrReply("parse", 17, "expected a number"),
+                         &r));
+  EXPECT_EQ(r.kind, Reply::Kind::kErr);
+  EXPECT_EQ(r.error_class, "parse");
+  EXPECT_EQ(r.error_offset, 17u);
+  EXPECT_EQ(r.error_message, "expected a number");
+
+  ASSERT_TRUE(ParseReply(EncodeBusyReply(), &r));
+  EXPECT_EQ(r.kind, Reply::Kind::kBusy);
+}
+
+TEST(WireTest, MalformedRepliesAreRejected) {
+  Reply r;
+  EXPECT_FALSE(ParseReply("", &r));
+  EXPECT_FALSE(ParseReply("YES 3", &r));
+  EXPECT_FALSE(ParseReply("OK", &r));            // no count
+  EXPECT_FALSE(ParseReply("OK two", &r));        // junk count
+  EXPECT_FALSE(ParseReply("OK 2\n1", &r));       // fewer rows than declared
+  EXPECT_FALSE(ParseReply("OK 1\n1\n2", &r));    // extra non-STATS line
+  EXPECT_FALSE(ParseReply("ERR parse xyz m", &r));
+  EXPECT_FALSE(ParseReply("BUSY 1", &r));        // BUSY takes no payload
+}
+
+// --- live server -------------------------------------------------------------
+
+/// A grid + running server on an ephemeral loopback port.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    data_ = testing::RandomEntries(1200, 0.03, 991);
+    grid_ = std::make_unique<TwoLayerGrid>(
+        GridLayout(Box{0, 0, 1, 1}, 16, 16));
+    grid_->Build(data_);
+    server_ = std::make_unique<QueryServer>(*grid_, options);
+  }
+
+  void Go() { ASSERT_TRUE(server_->Start().ok()); }
+
+  QueryClient Connected() {
+    QueryClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  /// Counters are incremented by the worker AFTER the reply is written,
+  /// so a client can observe its answer a beat before the counter moves;
+  /// spin briefly instead of asserting an instantaneous value.
+  std::uint64_t AwaitOkCount(std::uint64_t want) {
+    for (int spin = 0; spin < 20'000; ++spin) {
+      const std::uint64_t got = server_->counters().queries_ok;
+      if (got >= want) return got;
+      std::this_thread::yield();
+    }
+    return server_->counters().queries_ok;
+  }
+
+  std::vector<BoxEntry> data_;
+  std::unique_ptr<TwoLayerGrid> grid_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(ServerTest, RepliesMatchDirectEvaluation) {
+  StartServer();
+  Go();
+  QueryClient client = Connected();
+  const char* queries[] = {
+      "SELECT WINDOW 0.2 0.2 0.6 0.6",
+      "SELECT WINDOW 0 0 1 1 WHERE ID < 300 AND AREA > 0.0001",
+      "SELECT DISK 0.5 0.5 0.15",
+      "SELECT DISK 0.9 0.1 0.2 WHERE WIDTH > 0.01",
+      "SELECT KNN 0.5 0.5 25",
+      "SELECT KNN 0.05 0.95 7 WHERE ID >= 600",
+      "SELECT SKYLINE 0.4 0.6",
+      "SELECT SKYLINE 0.5 0.5 IN 0.25 0.25 0.75 0.75",
+      "SELECT DIVKNN 0.5 0.5 10 LAMBDA 0.4",
+      "SELECT DIVKNN 0.2 0.8 6 LAMBDA 0.9 FETCH 48 WHERE ID != 11",
+  };
+  for (const char* text : queries) {
+    Query q;
+    ParseError perr;
+    ASSERT_TRUE(ParseQuery(text, &q, &perr)) << text;
+    EvalResult direct;
+    ASSERT_TRUE(EvaluateQuery(*grid_, q, &direct).ok()) << text;
+
+    Reply reply;
+    ASSERT_TRUE(client.Execute(text, &reply).ok()) << text;
+    ASSERT_EQ(reply.kind, Reply::Kind::kOk) << text;
+    EXPECT_EQ(reply.rows, direct.rows) << text;
+  }
+  EXPECT_EQ(AwaitOkCount(std::size(queries)), std::size(queries));
+  EXPECT_EQ(server_->counters().queries_error, 0u);
+}
+
+TEST_F(ServerTest, ManyQueriesOnOneConnectionStayOrdered) {
+  StartServer();
+  Go();
+  QueryClient client = Connected();
+  // KNN k encodes the request index; the reply row count echoes it back,
+  // so any reordering or cross-wiring of replies is visible.
+  for (std::uint64_t k = 1; k <= 40; ++k) {
+    Reply reply;
+    const std::string text =
+        "SELECT KNN 0.5 0.5 " + std::to_string(k);
+    ASSERT_TRUE(client.Execute(text, &reply).ok());
+    ASSERT_EQ(reply.kind, Reply::Kind::kOk);
+    EXPECT_EQ(reply.rows.size(), k);
+  }
+}
+
+TEST_F(ServerTest, ParseAndEvalErrorsComeBackClassified) {
+  StartServer();
+  Go();
+  QueryClient client = Connected();
+
+  Reply reply;
+  ASSERT_TRUE(client.Execute("SELECT CIRCLE 0 0 1", &reply).ok());
+  ASSERT_EQ(reply.kind, Reply::Kind::kErr);
+  EXPECT_EQ(reply.error_class, "parse");
+  EXPECT_EQ(reply.error_offset, 7u);  // offset of "CIRCLE"
+
+  ASSERT_TRUE(client.Execute("SELECT KNN 0.5 0.5 4294967297", &reply).ok());
+  ASSERT_EQ(reply.kind, Reply::Kind::kErr);
+  EXPECT_EQ(reply.error_class, "eval");  // parsed fine, rejected as insane
+
+  // The connection survives errors: a good query still works after.
+  ASSERT_TRUE(client.Execute("SELECT KNN 0.5 0.5 3", &reply).ok());
+  EXPECT_EQ(reply.kind, Reply::Kind::kOk);
+  EXPECT_EQ(server_->counters().queries_error, 2u);
+}
+
+TEST_F(ServerTest, WithStatsAttachesPerQueryCounters) {
+  StartServer();
+  Go();
+  QueryClient client = Connected();
+  Reply reply;
+  ASSERT_TRUE(
+      client.Execute("SELECT WINDOW 0.1 0.1 0.9 0.9 WITH STATS", &reply)
+          .ok());
+  ASSERT_EQ(reply.kind, Reply::Kind::kOk);
+  if (kQueryStatsEnabled) {
+    ASSERT_FALSE(reply.stats_json.empty());
+    EXPECT_NE(reply.stats_json.find("serve/window"), std::string::npos);
+    // Two-layer invariant, now visible per query over the wire.
+    EXPECT_NE(reply.stats_json.find("\"posthoc_dedup\": 0"),
+              std::string::npos);
+  } else {
+    EXPECT_TRUE(reply.stats_json.empty());
+  }
+}
+
+/// Gate that lets tests hold queries inside the worker until released.
+struct WorkerGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void Block() {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void AwaitEntered(int n) {
+    while (entered.load() < n) std::this_thread::yield();
+  }
+};
+
+TEST_F(ServerTest, AdmissionControlShedsBusyInsteadOfQueueing) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  StartServer(options);
+  WorkerGate gate;
+  server_->pre_eval_hook_for_test = [&gate] { gate.Block(); };
+  Go();
+
+  // First query occupies the only admission slot inside the worker.
+  UniqueFd fd1;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd1).ok());
+  ASSERT_TRUE(
+      WriteAll(fd1.get(), EncodeFrame("SELECT KNN 0.5 0.5 3")).ok());
+  gate.AwaitEntered(1);
+
+  // Second connection must be shed immediately, not queued behind it.
+  QueryClient client2 = Connected();
+  Reply reply;
+  ASSERT_TRUE(client2.Execute("SELECT KNN 0.5 0.5 3", &reply).ok());
+  EXPECT_EQ(reply.kind, Reply::Kind::kBusy);
+
+  gate.Release();
+  // The held query completes normally once released.
+  FrameDecoder decoder;
+  std::string payload;
+  char buf[4096];
+  while (!decoder.Next(&payload)) {
+    const long n = ReadSome(fd1.get(), buf, sizeof(buf));
+    ASSERT_GE(n, 0) << "connection 1 broke";
+    decoder.Append(buf, static_cast<std::size_t>(n));
+  }
+  ASSERT_TRUE(ParseReply(payload, &reply));
+  EXPECT_EQ(reply.kind, Reply::Kind::kOk);
+  EXPECT_EQ(server_->counters().busy_rejected, 1u);
+
+  // After completion the slot frees up again.
+  ASSERT_TRUE(client2.Execute("SELECT KNN 0.5 0.5 3", &reply).ok());
+  EXPECT_EQ(reply.kind, Reply::Kind::kOk);
+}
+
+TEST_F(ServerTest, ShutdownDrainsInFlightQueriesBeforeExiting) {
+  ServerOptions options;
+  options.max_inflight = 4;
+  StartServer(options);
+  WorkerGate gate;
+  server_->pre_eval_hook_for_test = [&gate] { gate.Block(); };
+  Go();
+
+  UniqueFd fd;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd).ok());
+  ASSERT_TRUE(
+      WriteAll(fd.get(), EncodeFrame("SELECT WINDOW 0.2 0.2 0.4 0.4")).ok());
+  gate.AwaitEntered(1);
+
+  // Shutdown begins while the query is still executing...
+  server_->RequestShutdown();
+  gate.Release();
+  server_->Shutdown();
+
+  // ...yet its reply was delivered before the server exited.
+  FrameDecoder decoder;
+  std::string payload;
+  char buf[4096];
+  bool got_reply = false;
+  for (;;) {
+    const long n = ReadSome(fd.get(), buf, sizeof(buf));
+    if (n <= 0 && n != -1) break;  // EOF/error after the drain: done
+    if (n > 0) decoder.Append(buf, static_cast<std::size_t>(n));
+    if (decoder.Next(&payload)) {
+      got_reply = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(got_reply) << "in-flight reply lost in shutdown";
+  Reply reply;
+  ASSERT_TRUE(ParseReply(payload, &reply));
+  EXPECT_EQ(reply.kind, Reply::Kind::kOk);
+  EXPECT_EQ(server_->counters().queries_ok, 1u);
+}
+
+TEST_F(ServerTest, IdleConnectionsAreDisconnected) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  Go();
+
+  UniqueFd fd;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd).ok());
+  // Send nothing; the server must close the connection (clean EOF).
+  char buf[64];
+  long n;
+  do {
+    n = ReadSome(fd.get(), buf, sizeof(buf));
+  } while (n == -1 || n > 0);
+  EXPECT_EQ(n, 0) << "expected EOF, got error";
+  // An active connection with the same timeout stays alive across queries.
+  QueryClient client = Connected();
+  for (int i = 0; i < 3; ++i) {
+    Reply reply;
+    ASSERT_TRUE(client.Execute("SELECT KNN 0.5 0.5 2", &reply).ok());
+    EXPECT_EQ(reply.kind, Reply::Kind::kOk);
+  }
+  EXPECT_GE(server_->counters().idle_disconnects, 1u);
+}
+
+TEST_F(ServerTest, OversizedRequestFrameDropsTheConnection) {
+  StartServer();
+  Go();
+  UniqueFd fd;
+  ASSERT_TRUE(ConnectTcp("127.0.0.1", server_->port(), &fd).ok());
+  const std::uint32_t huge = kMaxFrameBytes + 7;
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  ASSERT_TRUE(WriteAll(fd.get(), std::string(prefix, 4)).ok());
+  char buf[64];
+  long n;
+  do {
+    n = ReadSome(fd.get(), buf, sizeof(buf));
+  } while (n == -1 || n > 0);
+  EXPECT_EQ(n, 0) << "expected the server to close on protocol violation";
+  EXPECT_EQ(server_->counters().protocol_errors, 1u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllGetTheirOwnAnswers) {
+  ServerOptions options;
+  options.max_inflight = 64;
+  options.num_workers = 2;
+  StartServer(options);
+  Go();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  const std::uint16_t port = server_->port();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, port, &failures] {
+      QueryClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        // k identifies the (thread, iteration) pair.
+        const std::uint64_t k =
+            1 + static_cast<std::uint64_t>(t * kPerThread + i) % 50;
+        Reply reply;
+        if (!client
+                 .Execute("SELECT KNN 0.5 0.5 " + std::to_string(k),
+                          &reply)
+                 .ok() ||
+            reply.kind != Reply::Kind::kOk || reply.rows.size() != k) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(AwaitOkCount(kTotal), kTotal);
+}
+
+}  // namespace
+}  // namespace tlp::net

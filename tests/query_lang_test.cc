@@ -1,0 +1,231 @@
+// Tests for the tlp_serve query language (net/query_lang.h): the
+// parse -> print fixed point on a broad valid corpus, canonicalization
+// rules (case, whitespace, AND/OR flattening, parens), and a malformed
+// corpus pinning that every rejection carries the right byte offset and
+// that no input crashes the parser (the ASan/UBSan CI job runs this same
+// binary).
+
+#include "net/query_lang.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tlp::net {
+namespace {
+
+/// Parse must succeed; returns the canonical form.
+std::string Canon(const std::string& text) {
+  Query q;
+  ParseError err;
+  EXPECT_TRUE(ParseQuery(text, &q, &err))
+      << "'" << text << "' rejected at " << err.offset << ": "
+      << err.message;
+  return PrintQuery(q);
+}
+
+TEST(QueryLangTest, ParsePrintReachesFixedPointInOneStep) {
+  // A corpus covering every kind, every operator, nesting, numbers that
+  // need shortest-round-trip care, and messy-but-legal spacing/casing.
+  const char* corpus[] = {
+      "SELECT WINDOW 0 0 1 1",
+      "select window 0.25 0.25 0.75 0.75 where id < 100",
+      "SELECT WINDOW -1e3 -2.5 3e-2 4.125 WHERE AREA >= 0.001 AND ID != 7",
+      "SELECT DISK 0.5 0.5 0.1",
+      "SELECT DISK 0 0 0",
+      "SELECT disk 0.1 0.9 0.333333333333333314829616256247390992939472198486328125",
+      "SELECT KNN 0.5 0.5 10",
+      "SELECT KNN 0.1 0.2 1 WHERE WIDTH > 0.01 OR HEIGHT > 0.01",
+      "SELECT SKYLINE 0.5 0.5",
+      "SELECT SKYLINE 0.5 0.5 IN 0.2 0.2 0.8 0.8",
+      "SELECT SKYLINE 0 1 IN 0 0 1 1 WHERE NOT ID = 3 WITH STATS",
+      "SELECT DIVKNN 0.5 0.5 8",
+      "SELECT DIVKNN 0.5 0.5 8 LAMBDA 0.25",
+      "SELECT DIVKNN 0.5 0.5 8 LAMBDA 0 FETCH 64",
+      "SELECT DIVKNN 0.5 0.5 8 FETCH 32 WHERE XL >= 0.5",
+      "SELECT WINDOW 0 0 1 1 WHERE (ID < 5 OR ID > 10) AND XU <= 0.5",
+      "SELECT WINDOW 0 0 1 1 WHERE NOT (ID < 5 AND NOT YL > 0.1)",
+      "SELECT WINDOW 0 0 1 1 WHERE ID < 1 OR ID < 2 OR ID < 3 OR ID < 4",
+      "SELECT WINDOW 0 0 1 1 WHERE ID < 1 AND (ID < 2 AND ID < 3)",
+      "  select\twindow   0   0 1\t1   with   stats  ",
+      "SELECT KNN 0.5 0.5 9007199254740992",  // 2^53, largest exact count
+      "SELECT WINDOW 1e-308 0 1 1",
+      "SELECT WINDOW 0 0 1.7976931348623157e308 1",
+  };
+  for (const char* text : corpus) {
+    const std::string once = Canon(text);
+    const std::string twice = Canon(once);
+    EXPECT_EQ(once, twice) << "not a fixed point for: " << text;
+  }
+}
+
+TEST(QueryLangTest, CanonicalFormIsStable) {
+  // Pin the canonical shape itself, not just the fixed-point property.
+  EXPECT_EQ(Canon("select window 0.25 .5 1e0 2.50 where id<7"),
+            "SELECT WINDOW 0.25 0.5 1 2.5 WHERE ID < 7");
+  EXPECT_EQ(Canon("SELECT KNN 0 0 5 WITH STATS"),
+            "SELECT KNN 0 0 5 WITH STATS");
+  EXPECT_EQ(Canon("SELECT DIVKNN 0 0 4 LAMBDA 0.5"),
+            "SELECT DIVKNN 0 0 4 LAMBDA 0.5");
+  // AND binds tighter than OR; the printer only parenthesizes when the
+  // child binds looser than the context.
+  EXPECT_EQ(Canon("SELECT WINDOW 0 0 1 1 WHERE ID < 1 OR ID > 2 AND XL = 0"),
+            "SELECT WINDOW 0 0 1 1 WHERE ID < 1 OR ID > 2 AND XL = 0");
+  EXPECT_EQ(
+      Canon("SELECT WINDOW 0 0 1 1 WHERE (ID < 1 OR ID > 2) AND XL = 0"),
+      "SELECT WINDOW 0 0 1 1 WHERE (ID < 1 OR ID > 2) AND XL = 0");
+  // Redundant parens around a tighter-binding child disappear.
+  EXPECT_EQ(Canon("SELECT WINDOW 0 0 1 1 WHERE (ID < 1) AND ((XL = 0))"),
+            "SELECT WINDOW 0 0 1 1 WHERE ID < 1 AND XL = 0");
+}
+
+TEST(QueryLangTest, AssociativityFlattensToTheSameTree) {
+  // Parser-flattened n-ary AND/OR: both groupings print identically.
+  const std::string left =
+      Canon("SELECT WINDOW 0 0 1 1 WHERE (ID < 1 OR ID < 2) OR ID < 3");
+  const std::string right =
+      Canon("SELECT WINDOW 0 0 1 1 WHERE ID < 1 OR (ID < 2 OR ID < 3)");
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, "SELECT WINDOW 0 0 1 1 WHERE ID < 1 OR ID < 2 OR ID < 3");
+}
+
+TEST(QueryLangTest, NumbersSurviveRoundTripBitIdentically) {
+  const double values[] = {0.1,     1.0 / 3.0, 6.02214076e23, -0.0,
+                           1e-308,  123456789.123456789,
+                           9007199254740993.0,  // rounds to 2^53, fine
+                           2.2250738585072014e-308};
+  for (const double v : values) {
+    Query q;
+    ParseError err;
+    const std::string text = "SELECT DISK 0.5 0.5 0 WHERE XL = " +
+                             FormatNumber(v);
+    ASSERT_TRUE(ParseQuery(text, &q, &err)) << text;
+    ASSERT_TRUE(q.where != nullptr);
+    const double parsed = q.where->value;
+    EXPECT_EQ(FormatNumber(parsed), FormatNumber(v)) << text;
+  }
+}
+
+TEST(QueryLangTest, ParsedFieldsMatchTheInput) {
+  Query q;
+  ParseError err;
+  ASSERT_TRUE(ParseQuery(
+      "SELECT DIVKNN 0.25 0.75 12 LAMBDA 0.125 FETCH 99 "
+      "WHERE AREA > 0.5 WITH STATS",
+      &q, &err));
+  EXPECT_EQ(q.kind, QueryKind::kDivKnn);
+  EXPECT_EQ(q.point.x, 0.25);
+  EXPECT_EQ(q.point.y, 0.75);
+  EXPECT_EQ(q.k, 12u);
+  EXPECT_TRUE(q.has_lambda);
+  EXPECT_EQ(q.lambda, 0.125);
+  EXPECT_TRUE(q.has_fetch);
+  EXPECT_EQ(q.fetch, 99u);
+  EXPECT_TRUE(q.with_stats);
+  ASSERT_TRUE(q.where != nullptr);
+  EXPECT_EQ(q.where->kind, Expr::Kind::kCompare);
+  EXPECT_EQ(q.where->field, Field::kArea);
+  EXPECT_EQ(q.where->op, CmpOp::kGt);
+  EXPECT_EQ(q.where->value, 0.5);
+}
+
+struct BadCase {
+  const char* text;
+  std::size_t offset;  // expected err.offset (byte position)
+};
+
+TEST(QueryLangTest, MalformedInputsRejectWithByteOffsets) {
+  const BadCase corpus[] = {
+      {"", 0},
+      {"   ", 3},                      // EOF reported at input size
+      {"INSERT WINDOW 0 0 1 1", 0},    // not SELECT
+      {"SELECT", 6},                   // missing kind
+      {"SELECT CIRCLE 0 0 1", 7},      // unknown kind
+      {"SELECT WINDOW 0 0 1", 19},     // one coordinate short
+      {"SELECT WINDOW 0 0 1 x", 20},   // junk where a number belongs
+      {"SELECT WINDOW 0 0 1 1e", 20},  // broken exponent
+      {"SELECT WINDOW 0 0 1 1 1", 22}, // trailing garbage
+      {"SELECT DISK 0 0 -1", 16},      // negative radius
+      {"SELECT KNN 0 0 1.5", 15},      // fractional count
+      {"SELECT KNN 0 0 -3", 15},       // negative count
+      {"SELECT KNN 0 0 18446744073709551616", 15},  // > 2^53
+      {"SELECT DIVKNN 0 0 4 LAMBDA", 26},
+      {"SELECT WINDOW 0 0 1 1 WHERE", 27},
+      {"SELECT WINDOW 0 0 1 1 WHERE ID", 30},
+      {"SELECT WINDOW 0 0 1 1 WHERE ID <", 32},
+      {"SELECT WINDOW 0 0 1 1 WHERE ID < AREA", 33},   // rhs not a number
+      {"SELECT WINDOW 0 0 1 1 WHERE 5 < ID", 28},      // lhs not a field
+      {"SELECT WINDOW 0 0 1 1 WHERE (ID < 5", 35},     // unclosed paren
+      {"SELECT WINDOW 0 0 1 1 WHERE ID < 5)", 34},     // stray paren
+      {"SELECT WINDOW 0 0 1 1 WHERE ID ! 5", 31},      // '!' alone
+      {"SELECT WINDOW 0 0 1 1 WITH", 26},              // WITH without STATS
+      {"SELECT WINDOW 0 0 1 1 WITH TIMING", 27},
+      {"SELECT SKYLINE 0 0 IN 0 0 1", 27},             // short IN box
+      {"SELECT WINDOW 0 0 1 1 WHERE NOT", 31},
+      {"SELECT WINDOW \xff 0 1 1", 14},                // non-ASCII byte
+  };
+  for (const BadCase& c : corpus) {
+    Query q;
+    ParseError err;
+    EXPECT_FALSE(ParseQuery(c.text, &q, &err))
+        << "accepted malformed: '" << c.text << "'";
+    EXPECT_EQ(err.offset, c.offset) << "'" << c.text << "': " << err.message;
+    EXPECT_FALSE(err.message.empty()) << "'" << c.text << "'";
+  }
+}
+
+TEST(QueryLangTest, ParserNeverCrashesOnHostileInput) {
+  // Byte soup: every input must return cleanly (true or false), never
+  // throw or trip a sanitizer. Deterministic xorshift, no RNG dependency.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string seeds[] = {
+      "SELECT WINDOW 0 0 1 1 WHERE ID < 5 WITH STATS",
+      "SELECT DIVKNN 0.5 0.5 8 LAMBDA 0.5 FETCH 64",
+      "SELECT SKYLINE 0.5 0.5 IN 0.2 0.2 0.8 0.8",
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::string text = seeds[static_cast<std::size_t>(round) % 3];
+    // Mutate a few bytes: overwrite, truncate, or duplicate.
+    for (int m = 0; m < 4; ++m) {
+      if (text.empty()) break;
+      const std::size_t pos = next() % text.size();
+      switch (next() % 3) {
+        case 0: text[pos] = static_cast<char>(next() % 256); break;
+        case 1: text.resize(pos); break;
+        default: text += text.substr(pos); break;
+      }
+    }
+    Query q;
+    ParseError err;
+    if (!ParseQuery(text, &q, &err)) {
+      EXPECT_LE(err.offset, text.size());
+    } else {
+      // Whatever survived mutation must still canonicalize stably.
+      const std::string once = PrintQuery(q);
+      EXPECT_EQ(once, Canon(once));
+    }
+  }
+}
+
+TEST(QueryLangTest, OffsetsPointIntoMultiTokenInputsPrecisely) {
+  // The server forwards offsets verbatim ("ERR parse <offset> ..."), so a
+  // client can caret-point at the offending token; pin a few exactly.
+  Query q;
+  ParseError err;
+  const std::string text = "SELECT WINDOW 0 0 1 1 WHERE ID << 5";
+  ASSERT_FALSE(ParseQuery(text, &q, &err));
+  // "<<" tokenizes as '<' '<'; the second '<' is the misplaced one.
+  EXPECT_EQ(err.offset, text.find("<<") + 1);
+  EXPECT_EQ(text[err.offset], '<');
+}
+
+}  // namespace
+}  // namespace tlp::net

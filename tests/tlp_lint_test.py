@@ -131,15 +131,69 @@ class LintHarness(unittest.TestCase):
         self.assert_flags(proc, "TLP003", "bad_entropy.cc:3")
         self.assert_flags(proc, "TLP003", "bad_entropy.cc:5")
 
-    def test_steady_clock_is_allowed(self):
-        self.write("src/fake/ok_clock.cc",
+    def test_steady_clock_outside_seams_is_tlp003(self):
+        # Even the monotonic clock is confined to the timer/stats/deadline
+        # seams: a steady_clock read elsewhere is one decision away from
+        # breaking bit-determinism.
+        self.write("src/fake/bad_clock.cc",
                    "#include <chrono>\n"
                    "long Tick() {\n"
                    "  return std::chrono::steady_clock::now()"
                    ".time_since_epoch().count();\n"
                    "}\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP003",
+                          "bad_clock.cc")
+
+    def test_deadline_seam_may_use_steady_clock(self):
+        # common/deadline.h is the sanctioned monotonic-clock seam for
+        # connection timeouts (src/net); the seam file itself is exempt.
+        self.write("src/common/deadline.h",
+                   "#include <chrono>\n"
+                   "inline long MonoNow() {\n"
+                   "  return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n")
         proc = self.lint("--skip-headers")
         self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_query_stats_timer_seam_may_use_steady_clock(self):
+        self.write("src/common/query_stats.h",
+                   "#include <chrono>\n"
+                   "inline long QNow() {\n"
+                   "  return std::chrono::steady_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    # ---- socket allowance: sockets live in src/net and nowhere else ----
+
+    def test_socket_syscall_outside_net_is_tlp001(self):
+        self.write("src/fake/bad_socket.cc",
+                   "#include <sys/socket.h>\n"
+                   "int Open() { return ::socket(2, 1, 0); }\n")
+        proc = self.lint("--skip-headers")
+        # Both the header include and the ::socket call are flagged.
+        self.assertGreaterEqual(
+            len(self.assert_flags(proc, "TLP001", "bad_socket.cc")), 2)
+
+    def test_socket_syscall_in_src_net_is_sanctioned(self):
+        self.write("src/net/listener.cc",
+                   "#include <sys/socket.h>\n"
+                   "#include <poll.h>\n"
+                   "int Open() { return ::socket(2, 1, 0); }\n"
+                   "int Wait(struct pollfd* p) { return ::poll(p, 1, 0); }\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_src_net_is_still_subject_to_file_io_rule(self):
+        # The socket allowance does not open a file-I/O hole: a server
+        # reads snapshots through tlp::FileSystem like everyone else.
+        self.write("src/net/sneaky.cc",
+                   '#include <cstdio>\n'
+                   'void* Leak(const char* p) { return fopen(p, "rb"); }\n')
+        self.assert_flags(self.lint("--skip-headers"), "TLP001",
+                          "sneaky.cc")
 
     @unittest.skipUnless(HAVE_CXX, "no C++ compiler for TLP004")
     def test_non_self_contained_header_is_tlp004(self):

@@ -13,6 +13,10 @@ base_real_time / new_real_time when a benchmark reports no items). Exit
 status is 0 normally; with --min-speedup X it is 1 unless at least one
 compared benchmark reaches X (use --geomean-floor to gate on the geometric
 mean instead, e.g. for a CI smoke check against a committed baseline).
+Usage and input errors — a missing or unreadable trajectory file, a file
+with no runs, an unknown --base/--new label — print a single-line error to
+stderr and exit 2, so scripts can tell "the comparison failed the gate"
+(exit 1) from "the comparison never ran" (exit 2).
 """
 
 import argparse
@@ -21,27 +25,37 @@ import math
 import sys
 
 
+def die(message):
+    """Single-line diagnostic + exit 2: the comparison could not run."""
+    print(f"bench_compare: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load_runs(path):
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
-    runs = doc.get("runs", [])
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read trajectory {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid trajectory JSON: {e}")
+    runs = doc.get("runs", []) if isinstance(doc, dict) else []
     if not runs:
-        sys.exit(f"error: {path} contains no runs")
+        die(f"{path} contains no runs")
     return doc.get("bench_id", "?"), runs
 
 
 def pick_run(runs, label, fallback_index):
     if label is None:
         if not -len(runs) <= fallback_index < len(runs):
-            sys.exit("error: need at least two runs to compare "
-                     f"(found {len(runs)}); record another run or pass "
-                     "--base/--new explicitly")
+            die(f"need at least two runs to compare (found {len(runs)}); "
+                "record another run or pass --base/--new explicitly")
         return runs[fallback_index]
     for run in runs:
         if run.get("label") == label:
             return run
     labels = ", ".join(repr(r.get("label")) for r in runs)
-    sys.exit(f"error: no run labeled {label!r} (have: {labels})")
+    die(f"no run labeled {label!r} (have: {labels})")
 
 
 def speedup(base, new):
@@ -75,7 +89,7 @@ def main():
     base = pick_run(runs, args.base, 0)
     new = pick_run(runs, args.new_label, -1)
     if base is new:
-        sys.exit("error: --base and --new select the same run")
+        die("--base and --new select the same run")
 
     base_by_name = {b["name"]: b for b in base.get("benchmarks", [])}
     rows = []
@@ -90,7 +104,7 @@ def main():
             rows.append((b["name"], other, b, s))
 
     if not rows:
-        sys.exit("error: the selected runs share no comparable benchmarks")
+        die("the selected runs share no comparable benchmarks")
 
     print(f"# {bench_id}: {base.get('label')} ({base.get('backend')}) -> "
           f"{new.get('label')} ({new.get('backend')})")

@@ -13,6 +13,13 @@ allowed to do something, not *how* it does it:
       fault-injection and atomic-save machinery docs/ROBUSTNESS.md is built
       on, and is invisible to FaultInjectingFs tests.
 
+      Socket syscalls (::socket/::bind/::accept/::recv/... and the
+      <sys/socket.h> header family) are raw I/O too, but they are NOT file
+      I/O and must not be forced through tlp::FileSystem: they are
+      sanctioned in src/net/ — the serving layer — and nowhere else. A
+      src/net file is still subject to the file-I/O tokens above (a server
+      reads snapshots through the seam like everyone else).
+
   TLP002 assert-in-header
       `assert(` in a library header under src/ compiles out in Release
       (NDEBUG) builds, so any mutation guard or load-path validation it
@@ -27,8 +34,13 @@ allowed to do something, not *how* it does it:
       proof breaks the moment library code consults ambient entropy or
       wall-clock time. rand()/srand(), std::random_device and
       std::chrono::system_clock are therefore confined to common/rng.h
-      (the seeded PRNG wrapper) and common/timer.h. Monotonic
-      steady_clock is allowed anywhere: it feeds stats, not decisions.
+      (the seeded PRNG wrapper) and common/timer.h. The monotonic
+      steady_clock is likewise confined to seams: common/timer.h (the
+      stopwatch), common/query_stats.h (the RAII query timer) — both feed
+      stats, not decisions — and common/deadline.h, the one place where
+      time IS a decision (connection deadlines, src/net timeouts) and
+      which therefore carries a test override so timeout logic stays
+      deterministic under test.
 
   TLP004 header-not-self-contained
       Every public header under src/ must compile as the sole include of
@@ -70,10 +82,17 @@ RULE_EXEMPT = {
         "src/common/fault_injecting_fs.cc",  # decorates the seam, same layer
     },
     "TLP003": {
-        "src/common/rng.h",    # the seeded PRNG wrapper
-        "src/common/timer.h",  # the timing wrapper
+        "src/common/rng.h",          # the seeded PRNG wrapper
+        "src/common/timer.h",        # the timing wrapper
+        "src/common/query_stats.h",  # the RAII per-query timer (stats only)
+        "src/common/deadline.h",     # the monotonic-clock deadline seam
     },
 }
+
+# Directory prefixes (repo-relative) where socket syscalls are sanctioned.
+# Sockets are not file I/O: they must not go through tlp::FileSystem, and
+# only the serving layer may open them.
+SOCKET_ALLOWED_PREFIXES = ("src/net/",)
 
 # TLP001: tokens that reach the OS or the C/C++ file APIs directly.
 RAW_IO_RE = re.compile(
@@ -83,6 +102,21 @@ RAW_IO_RE = re.compile(
   | \bstd::(?:i|o)?fstream\b                     # C++ file streams
   | \bstd::filesystem\b                          # std::filesystem anything
   | ^\s*\#\s*include\s*<(?:fstream|filesystem)>  # and their headers
+    """,
+    re.M,
+)
+
+# TLP001 (socket arm): syscalls and headers that reach the network stack.
+# Flagged everywhere except SOCKET_ALLOWED_PREFIXES.
+SOCKET_RE = re.compile(
+    r"""(?x)
+    ::\s*(?:socket|bind|listen|accept4?|connect|recv|recvfrom|recvmsg
+          |send|sendto|sendmsg|setsockopt|getsockopt|getsockname
+          |getpeername|shutdown|poll|ppoll|epoll_create1?|epoll_ctl
+          |epoll_wait)\s*\(
+  | ^\s*\#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|sys/un\.h
+                          |netinet/[A-Za-z0-9_./]+|arpa/inet\.h
+                          |netdb\.h|poll\.h)>
     """,
     re.M,
 )
@@ -97,6 +131,7 @@ NONDET_RE = re.compile(
     (?<![A-Za-z0-9_])(?:rand|srand)\s*\(   # C PRNG
   | \bstd::random_device\b
   | \bsystem_clock\b                       # std::chrono::system_clock
+  | \bsteady_clock\b                       # monotonic: timer/stats/deadline seams only
     """
 )
 
@@ -220,11 +255,15 @@ def scan_text_rules(repo):
 
             check("TLP001", RAW_IO_RE,
                   "— route this through tlp::FileSystem (common/file_system.h)")
+            if not rel.startswith(SOCKET_ALLOWED_PREFIXES):
+                check("TLP001", SOCKET_RE,
+                      "— socket syscalls are sanctioned in src/net/ only")
             if is_header:
                 check("TLP002", ASSERT_RE,
                       "— throw or return Status; NDEBUG erases this check")
             check("TLP003", NONDET_RE,
-                  "— use tlp::Rng (common/rng.h) / Timer (common/timer.h)")
+                  "— use tlp::Rng (common/rng.h), Stopwatch (common/timer.h)"
+                  " or Deadline (common/deadline.h)")
     return violations
 
 

@@ -1,0 +1,267 @@
+// tlp_serve — serve the TLP query language over TCP against one snapshot.
+//
+//   tlp_serve --snapshot=<in.tlps> [options]
+//       Load a 2-layer snapshot (the server queries a TwoLayerGrid; other
+//       snapshot kinds are refused with the kind-mismatch exit code).
+//   tlp_serve --synthetic=N [--seed=S] [--grid=D] [options]
+//       Skip persistence: build an in-memory index over N synthetic
+//       rectangles (datagen/synthetic), for smoke tests and benchmarks.
+//
+// Common options:
+//   --bind=ADDR           IPv4 address to bind (default 127.0.0.1)
+//   --port=P              TCP port; 0 (default) picks an ephemeral port
+//   --port-file=PATH      write the bound port to PATH (atomic rename), so
+//                         scripts using --port=0 can find the server
+//   --workers=W           query-execution threads (default 1)
+//   --max-inflight=M      admission ceiling before BUSY shedding (default 64)
+//   --idle-timeout-ms=T   drop connections idle for T ms (default 0 = never)
+//
+// The process runs until SIGTERM/SIGINT, then drains gracefully: in-flight
+// queries finish and their replies are delivered before exit. Final
+// counters are printed to stdout as one JSON line (TLP_SERVE_COUNTERS ...).
+//
+// Exit status mirrors tlp_snapshot: 0 ok, 1 unclassified, 2 usage,
+// 3 I/O, 4 corrupt snapshot, 5 kind mismatch (snapshot is not 2layer).
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/two_layer_grid.h"
+#include "datagen/synthetic.h"
+#include "grid/grid_layout.h"
+#include "net/server.h"
+#include "persist/open_snapshot.h"
+
+namespace {
+
+using tlp::Status;
+using tlp::StatusCode;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitUnknown = 1,
+  kExitUsage = 2,
+  kExitIo = 3,
+  kExitCorruption = 4,
+  kExitKindMismatch = 5,
+};
+
+int Report(const Status& s, const char* what) {
+  std::fprintf(stderr, "tlp_serve: %s: %s\n", what, s.message().c_str());
+  switch (s.code()) {
+    case StatusCode::kOk: return kExitOk;
+    case StatusCode::kUnknown: return kExitUnknown;
+    case StatusCode::kInvalidArgument: return kExitUsage;
+    case StatusCode::kIoError: return kExitIo;
+    case StatusCode::kCorruption: return kExitCorruption;
+    case StatusCode::kKindMismatch: return kExitKindMismatch;
+  }
+  return kExitUnknown;
+}
+
+struct Options {
+  std::string snapshot;
+  std::string port_file;
+  std::size_t synthetic = 0;
+  std::uint64_t seed = 7;
+  std::uint32_t grid = 0;  // 0 = auto, like tlp_snapshot build
+  tlp::net::ServerOptions server;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tlp_serve --snapshot=FILE | --synthetic=N [options]\n"
+      "  --seed=S --grid=D            (synthetic data only)\n"
+      "  --bind=ADDR --port=P --port-file=PATH\n"
+      "  --workers=W --max-inflight=M --idle-timeout-ms=T\n");
+  return kExitUsage;
+}
+
+bool ParseArgs(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eat = [&](const char* prefix, std::string* value) {
+      const std::size_t len = std::strlen(prefix);
+      if (arg.compare(0, len, prefix) != 0) return false;
+      *value = arg.substr(len);
+      return true;
+    };
+    try {
+      std::string v;
+      if (eat("--snapshot=", &v)) {
+        out->snapshot = v;
+      } else if (eat("--synthetic=", &v)) {
+        out->synthetic = std::stoull(v);
+      } else if (eat("--seed=", &v)) {
+        out->seed = std::stoull(v);
+      } else if (eat("--grid=", &v)) {
+        out->grid = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (eat("--bind=", &v)) {
+        out->server.bind_address = v;
+      } else if (eat("--port=", &v)) {
+        out->server.port = static_cast<std::uint16_t>(std::stoul(v));
+      } else if (eat("--port-file=", &v)) {
+        out->port_file = v;
+      } else if (eat("--workers=", &v)) {
+        out->server.num_workers = std::stoull(v);
+      } else if (eat("--max-inflight=", &v)) {
+        out->server.max_inflight = std::stoull(v);
+      } else if (eat("--idle-timeout-ms=", &v)) {
+        out->server.idle_timeout_ms = std::stoull(v);
+      } else {
+        std::fprintf(stderr, "tlp_serve: unknown option '%s'\n", arg.c_str());
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "tlp_serve: bad value in '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->snapshot.empty() == (out->synthetic == 0)) {
+    std::fprintf(stderr,
+                 "tlp_serve: exactly one of --snapshot / --synthetic "
+                 "is required\n");
+    return false;
+  }
+  return true;
+}
+
+tlp::GridLayout LayoutFor(const std::vector<tlp::BoxEntry>& entries,
+                          std::uint32_t grid_dim) {
+  tlp::Box domain{0, 0, 1, 1};
+  if (!entries.empty()) {
+    domain = entries.front().box;
+    for (const tlp::BoxEntry& e : entries) {
+      domain.xl = std::min(domain.xl, e.box.xl);
+      domain.yl = std::min(domain.yl, e.box.yl);
+      domain.xu = std::max(domain.xu, e.box.xu);
+      domain.yu = std::max(domain.yu, e.box.yu);
+    }
+  }
+  std::uint32_t dim = grid_dim;
+  if (dim == 0) {
+    dim = static_cast<std::uint32_t>(
+        std::sqrt(static_cast<double>(entries.size())) / 4);
+    dim = std::min<std::uint32_t>(4096, std::max<std::uint32_t>(16, dim));
+  }
+  return tlp::GridLayout(domain, dim, dim);
+}
+
+/// Writes "<port>\n" to `path` via rename so a polling reader never
+/// observes a partial file.
+bool WritePortFile(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fprintf(f, "%u\n", port) > 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Run(const Options& opt) {
+  // Keep whichever owner is in use alive for the server's lifetime.
+  std::unique_ptr<tlp::PersistentIndex> snapshot_index;
+  std::unique_ptr<tlp::TwoLayerGrid> synthetic_index;
+  const tlp::TwoLayerGrid* grid = nullptr;
+
+  if (!opt.snapshot.empty()) {
+    Status s = tlp::OpenSnapshot(opt.snapshot, /*mapped=*/false,
+                                 &snapshot_index);
+    if (!s.ok()) return Report(s, "cannot open snapshot");
+    grid = dynamic_cast<const tlp::TwoLayerGrid*>(snapshot_index.get());
+    if (grid == nullptr) {
+      return Report(
+          Status::KindMismatch("snapshot does not hold a 2layer index (use "
+                               "tlp_snapshot build --kind=2layer)"),
+          "cannot serve");
+    }
+    std::printf("tlp_serve: loaded %s: entries=%zu size=%zu bytes\n",
+                opt.snapshot.c_str(), grid->entry_count(),
+                snapshot_index->SizeBytes());
+  } else {
+    tlp::SyntheticConfig config;
+    config.cardinality = opt.synthetic;
+    config.seed = opt.seed;
+    const auto entries = tlp::GenerateSyntheticRects(config);
+    synthetic_index =
+        std::make_unique<tlp::TwoLayerGrid>(LayoutFor(entries, opt.grid));
+    synthetic_index->Build(entries);
+    grid = synthetic_index.get();
+    std::printf("tlp_serve: built synthetic index: entries=%zu grid=%ux%u\n",
+                entries.size(), synthetic_index->layout().nx(),
+                synthetic_index->layout().ny());
+  }
+
+  // Block the stop signals BEFORE spawning server threads (they inherit
+  // the mask), then collect them synchronously with sigwait — no handler,
+  // no check-then-pause race.
+  sigset_t stop_set;
+  sigemptyset(&stop_set);
+  sigaddset(&stop_set, SIGTERM);
+  sigaddset(&stop_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &stop_set, nullptr);
+  // A client vanishing mid-write must not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  tlp::net::QueryServer server(*grid, opt.server);
+  if (Status s = server.Start(); !s.ok()) return Report(s, "cannot start");
+
+  std::printf("tlp_serve: listening on %s:%u\n",
+              opt.server.bind_address.c_str(), server.port());
+  std::fflush(stdout);
+  if (!opt.port_file.empty() &&
+      !WritePortFile(opt.port_file, server.port())) {
+    std::fprintf(stderr, "tlp_serve: cannot write --port-file=%s\n",
+                 opt.port_file.c_str());
+    server.Shutdown();
+    return kExitIo;
+  }
+
+  int sig = 0;
+  while (sigwait(&stop_set, &sig) != 0) {
+  }
+  std::printf("tlp_serve: received %s, draining\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  server.Shutdown();  // graceful: in-flight queries finish first
+
+  const tlp::net::QueryServer::Counters c = server.counters();
+  std::printf(
+      "TLP_SERVE_COUNTERS {\"connections_accepted\": %llu, "
+      "\"queries_ok\": %llu, \"queries_error\": %llu, "
+      "\"busy_rejected\": %llu, \"idle_disconnects\": %llu, "
+      "\"protocol_errors\": %llu}\n",
+      static_cast<unsigned long long>(c.connections_accepted),
+      static_cast<unsigned long long>(c.queries_ok),
+      static_cast<unsigned long long>(c.queries_error),
+      static_cast<unsigned long long>(c.busy_rejected),
+      static_cast<unsigned long long>(c.idle_disconnects),
+      static_cast<unsigned long long>(c.protocol_errors));
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) return Usage();
+  return Run(opt);
+}

@@ -1,0 +1,106 @@
+#!/bin/sh
+# End-to-end smoke test for tlp_serve (see docs/SERVING.md): build a 2layer
+# snapshot, start the daemon on an ephemeral port, drive a mixed query
+# batch through bench_serve, then check the graceful SIGTERM drain and the
+# documented failure exit codes. Run by ctest as:
+#   tlp_serve_smoke.sh <tlp_serve> <tlp_snapshot> <bench_serve>
+set -u
+
+SERVE=${1:?usage: tlp_serve_smoke.sh <tlp_serve> <tlp_snapshot> <bench_serve>}
+SNAPSHOT=${2:?missing tlp_snapshot path}
+BENCH=${3:?missing bench_serve path}
+TMP=$(mktemp -d) || exit 1
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2> /dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# --- failure exit codes (documented in tools/tlp_serve.cc) -------------------
+"$SERVE" > /dev/null 2> "$TMP/err"
+[ $? -eq 2 ] || fail "no arguments should exit 2 (usage)"
+"$SERVE" --snapshot="$TMP/missing.tlps" > /dev/null 2>> "$TMP/err"
+[ $? -eq 3 ] || fail "missing snapshot should exit 3 (I/O)"
+"$SNAPSHOT" build "$TMP/plus.tlps" --kind=2layer+ --n=64 > /dev/null 2>&1 \
+  || fail "tlp_snapshot build 2layer+ failed"
+"$SERVE" --snapshot="$TMP/plus.tlps" > /dev/null 2>> "$TMP/err"
+[ $? -eq 5 ] || fail "non-2layer snapshot should exit 5 (kind mismatch)"
+
+# --- the real thing: snapshot -> serve -> mixed batch -> SIGTERM -------------
+"$SNAPSHOT" build "$TMP/serve.tlps" --kind=2layer --n=20000 --seed=11 \
+  > /dev/null 2>&1 || fail "tlp_snapshot build 2layer failed"
+
+PORT_FILE="$TMP/port"
+"$SERVE" --snapshot="$TMP/serve.tlps" --port=0 --port-file="$PORT_FILE" \
+  --max-inflight=32 > "$TMP/serve.out" 2> "$TMP/serve.err" &
+SERVER_PID=$!
+
+# Wait for the (atomically renamed) port file; the daemon writes it only
+# after a successful bind+listen.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    fail "server exited before publishing its port"
+    sed 's/^/  serve stderr: /' "$TMP/serve.err" >&2
+    SERVER_PID=""
+    break
+  fi
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && { fail "timed out waiting for --port-file"; break; }
+  sleep 0.1
+done
+
+if [ -n "$SERVER_PID" ] && [ -s "$PORT_FILE" ]; then
+  PORT=$(cat "$PORT_FILE")
+  echo "ok: server listening on port $PORT"
+
+  # Mixed closed-loop batch across more connections than max_inflight, so
+  # BUSY shedding is reachable; bench_serve fails on any ERR reply.
+  if "$BENCH" --port="$PORT" --connections=40 --queries-per-conn=25 \
+      --warmup=5 --with-stats > "$TMP/bench.out" 2> "$TMP/bench.err"; then
+    echo "ok: mixed query batch completed"
+  else
+    fail "bench_serve reported failure"
+    sed 's/^/  bench stderr: /' "$TMP/bench.err" >&2
+  fi
+  grep -q '"p50_us"' "$TMP/bench.out" || fail "bench output lacks p50"
+  grep -q '"p99_us"' "$TMP/bench.out" || fail "bench output lacks p99"
+  sed -n 's/^TLP_BENCH_SERVE /  bench: /p' "$TMP/bench.out"
+
+  # Graceful drain: SIGTERM must end the process with exit 0 and the final
+  # counters line, with every accepted query answered.
+  kill -TERM "$SERVER_PID"
+  waited=0
+  while kill -0 "$SERVER_PID" 2> /dev/null; do
+    waited=$((waited + 1))
+    if [ "$waited" -gt 100 ]; then
+      fail "server did not exit within 10s of SIGTERM"
+      break
+    fi
+    sleep 0.1
+  done
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    wait "$SERVER_PID"
+    rc=$?
+    SERVER_PID=""
+    [ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM (want 0)"
+    grep -q '^TLP_SERVE_COUNTERS ' "$TMP/serve.out" \
+      || fail "server printed no final counters line"
+    sed -n 's/^TLP_SERVE_COUNTERS /  counters: /p' "$TMP/serve.out"
+    grep -q '"queries_ok": 0' "$TMP/serve.out" \
+      && fail "server counted zero OK queries after the batch"
+  fi
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke check(s) failed" >&2
+  exit 1
+fi
+echo "all serve smoke checks passed"
