@@ -17,6 +17,11 @@
 // BUSY replies are retried and counted separately (never timed); an ERR
 // reply is a benchmark failure — the mix is well-formed by construction.
 //
+// --update-fraction=F replaces a deterministic F of the slots with
+// INSERT/DELETE statements over a connection-private id range (requires a
+// --live server), so the reported p50/p99 measure reads racing the
+// concurrent writer path instead of an immutable index.
+//
 // Results print as one TLP_BENCH_SERVE JSON line and, when TLP_BENCH_JSON
 // is set, append to the trajectory document (bench_id "serve") as records
 //   serve/mixed/c<C>/p50  (real_time_us = p50, items_per_second = qps)
@@ -54,13 +59,14 @@ struct Options {
   std::size_t queries_per_conn = 200;
   std::size_t warmup = 20;
   bool with_stats = false;
+  double update_fraction = 0;  // of slots that are INSERT/DELETE
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_serve --port=P [--host=A] [--connections=C]\n"
                "                   [--queries-per-conn=Q] [--warmup=W]\n"
-               "                   [--with-stats]\n");
+               "                   [--with-stats] [--update-fraction=F]\n");
   return 2;
 }
 
@@ -87,6 +93,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         out->warmup = std::stoull(v);
       } else if (arg == "--with-stats") {
         out->with_stats = true;
+      } else if (eat("--update-fraction=", &v)) {
+        out->update_fraction = std::stod(v);
       } else {
         std::fprintf(stderr, "bench_serve: unknown option '%s'\n",
                      arg.c_str());
@@ -107,6 +115,11 @@ bool ParseArgs(int argc, char** argv, Options* out) {
     return false;
   }
   if (out->warmup >= out->queries_per_conn) out->warmup = 0;
+  if (out->update_fraction < 0 || out->update_fraction > 1) {
+    std::fprintf(stderr,
+                 "bench_serve: --update-fraction must be in [0, 1]\n");
+    return false;
+  }
   return true;
 }
 
@@ -123,14 +136,39 @@ double Frac(std::size_t k, double step) {
   return v - static_cast<double>(static_cast<std::uint64_t>(v));
 }
 
+/// Whether slot k of connection `conn` is an update (INSERT/DELETE)
+/// rather than a read. Deterministic so benchmark runs stay reproducible.
+bool IsUpdateSlot(std::size_t conn, std::size_t k, double fraction) {
+  if (fraction <= 0) return false;
+  return Frac(conn * 7919 + k, 0.8191725133961645) < fraction;
+}
+
 /// The k-th query of connection `conn`: cycles through the five kinds with
 /// parameters derived from (conn, k) so no two connections replay the same
-/// stream. Every query is valid by construction.
-std::string QueryFor(std::size_t conn, std::size_t k, bool with_stats) {
+/// stream. Every query is valid by construction. Update slots alternate
+/// INSERT/DELETE over a connection-private cycling id range, so concurrent
+/// connections never contend on the same object and the live set stays
+/// bounded; a DELETE landing before its INSERT replies "0", which is still
+/// an OK reply.
+std::string QueryFor(std::size_t conn, std::size_t k, const Options& opt) {
   const std::size_t seq = conn * 7919 + k;  // decorrelate connections
   const double fx = Frac(seq, 0.6180339887498949);
   const double fy = Frac(seq, 0.7548776662466927);
   char buf[256];
+  if (IsUpdateSlot(conn, k, opt.update_fraction)) {
+    // The box is a function of (conn, pair), NOT of k: a DELETE must carry
+    // the exact box its INSERT used, or the background merge cannot locate
+    // the entry in the tile lists.
+    const std::size_t pair = (k / 2) % 500;
+    const std::size_t pair_seq = conn * 7919 + pair;
+    const double px = Frac(pair_seq, 0.6180339887498949) * 0.99;
+    const double py = Frac(pair_seq, 0.7548776662466927) * 0.99;
+    const unsigned long long id = 10'000'000ULL + conn * 1000 + pair;
+    std::snprintf(buf, sizeof(buf), "%s %llu %.6f %.6f %.6f %.6f",
+                  k % 2 == 0 ? "INSERT" : "DELETE", id, px, py, px + 0.005,
+                  py + 0.005);
+    return std::string(buf);  // the grammar allows no WHERE/STATS suffix
+  }
   switch (k % 5) {
     case 0: {
       const double side = 0.01 + 0.04 * Frac(seq, 0.5698402909980532);
@@ -157,7 +195,7 @@ std::string QueryFor(std::size_t conn, std::size_t k, bool with_stats) {
   }
   std::string q(buf);
   if (k % 3 == 0) q += " WHERE ID >= 0";  // exercise the WHERE filter path
-  if (with_stats) q += " WITH STATS";
+  if (opt.with_stats) q += " WITH STATS";
   return q;
 }
 
@@ -174,6 +212,7 @@ struct ConnState {
   /// Without it a shed closed loop just hammers the admission gate.
   double retry_at = 0;
   double backoff_s = 0;
+  bool is_update = false;  // outstanding slot is INSERT/DELETE
 };
 
 struct Totals {
@@ -181,6 +220,7 @@ struct Totals {
   std::size_t ok = 0;
   std::size_t busy = 0;
   std::size_t rows = 0;
+  std::size_t updates = 0;  // INSERT/DELETE slots completed
   std::size_t errors = 0;
   std::string first_error;
 };
@@ -192,8 +232,8 @@ void ComposeNext(ConnState* c, std::size_t conn_index, const Options& opt,
                  bool retry) {
   const std::size_t k = retry ? c->issued - 1 : c->issued;
   if (!retry) ++c->issued;
-  c->outbuf = tlp::net::EncodeFrame(
-      QueryFor(conn_index, k, opt.with_stats));
+  c->outbuf = tlp::net::EncodeFrame(QueryFor(conn_index, k, opt));
+  c->is_update = IsUpdateSlot(conn_index, k, opt.update_fraction);
   c->outpos = 0;
   c->awaiting = true;
   c->t_send = NowSeconds();
@@ -354,12 +394,13 @@ int Run(const Options& opt) {
           if (totals.first_error.empty()) {
             totals.first_error = reply.error_class + " " +
                                  reply.error_message + " <- " +
-                                 QueryFor(i, c.issued - 1, opt.with_stats);
+                                 QueryFor(i, c.issued - 1, opt);
           }
           ++c.completed;
         } else {
           ++totals.ok;
           totals.rows += reply.rows.size();
+          if (c.is_update) ++totals.updates;
           if (c.completed >= opt.warmup) {
             if (measure_start == 0) measure_start = NowSeconds();
             totals.latencies_us.push_back(elapsed_us);
@@ -370,7 +411,11 @@ int Run(const Options& opt) {
           ComposeNext(&c, i, opt, /*retry=*/false);
         }
       }
-      if (c.awaiting && c.outpos < c.outbuf.size() && !FlushWrites(&c)) {
+      // retry_at gate: a frame composed as a BUSY retry must sit out its
+      // backoff window — flushing it here would defeat the whole backoff
+      // and hammer the admission gate from inside the read path.
+      if (c.awaiting && c.retry_at == 0 && c.outpos < c.outbuf.size() &&
+          !FlushWrites(&c)) {
         broke = true;
       }
       if (c.decoder.overflowed()) {
@@ -415,16 +460,30 @@ int Run(const Options& opt) {
   std::printf(
       "TLP_BENCH_SERVE {\"connections\": %zu, \"queries\": %zu, "
       "\"measured\": %zu, \"busy_retries\": %zu, \"rows\": %zu, "
+      "\"updates\": %zu, \"update_fraction\": %.3f, "
       "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mean_us\": %.1f, "
       "\"qps\": %.1f, \"wall_s\": %.3f}\n",
       opt.connections, totals.ok, totals.latencies_us.size(), totals.busy,
-      totals.rows, p50, p99, mean, qps, bench_end - bench_start);
+      totals.rows, totals.updates, opt.update_fraction, p50, p99, mean, qps,
+      bench_end - bench_start);
 
+  // Update runs get their own benchmark names so bench_compare.py diffs
+  // read-only and mixed-write runs as distinct series. The shed count
+  // rides along as its own record — a latency regression caused by the
+  // server shedding harder is visible instead of silent.
   char name[64];
-  std::snprintf(name, sizeof(name), "serve/mixed/c%zu", opt.connections);
+  if (opt.update_fraction > 0) {
+    std::snprintf(name, sizeof(name), "serve/mixed-u%02d/c%zu",
+                  static_cast<int>(opt.update_fraction * 100),
+                  opt.connections);
+  } else {
+    std::snprintf(name, sizeof(name), "serve/mixed/c%zu", opt.connections);
+  }
   std::vector<tlp::bench::BenchRecord> records;
   records.push_back({std::string(name) + "/p50", p50, qps});
   records.push_back({std::string(name) + "/p99", p99, 0});
+  records.push_back({std::string(name) + "/busy_retries",
+                     static_cast<double>(totals.busy), 0});
   tlp::bench::AppendBenchTrajectory("serve", records);
   return 0;
 }

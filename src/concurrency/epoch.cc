@@ -1,0 +1,106 @@
+#include "concurrency/epoch.h"
+
+#include <thread>
+#include <utility>
+
+namespace tlp {
+
+EpochDomain::~EpochDomain() { ReclaimAll(); }
+
+void EpochDomain::Guard::Release() {
+  if (domain_ != nullptr) {
+    domain_->Unpin(slot_);
+    domain_ = nullptr;
+  }
+}
+
+EpochDomain::Guard EpochDomain::Pin() {
+  // Start probing at the slot this thread used last: uncontended pins hit
+  // the same cache line every time instead of walking the array.
+  thread_local std::size_t hint = 0;
+  for (;;) {
+    for (std::size_t n = 0; n < kMaxSlots; ++n) {
+      const std::size_t s = (hint + n) % kMaxSlots;
+      std::uint64_t e = global_.load();
+      std::uint64_t expected = kIdle;
+      if (!slots_[s].epoch.compare_exchange_strong(expected, e)) continue;
+      // The global may have advanced between reading it and claiming the
+      // slot; re-announce until the announcement matches. Without this a
+      // pin could sit one epoch behind forever and stall reclamation.
+      for (;;) {
+        const std::uint64_t g = global_.load();
+        if (g == e) break;
+        e = g;
+        slots_[s].epoch.store(e);
+      }
+      hint = s;
+      return Guard(this, s);
+    }
+    std::this_thread::yield();
+  }
+}
+
+void EpochDomain::Retire(std::function<void()> garbage) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  // Read the epoch under the mutex: the tag must not lag the true retire
+  // epoch by more than the one benign step the safety argument absorbs
+  // (docs/CONCURRENCY.md "Reclamation safety").
+  const std::uint64_t e = global_.load();
+  buckets_[e % 3].push_back(std::move(garbage));
+}
+
+bool EpochDomain::TryAdvance() {
+  {
+    // Advancing exists to free garbage; with nothing retired anywhere it
+    // would succeed unconditionally (no pinned reader can be "behind"
+    // forever) and turn the callers' `while (TryAdvance()) {}` drain loops
+    // into livelocks. Refuse instead.
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (buckets_[0].empty() && buckets_[1].empty() && buckets_[2].empty()) {
+      return false;
+    }
+  }
+  std::uint64_t g = global_.load();
+  for (const Slot& s : slots_) {
+    const std::uint64_t v = s.epoch.load();
+    if (v != kIdle && v != g) return false;  // a reader is still behind
+  }
+  if (!global_.compare_exchange_strong(g, g + 1)) return false;
+  // New global G = g + 1: retirees of epoch G - 2 are unreachable — every
+  // active pin announces >= G - 1 and any reader that could have loaded
+  // such an object has unpinned.
+  std::vector<std::function<void()>> dead;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    dead.swap(buckets_[(g + 2) % 3]);  // ((G - 2) % 3) == ((g + 2) % 3)
+  }
+  for (auto& fn : dead) fn();
+  return true;
+}
+
+void EpochDomain::ReclaimAll() {
+  std::vector<std::function<void()>> dead;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    for (auto& bucket : buckets_) {
+      for (auto& fn : bucket) dead.push_back(std::move(fn));
+      bucket.clear();
+    }
+  }
+  for (auto& fn : dead) fn();
+}
+
+std::size_t EpochDomain::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return buckets_[0].size() + buckets_[1].size() + buckets_[2].size();
+}
+
+std::size_t EpochDomain::active_pins() const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.epoch.load() != kIdle) ++n;
+  }
+  return n;
+}
+
+}  // namespace tlp

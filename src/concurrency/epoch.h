@@ -1,0 +1,127 @@
+#ifndef TLP_CONCURRENCY_EPOCH_H_
+#define TLP_CONCURRENCY_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace tlp {
+
+/// Epoch-based reclamation domain (classic 3-bucket scheme): the memory
+/// manager under the concurrent index (docs/CONCURRENCY.md).
+///
+/// Readers *pin* the domain around every access to an epoch-protected
+/// object (here: a published index Version). Pinning announces the current
+/// global epoch in one of a fixed array of slots; while any slot announces
+/// epoch e, nothing retired during epoch e or e-1 is freed. Writers hand
+/// garbage to Retire(), which parks it in the bucket of the current epoch;
+/// TryAdvance() bumps the global epoch once every pinned reader has caught
+/// up to it and then frees the one bucket that can no longer be reached
+/// (retired two epochs ago — the standard "global - 2" rule, implemented as
+/// three rotating buckets).
+///
+/// Memory ordering: the protocol uses seq_cst throughout. The publication
+/// edge (std::atomic store of a new version pointer) and the announcement
+/// edge (slot store then global re-check) are the two places where a weaker
+/// ordering would need a fence argument; at the update rates this layer
+/// targets (bulk merges, not per-op contention) the simplicity is worth
+/// more than the fence.
+///
+/// Capacity: kMaxSlots concurrent pins. A pin beyond capacity spins
+/// (yielding) until a slot frees up — it cannot deadlock because every
+/// Guard releases its slot in its destructor and slot holders never wait
+/// for other pins.
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxSlots = 64;
+  /// Slot value meaning "free": no reader is pinned through this slot.
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+  /// Frees everything still retired. Caller must guarantee no pins are
+  /// active and no further Retire() calls race the destructor.
+  ~EpochDomain();
+
+  /// RAII pin: holds one announcement slot for its lifetime. Movable so a
+  /// snapshot handle can carry it; not copyable (a slot has one owner).
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept : domain_(o.domain_), slot_(o.slot_) {
+      o.domain_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        domain_ = o.domain_;
+        slot_ = o.slot_;
+        o.domain_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    bool pinned() const { return domain_ != nullptr; }
+
+   private:
+    friend class EpochDomain;
+    Guard(EpochDomain* domain, std::size_t slot)
+        : domain_(domain), slot_(slot) {}
+    void Release();
+
+    EpochDomain* domain_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// Pins the calling thread into the current epoch. After this returns,
+  /// any pointer loaded from an epoch-protected atomic stays valid until
+  /// the Guard is destroyed. Spins (with yield) when all slots are taken.
+  Guard Pin();
+
+  /// Hands `garbage` to the domain; it runs once no pin can still observe
+  /// the object it frees (two epoch advances from now). Thread-safe.
+  void Retire(std::function<void()> garbage);
+
+  /// Attempts one epoch advance: succeeds iff something is retired AND
+  /// every pinned slot announces the current global epoch, then frees the
+  /// newly unreachable bucket. Returns true if the epoch advanced. (The
+  /// nothing-retired refusal is what makes the callers' drain loops
+  /// `while (TryAdvance()) {}` terminate.) Thread-safe.
+  bool TryAdvance();
+
+  /// Frees every retired bucket unconditionally. Caller must guarantee no
+  /// pins are active (destructor path / single-threaded teardown).
+  void ReclaimAll();
+
+  std::uint64_t global_epoch() const { return global_.load(); }
+  /// Callbacks handed to Retire() and not yet run; for leak tests.
+  std::size_t retired_count() const;
+  /// Pinned slots right now; for tests.
+  std::size_t active_pins() const;
+
+ private:
+  /// One announcement slot per cache line so pins on different cores do
+  /// not false-share.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+  };
+
+  void Unpin(std::size_t slot) { slots_[slot].epoch.store(kIdle); }
+
+  Slot slots_[kMaxSlots];
+  std::atomic<std::uint64_t> global_{0};
+  /// Buckets of retired callbacks, indexed by (retire epoch % 3).
+  mutable std::mutex retire_mu_;
+  std::vector<std::function<void()>> buckets_[3];
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CONCURRENCY_EPOCH_H_

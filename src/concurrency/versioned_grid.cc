@@ -1,0 +1,341 @@
+#include "concurrency/versioned_grid.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tlp {
+
+namespace {
+
+/// Advances (*chunk, *base) along the chain until the chunk containing op
+/// index `target` — or the last allocated chunk when `target` is exactly
+/// one chunk boundary past it (the next append will link the successor
+/// before publishing any op a reader could seek to). Caller must hold the
+/// writer mutex or a pin on a version whose window covers `target`.
+void SeekChunk(std::shared_ptr<const DeltaChunk>* chunk, std::uint64_t* base,
+               std::uint64_t target) {
+  while (target >= *base + DeltaChunk::kCap && (*chunk)->next != nullptr) {
+    *chunk = (*chunk)->next;
+    *base += DeltaChunk::kCap;
+  }
+}
+
+bool ById(const BoxEntry& a, const BoxEntry& b) { return a.id < b.id; }
+
+bool ByRank(const RankedEntry& a, const RankedEntry& b) {
+  return a.distance != b.distance ? a.distance < b.distance
+                                  : a.entry.id < b.entry.id;
+}
+
+}  // namespace
+
+ConcurrentTwoLayerGrid::ConcurrentTwoLayerGrid(TwoLayerGrid base)
+    : ConcurrentTwoLayerGrid(std::move(base), Options()) {}
+
+ConcurrentTwoLayerGrid::ConcurrentTwoLayerGrid(TwoLayerGrid base,
+                                               Options options)
+    : options_(options), merge_pool_(1) {
+  if (base.frozen()) base.ThawStorage();
+  auto owned = std::make_shared<TwoLayerGrid>(std::move(base));
+  // Seed the live-id set: every object sits in class A of exactly one tile
+  // (out-of-domain entries included — clamping assigns them a unique
+  // lower-corner tile too).
+  const GridLayout& layout = owned->layout();
+  for (std::uint32_t j = 0; j < layout.ny(); ++j) {
+    for (std::uint32_t i = 0; i < layout.nx(); ++i) {
+      const auto span = owned->ClassSpan(i, j, ObjectClass::kA);
+      for (std::size_t n = 0; n < span.second; ++n) {
+        live_ids_.insert(span.first[n].id);
+      }
+    }
+  }
+  tail_ = std::make_shared<DeltaChunk>();
+  published_.store(new Version{std::move(owned), tail_, 0, 0, 0});
+}
+
+ConcurrentTwoLayerGrid::~ConcurrentTwoLayerGrid() {
+  // No readers or writers may be active here (class contract). Drain any
+  // queued merge, then free the published version and all retired ones.
+  try {
+    merge_pool_.Wait();
+  } catch (...) {
+    // A failed merge leaves the previous version published — still a
+    // consistent state; nothing to do beyond not throwing from a dtor.
+  }
+  delete published_.exchange(nullptr);
+  epoch_.ReclaimAll();
+}
+
+bool ConcurrentTwoLayerGrid::Insert(const BoxEntry& entry) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!live_ids_.insert(entry.id).second) return false;
+  AppendLocked(DeltaOp{DeltaOp::Kind::kInsert, entry});
+  return true;
+}
+
+bool ConcurrentTwoLayerGrid::Delete(ObjectId id, const Box& box) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (live_ids_.erase(id) == 0) return false;
+  AppendLocked(DeltaOp{DeltaOp::Kind::kDelete, BoxEntry{box, id}});
+  return true;
+}
+
+void ConcurrentTwoLayerGrid::AppendLocked(const DeltaOp& op) {
+  const std::uint64_t idx = total_ops_;
+  if (idx == tail_base_ + DeltaChunk::kCap) {
+    auto fresh = std::make_shared<DeltaChunk>();
+    // Plain writes: `fresh` and this `next` edge only become reachable to
+    // readers through the version publication below (seq_cst exchange),
+    // which orders them.
+    tail_->next = fresh;
+    tail_ = std::move(fresh);
+    tail_base_ += DeltaChunk::kCap;
+  }
+  tail_->ops[idx - tail_base_] = op;
+  ++total_ops_;
+  const Version& cur = *published_.load();
+  PublishLocked(new Version{cur.base, cur.delta_head, cur.head_base,
+                            cur.delta_begin, total_ops_});
+  MaybeScheduleMergeLocked();
+}
+
+void ConcurrentTwoLayerGrid::PublishLocked(const Version* v) {
+  const Version* old = published_.exchange(v);
+  if (old != nullptr) {
+    epoch_.Retire([old] { delete old; });
+    // Amortized reclamation: advance as far as current pins allow. Cheap
+    // when readers are pinned (first slot mismatch returns false).
+    while (epoch_.TryAdvance()) {
+    }
+  }
+}
+
+void ConcurrentTwoLayerGrid::MaybeScheduleMergeLocked() {
+  if (merge_scheduled_) return;
+  const Version& cur = *published_.load();
+  if (cur.delta_end - cur.delta_begin < options_.merge_threshold) return;
+  merge_scheduled_ = true;
+  merge_pool_.Submit([this] { RunMerge(); });
+}
+
+void ConcurrentTwoLayerGrid::RunMerge() {
+  std::shared_ptr<const TwoLayerGrid> base;
+  std::shared_ptr<const DeltaChunk> chunk;
+  std::uint64_t chunk_base = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const Version& cur = *published_.load();
+    base = cur.base;
+    chunk = cur.delta_head;
+    chunk_base = cur.head_base;
+    begin = cur.delta_begin;
+    end = cur.delta_end;
+  }
+  try {
+    // Clone and fold outside the mutex: ops [begin, end) and the base grid
+    // are immutable, and the writer keeps appending (and publishing)
+    // meanwhile. The clone goes through the ordinary sequential
+    // Insert/Delete paths, which maintain occupancy and the segmented
+    // class invariants op by op.
+    auto fresh = std::make_shared<TwoLayerGrid>(*base);
+    for (std::uint64_t idx = begin; idx < end; ++idx) {
+      SeekChunk(&chunk, &chunk_base, idx);
+      const DeltaOp& op = chunk->ops[idx - chunk_base];
+      if (op.kind == DeltaOp::Kind::kInsert) {
+        fresh->Insert(op.entry);
+      } else {
+        fresh->Delete(op.entry.id, op.entry.box);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      const Version& cur = *published_.load();
+      std::shared_ptr<const DeltaChunk> head = cur.delta_head;
+      std::uint64_t head_base = cur.head_base;
+      SeekChunk(&head, &head_base, end);
+      PublishLocked(new Version{std::move(fresh), std::move(head), head_base,
+                                end, cur.delta_end});
+      merge_scheduled_ = false;
+      merges_completed_.fetch_add(1);
+      // Appends during the merge may already exceed the threshold again.
+      MaybeScheduleMergeLocked();
+    }
+    merged_cv_.notify_all();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(writer_mu_);
+      merge_scheduled_ = false;
+    }
+    merged_cv_.notify_all();
+    throw;  // surfaces through ThreadPool::Wait in the destructor
+  }
+}
+
+void ConcurrentTwoLayerGrid::Flush() {
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  for (;;) {
+    const Version& cur = *published_.load();
+    if (cur.delta_begin == cur.delta_end && !merge_scheduled_) return;
+    if (!merge_scheduled_) {
+      merge_scheduled_ = true;
+      merge_pool_.Submit([this] { RunMerge(); });
+    }
+    merged_cv_.wait(lock);
+  }
+}
+
+ConcurrentTwoLayerGrid::Snapshot ConcurrentTwoLayerGrid::Acquire() const {
+  // Pin first, then load: the epoch argument (docs/CONCURRENCY.md) shows a
+  // version loaded after the announcement cannot be freed while the pin
+  // lives.
+  EpochDomain::Guard guard = epoch_.Pin();
+  const Version* v = published_.load();
+  return Snapshot(std::move(guard), v);
+}
+
+std::uint64_t ConcurrentTwoLayerGrid::published_seq() const {
+  // Under the writer mutex the current version cannot retire (retirement
+  // only happens in PublishLocked).
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return published_.load()->delta_end;
+}
+
+std::size_t ConcurrentTwoLayerGrid::live_count() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return live_ids_.size();
+}
+
+ConcurrentTwoLayerGrid::Snapshot::Snapshot(EpochDomain::Guard guard,
+                                           const Version* version)
+    : guard_(std::move(guard)), version_(version) {
+  // Materialize the last-op-wins overlay of the unmerged window. Ops are
+  // replayed in log order, so the map holds each touched id's final state.
+  std::shared_ptr<const DeltaChunk> chunk = version->delta_head;
+  std::uint64_t base = version->head_base;
+  for (std::uint64_t idx = version->delta_begin; idx < version->delta_end;
+       ++idx) {
+    SeekChunk(&chunk, &base, idx);
+    const DeltaOp& op = chunk->ops[idx - base];
+    overlay_[op.entry.id] =
+        OverlayEntry{op.kind == DeltaOp::Kind::kInsert, op.entry.box};
+  }
+}
+
+EntryPredicate ConcurrentTwoLayerGrid::Snapshot::BaseKeep(
+    const EntryPredicate& keep) const {
+  if (overlay_.empty()) return keep;
+  return [this, keep](const BoxEntry& e) {
+    if (overlay_.count(e.id) != 0) return false;  // overridden by the delta
+    return !keep || keep(e);
+  };
+}
+
+void ConcurrentTwoLayerGrid::Snapshot::WindowEntries(
+    const Box& w, std::vector<BoxEntry>* out) const {
+  out->clear();
+  std::vector<Candidate> cands;
+  base().WindowCandidates(w, &cands);
+  out->reserve(cands.size());
+  for (const Candidate& c : cands) {
+    if (!Hidden(c.id)) out->push_back(BoxEntry{c.box, c.id});
+  }
+  for (const auto& [id, oe] : overlay_) {
+    if (oe.present && oe.box.Intersects(w)) out->push_back(BoxEntry{oe.box, id});
+  }
+  std::sort(out->begin(), out->end(), ById);
+}
+
+void ConcurrentTwoLayerGrid::Snapshot::WindowQuery(
+    const Box& w, std::vector<ObjectId>* out) const {
+  out->clear();
+  if (overlay_.empty()) {
+    base().WindowQuery(w, out);
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  std::vector<BoxEntry> entries;
+  WindowEntries(w, &entries);
+  out->reserve(entries.size());
+  for (const BoxEntry& e : entries) out->push_back(e.id);
+}
+
+void ConcurrentTwoLayerGrid::Snapshot::DiskQueryEntries(
+    const Point& q, Coord radius, std::vector<BoxEntry>* out) const {
+  out->clear();
+  base().DiskQueryEntries(q, radius, out);
+  if (!overlay_.empty()) {
+    std::erase_if(*out, [this](const BoxEntry& e) { return Hidden(e.id); });
+    for (const auto& [id, oe] : overlay_) {
+      if (oe.present && oe.box.MinDistanceTo(q) <= radius) {
+        out->push_back(BoxEntry{oe.box, id});
+      }
+    }
+  }
+  std::sort(out->begin(), out->end(), ById);
+}
+
+std::vector<RankedEntry> ConcurrentTwoLayerGrid::Snapshot::KnnEntries(
+    const Point& q, std::size_t k, const EntryPredicate& keep) const {
+  // The hide-filter runs inside the base probe, so it returns the exact k
+  // nearest *surviving* base entries; delta inserts can only add
+  // candidates. The top-k of the union is therefore exact without
+  // over-fetching.
+  std::vector<RankedEntry> pool =
+      tlp::KnnEntries(base(), q, k, BaseKeep(keep));
+  if (overlay_.empty()) return pool;
+  for (const auto& [id, oe] : overlay_) {
+    if (!oe.present) continue;
+    const BoxEntry e{oe.box, id};
+    if (keep && !keep(e)) continue;
+    pool.push_back(RankedEntry{e, e.box.MinDistanceTo(q)});
+  }
+  std::sort(pool.begin(), pool.end(), ByRank);
+  if (pool.size() > k) pool.resize(k);
+  return pool;
+}
+
+std::vector<SkylineEntry> ConcurrentTwoLayerGrid::Snapshot::SkylineQuery(
+    const Point& q, const Box* region, const EntryPredicate& keep) const {
+  // skyline(base' ∪ delta) ⊆ skyline(base') ∪ delta, where base' is the
+  // base with overridden ids hidden *before* dominance runs (a hidden
+  // entry must not evict anything). One base skyline plus a small
+  // brute-force pass over the union is therefore exact.
+  std::vector<SkylineEntry> cands =
+      tlp::SkylineQuery(base(), q, region, BaseKeep(keep));
+  if (overlay_.empty()) return cands;
+  for (const auto& [id, oe] : overlay_) {
+    if (!oe.present) continue;
+    if (region != nullptr && !oe.box.Intersects(*region)) continue;
+    const BoxEntry e{oe.box, id};
+    if (keep && !keep(e)) continue;
+    cands.push_back(
+        SkylineEntry{e, SkylineAxisDistance(e.box.xl, e.box.xu, q.x),
+                     SkylineAxisDistance(e.box.yl, e.box.yu, q.y)});
+  }
+  std::vector<SkylineEntry> sky;
+  for (const SkylineEntry& c : cands) {
+    const bool dominated =
+        std::any_of(cands.begin(), cands.end(), [&](const SkylineEntry& o) {
+          return SkylineDominates(o.dx, o.dy, c.dx, c.dy);
+        });
+    if (!dominated) sky.push_back(c);
+  }
+  std::sort(sky.begin(), sky.end(),
+            [](const SkylineEntry& a, const SkylineEntry& b) {
+              return a.entry.id < b.entry.id;
+            });
+  return sky;
+}
+
+std::vector<RankedEntry> ConcurrentTwoLayerGrid::Snapshot::DiversifiedKnnQuery(
+    const Point& q, const DivKnnOptions& opts,
+    const EntryPredicate& keep) const {
+  if (opts.k == 0) return {};
+  const std::vector<RankedEntry> pool =
+      KnnEntries(q, ResolvedDivKnnFetch(opts), keep);
+  return DiversifiedReRank(pool, opts.k, opts.lambda);
+}
+
+}  // namespace tlp

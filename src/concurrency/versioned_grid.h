@@ -1,0 +1,244 @@
+#ifndef TLP_CONCURRENCY_VERSIONED_GRID_H_
+#define TLP_CONCURRENCY_VERSIONED_GRID_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "concurrency/epoch.h"
+#include "core/diversified_knn.h"
+#include "core/entry_predicate.h"
+#include "core/skyline.h"
+#include "core/two_layer_grid.h"
+
+namespace tlp {
+
+/// One update in the append-only delta log.
+struct DeltaOp {
+  enum class Kind : unsigned char { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  BoxEntry entry;
+};
+
+/// Fixed-capacity node of the chunked delta log. Chunks are filled slot by
+/// slot by the (mutex-serialized) writer and linked forward; a slot and a
+/// `next` pointer are written strictly before the version publication that
+/// makes them reachable, so readers never observe a slot they are allowed
+/// to read being written (the happens-before edge is the seq_cst exchange
+/// on the published version pointer).
+struct DeltaChunk {
+  static constexpr std::size_t kCap = 256;
+  std::array<DeltaOp, kCap> ops;
+  std::shared_ptr<DeltaChunk> next;
+};
+
+/// An immutable published state of the concurrent index: a frozen-by-
+/// protocol base grid plus the window of delta-log ops not yet merged into
+/// it. A Version object is never modified after publication; retiring it
+/// (epoch-deferred delete) drops its shared_ptrs, which is what eventually
+/// frees superseded base grids and consumed delta-chunk prefixes.
+struct Version {
+  std::shared_ptr<const TwoLayerGrid> base;
+  /// Chunk holding op index `head_base` (<= delta_begin); the unmerged
+  /// window is reached by walking `next` from here.
+  std::shared_ptr<const DeltaChunk> delta_head;
+  std::uint64_t head_base = 0;
+  /// Global op indices [delta_begin, delta_end) overlay `base`. delta_end
+  /// equals the total number of ops ever published, so it doubles as the
+  /// version's logical sequence number.
+  std::uint64_t delta_begin = 0;
+  std::uint64_t delta_end = 0;
+};
+
+/// Concurrent wrapper around TwoLayerGrid where version-swap is the *only*
+/// mutation path (ROADMAP item 1, docs/CONCURRENCY.md):
+///
+///   - Readers call Acquire() and query the returned Snapshot. A Snapshot
+///     pins an epoch and holds the then-current Version; every query is
+///     evaluated over (immutable base grid + unmerged delta overlay) and
+///     is exact and duplicate-free (the base probes keep their Lemma 1-4
+///     guarantees, the overlay is a last-op-wins map keyed by id).
+///   - Insert/Delete serialize on a small writer mutex, append to the
+///     chunked delta log, and publish a fresh Version per op.
+///   - A background merge task (1-thread exception-safe ThreadPool) clones
+///     the base, folds the delta window into it with the ordinary
+///     sequential Insert/Delete paths, and publishes the merged Version.
+///     Superseded Versions retire through the EpochDomain and are freed
+///     once no reader pins them.
+///
+/// Thread safety: any number of concurrent Acquire()/query threads, any
+/// number of concurrent Insert/Delete/Flush callers (serialized
+/// internally), plus the internal merge thread. Construction and
+/// destruction must be externally quiesced (no concurrent calls, no live
+/// Snapshots).
+class ConcurrentTwoLayerGrid {
+ public:
+  struct Options {
+    /// Unmerged ops that trigger a background merge. The delta window a
+    /// reader overlays stays bounded by roughly this plus one merge's
+    /// worth of concurrent appends.
+    std::size_t merge_threshold = 1024;
+  };
+
+  /// Takes ownership of `base` (thaws it first if frozen — served versions
+  /// are immutable by protocol, not by the frozen flag, and the merge path
+  /// needs mutable clones).
+  explicit ConcurrentTwoLayerGrid(TwoLayerGrid base);
+  ConcurrentTwoLayerGrid(TwoLayerGrid base, Options options);
+  ~ConcurrentTwoLayerGrid();
+
+  ConcurrentTwoLayerGrid(const ConcurrentTwoLayerGrid&) = delete;
+  ConcurrentTwoLayerGrid& operator=(const ConcurrentTwoLayerGrid&) = delete;
+
+  /// Inserts `entry`. Returns false (and changes nothing) when an object
+  /// with this id is already live — the sequential index's "ids are
+  /// unique" contract, enforced here so delta overlay semantics stay
+  /// well-defined.
+  bool Insert(const BoxEntry& entry);
+
+  /// Deletes object `id` (with the box it was inserted with, as in
+  /// TwoLayerGrid::Delete). Returns false when no such object is live.
+  bool Delete(ObjectId id, const Box& box);
+
+  /// Blocks until every op published before the call is merged into the
+  /// base grid (the published delta window is empty).
+  void Flush();
+
+  /// A pinned, immutable view: epoch guard + Version + materialized
+  /// last-op-wins overlay of the version's delta window. Queries mirror
+  /// the sequential index's result contracts exactly (order included).
+  /// Movable; keep it only as long as the query runs — a long-lived
+  /// Snapshot stalls memory reclamation.
+  class Snapshot {
+   public:
+    Snapshot(Snapshot&&) = default;
+    Snapshot& operator=(Snapshot&&) = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    /// Logical sequence number: total update ops visible to this view.
+    std::uint64_t seq() const { return version_->delta_end; }
+    /// The published base grid (excludes the delta overlay).
+    const TwoLayerGrid& base() const { return *version_->base; }
+    /// Distinct object ids touched by the unmerged delta window.
+    std::size_t overlay_size() const { return overlay_.size(); }
+
+    /// Ids of live objects intersecting `w`, sorted ascending.
+    void WindowQuery(const Box& w, std::vector<ObjectId>* out) const;
+    /// Entries of live objects intersecting `w`, sorted by id.
+    void WindowEntries(const Box& w, std::vector<BoxEntry>* out) const;
+    /// Entries of live objects with MinDistanceTo(q) <= radius, sorted by
+    /// id.
+    void DiskQueryEntries(const Point& q, Coord radius,
+                          std::vector<BoxEntry>* out) const;
+    /// The k nearest live entries matching `keep`, sorted by
+    /// (distance, id) — same contract as tlp::KnnEntries.
+    std::vector<RankedEntry> KnnEntries(const Point& q, std::size_t k,
+                                        const EntryPredicate& keep = {}) const;
+    /// Skyline of the live set — same contract as tlp::SkylineQuery.
+    std::vector<SkylineEntry> SkylineQuery(
+        const Point& q, const Box* region = nullptr,
+        const EntryPredicate& keep = {}) const;
+    /// Diversified kNN over the live set — same contract as
+    /// tlp::DiversifiedKnnQuery.
+    std::vector<RankedEntry> DiversifiedKnnQuery(
+        const Point& q, const DivKnnOptions& opts,
+        const EntryPredicate& keep = {}) const;
+
+   private:
+    friend class ConcurrentTwoLayerGrid;
+    /// Overlay value: the object's state after the delta window. `present`
+    /// false means the window deleted it (the base entry, if any, is
+    /// hidden); true means the window (re)inserted it with `box`.
+    struct OverlayEntry {
+      bool present = false;
+      Box box;
+    };
+
+    Snapshot(EpochDomain::Guard guard, const Version* version);
+
+    /// True iff the overlay overrides object `id` (hides its base entry).
+    bool Hidden(ObjectId id) const {
+      return !overlay_.empty() && overlay_.count(id) != 0;
+    }
+    /// `keep` composed with the overlay hide-filter, for base-grid probes.
+    EntryPredicate BaseKeep(const EntryPredicate& keep) const;
+
+    EpochDomain::Guard guard_;
+    const Version* version_;
+    std::unordered_map<ObjectId, OverlayEntry> overlay_;
+  };
+
+  /// Pins the current published version. Cheap-ish: O(delta window) to
+  /// materialize the overlay map, which the merge threshold bounds.
+  Snapshot Acquire() const;
+
+  /// Sequence number of the currently published version (test/monitoring
+  /// aid; racy by nature).
+  std::uint64_t published_seq() const;
+  /// Live objects (base + delta), exact under the writer mutex.
+  std::size_t live_count() const;
+  /// Completed background merges (test/monitoring aid).
+  std::uint64_t merges_completed() const {
+    return merges_completed_.load();
+  }
+  /// Epoch domain, exposed for leak/retirement tests.
+  EpochDomain& epoch_domain() const { return epoch_; }
+
+  /// The raw published Version pointer WITHOUT pinning an epoch. The
+  /// pointee may be retired and freed at any moment; only the concurrency
+  /// layer's own internals (which hold the writer mutex, under which
+  /// retirement of the *current* version cannot happen) may touch it.
+  /// tools/tlp_lint.py rule TLP005 rejects any use outside
+  /// src/concurrency/ — everyone else must hold versions through a
+  /// Snapshot.
+  const Version* unsafe_published_version() const {
+    return published_.load();
+  }
+
+ private:
+  /// Appends one op and publishes a Version exposing it. Caller holds
+  /// writer_mu_.
+  void AppendLocked(const DeltaOp& op);
+  /// Publishes `v` (heap-allocated, ownership taken) and retires the
+  /// previous version. Caller holds writer_mu_.
+  void PublishLocked(const Version* v);
+  /// Schedules a background merge if one is warranted and none is queued.
+  /// Caller holds writer_mu_.
+  void MaybeScheduleMergeLocked();
+  /// The background merge task body.
+  void RunMerge();
+
+  const Options options_;
+
+  mutable std::mutex writer_mu_;
+  /// Ids currently live (base + appended delta); gives Insert/Delete their
+  /// found/duplicate return values without consulting the index.
+  std::unordered_set<ObjectId> live_ids_;
+  /// Chunk receiving the next append and the global index of its ops[0].
+  std::shared_ptr<DeltaChunk> tail_;
+  std::uint64_t tail_base_ = 0;
+  std::uint64_t total_ops_ = 0;
+  bool merge_scheduled_ = false;
+  std::condition_variable merged_cv_;
+
+  std::atomic<const Version*> published_{nullptr};
+  mutable EpochDomain epoch_;
+  std::atomic<std::uint64_t> merges_completed_{0};
+
+  /// Declared last: destroyed (joined) first, so no merge task can touch
+  /// the members above during teardown.
+  ThreadPool merge_pool_;
+};
+
+}  // namespace tlp
+
+#endif  // TLP_CONCURRENCY_VERSIONED_GRID_H_

@@ -82,24 +82,22 @@ std::vector<RankedEntry> KnnEntries(const TwoLayerGrid& grid, const Point& q,
   return results;
 }
 
-std::vector<RankedEntry> DiversifiedKnnQuery(const TwoLayerGrid& grid,
-                                             const Point& q,
-                                             const DivKnnOptions& opts,
-                                             const EntryPredicate& keep) {
-  std::vector<RankedEntry> out;
-  if (opts.k == 0) return out;
-  const double lambda = std::clamp(opts.lambda, 0.0, 1.0);
-
+std::size_t ResolvedDivKnnFetch(const DivKnnOptions& opts) {
   constexpr std::size_t kMaxSize = std::numeric_limits<std::size_t>::max();
   std::size_t fetch = opts.fetch;
   if (fetch == 0) fetch = opts.k > kMaxSize / 4 ? kMaxSize : 4 * opts.k;
   if (fetch < opts.k) fetch = opts.k;
+  return fetch;
+}
 
-  const std::vector<RankedEntry> pool = KnnEntries(grid, q, fetch, keep);
-  if (pool.empty()) return out;
+std::vector<RankedEntry> DiversifiedReRank(const std::vector<RankedEntry>& pool,
+                                           std::size_t k, double raw_lambda) {
+  std::vector<RankedEntry> out;
+  if (k == 0 || pool.empty()) return out;
+  const double lambda = std::clamp(raw_lambda, 0.0, 1.0);
 
   const std::size_t n = pool.size();
-  const std::size_t want = std::min(opts.k, n);
+  const std::size_t want = std::min(k, n);
   std::vector<bool> taken(n, false);
   // min_center[i]: min center distance from pool[i] to the selected set so
   // far. Updated incrementally — the min of a fixed set of doubles does not
@@ -134,6 +132,16 @@ std::vector<RankedEntry> DiversifiedKnnQuery(const TwoLayerGrid& grid,
     pick = best;
   }
   return out;
+}
+
+std::vector<RankedEntry> DiversifiedKnnQuery(const TwoLayerGrid& grid,
+                                             const Point& q,
+                                             const DivKnnOptions& opts,
+                                             const EntryPredicate& keep) {
+  if (opts.k == 0) return {};
+  const std::vector<RankedEntry> pool =
+      KnnEntries(grid, q, ResolvedDivKnnFetch(opts), keep);
+  return DiversifiedReRank(pool, opts.k, opts.lambda);
 }
 
 }  // namespace tlp

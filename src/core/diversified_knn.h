@@ -46,6 +46,21 @@ struct DivKnnOptions {
   double lambda = 0.5;
 };
 
+/// The pool size DiversifiedKnnQuery's fetch stage resolves `opts` to:
+/// opts.fetch, defaulting to 4*k when 0 and raised to k when below it.
+/// Single-sourced here so the concurrency overlay's diversified kNN
+/// over-fetches exactly like the sequential query.
+std::size_t ResolvedDivKnnFetch(const DivKnnOptions& opts);
+
+/// The greedy max-min re-ranking stage of DiversifiedKnnQuery over an
+/// explicit candidate pool, which must be sorted by (distance, id) — the
+/// order KnnEntries returns. `lambda` is clamped to [0, 1]. Returns
+/// min(k, pool.size()) entries in selection order. Exposed so the
+/// concurrency overlay can re-rank a pool assembled from (published
+/// version + delta) with bit-identical semantics.
+std::vector<RankedEntry> DiversifiedReRank(const std::vector<RankedEntry>& pool,
+                                           std::size_t k, double lambda);
+
 /// Diversified k-nearest-neighbor query: fetches the `fetch` nearest
 /// matching entries as a pool (KnnEntries), then greedily re-ranks them
 /// max-min style. The first selection is the pool head (nearest overall;

@@ -6,22 +6,6 @@
 
 namespace tlp {
 
-namespace {
-
-/// Minimum distance from coordinate v to the closed interval [lo, hi];
-/// 0 when inside. One axis of Box::MinDistanceTo, without the hypot.
-Coord AxisDistance(Coord lo, Coord hi, Coord v) {
-  return std::max({lo - v, Coord{0}, v - hi});
-}
-
-/// True iff attribute point (adx, ady) dominates (bdx, bdy): <= in both
-/// axes, < in at least one. Equal points do not dominate each other.
-bool Dominates(Coord adx, Coord ady, Coord bdx, Coord bdy) {
-  return adx <= bdx && ady <= bdy && (adx < bdx || ady < bdy);
-}
-
-}  // namespace
-
 std::vector<SkylineEntry> SkylineQuery(const TwoLayerGrid& grid,
                                        const Point& q, const Box* region,
                                        const EntryPredicate& keep) {
@@ -39,13 +23,13 @@ std::vector<SkylineEntry> SkylineQuery(const TwoLayerGrid& grid,
     TLP_STATS_ADD(comparisons, 1);
     if (region != nullptr && !e.box.Intersects(*region)) return;
     if (keep && !keep(e)) return;
-    const Coord dx = AxisDistance(e.box.xl, e.box.xu, q.x);
-    const Coord dy = AxisDistance(e.box.yl, e.box.yu, q.y);
+    const Coord dx = SkylineAxisDistance(e.box.xl, e.box.xu, q.x);
+    const Coord dy = SkylineAxisDistance(e.box.yl, e.box.yu, q.y);
     for (const SkylineEntry& s : sky) {
-      if (Dominates(s.dx, s.dy, dx, dy)) return;
+      if (SkylineDominates(s.dx, s.dy, dx, dy)) return;
     }
     std::erase_if(sky, [&](const SkylineEntry& s) {
-      return Dominates(dx, dy, s.dx, s.dy);
+      return SkylineDominates(dx, dy, s.dx, s.dy);
     });
     sky.push_back(SkylineEntry{e, dx, dy});
   };

@@ -1,6 +1,7 @@
 #ifndef TLP_CORE_SKYLINE_H_
 #define TLP_CORE_SKYLINE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -8,6 +9,20 @@
 #include "core/two_layer_grid.h"
 
 namespace tlp {
+
+/// Minimum distance from coordinate v to the closed interval [lo, hi];
+/// 0 when inside. One axis of Box::MinDistanceTo, without the hypot.
+/// Exposed so the concurrency overlay computes delta candidates' skyline
+/// attributes with exactly the expression the base query uses.
+inline Coord SkylineAxisDistance(Coord lo, Coord hi, Coord v) {
+  return std::max({lo - v, Coord{0}, v - hi});
+}
+
+/// True iff attribute point (adx, ady) dominates (bdx, bdy): <= in both
+/// axes, < in at least one. Equal points do not dominate each other.
+inline bool SkylineDominates(Coord adx, Coord ady, Coord bdx, Coord bdy) {
+  return adx <= bdx && ady <= bdy && (adx < bdx || ady < bdy);
+}
 
 /// One skyline result: the stored entry plus its dominance attributes —
 /// the per-axis minimum distances from the query point to the MBR

@@ -18,8 +18,21 @@ const char* StatsLabel(QueryKind kind) {
     case QueryKind::kKnn: return "serve/knn";
     case QueryKind::kSkyline: return "serve/skyline";
     case QueryKind::kDivKnn: return "serve/divknn";
+    case QueryKind::kInsert: return "serve/insert";
+    case QueryKind::kDelete: return "serve/delete";
   }
   return "serve/?";
+}
+
+/// Shared k/fetch sanity ceiling: they size the result or pool the server
+/// must materialize; 2^32 already exceeds any dataset this serves.
+Status CheckCounts(const Query& q) {
+  constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 32;
+  if (q.k > kMaxCount) return Status::InvalidArgument("k too large");
+  if (q.has_fetch && q.fetch > kMaxCount) {
+    return Status::InvalidArgument("fetch too large");
+  }
+  return Status::OK();
 }
 
 std::string IdRow(ObjectId id) { return std::to_string(id); }
@@ -103,15 +116,11 @@ EntryPredicate CompileWhere(const Expr* where) {
 
 Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
                      EvalResult* out) {
-  // Sanity ceiling: k/fetch size the result or pool the server must
-  // materialize; 2^32 already exceeds any dataset this serves.
-  constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 32;
-  if (q.k > kMaxCount) {
-    return Status::InvalidArgument("k too large");
+  if (IsUpdate(q.kind)) {
+    return Status::InvalidArgument(
+        "read-only index: updates need a live server (tlp_serve --live)");
   }
-  if (q.has_fetch && q.fetch > kMaxCount) {
-    return Status::InvalidArgument("fetch too large");
-  }
+  if (Status s = CheckCounts(q); !s.ok()) return s;
 
   out->rows.clear();
   out->stats_json.clear();
@@ -176,6 +185,101 @@ Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
       }
       break;
     }
+    case QueryKind::kInsert:
+    case QueryKind::kDelete:
+      break;  // rejected by the IsUpdate early return above
+  }
+
+  if (q.with_stats && kQueryStatsEnabled) {
+    out->stats_json = GetQueryStats().ToJson(StatsLabel(q.kind));
+  }
+  return Status::OK();
+}
+
+Status EvaluateQuery(ConcurrentTwoLayerGrid& live, const Query& q,
+                     EvalResult* out) {
+  if (Status s = CheckCounts(q); !s.ok()) return s;
+
+  out->rows.clear();
+  out->stats_json.clear();
+
+  if (IsUpdate(q.kind)) {
+    if (q.id >= kInvalidObjectId) {
+      return Status::InvalidArgument("object id out of range");
+    }
+    const ObjectId id = static_cast<ObjectId>(q.id);
+    const bool applied = q.kind == QueryKind::kInsert
+                             ? live.Insert(BoxEntry{q.box, id})
+                             : live.Delete(id, q.box);
+    out->rows.push_back(applied ? "1" : "0");
+    return Status::OK();
+  }
+
+  if (q.with_stats) ResetQueryStats();
+  const EntryPredicate keep = CompileWhere(q.where.get());
+  const ConcurrentTwoLayerGrid::Snapshot snap = live.Acquire();
+
+  switch (q.kind) {
+    case QueryKind::kWindow: {
+      std::vector<ObjectId> ids;
+      if (!q.box.IsEmpty()) {
+        if (q.where == nullptr) {
+          snap.WindowQuery(q.box, &ids);
+        } else {
+          std::vector<BoxEntry> entries;
+          snap.WindowEntries(q.box, &entries);
+          for (const BoxEntry& e : entries) {
+            if (keep(e)) ids.push_back(e.id);
+          }
+        }
+      }
+      EmitIdRows(ids, &out->rows);
+      break;
+    }
+    case QueryKind::kDisk: {
+      std::vector<BoxEntry> entries;
+      snap.DiskQueryEntries(q.point, q.radius, &entries);
+      std::vector<ObjectId> ids;
+      ids.reserve(entries.size());
+      for (const BoxEntry& e : entries) {
+        if (!keep || keep(e)) ids.push_back(e.id);
+      }
+      EmitIdRows(ids, &out->rows);
+      break;
+    }
+    case QueryKind::kKnn: {
+      const auto results =
+          snap.KnnEntries(q.point, static_cast<std::size_t>(q.k), keep);
+      out->rows.reserve(results.size());
+      for (const RankedEntry& r : results) {
+        out->rows.push_back(RankedRow(r));
+      }
+      break;
+    }
+    case QueryKind::kSkyline: {
+      const Box* region = q.has_region ? &q.box : nullptr;
+      const auto sky = snap.SkylineQuery(q.point, region, keep);
+      out->rows.reserve(sky.size());
+      for (const SkylineEntry& s : sky) {
+        out->rows.push_back(SkylineRow(s));
+      }
+      break;
+    }
+    case QueryKind::kDivKnn: {
+      DivKnnOptions opts;
+      opts.k = static_cast<std::size_t>(q.k);
+      if (q.has_fetch) opts.fetch = static_cast<std::size_t>(q.fetch);
+      if (q.has_lambda) opts.lambda = q.lambda;
+      const auto results = snap.DiversifiedKnnQuery(q.point, opts, keep);
+      out->rows.reserve(results.size());
+      for (const RankedEntry& r : results) {
+        out->rows.push_back(RankedRow(r));
+      }
+      break;
+    }
+    case QueryKind::kInsert:
+    case QueryKind::kDelete:
+      break;  // handled above
   }
 
   if (q.with_stats && kQueryStatsEnabled) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "concurrency/versioned_grid.h"
 #include "core/entry_predicate.h"
 #include "core/two_layer_grid.h"
 #include "net/query_lang.h"
@@ -38,6 +39,15 @@ struct EvalResult {
 /// (k or fetch beyond 2^32) — the "eval" error class on the wire.
 [[nodiscard]] Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
                                    EvalResult* out);
+
+/// Evaluates `q` against a live (concurrent) index. Reads acquire one
+/// epoch-pinned snapshot and see (published version + unmerged delta) —
+/// exact, duplicate-free, same row formats as the read-only overload.
+/// Updates (INSERT / DELETE) apply through the writer path and reply with
+/// a single row: "1" (inserted / found and deleted) or "0" (duplicate id /
+/// not found).
+[[nodiscard]] Status EvaluateQuery(ConcurrentTwoLayerGrid& live,
+                                   const Query& q, EvalResult* out);
 
 /// The WHERE-clause scalar a field denotes for one stored entry.
 double FieldValue(const BoxEntry& entry, Field field);

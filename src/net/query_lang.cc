@@ -161,7 +161,11 @@ class Parser {
       : tokens_(std::move(tokens)), err_(err) {}
 
   bool Run(Query* out) {
-    if (!ExpectWord("SELECT")) return false;
+    if (AcceptWord("INSERT")) return ParseUpdate(QueryKind::kInsert, out);
+    if (AcceptWord("DELETE")) return ParseUpdate(QueryKind::kDelete, out);
+    if (!AcceptWord("SELECT")) {
+      return Fail(Peek(), "expected SELECT, INSERT, or DELETE");
+    }
     if (!ParseKind(out)) return false;
     if (AcceptWord("WHERE")) {
       out->where = ParseOr();
@@ -220,6 +224,22 @@ class Parser {
                            " must be a non-negative integer");
     }
     *out = static_cast<std::uint64_t>(value);
+    return true;
+  }
+
+  /// INSERT/DELETE tail: object id + full box, nothing else (updates take
+  /// no WHERE or WITH STATS).
+  bool ParseUpdate(QueryKind kind, Query* out) {
+    out->kind = kind;
+    const Token& id_tok = Peek();
+    if (!ExpectCount(&out->id, "object id")) return false;
+    if (out->id >= kInvalidObjectId) {
+      return Fail(id_tok, "object id out of range");
+    }
+    if (!ParseBox(&out->box)) return false;
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Fail(Peek(), "unexpected trailing input");
+    }
     return true;
   }
 
@@ -486,6 +506,13 @@ bool ParseQuery(std::string_view text, Query* out, ParseError* err) {
 }
 
 std::string PrintQuery(const Query& q) {
+  if (IsUpdate(q.kind)) {
+    std::string s = q.kind == QueryKind::kInsert ? "INSERT " : "DELETE ";
+    s += std::to_string(q.id);
+    s.push_back(' ');
+    PrintBox(q.box, &s);
+    return s;
+  }
   std::string s = "SELECT ";
   switch (q.kind) {
     case QueryKind::kWindow:
@@ -526,6 +553,9 @@ std::string PrintQuery(const Query& q) {
         s += std::to_string(q.fetch);
       }
       break;
+    case QueryKind::kInsert:
+    case QueryKind::kDelete:
+      break;  // handled by the IsUpdate early return above
   }
   if (q.where != nullptr) {
     s += " WHERE ";

@@ -18,6 +18,9 @@ namespace tlp::net {
 /// below. Grammar (keywords case-insensitive; numbers are C-like decimal
 /// literals with optional sign/fraction/exponent):
 ///
+///   stmt    := query
+///            | INSERT id xl yl xu yu
+///            | DELETE id xl yl xu yu
 ///   query   := SELECT kind [WHERE or] [WITH STATS]
 ///   kind    := WINDOW xl yl xu yu
 ///            | DISK x y radius
@@ -74,13 +77,25 @@ enum class QueryKind : std::uint8_t {
   kKnn,
   kSkyline,
   kDivKnn,
+  /// Update statements (INSERT / DELETE): only servable by a live
+  /// (concurrent) index — a read-only snapshot server rejects them at
+  /// evaluation time. The DELETE form carries the full box because
+  /// TwoLayerGrid::Delete needs the inserted box to locate replicas.
+  kInsert,
+  kDelete,
 };
+
+/// True for the update statements (INSERT / DELETE).
+inline bool IsUpdate(QueryKind k) {
+  return k == QueryKind::kInsert || k == QueryKind::kDelete;
+}
 
 /// A parsed request. Field validity depends on `kind`; unused fields keep
 /// their defaults and are ignored by the printer and evaluator.
 struct Query {
   QueryKind kind = QueryKind::kWindow;
-  Box box;                  // WINDOW box / SKYLINE IN region
+  Box box;                  // WINDOW box / SKYLINE IN region / update box
+  std::uint64_t id = 0;     // INSERT / DELETE object id
   Point point;              // DISK / KNN / SKYLINE / DIVKNN anchor
   Coord radius = 0;         // DISK
   std::uint64_t k = 0;      // KNN / DIVKNN

@@ -27,8 +27,12 @@ bool WriteFrameBounded(int fd, std::string_view frame,
                                 : Deadline::AfterMillis(timeout_ms);
   std::size_t written = 0;
   while (written < frame.size()) {
-    const ssize_t n =
-        ::write(fd, frame.data() + written, frame.size() - written);
+    // MSG_NOSIGNAL, not a raw write: a worker replying to a client that
+    // already disconnected must get EPIPE back (-> connection reaped),
+    // not a process-killing SIGPIPE. The library cannot assume the
+    // embedding process ignores SIGPIPE the way tlp_serve does.
+    const ssize_t n = ::send(fd, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<std::size_t>(n);
       continue;
@@ -50,7 +54,10 @@ bool WriteFrameBounded(int fd, std::string_view frame,
 }  // namespace
 
 QueryServer::QueryServer(const TwoLayerGrid& grid, ServerOptions options)
-    : grid_(grid), options_(std::move(options)) {}
+    : grid_(&grid), options_(std::move(options)) {}
+
+QueryServer::QueryServer(ConcurrentTwoLayerGrid& live, ServerOptions options)
+    : live_(&live), options_(std::move(options)) {}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -264,6 +271,7 @@ void QueryServer::MaybeDispatch(Conn* c) {
 void QueryServer::ExecuteOnWorker(Conn* c, std::string payload) {
   workers_->Submit([this, c, payload = std::move(payload)]() {
     bool ok_reply = false;
+    bool update_applied = false;
     std::string reply;
     try {
       if (pre_eval_hook_for_test) pre_eval_hook_for_test();
@@ -273,12 +281,17 @@ void QueryServer::ExecuteOnWorker(Conn* c, std::string payload) {
         reply = EncodeErrReply("parse", perr.offset, perr.message);
       } else {
         EvalResult result;
-        const Status s = EvaluateQuery(grid_, q, &result);
+        const Status s = live_ != nullptr ? EvaluateQuery(*live_, q, &result)
+                                          : EvaluateQuery(*grid_, q, &result);
         if (!s.ok()) {
           reply = EncodeErrReply("eval", 0, s.message());
         } else {
           reply = EncodeOkReply(result.rows, result.stats_json);
           ok_reply = true;
+          // "1" = applied; a "0" (duplicate insert / delete of a missing
+          // id) answered OK but changed nothing, so it does not count.
+          update_applied = IsUpdate(q.kind) && !result.rows.empty() &&
+                           result.rows.front() == "1";
         }
       }
     } catch (const std::exception& e) {
@@ -294,6 +307,7 @@ void QueryServer::ExecuteOnWorker(Conn* c, std::string payload) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (ok_reply) {
         ++counters_.queries_ok;
+        if (update_applied) ++counters_.updates_applied;
       } else {
         ++counters_.queries_error;
       }
@@ -310,10 +324,16 @@ void QueryServer::ProcessCompletions() {
     done.swap(completed_fds_);
   }
   for (const int fd : done) {
+    // Every completion record pairs with exactly one inflight_ increment
+    // in MaybeDispatch, so decrement unconditionally BEFORE any early
+    // continue. Skipping the decrement when the connection is gone (e.g.
+    // a disconnect-path close racing the worker) would leak an admission
+    // slot each time and eventually wedge the server at max_inflight,
+    // answering BUSY forever.
+    --inflight_;
     const auto it = conns_.find(fd);
     if (it == conns_.end()) continue;
     Conn* c = it->second.get();
-    --inflight_;
     c->state = Conn::State::kReading;
     if (c->dead.load(std::memory_order_relaxed) ||
         stop_.load(std::memory_order_relaxed)) {

@@ -14,6 +14,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "concurrency/versioned_grid.h"
 #include "core/two_layer_grid.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -66,10 +67,20 @@ class QueryServer {
     std::uint64_t busy_rejected = 0;    // BUSY replies sent
     std::uint64_t idle_disconnects = 0;
     std::uint64_t protocol_errors = 0;  // oversized frame etc.
+    /// INSERT/DELETE statements applied (live servers only; counted in
+    /// queries_ok too).
+    std::uint64_t updates_applied = 0;
   };
 
-  /// `grid` must outlive the server and is not mutated through it.
+  /// `grid` must outlive the server and is not mutated through it. A
+  /// server built this way is read-only: INSERT/DELETE statements get an
+  /// eval error.
   QueryServer(const TwoLayerGrid& grid, ServerOptions options);
+
+  /// Serves a live (concurrent) index: reads run against epoch-pinned
+  /// snapshots while INSERT/DELETE statements apply through the writer
+  /// path. `live` must outlive the server.
+  QueryServer(ConcurrentTwoLayerGrid& live, ServerOptions options);
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
   ~QueryServer();
@@ -119,7 +130,9 @@ class QueryServer {
   void CloseConn(int fd);
   void RefreshIdleDeadline(Conn* c);
 
-  const TwoLayerGrid& grid_;
+  /// Exactly one of the two is set (read-only vs live construction).
+  const TwoLayerGrid* grid_ = nullptr;
+  ConcurrentTwoLayerGrid* live_ = nullptr;
   const ServerOptions options_;
 
   UniqueFd listen_fd_;

@@ -53,6 +53,9 @@ TEST(QueryLangTest, ParsePrintReachesFixedPointInOneStep) {
       "SELECT KNN 0.5 0.5 9007199254740992",  // 2^53, largest exact count
       "SELECT WINDOW 1e-308 0 1 1",
       "SELECT WINDOW 0 0 1.7976931348623157e308 1",
+      "INSERT 42 0.1 0.2 0.3 0.4",
+      "delete 7 0 0 1 1",
+      "insert 4294967294 -1e3 -2.5 3e-2 4.125",  // largest valid id
   };
   for (const char* text : corpus) {
     const std::string once = Canon(text);
@@ -65,6 +68,9 @@ TEST(QueryLangTest, CanonicalFormIsStable) {
   // Pin the canonical shape itself, not just the fixed-point property.
   EXPECT_EQ(Canon("select window 0.25 .5 1e0 2.50 where id<7"),
             "SELECT WINDOW 0.25 0.5 1 2.5 WHERE ID < 7");
+  // Update statements canonicalize too: integer id, shortest numbers.
+  EXPECT_EQ(Canon("insert 07 .5 0 1e0 1"), "INSERT 7 0.5 0 1 1");
+  EXPECT_EQ(Canon("Delete 9 0.250 0 1 1"), "DELETE 9 0.25 0 1 1");
   EXPECT_EQ(Canon("SELECT KNN 0 0 5 WITH STATS"),
             "SELECT KNN 0 0 5 WITH STATS");
   EXPECT_EQ(Canon("SELECT DIVKNN 0 0 4 LAMBDA 0.5"),
@@ -131,6 +137,26 @@ TEST(QueryLangTest, ParsedFieldsMatchTheInput) {
   EXPECT_EQ(q.where->value, 0.5);
 }
 
+TEST(QueryLangTest, UpdateStatementsParseIdAndBox) {
+  Query q;
+  ParseError err;
+  ASSERT_TRUE(ParseQuery("INSERT 123 0.1 0.2 0.3 0.4", &q, &err));
+  EXPECT_EQ(q.kind, QueryKind::kInsert);
+  EXPECT_TRUE(IsUpdate(q.kind));
+  EXPECT_EQ(q.id, 123u);
+  EXPECT_EQ(q.box.xl, 0.1);
+  EXPECT_EQ(q.box.yl, 0.2);
+  EXPECT_EQ(q.box.xu, 0.3);
+  EXPECT_EQ(q.box.yu, 0.4);
+  EXPECT_EQ(q.where, nullptr);
+  EXPECT_FALSE(q.with_stats);
+
+  ASSERT_TRUE(ParseQuery("DELETE 4294967294 0 0 1 1", &q, &err));
+  EXPECT_EQ(q.kind, QueryKind::kDelete);
+  EXPECT_EQ(q.id, 4294967294u);  // kInvalidObjectId - 1: largest legal id
+  EXPECT_FALSE(IsUpdate(QueryKind::kWindow));
+}
+
 struct BadCase {
   const char* text;
   std::size_t offset;  // expected err.offset (byte position)
@@ -140,7 +166,7 @@ TEST(QueryLangTest, MalformedInputsRejectWithByteOffsets) {
   const BadCase corpus[] = {
       {"", 0},
       {"   ", 3},                      // EOF reported at input size
-      {"INSERT WINDOW 0 0 1 1", 0},    // not SELECT
+      {"UPSERT 5 0 0 1 1", 0},         // not SELECT/INSERT/DELETE
       {"SELECT", 6},                   // missing kind
       {"SELECT CIRCLE 0 0 1", 7},      // unknown kind
       {"SELECT WINDOW 0 0 1", 19},     // one coordinate short
@@ -165,6 +191,15 @@ TEST(QueryLangTest, MalformedInputsRejectWithByteOffsets) {
       {"SELECT SKYLINE 0 0 IN 0 0 1", 27},             // short IN box
       {"SELECT WINDOW 0 0 1 1 WHERE NOT", 31},
       {"SELECT WINDOW \xff 0 1 1", 14},                // non-ASCII byte
+      {"INSERT", 6},                   // missing id
+      {"INSERT WINDOW 0 0 1 1", 7},    // id must be a number
+      {"INSERT -1 0 0 1 1", 7},        // negative id
+      {"INSERT 1.5 0 0 1 1", 7},       // fractional id
+      {"INSERT 4294967295 0 0 1 1", 7},  // id == kInvalidObjectId
+      {"INSERT 5 0 0 1", 14},          // one coordinate short
+      {"INSERT 5 0 0 1 1 1", 17},      // trailing garbage
+      {"DELETE 5 0 0 1 1 WHERE ID < 5", 17},  // updates take no WHERE
+      {"DELETE 5 0 0 1 1 WITH STATS", 17},    // ... and no WITH STATS
   };
   for (const BadCase& c : corpus) {
     Query q;
@@ -190,9 +225,10 @@ TEST(QueryLangTest, ParserNeverCrashesOnHostileInput) {
       "SELECT WINDOW 0 0 1 1 WHERE ID < 5 WITH STATS",
       "SELECT DIVKNN 0.5 0.5 8 LAMBDA 0.5 FETCH 64",
       "SELECT SKYLINE 0.5 0.5 IN 0.2 0.2 0.8 0.8",
+      "INSERT 42 0.1 0.2 0.3 0.4",
   };
   for (int round = 0; round < 2000; ++round) {
-    std::string text = seeds[static_cast<std::size_t>(round) % 3];
+    std::string text = seeds[static_cast<std::size_t>(round) % 4];
     // Mutate a few bytes: overwrite, truncate, or duplicate.
     for (int m = 0; m < 4; ++m) {
       if (text.empty()) break;

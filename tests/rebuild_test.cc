@@ -8,6 +8,8 @@
 // data after a larger one (stale survivors), and Insert-then-Build.
 
 #include <cstddef>
+#include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -105,6 +107,116 @@ TEST(RebuildTest, InvariantsHoldAfterRebuild) {
   TwoLayerPlusGrid plus(Layout());
   plus.Build(a);
   plus.Build(b);
+  EXPECT_TRUE(plus.CheckInvariants());
+}
+
+// --- Frozen/Thaw mutation-contract audit ---------------------------------
+//
+// A mapped snapshot comes back frozen (updates throw); Thaw() must hand
+// back a fully mutable index whose DERIVED state (occupancy bitset, id->MBR
+// table, decomposed tables) is consistent with the records — a Thaw that
+// copied the columns but left derived state stale would pass queries until
+// the first post-thaw mutation touched the stale tile.
+
+std::string RebuildTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(RebuildTest, FrozenRejectsMutationsThawRestoresThem) {
+  const auto data = testing::RandomEntries(1500, 0.04, 41);
+  TwoLayerPlusGrid original(Layout());
+  original.Build(data);
+  const std::string path = RebuildTempPath("rebuild_frozen.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  TwoLayerPlusGrid mapped(Layout());
+  ASSERT_TRUE(mapped.LoadMapped(path).ok());
+  ASSERT_TRUE(mapped.frozen());
+  EXPECT_THROW(mapped.Insert(BoxEntry{Box{0.1, 0.1, 0.2, 0.2}, 90001}),
+               std::logic_error);
+  EXPECT_THROW(mapped.Delete(data[0].id, data[0].box), std::logic_error);
+  EXPECT_THROW(mapped.Build(data), std::logic_error);
+
+  ASSERT_TRUE(mapped.Thaw().ok());
+  ASSERT_FALSE(mapped.frozen());
+  // Post-thaw mutations must behave exactly like mutations on the
+  // never-frozen original: delete some, insert some, stay invariant-clean.
+  auto expected = data;
+  for (std::size_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(mapped.Delete(expected.back().id, expected.back().box));
+    expected.pop_back();
+  }
+  const auto fresh = testing::RandomEntries(200, 0.04, 42);
+  for (const BoxEntry& e : fresh) {
+    mapped.Insert(BoxEntry{e.box, e.id + 50000});
+    expected.push_back(BoxEntry{e.box, e.id + 50000});
+  }
+  EXPECT_TRUE(mapped.CheckInvariants());
+  ExpectMatchesData(mapped, expected, "2-layer+: mutate after thaw");
+  std::remove(path.c_str());
+}
+
+TEST(RebuildTest, ThawedRecordLayerMutates) {
+  const auto data = testing::RandomEntries(800, 0.05, 43);
+  TwoLayerGrid original(Layout());
+  original.Build(data);
+  const std::string path = RebuildTempPath("rebuild_frozen_2l.tlps");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  TwoLayerGrid loaded(Layout());
+  ASSERT_TRUE(loaded.Load(path).ok());  // owned load: mutable immediately
+  ASSERT_FALSE(loaded.frozen());
+  auto expected = data;
+  for (std::size_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(loaded.Delete(expected.back().id, expected.back().box));
+    expected.pop_back();
+  }
+  EXPECT_TRUE(loaded.CheckInvariants());
+  ExpectMatchesData(loaded, expected, "2-layer: mutate after owned load");
+  std::remove(path.c_str());
+}
+
+// --- Delete-to-empty occupancy parity ------------------------------------
+//
+// TwoLayerGrid::Delete clears a tile's occupancy bit when its last entry
+// goes (two_layer_grid.cc); TwoLayerPlusGrid::Delete delegates to it, so
+// the record layer under a 2-layer+ must show the identical bit pattern.
+// Pinned as a regression test: a Delete path that skipped the Clear would
+// keep queries correct (the tile scan finds nothing) while silently
+// defeating the occupancy skip — and CheckInvariants cross-checks the bits.
+
+TEST(RebuildTest, DeleteToEmptyClearsOccupancy) {
+  const auto data = testing::RandomEntries(600, 0.06, 44);
+
+  TwoLayerGrid grid(Layout());
+  grid.Build(data);
+  TwoLayerPlusGrid plus(Layout());
+  plus.Build(data);
+
+  for (const BoxEntry& e : data) {
+    ASSERT_TRUE(grid.Delete(e.id, e.box));
+    ASSERT_TRUE(plus.Delete(e.id, e.box));
+  }
+  const std::size_t tiles = grid.layout().tile_count();
+  for (std::size_t t = 0; t < tiles; ++t) {
+    EXPECT_FALSE(grid.occupancy().Test(t)) << "2-layer tile " << t;
+    EXPECT_FALSE(plus.record_layer().occupancy().Test(t))
+        << "2-layer+ tile " << t;
+  }
+  EXPECT_TRUE(grid.CheckInvariants());
+  EXPECT_TRUE(plus.CheckInvariants());
+  std::vector<ObjectId> out;
+  grid.WindowQuery(kUnit, &out);
+  EXPECT_TRUE(out.empty());
+  plus.WindowQuery(kUnit, &out);
+  EXPECT_TRUE(out.empty());
+
+  // The emptied indexes must accept fresh inserts (occupancy bits return).
+  grid.Insert(data[0]);
+  plus.Insert(data[0]);
+  grid.WindowQuery(kUnit, &out);
+  EXPECT_EQ(out, std::vector<ObjectId>{data[0].id});
+  EXPECT_TRUE(grid.CheckInvariants());
   EXPECT_TRUE(plus.CheckInvariants());
 }
 

@@ -210,6 +210,36 @@ class LintHarness(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
         self.assertIn("header(s) self-containment-checked", proc.stderr)
 
+    # ---- TLP005: epoch-free Version access stays in src/concurrency ----
+
+    def test_unsafe_version_access_outside_concurrency_is_tlp005(self):
+        self.write("src/fake/bad_version.cc",
+                   "namespace tlp { struct V; struct G {"
+                   " const V* unsafe_published_version() const; }; }\n"
+                   "const tlp::V* Peek(const tlp::G& g) {\n"
+                   "  return g.unsafe_published_version();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assert_flags(proc, "TLP005", "bad_version.cc:3")
+
+    def test_unsafe_version_access_inside_concurrency_is_sanctioned(self):
+        self.write("src/concurrency/merge_task.cc",
+                   "namespace tlp { struct V; struct G {"
+                   " const V* unsafe_published_version() const; }; }\n"
+                   "const tlp::V* Merge(const tlp::G& g) {\n"
+                   "  return g.unsafe_published_version();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_unsafe_version_in_prose_is_ignored(self):
+        self.write("src/fake/ok_version_prose.cc",
+                   "// Call unsafe_published_version() only under the "
+                   "writer mutex.\n"
+                   "const char* kDoc = \"unsafe_published_version(\";\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
     # ---- suppression policy ----
 
     def test_suppression_with_reason_is_honoured(self):
@@ -249,7 +279,8 @@ class LintHarness(unittest.TestCase):
         proc = subprocess.run([sys.executable, LINT, "--list-rules"],
                               capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
-        for rule in ("TLP000", "TLP001", "TLP002", "TLP003", "TLP004"):
+        for rule in ("TLP000", "TLP001", "TLP002", "TLP003", "TLP004",
+                     "TLP005"):
             self.assertIn(rule, proc.stdout)
 
 

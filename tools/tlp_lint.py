@@ -49,6 +49,16 @@ allowed to do something, not *how* it does it:
       headers, and any tool that parses headers standalone — clang-tidy
       among them.
 
+  TLP005 unguarded-version-access
+      `unsafe_published_version(` reads the concurrent index's published
+      Version pointer without pinning an epoch (docs/CONCURRENCY.md): the
+      background merge may retire and free that Version at any moment, so
+      every dereference outside the concurrency layer itself is a latent
+      use-after-free that TSan only catches if a merge happens to race the
+      test. Code outside src/concurrency/ must go through
+      ConcurrentTwoLayerGrid::Acquire(), whose Snapshot holds the epoch
+      Guard for exactly the pointer's lifetime.
+
 Suppressions: append `// tlp-lint: allow(TLPnnn) <reason>` to the
 offending line. The reason is mandatory; a bare allow() is itself a
 violation (TLP000). Suppressions are for the seam files themselves and
@@ -94,6 +104,11 @@ RULE_EXEMPT = {
 # only the serving layer may open them.
 SOCKET_ALLOWED_PREFIXES = ("src/net/",)
 
+# Directory prefixes where the raw published-Version accessor is legal:
+# the concurrency layer itself (which defines it and uses it under the
+# writer mutex / in teardown, where the epoch argument is made by hand).
+UNSAFE_VERSION_ALLOWED_PREFIXES = ("src/concurrency/",)
+
 # TLP001: tokens that reach the OS or the C/C++ file APIs directly.
 RAW_IO_RE = re.compile(
     r"""(?x)
@@ -135,6 +150,11 @@ NONDET_RE = re.compile(
     """
 )
 
+# TLP005: the epoch-free accessor on the concurrent index. Matches the
+# call site, so the declaration in versioned_grid.h (inside the allowed
+# prefix) and prose mentions (stripped) stay silent.
+UNSAFE_VERSION_RE = re.compile(r"\bunsafe_published_version\s*\(")
+
 SUPPRESS_RE = re.compile(r"//\s*tlp-lint:\s*allow\((TLP\d{3})\)\s*(\S?.*)$")
 
 RULES = {
@@ -143,6 +163,7 @@ RULES = {
     "TLP002": "assert() in a library header (compiles out under NDEBUG)",
     "TLP003": "ambient randomness or wall-clock outside rng.h/timer.h",
     "TLP004": "header is not self-contained",
+    "TLP005": "epoch-free published-Version access outside src/concurrency",
 }
 
 
@@ -261,6 +282,10 @@ def scan_text_rules(repo):
             if is_header:
                 check("TLP002", ASSERT_RE,
                       "— throw or return Status; NDEBUG erases this check")
+            if not rel.startswith(UNSAFE_VERSION_ALLOWED_PREFIXES):
+                check("TLP005", UNSAFE_VERSION_RE,
+                      "— pin an epoch via ConcurrentTwoLayerGrid::Acquire();"
+                      " the merge thread may free this Version under you")
             check("TLP003", NONDET_RE,
                   "— use tlp::Rng (common/rng.h), Stopwatch (common/timer.h)"
                   " or Deadline (common/deadline.h)")

@@ -8,6 +8,10 @@
 //       rectangles (datagen/synthetic), for smoke tests and benchmarks.
 //
 // Common options:
+//   --live                serve a mutable index: INSERT/DELETE statements
+//                         apply through the epoch-based concurrent writer
+//                         path (docs/CONCURRENCY.md); without it the server
+//                         is read-only and updates get an eval error
 //   --bind=ADDR           IPv4 address to bind (default 127.0.0.1)
 //   --port=P              TCP port; 0 (default) picks an ephemeral port
 //   --port-file=PATH      write the bound port to PATH (atomic rename), so
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/versioned_grid.h"
 #include "core/two_layer_grid.h"
 #include "datagen/synthetic.h"
 #include "grid/grid_layout.h"
@@ -75,6 +80,7 @@ struct Options {
   std::size_t synthetic = 0;
   std::uint64_t seed = 7;
   std::uint32_t grid = 0;  // 0 = auto, like tlp_snapshot build
+  bool live = false;
   tlp::net::ServerOptions server;
 };
 
@@ -83,6 +89,7 @@ int Usage() {
       stderr,
       "usage: tlp_serve --snapshot=FILE | --synthetic=N [options]\n"
       "  --seed=S --grid=D            (synthetic data only)\n"
+      "  --live                       (accept INSERT/DELETE statements)\n"
       "  --bind=ADDR --port=P --port-file=PATH\n"
       "  --workers=W --max-inflight=M --idle-timeout-ms=T\n");
   return kExitUsage;
@@ -119,6 +126,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         out->server.max_inflight = std::stoull(v);
       } else if (eat("--idle-timeout-ms=", &v)) {
         out->server.idle_timeout_ms = std::stoull(v);
+      } else if (arg == "--live") {
+        out->live = true;
       } else {
         std::fprintf(stderr, "tlp_serve: unknown option '%s'\n", arg.c_str());
         return false;
@@ -222,17 +231,40 @@ int Run(const Options& opt) {
   // A client vanishing mid-write must not kill the process.
   std::signal(SIGPIPE, SIG_IGN);
 
-  tlp::net::QueryServer server(*grid, opt.server);
-  if (Status s = server.Start(); !s.ok()) return Report(s, "cannot start");
+  // --live: wrap the loaded grid in the concurrent index. The snapshot
+  // path copies (PersistentIndex owns the original; a mapped/frozen grid
+  // is thawed by the wrapper), the synthetic path moves.
+  std::unique_ptr<tlp::ConcurrentTwoLayerGrid> live;
+  if (opt.live) {
+    if (synthetic_index != nullptr) {
+      live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+          std::move(*synthetic_index));
+      synthetic_index.reset();
+    } else {
+      live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+          tlp::TwoLayerGrid(*grid));
+      snapshot_index.reset();
+    }
+    grid = nullptr;
+    std::printf("tlp_serve: live mode: INSERT/DELETE enabled\n");
+  }
+
+  // QueryServer is neither copyable nor movable (it owns threads and a
+  // mutex), so pick the constructor behind a unique_ptr.
+  const auto server =
+      live != nullptr
+          ? std::make_unique<tlp::net::QueryServer>(*live, opt.server)
+          : std::make_unique<tlp::net::QueryServer>(*grid, opt.server);
+  if (Status s = server->Start(); !s.ok()) return Report(s, "cannot start");
 
   std::printf("tlp_serve: listening on %s:%u\n",
-              opt.server.bind_address.c_str(), server.port());
+              opt.server.bind_address.c_str(), server->port());
   std::fflush(stdout);
   if (!opt.port_file.empty() &&
-      !WritePortFile(opt.port_file, server.port())) {
+      !WritePortFile(opt.port_file, server->port())) {
     std::fprintf(stderr, "tlp_serve: cannot write --port-file=%s\n",
                  opt.port_file.c_str());
-    server.Shutdown();
+    server->Shutdown();
     return kExitIo;
   }
 
@@ -241,20 +273,22 @@ int Run(const Options& opt) {
   }
   std::printf("tlp_serve: received %s, draining\n",
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
-  server.Shutdown();  // graceful: in-flight queries finish first
+  server->Shutdown();  // graceful: in-flight queries finish first
+  if (live != nullptr) live->Flush();  // fold the remaining delta
 
-  const tlp::net::QueryServer::Counters c = server.counters();
+  const tlp::net::QueryServer::Counters c = server->counters();
   std::printf(
       "TLP_SERVE_COUNTERS {\"connections_accepted\": %llu, "
       "\"queries_ok\": %llu, \"queries_error\": %llu, "
       "\"busy_rejected\": %llu, \"idle_disconnects\": %llu, "
-      "\"protocol_errors\": %llu}\n",
+      "\"protocol_errors\": %llu, \"updates_applied\": %llu}\n",
       static_cast<unsigned long long>(c.connections_accepted),
       static_cast<unsigned long long>(c.queries_ok),
       static_cast<unsigned long long>(c.queries_error),
       static_cast<unsigned long long>(c.busy_rejected),
       static_cast<unsigned long long>(c.idle_disconnects),
-      static_cast<unsigned long long>(c.protocol_errors));
+      static_cast<unsigned long long>(c.protocol_errors),
+      static_cast<unsigned long long>(c.updates_applied));
   return kExitOk;
 }
 
