@@ -22,6 +22,13 @@
 // --live server), so the reported p50/p99 measure reads racing the
 // concurrent writer path instead of an immutable index.
 //
+// --wal-stats fetches the server's WALSTATS counters after the batch and
+// appends them to the trajectory (wal_appends / wal_fsync_batches /
+// wal_bytes_logged), so a durability-cost regression — say fsync batching
+// degrading to one fsync per op — shows up in bench_compare.py next to the
+// latency it caused. Requires a --live server; counters are zero unless it
+// also runs with --wal-dir.
+//
 // Results print as one TLP_BENCH_SERVE JSON line and, when TLP_BENCH_JSON
 // is set, append to the trajectory document (bench_id "serve") as records
 //   serve/mixed/c<C>/p50  (real_time_us = p50, items_per_second = qps)
@@ -40,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -60,13 +68,15 @@ struct Options {
   std::size_t warmup = 20;
   bool with_stats = false;
   double update_fraction = 0;  // of slots that are INSERT/DELETE
+  bool wal_stats = false;      // fetch WALSTATS after the batch
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_serve --port=P [--host=A] [--connections=C]\n"
                "                   [--queries-per-conn=Q] [--warmup=W]\n"
-               "                   [--with-stats] [--update-fraction=F]\n");
+               "                   [--with-stats] [--update-fraction=F]\n"
+               "                   [--wal-stats]\n");
   return 2;
 }
 
@@ -95,6 +105,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         out->with_stats = true;
       } else if (eat("--update-fraction=", &v)) {
         out->update_fraction = std::stod(v);
+      } else if (arg == "--wal-stats") {
+        out->wal_stats = true;
       } else {
         std::fprintf(stderr, "bench_serve: unknown option '%s'\n",
                      arg.c_str());
@@ -257,6 +269,56 @@ bool FlushWrites(ConnState* c) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     if (n < 0 && errno == EINTR) continue;
     return false;
+  }
+  return true;
+}
+
+/// One synchronous WALSTATS round-trip on a fresh blocking connection;
+/// fills `*out` with the server's `key value` rows. Used after the timed
+/// batch, so the extra connection never perturbs the measurement.
+bool FetchWalStats(const Options& opt,
+                   std::vector<std::pair<std::string, double>>* out) {
+  UniqueFd fd;
+  if (tlp::Status s = tlp::net::ConnectTcp(opt.host, opt.port, &fd);
+      !s.ok()) {
+    std::fprintf(stderr, "bench_serve: wal-stats connect failed: %s\n",
+                 s.message().c_str());
+    return false;
+  }
+  if (tlp::Status s =
+          tlp::net::WriteAll(fd.get(), tlp::net::EncodeFrame("WALSTATS"));
+      !s.ok()) {
+    std::fprintf(stderr, "bench_serve: wal-stats send failed: %s\n",
+                 s.message().c_str());
+    return false;
+  }
+  FrameDecoder decoder;
+  std::string payload;
+  char buf[4096];
+  while (!decoder.Next(&payload)) {
+    const long n = tlp::net::ReadSome(fd.get(), buf, sizeof(buf));
+    if (n <= 0) {
+      std::fprintf(stderr, "bench_serve: wal-stats reply truncated\n");
+      return false;
+    }
+    decoder.Append(buf, static_cast<std::size_t>(n));
+  }
+  Reply reply;
+  if (!ParseReply(payload, &reply) || reply.kind != Reply::Kind::kOk) {
+    std::fprintf(stderr, "bench_serve: WALSTATS rejected (server not "
+                         "--live?): %s\n",
+                 payload.c_str());
+    return false;
+  }
+  for (const std::string& row : reply.rows) {
+    const std::size_t space = row.find(' ');
+    if (space == std::string::npos) continue;
+    try {
+      out->emplace_back(row.substr(0, space),
+                        std::stod(row.substr(space + 1)));
+    } catch (const std::exception&) {
+      // Non-numeric value: skip — the trajectory only takes numbers.
+    }
   }
   return true;
 }
@@ -484,6 +546,23 @@ int Run(const Options& opt) {
   records.push_back({std::string(name) + "/p99", p99, 0});
   records.push_back({std::string(name) + "/busy_retries",
                      static_cast<double>(totals.busy), 0});
+
+  if (opt.wal_stats) {
+    std::vector<std::pair<std::string, double>> wal_rows;
+    if (!FetchWalStats(opt, &wal_rows)) return 1;
+    // Every WALSTATS row goes to stdout (tlp_wal_smoke.sh reads live_count
+    // and friends there), but only the durability-cost trio rides in the
+    // trajectory — the rest is liveness state, not costs, and would only
+    // add noise to bench_compare.py.
+    for (const auto& [key, value] : wal_rows) {
+      std::printf("TLP_BENCH_SERVE_WAL {\"%s\": %.0f}\n", key.c_str(),
+                  value);
+      if (key == "appends" || key == "fsync_batches" ||
+          key == "bytes_logged") {
+        records.push_back({std::string(name) + "/wal_" + key, value, 0});
+      }
+    }
+  }
   tlp::bench::AppendBenchTrajectory("serve", records);
   return 0;
 }

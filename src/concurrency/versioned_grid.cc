@@ -1,7 +1,10 @@
 #include "concurrency/versioned_grid.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "wal/durable_log.h"
 
 namespace tlp {
 
@@ -49,6 +52,7 @@ ConcurrentTwoLayerGrid::ConcurrentTwoLayerGrid(TwoLayerGrid base,
       }
     }
   }
+  live_count_.store(live_ids_.size(), std::memory_order_relaxed);
   tail_ = std::make_shared<DeltaChunk>();
   published_.store(new Version{std::move(owned), tail_, 0, 0, 0});
 }
@@ -67,17 +71,102 @@ ConcurrentTwoLayerGrid::~ConcurrentTwoLayerGrid() {
 }
 
 bool ConcurrentTwoLayerGrid::Insert(const BoxEntry& entry) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  if (!live_ids_.insert(entry.id).second) return false;
-  AppendLocked(DeltaOp{DeltaOp::Kind::kInsert, entry});
-  return true;
+  bool applied = false;
+  // With a WAL attached a failed append/fsync reports as "not applied" on
+  // this legacy surface; callers that must distinguish (the serving eval
+  // path) use InsertDurable directly.
+  (void)InsertDurable(entry, &applied);
+  return applied;
 }
 
 bool ConcurrentTwoLayerGrid::Delete(ObjectId id, const Box& box) {
+  bool applied = false;
+  (void)DeleteDurable(id, box, &applied);
+  return applied;
+}
+
+void ConcurrentTwoLayerGrid::AttachWal(DurableLog* wal) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  if (live_ids_.erase(id) == 0) return false;
-  AppendLocked(DeltaOp{DeltaOp::Kind::kDelete, BoxEntry{box, id}});
-  return true;
+  if (total_ops_ != 0) {
+    throw std::logic_error(
+        "AttachWal: updates already applied without a log; the WAL history "
+        "would not match the index history");
+  }
+  wal_ = wal;
+  wal_base_ = wal->next_seq() - 1;
+}
+
+Status ConcurrentTwoLayerGrid::InsertDurable(const BoxEntry& entry,
+                                             bool* applied) {
+  *applied = false;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (live_ids_.count(entry.id) != 0) return Status::OK();  // duplicate
+    if (wal_ != nullptr) {
+      // Log before entering the delta log: an op a reader could ever see
+      // must be on the path to durability. Append only buffers — failure
+      // here leaves both log and index untouched.
+      seq = wal_base_ + total_ops_ + 1;
+      Status s = wal_->Append(wal::MakeOp(/*insert=*/true, seq, entry));
+      if (!s.ok()) return s;
+    }
+    live_ids_.insert(entry.id);
+    AppendLocked(DeltaOp{DeltaOp::Kind::kInsert, entry});
+    live_count_.store(live_ids_.size(), std::memory_order_relaxed);
+  }
+  *applied = true;
+  // Group commit outside the writer mutex: concurrent writers keep
+  // appending while one leader fsyncs a batch covering all of them.
+  if (wal_ != nullptr) return wal_->Sync(seq);
+  return Status::OK();
+}
+
+Status ConcurrentTwoLayerGrid::DeleteDurable(ObjectId id, const Box& box,
+                                             bool* applied) {
+  *applied = false;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (live_ids_.count(id) == 0) return Status::OK();  // not live
+    if (wal_ != nullptr) {
+      seq = wal_base_ + total_ops_ + 1;
+      Status s =
+          wal_->Append(wal::MakeOp(/*insert=*/false, seq, BoxEntry{box, id}));
+      if (!s.ok()) return s;
+    }
+    live_ids_.erase(id);
+    AppendLocked(DeltaOp{DeltaOp::Kind::kDelete, BoxEntry{box, id}});
+    live_count_.store(live_ids_.size(), std::memory_order_relaxed);
+  }
+  *applied = true;
+  if (wal_ != nullptr) return wal_->Sync(seq);
+  return Status::OK();
+}
+
+Status ConcurrentTwoLayerGrid::CheckpointWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->WriteDeltaSnapshot(wal_->durable_seq());
+}
+
+Status ConcurrentTwoLayerGrid::CompactWal() {
+  if (wal_ == nullptr) return Status::OK();
+  Flush();
+  std::shared_ptr<const TwoLayerGrid> base;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const Version& cur = *published_.load();
+    if (cur.delta_begin != cur.delta_end) {
+      return Status::InvalidArgument(
+          "CompactWal: index not quiesced (ops appended during the flush)");
+    }
+    base = cur.base;
+    seq = wal_base_ + cur.delta_end;
+  }
+  // `base` is immutable by protocol and the shared_ptr keeps it alive even
+  // if another version publishes meanwhile.
+  return wal_->Compact(*base, seq);
 }
 
 void ConcurrentTwoLayerGrid::AppendLocked(const DeltaOp& op) {
@@ -163,6 +252,17 @@ void ConcurrentTwoLayerGrid::RunMerge() {
       MaybeScheduleMergeLocked();
     }
     merged_cv_.notify_all();
+    // Checkpoint cadence rides on the merge thread — the one background
+    // thread this index owns — so delta snapshots never block a writer or
+    // a reader. A failed checkpoint only leaves the low-water mark where
+    // it was (recovery replays more log); persistent I/O failures surface
+    // through the writers' own appends.
+    if (wal_ != nullptr && options_.wal_delta_every > 0) {
+      const std::uint64_t durable = wal_->durable_seq();
+      if (durable >= wal_->low_water_mark() + options_.wal_delta_every) {
+        (void)wal_->WriteDeltaSnapshot(durable);
+      }
+    }
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(writer_mu_);
@@ -200,11 +300,6 @@ std::uint64_t ConcurrentTwoLayerGrid::published_seq() const {
   // only happens in PublishLocked).
   std::lock_guard<std::mutex> lock(writer_mu_);
   return published_.load()->delta_end;
-}
-
-std::size_t ConcurrentTwoLayerGrid::live_count() const {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  return live_ids_.size();
 }
 
 ConcurrentTwoLayerGrid::Snapshot::Snapshot(EpochDomain::Guard guard,

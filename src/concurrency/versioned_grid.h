@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "concurrency/epoch.h"
 #include "core/diversified_knn.h"
@@ -20,6 +21,8 @@
 #include "core/two_layer_grid.h"
 
 namespace tlp {
+
+class DurableLog;
 
 /// One update in the append-only delta log.
 struct DeltaOp {
@@ -86,6 +89,11 @@ class ConcurrentTwoLayerGrid {
     /// reader overlays stays bounded by roughly this plus one merge's
     /// worth of concurrent appends.
     std::size_t merge_threshold = 1024;
+    /// With an attached WAL: durable ops beyond the log's low-water mark
+    /// that make the background merge thread write a delta snapshot
+    /// (docs/DURABILITY.md). 0 disables the automatic cadence (checkpoints
+    /// then only happen through CheckpointWal/CompactWal).
+    std::uint64_t wal_delta_every = 4096;
   };
 
   /// Takes ownership of `base` (thaws it first if frozen — served versions
@@ -107,6 +115,41 @@ class ConcurrentTwoLayerGrid {
   /// Deletes object `id` (with the box it was inserted with, as in
   /// TwoLayerGrid::Delete). Returns false when no such object is live.
   bool Delete(ObjectId id, const Box& box);
+
+  /// Attaches the write-ahead log every subsequent update appends to
+  /// before entering the delta log (docs/DURABILITY.md). Must be called
+  /// before the first update (the log's committed history has to equal
+  /// this index's op history); throws std::logic_error otherwise. The log
+  /// must already reflect this index's base state (RecoverIndex, or a
+  /// seeding Compact) and must outlive this object.
+  void AttachWal(DurableLog* wal);
+
+  /// Insert with durability: the op is logged, applied, and group-commit
+  /// fsynced before OK returns — an OK with *applied true is a durable
+  /// acknowledgment. A non-OK status means the update must NOT be
+  /// acknowledged: the WAL rejected or failed to persist it (when the
+  /// fsync itself failed the op may still be visible in memory; recovery
+  /// replays a consistent prefix regardless). Without an attached WAL
+  /// this is exactly Insert(). *applied false with OK = duplicate id.
+  [[nodiscard]] Status InsertDurable(const BoxEntry& entry, bool* applied);
+
+  /// Delete counterpart of InsertDurable. *applied false with OK = no
+  /// such live object.
+  [[nodiscard]] Status DeleteDurable(ObjectId id, const Box& box,
+                                     bool* applied);
+
+  /// Writes a WAL delta snapshot covering everything durable (O(changes);
+  /// the cheap checkpoint a graceful shutdown performs). No-op without an
+  /// attached WAL.
+  [[nodiscard]] Status CheckpointWal();
+
+  /// Flushes all ops into the base grid, then compacts the WAL into a
+  /// full snapshot of it. Requires the index to be quiesced (no
+  /// concurrent writers). No-op without an attached WAL.
+  [[nodiscard]] Status CompactWal();
+
+  /// The attached log (null when none) — for stats surfaces (WALSTATS).
+  DurableLog* wal() const { return wal_; }
 
   /// Blocks until every op published before the call is merged into the
   /// base grid (the published delta window is empty).
@@ -184,8 +227,14 @@ class ConcurrentTwoLayerGrid {
   /// Sequence number of the currently published version (test/monitoring
   /// aid; racy by nature).
   std::uint64_t published_seq() const;
-  /// Live objects (base + delta), exact under the writer mutex.
-  std::size_t live_count() const;
+  /// Live objects (base + delta). Lock-free: reads an atomic counter the
+  /// writer maintains, so monitoring surfaces (WALSTATS, the serve
+  /// counters) never contend with the update path. Exact once writers
+  /// quiesce; during concurrent updates it lags by at most the in-flight
+  /// op.
+  std::size_t live_count() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
   /// Completed background merges (test/monitoring aid).
   std::uint64_t merges_completed() const {
     return merges_completed_.load();
@@ -223,6 +272,12 @@ class ConcurrentTwoLayerGrid {
   /// Ids currently live (base + appended delta); gives Insert/Delete their
   /// found/duplicate return values without consulting the index.
   std::unordered_set<ObjectId> live_ids_;
+  /// live_ids_.size(), mirrored for lock-free live_count().
+  std::atomic<std::size_t> live_count_{0};
+  /// Durability (null = not durable). wal_base_ + op index = WAL sequence;
+  /// both set once by AttachWal before any update.
+  DurableLog* wal_ = nullptr;
+  std::uint64_t wal_base_ = 0;
   /// Chunk receiving the next append and the global index of its ops[0].
   std::shared_ptr<DeltaChunk> tail_;
   std::uint64_t tail_base_ = 0;

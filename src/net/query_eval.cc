@@ -6,6 +6,7 @@
 #include "common/query_stats.h"
 #include "core/diversified_knn.h"
 #include "core/skyline.h"
+#include "wal/durable_log.h"
 
 namespace tlp::net {
 
@@ -20,8 +21,32 @@ const char* StatsLabel(QueryKind kind) {
     case QueryKind::kDivKnn: return "serve/divknn";
     case QueryKind::kInsert: return "serve/insert";
     case QueryKind::kDelete: return "serve/delete";
+    case QueryKind::kWalStats: return "serve/walstats";
   }
   return "serve/?";
+}
+
+/// The WALSTATS result: deterministic key-sorted `key value` rows so
+/// clients (bench_serve, the kill-restart smoke) can diff two servers'
+/// durability state textually.
+void EmitWalStats(const ConcurrentTwoLayerGrid& live,
+                  std::vector<std::string>* rows) {
+  const DurableLog* wal = live.wal();
+  const WalStats stats = wal != nullptr ? wal->stats() : WalStats{};
+  const auto row = [rows](const char* key, std::uint64_t value) {
+    rows->push_back(std::string(key) + " " + std::to_string(value));
+  };
+  row("appends", stats.appends);
+  row("bytes_logged", stats.bytes_logged);
+  row("compactions", stats.compactions);
+  row("delta_snapshots", stats.delta_snapshots);
+  row("durable_seq", wal != nullptr ? wal->durable_seq() : 0);
+  row("fsync_batches", stats.fsync_batches);
+  row("live_count", live.live_count());
+  row("low_water_mark", wal != nullptr ? wal->low_water_mark() : 0);
+  row("published_seq", live.published_seq());
+  row("rotations", stats.rotations);
+  row("wal_attached", wal != nullptr ? 1 : 0);
 }
 
 /// Shared k/fetch sanity ceiling: they size the result or pool the server
@@ -120,6 +145,10 @@ Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
     return Status::InvalidArgument(
         "read-only index: updates need a live server (tlp_serve --live)");
   }
+  if (q.kind == QueryKind::kWalStats) {
+    return Status::InvalidArgument(
+        "read-only index: WALSTATS needs a live server (tlp_serve --live)");
+  }
   if (Status s = CheckCounts(q); !s.ok()) return s;
 
   out->rows.clear();
@@ -187,7 +216,8 @@ Status EvaluateQuery(const TwoLayerGrid& grid, const Query& q,
     }
     case QueryKind::kInsert:
     case QueryKind::kDelete:
-      break;  // rejected by the IsUpdate early return above
+    case QueryKind::kWalStats:
+      break;  // rejected by the early returns above
   }
 
   if (q.with_stats && kQueryStatsEnabled) {
@@ -208,10 +238,21 @@ Status EvaluateQuery(ConcurrentTwoLayerGrid& live, const Query& q,
       return Status::InvalidArgument("object id out of range");
     }
     const ObjectId id = static_cast<ObjectId>(q.id);
-    const bool applied = q.kind == QueryKind::kInsert
-                             ? live.Insert(BoxEntry{q.box, id})
-                             : live.Delete(id, q.box);
+    // The durable path: with a WAL attached the op is logged and
+    // group-commit fsynced before OK comes back, so the "1"/"0" reply is a
+    // durable acknowledgment; a WAL failure surfaces as ERR and the client
+    // must not count the op as accepted.
+    bool applied = false;
+    const Status s = q.kind == QueryKind::kInsert
+                         ? live.InsertDurable(BoxEntry{q.box, id}, &applied)
+                         : live.DeleteDurable(id, q.box, &applied);
+    if (!s.ok()) return s;
     out->rows.push_back(applied ? "1" : "0");
+    return Status::OK();
+  }
+
+  if (q.kind == QueryKind::kWalStats) {
+    EmitWalStats(live, &out->rows);
     return Status::OK();
   }
 
@@ -279,6 +320,7 @@ Status EvaluateQuery(ConcurrentTwoLayerGrid& live, const Query& q,
     }
     case QueryKind::kInsert:
     case QueryKind::kDelete:
+    case QueryKind::kWalStats:
       break;  // handled above
   }
 

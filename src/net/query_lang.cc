@@ -163,8 +163,15 @@ class Parser {
   bool Run(Query* out) {
     if (AcceptWord("INSERT")) return ParseUpdate(QueryKind::kInsert, out);
     if (AcceptWord("DELETE")) return ParseUpdate(QueryKind::kDelete, out);
+    if (AcceptWord("WALSTATS")) {
+      out->kind = QueryKind::kWalStats;
+      if (Peek().kind != Token::Kind::kEnd) {
+        return Fail(Peek(), "unexpected trailing input");
+      }
+      return true;
+    }
     if (!AcceptWord("SELECT")) {
-      return Fail(Peek(), "expected SELECT, INSERT, or DELETE");
+      return Fail(Peek(), "expected SELECT, INSERT, DELETE, or WALSTATS");
     }
     if (!ParseKind(out)) return false;
     if (AcceptWord("WHERE")) {
@@ -506,6 +513,7 @@ bool ParseQuery(std::string_view text, Query* out, ParseError* err) {
 }
 
 std::string PrintQuery(const Query& q) {
+  if (q.kind == QueryKind::kWalStats) return "WALSTATS";
   if (IsUpdate(q.kind)) {
     std::string s = q.kind == QueryKind::kInsert ? "INSERT " : "DELETE ";
     s += std::to_string(q.id);
@@ -555,7 +563,8 @@ std::string PrintQuery(const Query& q) {
       break;
     case QueryKind::kInsert:
     case QueryKind::kDelete:
-      break;  // handled by the IsUpdate early return above
+    case QueryKind::kWalStats:
+      break;  // handled by the early returns above
   }
   if (q.where != nullptr) {
     s += " WHERE ";

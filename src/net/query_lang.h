@@ -21,6 +21,7 @@ namespace tlp::net {
 ///   stmt    := query
 ///            | INSERT id xl yl xu yu
 ///            | DELETE id xl yl xu yu
+///            | WALSTATS
 ///   query   := SELECT kind [WHERE or] [WITH STATS]
 ///   kind    := WINDOW xl yl xu yu
 ///            | DISK x y radius
@@ -83,6 +84,10 @@ enum class QueryKind : std::uint8_t {
   /// TwoLayerGrid::Delete needs the inserted box to locate replicas.
   kInsert,
   kDelete,
+  /// WALSTATS: durability/liveness counters of a live server as
+  /// deterministic `key value` rows (docs/DURABILITY.md). Like the update
+  /// statements, rejected by a read-only snapshot server.
+  kWalStats,
 };
 
 /// True for the update statements (INSERT / DELETE).

@@ -1,0 +1,318 @@
+#ifndef TLP_WAL_WAL_FORMAT_H_
+#define TLP_WAL_WAL_FORMAT_H_
+
+// On-disk format of the durability subsystem (docs/DURABILITY.md). Three
+// file kinds live side by side in a WAL directory:
+//
+//   wal-<first_seq:020>.tlpw       log segment (frame stream, append-only)
+//   delta-<from:020>-<to:020>.tlpd delta snapshot (frame stream, atomic
+//                                  temp+rename write, covers ops (from, to])
+//   full-<seq:020>.tlps            full snapshot (ordinary TwoLayerGrid
+//                                  snapshot; state after ops [1, seq])
+//
+// Every frame is  [u32 crc][u32 len][payload: len bytes]  where crc is
+// Crc32 over the len field followed by the payload, so a torn or bit-flipped
+// tail is detected at the exact frame boundary. Payloads start with a one-
+// byte record kind and a u64 sequence number; insert/delete records carry
+// the object id and box. All integers and doubles are host-endian (the
+// snapshot format already is; WAL files share its portability contract).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "geometry/box.h"
+
+namespace tlp {
+namespace wal {
+
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+/// Upper bound on a sane frame payload; a corrupt length field larger than
+/// this is rejected without attempting a huge allocation.
+inline constexpr std::uint32_t kMaxPayloadBytes = 4096;
+
+/// Frame overhead: u32 crc + u32 len.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+enum class RecordKind : std::uint8_t {
+  /// First frame of every log segment. seq = first op sequence the segment
+  /// may hold; aux = kWalFormatVersion.
+  kSegmentHeader = 0,
+  /// One acknowledged update. seq = 1-based position in the global op
+  /// history; entry = the object id and box.
+  kInsert = 1,
+  kDelete = 2,
+  /// First frame of every delta snapshot. seq = `from` (exclusive),
+  /// aux = `to` (inclusive), count = number of collapsed op frames that
+  /// follow.
+  kDeltaHeader = 3,
+};
+
+/// One decoded frame. Which fields are meaningful depends on `kind` (see
+/// the kind comments above); unused fields stay zero.
+struct WalRecord {
+  RecordKind kind = RecordKind::kInsert;
+  std::uint64_t seq = 0;
+  std::uint64_t aux = 0;
+  std::uint64_t count = 0;
+  BoxEntry entry{Box{0, 0, 0, 0}, 0};
+};
+
+inline WalRecord MakeSegmentHeader(std::uint64_t first_seq) {
+  WalRecord r;
+  r.kind = RecordKind::kSegmentHeader;
+  r.seq = first_seq;
+  r.aux = kWalFormatVersion;
+  return r;
+}
+
+inline WalRecord MakeDeltaHeader(std::uint64_t from, std::uint64_t to,
+                                 std::uint64_t count) {
+  WalRecord r;
+  r.kind = RecordKind::kDeltaHeader;
+  r.seq = from;
+  r.aux = to;
+  r.count = count;
+  return r;
+}
+
+inline WalRecord MakeOp(bool insert, std::uint64_t seq, const BoxEntry& e) {
+  WalRecord r;
+  r.kind = insert ? RecordKind::kInsert : RecordKind::kDelete;
+  r.seq = seq;
+  r.entry = e;
+  return r;
+}
+
+namespace detail {
+
+inline void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+inline void PutU64(std::string* out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+inline void PutF64(std::string* out, double v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out->append(buf, sizeof v);
+}
+
+/// Bounds-checked little readers over a raw byte span. Each returns false
+/// (leaving *pos untouched on failure is not needed — callers bail) when
+/// the span is exhausted.
+struct ByteReader {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool U8(std::uint8_t* v) {
+    if (size - pos < 1) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (size - pos < sizeof *v) return false;
+    std::memcpy(v, data + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (size - pos < sizeof *v) return false;
+    std::memcpy(v, data + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  }
+  bool F64(double* v) {
+    if (size - pos < sizeof *v) return false;
+    std::memcpy(v, data + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Appends the framed encoding of `rec` to `*out`.
+inline void EncodeRecord(const WalRecord& rec, std::string* out) {
+  std::string payload;
+  detail::PutU8(&payload, static_cast<std::uint8_t>(rec.kind));
+  detail::PutU64(&payload, rec.seq);
+  switch (rec.kind) {
+    case RecordKind::kSegmentHeader:
+      detail::PutU32(&payload, static_cast<std::uint32_t>(rec.aux));
+      break;
+    case RecordKind::kInsert:
+    case RecordKind::kDelete:
+      detail::PutU32(&payload, rec.entry.id);
+      detail::PutF64(&payload, rec.entry.box.xl);
+      detail::PutF64(&payload, rec.entry.box.yl);
+      detail::PutF64(&payload, rec.entry.box.xu);
+      detail::PutF64(&payload, rec.entry.box.yu);
+      break;
+    case RecordKind::kDeltaHeader:
+      detail::PutU64(&payload, rec.aux);
+      detail::PutU64(&payload, rec.count);
+      break;
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  detail::PutU32(&frame, len);
+  frame += payload;
+  const std::uint32_t crc = Crc32(frame.data(), frame.size());
+  std::string header;
+  detail::PutU32(&header, crc);
+  out->append(header);
+  out->append(frame);
+}
+
+/// Result of decoding one frame at some offset.
+enum class DecodeResult {
+  kOk,        // *rec filled, *consumed = frame size
+  kTruncated, // the bytes end before a whole, well-formed frame
+  kCorrupt,   // CRC mismatch, absurd length, or malformed payload
+};
+
+/// Decodes the frame starting at `data` (`size` bytes available). On kOk
+/// sets `*rec` and `*consumed`; on kTruncated/kCorrupt both outputs are
+/// unspecified. A frame whose bytes are intact but whose payload does not
+/// parse for its kind is kCorrupt (never silently skipped).
+inline DecodeResult DecodeRecord(const unsigned char* data, std::size_t size,
+                                 WalRecord* rec, std::size_t* consumed) {
+  if (size < kFrameHeaderBytes) return DecodeResult::kTruncated;
+  std::uint32_t crc = 0;
+  std::uint32_t len = 0;
+  std::memcpy(&crc, data, sizeof crc);
+  std::memcpy(&len, data + sizeof crc, sizeof len);
+  if (len > kMaxPayloadBytes) return DecodeResult::kCorrupt;
+  if (size - kFrameHeaderBytes < len) {
+    // Could be a torn tail — but only if the CRC would have covered the
+    // missing bytes; report truncation and let the caller decide.
+    return DecodeResult::kTruncated;
+  }
+  const std::uint32_t actual =
+      Crc32(data + sizeof crc, sizeof len + static_cast<std::size_t>(len));
+  if (actual != crc) return DecodeResult::kCorrupt;
+  detail::ByteReader r{data + kFrameHeaderBytes, len, 0};
+  std::uint8_t kind = 0;
+  if (!r.U8(&kind) || !r.U64(&rec->seq)) return DecodeResult::kCorrupt;
+  rec->aux = 0;
+  rec->count = 0;
+  rec->entry = BoxEntry{Box{0, 0, 0, 0}, 0};
+  switch (static_cast<RecordKind>(kind)) {
+    case RecordKind::kSegmentHeader: {
+      std::uint32_t version = 0;
+      if (!r.U32(&version)) return DecodeResult::kCorrupt;
+      rec->aux = version;
+      break;
+    }
+    case RecordKind::kInsert:
+    case RecordKind::kDelete: {
+      if (!r.U32(&rec->entry.id) || !r.F64(&rec->entry.box.xl) ||
+          !r.F64(&rec->entry.box.yl) || !r.F64(&rec->entry.box.xu) ||
+          !r.F64(&rec->entry.box.yu)) {
+        return DecodeResult::kCorrupt;
+      }
+      break;
+    }
+    case RecordKind::kDeltaHeader: {
+      if (!r.U64(&rec->aux) || !r.U64(&rec->count)) {
+        return DecodeResult::kCorrupt;
+      }
+      break;
+    }
+    default:
+      return DecodeResult::kCorrupt;
+  }
+  if (r.pos != len) return DecodeResult::kCorrupt;
+  rec->kind = static_cast<RecordKind>(kind);
+  *consumed = kFrameHeaderBytes + len;
+  return DecodeResult::kOk;
+}
+
+/// Zero-padded 20-digit decimal of `v` — fixed width so lexicographic name
+/// order equals numeric sequence order.
+inline std::string SeqToken(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  return std::string(20 - digits.size(), '0') + digits;
+}
+
+inline std::string SegmentFileName(std::uint64_t first_seq) {
+  return "wal-" + SeqToken(first_seq) + ".tlpw";
+}
+
+inline std::string DeltaFileName(std::uint64_t from, std::uint64_t to) {
+  return "delta-" + SeqToken(from) + "-" + SeqToken(to) + ".tlpd";
+}
+
+inline std::string FullFileName(std::uint64_t seq) {
+  return "full-" + SeqToken(seq) + ".tlps";
+}
+
+namespace detail {
+
+/// Parses a zero-padded SeqToken at `s[pos, pos+20)`.
+inline bool ParseSeqToken(const std::string& s, std::size_t pos,
+                          std::uint64_t* out) {
+  if (s.size() < pos + 20) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = pos; i < pos + 20; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace detail
+
+/// True when `name` is `wal-<seq:020>.tlpw`; sets *first_seq.
+inline bool ParseSegmentFileName(const std::string& name,
+                                 std::uint64_t* first_seq) {
+  if (name.size() != 4 + 20 + 5 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(24, 5, ".tlpw") != 0) {
+    return false;
+  }
+  return detail::ParseSeqToken(name, 4, first_seq);
+}
+
+/// True when `name` is `delta-<from:020>-<to:020>.tlpd`; sets *from/*to.
+inline bool ParseDeltaFileName(const std::string& name, std::uint64_t* from,
+                               std::uint64_t* to) {
+  if (name.size() != 6 + 20 + 1 + 20 + 5 || name.compare(0, 6, "delta-") != 0 ||
+      name[26] != '-' || name.compare(47, 5, ".tlpd") != 0) {
+    return false;
+  }
+  return detail::ParseSeqToken(name, 6, from) &&
+         detail::ParseSeqToken(name, 27, to);
+}
+
+/// True when `name` is `full-<seq:020>.tlps`; sets *seq.
+inline bool ParseFullFileName(const std::string& name, std::uint64_t* seq) {
+  if (name.size() != 5 + 20 + 5 || name.compare(0, 5, "full-") != 0 ||
+      name.compare(25, 5, ".tlps") != 0) {
+    return false;
+  }
+  return detail::ParseSeqToken(name, 5, seq);
+}
+
+}  // namespace wal
+}  // namespace tlp
+
+#endif  // TLP_WAL_WAL_FORMAT_H_

@@ -56,6 +56,8 @@ TEST(QueryLangTest, ParsePrintReachesFixedPointInOneStep) {
       "INSERT 42 0.1 0.2 0.3 0.4",
       "delete 7 0 0 1 1",
       "insert 4294967294 -1e3 -2.5 3e-2 4.125",  // largest valid id
+      "WALSTATS",
+      "  walstats  ",
   };
   for (const char* text : corpus) {
     const std::string once = Canon(text);
@@ -71,6 +73,8 @@ TEST(QueryLangTest, CanonicalFormIsStable) {
   // Update statements canonicalize too: integer id, shortest numbers.
   EXPECT_EQ(Canon("insert 07 .5 0 1e0 1"), "INSERT 7 0.5 0 1 1");
   EXPECT_EQ(Canon("Delete 9 0.250 0 1 1"), "DELETE 9 0.25 0 1 1");
+  // WALSTATS is a bare keyword statement; casing canonicalizes.
+  EXPECT_EQ(Canon("walstats"), "WALSTATS");
   EXPECT_EQ(Canon("SELECT KNN 0 0 5 WITH STATS"),
             "SELECT KNN 0 0 5 WITH STATS");
   EXPECT_EQ(Canon("SELECT DIVKNN 0 0 4 LAMBDA 0.5"),
@@ -200,6 +204,9 @@ TEST(QueryLangTest, MalformedInputsRejectWithByteOffsets) {
       {"INSERT 5 0 0 1 1 1", 17},      // trailing garbage
       {"DELETE 5 0 0 1 1 WHERE ID < 5", 17},  // updates take no WHERE
       {"DELETE 5 0 0 1 1 WITH STATS", 17},    // ... and no WITH STATS
+      {"WALSTATS 1", 9},                      // takes no operands
+      {"WALSTATS WITH STATS", 9},             // ... and no WITH STATS
+      {"SELECT WALSTATS", 7},                 // statement, not a kind
   };
   for (const BadCase& c : corpus) {
     Query q;

@@ -195,6 +195,18 @@ class LintHarness(unittest.TestCase):
         self.assert_flags(self.lint("--skip-headers"), "TLP001",
                           "sneaky.cc")
 
+    def test_src_wal_is_subject_to_file_io_rule(self):
+        # The durability subsystem (docs/DURABILITY.md) lives entirely on
+        # the FileSystem seam — that is what makes the fault sweeps in
+        # wal_fault_test.cc possible. A raw open() in src/wal/ would dodge
+        # FaultInjectingFs, so TLP001 must keep firing there.
+        self.write("src/wal/bad_log.cc",
+                   "#include <fcntl.h>\n"
+                   "int RawLog(const char* p) {"
+                   " return ::open(p, O_WRONLY); }\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP001",
+                          "bad_log.cc")
+
     @unittest.skipUnless(HAVE_CXX, "no C++ compiler for TLP004")
     def test_non_self_contained_header_is_tlp004(self):
         # Uses std::uint32_t without including <cstdint>: compiles fine

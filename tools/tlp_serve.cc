@@ -12,6 +12,17 @@
 //                         apply through the epoch-based concurrent writer
 //                         path (docs/CONCURRENCY.md); without it the server
 //                         is read-only and updates get an eval error
+//   --wal-dir=DIR         durable live serving (requires --live): updates
+//                         are write-ahead logged and group-commit fsynced
+//                         before they are acknowledged (docs/DURABILITY.md).
+//                         When DIR already holds a log, the server restarts
+//                         from last full snapshot + delta snapshots + WAL
+//                         replay (the --snapshot/--synthetic source only
+//                         seeds a fresh DIR); a graceful drain writes a
+//                         final delta snapshot
+//   --wal-delta-every=N   durable ops past the low-water mark that trigger
+//                         a background delta snapshot (default 4096)
+//   --wal-compact-on-exit fold the log into a full snapshot on drain
 //   --bind=ADDR           IPv4 address to bind (default 127.0.0.1)
 //   --port=P              TCP port; 0 (default) picks an ephemeral port
 //   --port-file=PATH      write the bound port to PATH (atomic rename), so
@@ -29,6 +40,7 @@
 
 #include <pthread.h>
 #include <signal.h>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cmath>
@@ -46,6 +58,7 @@
 #include "grid/grid_layout.h"
 #include "net/server.h"
 #include "persist/open_snapshot.h"
+#include "wal/durable_log.h"
 
 namespace {
 
@@ -77,6 +90,9 @@ int Report(const Status& s, const char* what) {
 struct Options {
   std::string snapshot;
   std::string port_file;
+  std::string wal_dir;
+  std::uint64_t wal_delta_every = 4096;
+  bool wal_compact_on_exit = false;
   std::size_t synthetic = 0;
   std::uint64_t seed = 7;
   std::uint32_t grid = 0;  // 0 = auto, like tlp_snapshot build
@@ -90,6 +106,8 @@ int Usage() {
       "usage: tlp_serve --snapshot=FILE | --synthetic=N [options]\n"
       "  --seed=S --grid=D            (synthetic data only)\n"
       "  --live                       (accept INSERT/DELETE statements)\n"
+      "  --wal-dir=DIR --wal-delta-every=N --wal-compact-on-exit\n"
+      "                               (durable updates; requires --live)\n"
       "  --bind=ADDR --port=P --port-file=PATH\n"
       "  --workers=W --max-inflight=M --idle-timeout-ms=T\n");
   return kExitUsage;
@@ -126,6 +144,12 @@ bool ParseArgs(int argc, char** argv, Options* out) {
         out->server.max_inflight = std::stoull(v);
       } else if (eat("--idle-timeout-ms=", &v)) {
         out->server.idle_timeout_ms = std::stoull(v);
+      } else if (eat("--wal-dir=", &v)) {
+        out->wal_dir = v;
+      } else if (eat("--wal-delta-every=", &v)) {
+        out->wal_delta_every = std::stoull(v);
+      } else if (arg == "--wal-compact-on-exit") {
+        out->wal_compact_on_exit = true;
       } else if (arg == "--live") {
         out->live = true;
       } else {
@@ -141,6 +165,10 @@ bool ParseArgs(int argc, char** argv, Options* out) {
     std::fprintf(stderr,
                  "tlp_serve: exactly one of --snapshot / --synthetic "
                  "is required\n");
+    return false;
+  }
+  if (!out->wal_dir.empty() && !out->live) {
+    std::fprintf(stderr, "tlp_serve: --wal-dir requires --live\n");
     return false;
   }
   return true;
@@ -234,19 +262,67 @@ int Run(const Options& opt) {
   // --live: wrap the loaded grid in the concurrent index. The snapshot
   // path copies (PersistentIndex owns the original; a mapped/frozen grid
   // is thawed by the wrapper), the synthetic path moves.
+  std::unique_ptr<tlp::DurableLog> wal;  // declared first: outlives `live`
   std::unique_ptr<tlp::ConcurrentTwoLayerGrid> live;
   if (opt.live) {
-    if (synthetic_index != nullptr) {
-      live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
-          std::move(*synthetic_index));
-      synthetic_index.reset();
+    tlp::ConcurrentTwoLayerGrid::Options live_opts;
+    live_opts.wal_delta_every = opt.wal_delta_every;
+    if (!opt.wal_dir.empty()) {
+      // Durable serving. A directory that already holds a full snapshot
+      // restarts from checkpoint + WAL replay; a fresh one is seeded with
+      // the initial index (the seeding full snapshot makes every later
+      // acknowledged update recoverable).
+      ::mkdir(opt.wal_dir.c_str(), 0777);  // fine if it already exists
+      Status s = tlp::DurableLog::Open(opt.wal_dir, tlp::DurableLog::Options{},
+                                       nullptr, &wal);
+      if (!s.ok()) return Report(s, "cannot open --wal-dir");
+      tlp::WalDirInfo info;
+      s = tlp::DurableLog::Inspect(opt.wal_dir, nullptr, &info);
+      if (!s.ok()) return Report(s, "cannot inspect --wal-dir");
+      if (info.has_full) {
+        std::unique_ptr<tlp::TwoLayerGrid> recovered;
+        std::uint64_t seq = 0;
+        s = wal->RecoverIndex(&recovered, &seq);
+        if (!s.ok()) return Report(s, "wal recovery failed");
+        std::printf(
+            "tlp_serve: recovered from %s: seq=%llu entries=%zu "
+            "(initial --snapshot/--synthetic source ignored)\n",
+            opt.wal_dir.c_str(), static_cast<unsigned long long>(seq),
+            recovered->entry_count());
+        live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+            std::move(*recovered), live_opts);
+        synthetic_index.reset();
+        snapshot_index.reset();
+      } else {
+        tlp::TwoLayerGrid initial =
+            synthetic_index != nullptr ? std::move(*synthetic_index)
+                                       : tlp::TwoLayerGrid(*grid);
+        synthetic_index.reset();
+        snapshot_index.reset();
+        if (initial.frozen()) initial.ThawStorage();
+        s = wal->Compact(initial, 0);
+        if (!s.ok()) return Report(s, "cannot seed --wal-dir");
+        std::printf("tlp_serve: seeded %s with full snapshot (seq=0)\n",
+                    opt.wal_dir.c_str());
+        live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+            std::move(initial), live_opts);
+      }
+      live->AttachWal(wal.get());
+      grid = nullptr;
+      std::printf("tlp_serve: live mode: durable INSERT/DELETE enabled\n");
     } else {
-      live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
-          tlp::TwoLayerGrid(*grid));
-      snapshot_index.reset();
+      if (synthetic_index != nullptr) {
+        live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+            std::move(*synthetic_index), live_opts);
+        synthetic_index.reset();
+      } else {
+        live = std::make_unique<tlp::ConcurrentTwoLayerGrid>(
+            tlp::TwoLayerGrid(*grid), live_opts);
+        snapshot_index.reset();
+      }
+      grid = nullptr;
+      std::printf("tlp_serve: live mode: INSERT/DELETE enabled\n");
     }
-    grid = nullptr;
-    std::printf("tlp_serve: live mode: INSERT/DELETE enabled\n");
   }
 
   // QueryServer is neither copyable nor movable (it owns threads and a
@@ -275,20 +351,47 @@ int Run(const Options& opt) {
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
   server->Shutdown();  // graceful: in-flight queries finish first
   if (live != nullptr) live->Flush();  // fold the remaining delta
+  if (live != nullptr && wal != nullptr) {
+    // Graceful drain checkpoint: a delta snapshot (cheap) or, on request,
+    // a full compaction — either way the next start replays less log.
+    const Status cs =
+        opt.wal_compact_on_exit ? live->CompactWal() : live->CheckpointWal();
+    if (!cs.ok()) {
+      std::fprintf(stderr, "tlp_serve: drain checkpoint failed: %s\n",
+                   cs.message().c_str());
+    }
+  }
 
   const tlp::net::QueryServer::Counters c = server->counters();
+  std::string wal_json;
+  if (wal != nullptr) {
+    const tlp::WalStats ws = wal->stats();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        ", \"wal_appends\": %llu, \"wal_fsync_batches\": %llu, "
+        "\"wal_bytes_logged\": %llu, \"wal_durable_seq\": %llu, "
+        "\"wal_low_water\": %llu",
+        static_cast<unsigned long long>(ws.appends),
+        static_cast<unsigned long long>(ws.fsync_batches),
+        static_cast<unsigned long long>(ws.bytes_logged),
+        static_cast<unsigned long long>(wal->durable_seq()),
+        static_cast<unsigned long long>(wal->low_water_mark()));
+    wal_json = buf;
+  }
   std::printf(
       "TLP_SERVE_COUNTERS {\"connections_accepted\": %llu, "
       "\"queries_ok\": %llu, \"queries_error\": %llu, "
       "\"busy_rejected\": %llu, \"idle_disconnects\": %llu, "
-      "\"protocol_errors\": %llu, \"updates_applied\": %llu}\n",
+      "\"protocol_errors\": %llu, \"updates_applied\": %llu%s}\n",
       static_cast<unsigned long long>(c.connections_accepted),
       static_cast<unsigned long long>(c.queries_ok),
       static_cast<unsigned long long>(c.queries_error),
       static_cast<unsigned long long>(c.busy_rejected),
       static_cast<unsigned long long>(c.idle_disconnects),
       static_cast<unsigned long long>(c.protocol_errors),
-      static_cast<unsigned long long>(c.updates_applied));
+      static_cast<unsigned long long>(c.updates_applied),
+      wal_json.c_str());
   return kExitOk;
 }
 

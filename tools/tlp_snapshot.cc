@@ -15,6 +15,18 @@
 //       Full integrity pass: header, section table, every payload CRC.
 //   tlp_snapshot info   <in.tlps>
 //       Print the header summary as JSON (no payload access).
+//   tlp_snapshot wal-info   <wal-dir>
+//       Print a WAL directory summary as JSON (docs/DURABILITY.md) without
+//       modifying anything: checkpoint coverage, committed sequence, torn
+//       tail bytes, leftover temp files.
+//   tlp_snapshot wal-replay <wal-dir>
+//       Recover the index from the directory (full snapshot + delta chain
+//       + log replay) and print the recovered state as JSON, including a
+//       live-set digest for differential crash tests.
+//   tlp_snapshot compact    <wal-dir>
+//       Recover, then fold the whole committed history into one full
+//       snapshot and collect the superseded files. Replay-idempotent:
+//       crashing anywhere inside leaves a recoverable directory.
 //
 // Exit status (messages on stderr) — scripts branch on the class, not the
 // message text:
@@ -26,10 +38,12 @@
 //   5  kind mismatch (valid snapshot, wrong index kind for the request)
 //
 // Fault injection (CI crash tests): when TLP_SNAPSHOT_FAULT_OP is set, all
-// file I/O of build/save runs through a FaultInjectingFs with that fault
-// armed — an integer arms the k-th operation, an op name ("rename", "sync",
-// ...) arms the next operation of that kind. The save must then fail with
-// exit 3 and must NOT have published anything at the destination.
+// file I/O of build/save — and of the wal-* / compact subcommands — runs
+// through a FaultInjectingFs with that fault armed — an integer arms the
+// k-th operation, an op name ("rename", "sync", ...) arms the next
+// operation of that kind. The save must then fail with exit 3 and must NOT
+// have published anything at the destination; an interrupted compact must
+// leave the directory recoverable to the same live set.
 
 #include <algorithm>
 #include <chrono>
@@ -52,6 +66,7 @@
 #include "grid/one_layer_grid.h"
 #include "io/dataset_io.h"
 #include "persist/open_snapshot.h"
+#include "wal/durable_log.h"
 
 namespace {
 
@@ -105,12 +120,13 @@ struct Options {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: tlp_snapshot <build|save|load|verify|info> <path> [options]\n"
-      "  build  --kind=2layer+|2layer|1layer --n=N --dist=uniform|zipf\n"
-      "         --seed=S --grid=D\n"
-      "  save   --from-csv=FILE --kind=... --grid=D\n"
-      "  load   [--mmap] [--queries=N] [--area=PCT]\n"
-      "  verify / info take no options\n");
+      "usage: tlp_snapshot <command> <path> [options]\n"
+      "  build  <out.tlps>  --kind=2layer+|2layer|1layer --n=N\n"
+      "         --dist=uniform|zipf --seed=S --grid=D\n"
+      "  save   <out.tlps>  --from-csv=FILE --kind=... --grid=D\n"
+      "  load   <in.tlps>   [--mmap] [--queries=N] [--area=PCT]\n"
+      "  verify / info <in.tlps>\n"
+      "  wal-info / wal-replay / compact <wal-dir>\n");
   return kExitUsage;
 }
 
@@ -343,6 +359,91 @@ int CmdInfo(const Options& opt) {
   return kExitOk;
 }
 
+int CmdWalInfo(const Options& opt) {
+  std::unique_ptr<tlp::FaultInjectingFs> fault_fs;
+  tlp::FileSystem* fs = nullptr;
+  if (!SaveFileSystem(&fault_fs, &fs)) return kExitUsage;
+  tlp::WalDirInfo info;
+  Status s = tlp::DurableLog::Inspect(opt.path, fs, &info);
+  if (!s.ok()) return Report(s, "wal-info failed");
+  std::printf(
+      "{\"dir\": \"%s\", \"has_full\": %s, \"full_seq\": %llu, "
+      "\"low_water\": %llu, \"committed_seq\": %llu, \"delta_files\": %zu, "
+      "\"segment_files\": %zu, \"segment_bytes\": %llu, "
+      "\"torn_bytes\": %llu, \"temp_files\": %zu}\n",
+      opt.path.c_str(), info.has_full ? "true" : "false",
+      static_cast<unsigned long long>(info.full_seq),
+      static_cast<unsigned long long>(info.low_water),
+      static_cast<unsigned long long>(info.committed_seq), info.delta_files,
+      info.segment_files,
+      static_cast<unsigned long long>(info.segment_bytes),
+      static_cast<unsigned long long>(info.torn_bytes), info.temp_files);
+  return kExitOk;
+}
+
+/// Shared open + recover front half of wal-replay and compact. The fault
+/// FS (when armed) lands in *fault_fs, which the caller must keep alive
+/// for as long as *wal — the log writes through it.
+int RecoverWal(const Options& opt,
+               std::unique_ptr<tlp::FaultInjectingFs>* fault_fs,
+               std::unique_ptr<tlp::DurableLog>* wal,
+               std::unique_ptr<tlp::TwoLayerGrid>* grid,
+               std::uint64_t* seq) {
+  tlp::FileSystem* fs = nullptr;
+  if (!SaveFileSystem(fault_fs, &fs)) return kExitUsage;
+  Status s = tlp::DurableLog::Open(opt.path, tlp::DurableLog::Options{}, fs,
+                                   wal);
+  if (!s.ok()) return Report(s, "cannot open wal dir");
+  s = (*wal)->RecoverIndex(grid, seq);
+  if (!s.ok()) return Report(s, "recovery failed");
+  return kExitOk;
+}
+
+int CmdWalReplay(const Options& opt) {
+  std::unique_ptr<tlp::FaultInjectingFs> fault_fs;
+  std::unique_ptr<tlp::DurableLog> wal;
+  std::unique_ptr<tlp::TwoLayerGrid> grid;
+  std::uint64_t seq = 0;
+  const double t0 = NowSeconds();
+  if (const int rc = RecoverWal(opt, &fault_fs, &wal, &grid, &seq);
+      rc != kExitOk) {
+    return rc;
+  }
+  const double recover_seconds = NowSeconds() - t0;
+  const tlp::WalStats ws = wal->stats();
+  std::printf(
+      "{\"dir\": \"%s\", \"recovered_seq\": %llu, \"entries\": %zu, "
+      "\"live_objects\": %zu, \"live_digest\": %lu, "
+      "\"records_replayed\": %llu, "
+      "\"records_skipped\": %llu, \"recover_seconds\": %.4f}\n",
+      opt.path.c_str(), static_cast<unsigned long long>(seq),
+      grid->entry_count(), tlp::LiveObjectCount(*grid),
+      static_cast<unsigned long>(tlp::LiveSetDigest(*grid)),
+      static_cast<unsigned long long>(ws.records_replayed),
+      static_cast<unsigned long long>(ws.records_skipped), recover_seconds);
+  return kExitOk;
+}
+
+int CmdCompact(const Options& opt) {
+  std::unique_ptr<tlp::FaultInjectingFs> fault_fs;
+  std::unique_ptr<tlp::DurableLog> wal;
+  std::unique_ptr<tlp::TwoLayerGrid> grid;
+  std::uint64_t seq = 0;
+  if (const int rc = RecoverWal(opt, &fault_fs, &wal, &grid, &seq);
+      rc != kExitOk) {
+    return rc;
+  }
+  Status s = wal->Compact(*grid, seq);
+  if (!s.ok()) return Report(s, "compact failed");
+  std::printf(
+      "{\"dir\": \"%s\", \"compacted_seq\": %llu, \"entries\": %zu, "
+      "\"live_objects\": %zu, \"live_digest\": %lu}\n",
+      opt.path.c_str(), static_cast<unsigned long long>(seq),
+      grid->entry_count(), tlp::LiveObjectCount(*grid),
+      static_cast<unsigned long>(tlp::LiveSetDigest(*grid)));
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,5 +454,8 @@ int main(int argc, char** argv) {
   if (opt.command == "load") return CmdLoad(opt);
   if (opt.command == "verify") return CmdVerify(opt);
   if (opt.command == "info") return CmdInfo(opt);
+  if (opt.command == "wal-info") return CmdWalInfo(opt);
+  if (opt.command == "wal-replay") return CmdWalReplay(opt);
+  if (opt.command == "compact") return CmdCompact(opt);
   return Usage();
 }

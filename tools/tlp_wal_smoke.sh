@@ -1,0 +1,162 @@
+#!/bin/sh
+# Durability smoke test for tlp_serve --live --wal-dir (docs/DURABILITY.md):
+# load acknowledged updates into a durable live server, SIGKILL it mid-load,
+# prove the log replays to a consistent state offline (tlp_snapshot
+# wal-replay), restart the server from the same directory, and check the
+# recovered live set differentially — the offline replay digest, the
+# restarted server's WALSTATS live count, and the post-drain digest must all
+# agree. Finishes with an offline compaction and a digest-equality check.
+# Run by ctest as:
+#   tlp_wal_smoke.sh <tlp_serve> <tlp_snapshot> <bench_serve>
+set -u
+
+SERVE=${1:?usage: tlp_wal_smoke.sh <tlp_serve> <tlp_snapshot> <bench_serve>}
+SNAPSHOT=${2:?missing tlp_snapshot path}
+BENCH=${3:?missing bench_serve path}
+TMP=$(mktemp -d) || exit 1
+WAL="$TMP/wal"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2> /dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Extract "key": value from a one-line JSON report.
+json_num() { # file key
+  sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+# Start the server against $WAL and wait for its port file; sets SERVER_PID
+# and PORT.
+start_server() { # logfile
+  PORT_FILE="$TMP/port"
+  rm -f "$PORT_FILE"
+  "$SERVE" --snapshot="$TMP/serve.tlps" --live --wal-dir="$WAL" \
+    --wal-delta-every=200 --port=0 --port-file="$PORT_FILE" \
+    > "$TMP/$1.out" 2> "$TMP/$1.err" &
+  SERVER_PID=$!
+  tries=0
+  while [ ! -s "$PORT_FILE" ]; do
+    if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+      fail "server ($1) exited before publishing its port"
+      sed 's/^/  serve stderr: /' "$TMP/$1.err" >&2
+      SERVER_PID=""
+      return 1
+    fi
+    tries=$((tries + 1))
+    [ "$tries" -gt 100 ] && { fail "timed out waiting for --port-file"; return 1; }
+    sleep 0.1
+  done
+  PORT=$(cat "$PORT_FILE")
+}
+
+# --- flag contract -----------------------------------------------------------
+"$SERVE" --snapshot="$TMP/x.tlps" --wal-dir="$WAL" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "--wal-dir without --live should exit 2 (usage)"
+
+# --- seed: snapshot -> durable live server -> acknowledged update load -------
+"$SNAPSHOT" build "$TMP/serve.tlps" --kind=2layer --n=5000 --seed=11 \
+  > /dev/null 2>&1 || fail "tlp_snapshot build failed"
+
+start_server first || true
+if [ -n "$SERVER_PID" ]; then
+  grep -q "seeded $WAL" "$TMP/first.out" \
+    || fail "first start did not seed the WAL directory"
+
+  # Half the batch is INSERT/DELETE: every OK reply is a durable ack.
+  "$BENCH" --port="$PORT" --connections=8 --queries-per-conn=40 \
+    --update-fraction=0.5 --wal-stats > "$TMP/bench1.out" 2> "$TMP/bench1.err" \
+    || { fail "durable update batch failed"; cat "$TMP/bench1.err" >&2; }
+  grep -q '^TLP_BENCH_SERVE_WAL {"appends' "$TMP/bench1.out" \
+    || fail "bench_serve --wal-stats printed no appends row"
+
+  # A second batch runs while we SIGKILL the server: updates in flight die
+  # un-acked, which is exactly the crash the log must tolerate.
+  "$BENCH" --port="$PORT" --connections=4 --queries-per-conn=5000 \
+    --update-fraction=0.5 > /dev/null 2>&1 &
+  BENCH_PID=$!
+  sleep 0.3
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2> /dev/null
+  SERVER_PID=""
+  wait "$BENCH_PID" 2> /dev/null  # client fails once the server dies; fine
+fi
+
+# --- offline: the log must replay to a consistent state ----------------------
+"$SNAPSHOT" wal-info "$WAL" > "$TMP/info1.json" \
+  || fail "wal-info failed after SIGKILL"
+grep -q '"has_full": true' "$TMP/info1.json" \
+  || fail "wal-info reports no full snapshot after SIGKILL"
+"$SNAPSHOT" wal-replay "$WAL" > "$TMP/replay1.json" \
+  || fail "wal-replay failed after SIGKILL"
+DIGEST1=$(json_num "$TMP/replay1.json" live_digest)
+LIVE1=$(json_num "$TMP/replay1.json" live_objects)
+SEQ1=$(json_num "$TMP/replay1.json" recovered_seq)
+[ -n "$DIGEST1" ] || fail "wal-replay printed no live_digest"
+sed 's/^/  replay after kill: /' "$TMP/replay1.json"
+
+# --- restart: recover, differential check, graceful drain --------------------
+start_server second || true
+if [ -n "$SERVER_PID" ]; then
+  grep -q "recovered from $WAL: seq=$SEQ1" "$TMP/second.out" \
+    || fail "restart did not recover to the replayed sequence $SEQ1"
+
+  # Differential check: the restarted server answers read queries and its
+  # WALSTATS live count matches the offline replay entry count.
+  "$BENCH" --port="$PORT" --connections=4 --queries-per-conn=20 \
+    --wal-stats > "$TMP/bench2.out" 2> "$TMP/bench2.err" \
+    || { fail "read batch after restart failed"; cat "$TMP/bench2.err" >&2; }
+  LIVE=$(sed -n 's/^TLP_BENCH_SERVE_WAL {"live_count": \([0-9]*\)}.*/\1/p' \
+    "$TMP/bench2.out" | head -n 1)
+  [ "$LIVE" = "$LIVE1" ] \
+    || fail "restarted live_count $LIVE != replayed live_objects $LIVE1"
+
+  kill -TERM "$SERVER_PID"
+  waited=0
+  while kill -0 "$SERVER_PID" 2> /dev/null; do
+    waited=$((waited + 1))
+    [ "$waited" -gt 100 ] && { fail "no exit within 10s of SIGTERM"; break; }
+    sleep 0.1
+  done
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then
+    wait "$SERVER_PID"
+    rc=$?
+    SERVER_PID=""
+    [ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM (want 0)"
+    grep -q '"wal_durable_seq"' "$TMP/second.out" \
+      || fail "final counters line lacks WAL fields"
+  fi
+fi
+
+# The read-only restart acked no updates: drain must not have changed the
+# live set, only checkpointed it.
+"$SNAPSHOT" wal-replay "$WAL" > "$TMP/replay2.json" \
+  || fail "wal-replay failed after drain"
+DIGEST2=$(json_num "$TMP/replay2.json" live_digest)
+[ "$DIGEST2" = "$DIGEST1" ] \
+  || fail "drain changed the live digest ($DIGEST1 -> $DIGEST2)"
+
+# --- compaction folds the log without changing the state ---------------------
+"$SNAPSHOT" compact "$WAL" > "$TMP/compact.json" \
+  || fail "offline compact failed"
+"$SNAPSHOT" wal-info "$WAL" > "$TMP/info2.json" || fail "wal-info failed"
+DELTAS=$(json_num "$TMP/info2.json" delta_files)
+[ "$DELTAS" = "0" ] || fail "compact left $DELTAS delta files"
+"$SNAPSHOT" wal-replay "$WAL" > "$TMP/replay3.json" \
+  || fail "wal-replay failed after compact"
+DIGEST3=$(json_num "$TMP/replay3.json" live_digest)
+[ "$DIGEST3" = "$DIGEST1" ] \
+  || fail "compact changed the live digest ($DIGEST1 -> $DIGEST3)"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES wal smoke check(s) failed" >&2
+  exit 1
+fi
+echo "all wal smoke checks passed"
