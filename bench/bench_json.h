@@ -91,6 +91,8 @@ inline std::string Number(double v) {
 }
 
 inline std::string RunJson(const std::vector<BenchRecord>& records) {
+  // Benchmarks read their knobs on the single-threaded main; no setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* label = std::getenv("TLP_BENCH_LABEL");
   std::ostringstream os;
   os << "    {\n      \"label\": \""
@@ -115,6 +117,7 @@ inline std::string RunJson(const std::vector<BenchRecord>& records) {
 /// creating the document on first use. No-op unless the variable is set.
 inline void AppendBenchTrajectory(const std::string& bench_id,
                                   const std::vector<BenchRecord>& records) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded main, no setenv
   const char* path = std::getenv("TLP_BENCH_JSON");
   if (path == nullptr || *path == '\0') return;
 

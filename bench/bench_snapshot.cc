@@ -64,6 +64,7 @@ int main() {
   const auto n = static_cast<std::size_t>(EnvInt64("TLP_SNAPSHOT_N", 1000000));
   const auto query_count =
       static_cast<std::size_t>(EnvInt64("TLP_SNAPSHOT_QUERIES", 100));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) single-threaded main, no setenv
   const char* path_env = std::getenv("TLP_SNAPSHOT_PATH");
   const std::string path =
       path_env != nullptr ? path_env : "bench_snapshot.tlps";

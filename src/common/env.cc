@@ -14,7 +14,9 @@
 namespace tlp {
 
 std::int64_t EnvInt64(const std::string& name, std::int64_t fallback) {
-  const char* raw = std::getenv(name.c_str());
+  // getenv is safe here: nothing in the tree calls setenv after main()
+  // starts (the one setenv user is a test's single-threaded setup).
+  const char* raw = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr) return fallback;
   char* end = nullptr;
   const long long value = std::strtoll(raw, &end, 10);
@@ -23,7 +25,8 @@ std::int64_t EnvInt64(const std::string& name, std::int64_t fallback) {
 }
 
 double EnvDouble(const std::string& name, double fallback) {
-  const char* raw = std::getenv(name.c_str());
+  // See EnvInt64 on why getenv is safe in this tree.
+  const char* raw = std::getenv(name.c_str());  // NOLINT(concurrency-mt-unsafe)
   if (raw == nullptr) return fallback;
   char* end = nullptr;
   const double value = std::strtod(raw, &end);
@@ -32,6 +35,27 @@ double EnvDouble(const std::string& name, double fallback) {
 }
 
 double DatasetScale() { return EnvDouble("TLP_SCALE", 1.0); }
+
+namespace {
+
+// glibc with _GNU_SOURCE gives the GNU strerror_r (returns char*, may
+// ignore the buffer); POSIX gives the int-returning one (always fills the
+// buffer). Overload resolution picks the right unpacking at compile time,
+// so ErrnoMessage builds against either without feature-test contortions.
+inline const char* StrerrorResult(const char* r, const char* /*buf*/) {
+  return r;
+}
+inline const char* StrerrorResult(int r, const char* buf) {
+  return r == 0 ? buf : "Unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(err, buf, sizeof buf), buf);
+}
 
 namespace {
 
@@ -89,14 +113,14 @@ bool MappedFile::Open(const std::string& path, MappedFile* out,
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (error != nullptr) {
-      *error = path + ": open failed: " + std::strerror(errno);
+      *error = path + ": open failed: " + ErrnoMessage(errno);
     }
     return false;
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     if (error != nullptr) {
-      *error = path + ": fstat failed: " + std::strerror(errno);
+      *error = path + ": fstat failed: " + ErrnoMessage(errno);
     }
     ::close(fd);
     return false;
@@ -112,7 +136,7 @@ bool MappedFile::Open(const std::string& path, MappedFile* out,
   ::close(fd);  // The mapping keeps its own reference to the file.
   if (addr == MAP_FAILED) {
     if (error != nullptr) {
-      *error = path + ": mmap failed: " + std::strerror(errno);
+      *error = path + ": mmap failed: " + ErrnoMessage(errno);
     }
     return false;
   }

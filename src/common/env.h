@@ -19,6 +19,12 @@ double EnvDouble(const std::string& name, double fallback);
 /// multiply their default cardinalities by this factor.
 double DatasetScale();
 
+/// Thread-safe textual form of an errno value (what std::strerror returns,
+/// minus its shared static buffer — clang-tidy's concurrency-mt-unsafe
+/// rejects that one). Every error-message formatter in the tree goes
+/// through this instead of strerror().
+[[nodiscard]] std::string ErrnoMessage(int err);
+
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zlib/PNG
 /// variant) of `n` bytes, resumable via `seed` (pass a previous return value
 /// to extend a running checksum). The snapshot container (src/persist)

@@ -62,26 +62,26 @@ FaultInjectingFs::FaultInjectingFs(FileSystem* base)
     : base_(ResolveFs(base)) {}
 
 void FaultInjectingFs::FailOperation(std::uint64_t k) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fail_op_armed_ = true;
   fail_op_index_ = k;
 }
 
 void FaultInjectingFs::FailNextOf(Op op) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   fail_kind_armed_ = true;
   fail_kind_ = op;
 }
 
 void FaultInjectingFs::ShortWriteAt(std::uint64_t k, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   short_write_armed_ = true;
   short_write_index_ = k;
   short_write_bytes_ = bytes;
 }
 
 void FaultInjectingFs::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   next_op_ = 0;
   log_.clear();
   fault_fired_ = false;
@@ -89,23 +89,23 @@ void FaultInjectingFs::Reset() {
 }
 
 std::uint64_t FaultInjectingFs::op_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_op_;
 }
 
 bool FaultInjectingFs::fault_fired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return fault_fired_;
 }
 
 std::vector<FaultInjectingFs::Op> FaultInjectingFs::OperationLog() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return log_;
 }
 
 Status FaultInjectingFs::Count(Op op, const std::string& path,
                                std::size_t* short_write_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t index = next_op_++;
   log_.push_back(op);
   if (short_write_armed_ && index == short_write_index_ &&

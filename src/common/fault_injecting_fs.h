@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/file_system.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tlp {
 
@@ -110,18 +111,18 @@ class FaultInjectingFs final : public FileSystem {
                std::size_t* short_write_bytes = nullptr);
 
   FileSystem* const base_;
-  mutable std::mutex mutex_;
-  std::uint64_t next_op_ = 0;
-  std::vector<Op> log_;
-  bool fault_fired_ = false;
+  mutable Mutex mutex_;
+  std::uint64_t next_op_ TLP_GUARDED_BY(mutex_) = 0;
+  std::vector<Op> log_ TLP_GUARDED_BY(mutex_);
+  bool fault_fired_ TLP_GUARDED_BY(mutex_) = false;
 
-  bool fail_op_armed_ = false;
-  std::uint64_t fail_op_index_ = 0;
-  bool fail_kind_armed_ = false;
-  Op fail_kind_ = Op::kAppend;
-  bool short_write_armed_ = false;
-  std::uint64_t short_write_index_ = 0;
-  std::size_t short_write_bytes_ = 0;
+  bool fail_op_armed_ TLP_GUARDED_BY(mutex_) = false;
+  std::uint64_t fail_op_index_ TLP_GUARDED_BY(mutex_) = 0;
+  bool fail_kind_armed_ TLP_GUARDED_BY(mutex_) = false;
+  Op fail_kind_ TLP_GUARDED_BY(mutex_) = Op::kAppend;
+  bool short_write_armed_ TLP_GUARDED_BY(mutex_) = false;
+  std::uint64_t short_write_index_ TLP_GUARDED_BY(mutex_) = 0;
+  std::size_t short_write_bytes_ TLP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tlp

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/env.h"
+
 namespace tlp {
 
 WritableFile::~WritableFile() = default;
@@ -24,7 +26,7 @@ std::string DirnameOf(const std::string& path) {
 namespace {
 
 Status Errno(const std::string& path, const char* what) {
-  return Status::IoError(path + ": " + what + ": " + std::strerror(errno));
+  return Status::IoError(path + ": " + what + ": " + ErrnoMessage(errno));
 }
 
 /// Buffered append-only POSIX file. Buffering matters: the snapshot writer
@@ -214,6 +216,9 @@ class PosixFileSystem final : public FileSystem {
     names->clear();
     DIR* dir = ::opendir(path.c_str());
     if (dir == nullptr) return Errno(path, "cannot list directory");
+    // readdir-per-DIR-stream is thread-safe on every libc we target; the
+    // _r variant is deprecated in glibc and this stream is function-local.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     while (const struct dirent* entry = ::readdir(dir)) {
       const std::string name = entry->d_name;
       if (name == "." || name == "..") continue;

@@ -1,0 +1,107 @@
+#ifndef TLP_COMMON_MUTEX_H_
+#define TLP_COMMON_MUTEX_H_
+
+// The project's one lock seam (docs/STATIC_ANALYSIS.md "Thread-safety
+// annotations"). Every mutex, condition variable, and lock scope in src/
+// goes through these wrappers — lint rules TLP006 (no raw std::mutex &
+// friends outside this header) and TLP007 (no manual .lock()/.unlock();
+// RAII only) funnel the tree here, and the Clang Thread Safety Analysis
+// attributes carried by the wrappers are what make TLP_GUARDED_BY /
+// TLP_REQUIRES declarations elsewhere provable at compile time.
+//
+// The wrappers add nothing at runtime: tlp::Mutex is exactly std::mutex,
+// tlp::CondVar exactly std::condition_variable, tlp::MutexLock a scoped
+// lock with explicit Unlock()/Lock() for the two protocols (group-commit
+// leader, exception rethrow) that drop the lock mid-scope. Off Clang the
+// attribute macros vanish and this is a zero-cost renaming.
+
+#include <condition_variable>  // tlp-lint: allow(TLP006) the lock seam wraps the std primitives
+#include <mutex>  // tlp-lint: allow(TLP006) the lock seam wraps the std primitives
+
+#include "common/thread_annotations.h"
+
+namespace tlp {
+
+class CondVar;
+
+/// Annotated std::mutex. Prefer MutexLock over manual Lock()/Unlock()
+/// pairs; the manual methods exist for the RAII type itself and for the
+/// rare adopt/transfer protocols.
+class TLP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TLP_ACQUIRE() { mu_.lock(); }        // tlp-lint: allow(TLP007) the seam implements the RAII surface
+  void Unlock() TLP_RELEASE() { mu_.unlock(); }    // tlp-lint: allow(TLP007) the seam implements the RAII surface
+  [[nodiscard]] bool TryLock() TLP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();  // tlp-lint: allow(TLP007) the seam implements the RAII surface
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // tlp-lint: allow(TLP006) the wrapped primitive itself
+};
+
+/// RAII lock scope over a Mutex — the tree's only way to hold a lock
+/// (TLP007). Relockable: Unlock()/Lock() support the drop-the-lock-
+/// mid-scope protocols (DurableLog's group-commit leader, ThreadPool's
+/// rethrow-outside-the-lock); the destructor releases only if held.
+class TLP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TLP_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() TLP_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. to run a blocking operation or rethrow outside
+  /// the critical section). The destructor then does nothing unless
+  /// Lock() re-acquires first.
+  void Unlock() TLP_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  /// Re-acquires after an explicit Unlock().
+  void Lock() TLP_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+};
+
+/// Annotated std::condition_variable. There is no predicate overload on
+/// purpose: spell the loop out (`while (!cond) cv.Wait(mu);`) so the
+/// predicate's guarded-member reads sit in a scope the analysis can see
+/// the lock held in — a lambda predicate would hide them from the proof.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires before returning.
+  /// Caller must hold `mu` (compiler-checked). Spurious wakeups happen:
+  /// always wait in a condition loop.
+  void Wait(Mutex& mu) TLP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);  // tlp-lint: allow(TLP006) adapter to the std wait API
+    cv_.wait(ul);
+    ul.release();  // the lock stays held; ownership returns to the caller
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // tlp-lint: allow(TLP006) the wrapped primitive itself
+};
+
+}  // namespace tlp
+
+#endif  // TLP_COMMON_MUTEX_H_

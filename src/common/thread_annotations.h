@@ -1,0 +1,91 @@
+#ifndef TLP_COMMON_THREAD_ANNOTATIONS_H_
+#define TLP_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations (docs/STATIC_ANALYSIS.md
+// "Thread-safety annotations"). The macros attach lock-capability facts to
+// declarations — which mutex guards which member, which private method may
+// only run with which lock held — so the locking discipline that
+// docs/CONCURRENCY.md and docs/DURABILITY.md state in prose becomes a
+// compile-time proof under `-Wthread-safety` (error in every Clang CI job).
+// TSan still runs: the analysis proves lock discipline on ALL paths, TSan
+// catches the bugs annotations cannot express (ordering, atomics misuse).
+//
+// Off Clang (gcc, MSVC) every macro expands to nothing, so the annotations
+// are free and the tree stays portable. tests/thread_safety/ carries a
+// negative-compilation harness proving the macros have not rotted into
+// permanent no-ops: seeded violations MUST fail to compile under Clang.
+//
+// Only src/common/mutex.h applies the attribute macros to lock primitives;
+// everything else uses the tlp::Mutex/tlp::CondVar/tlp::MutexLock wrappers
+// defined there (lint rule TLP006) and annotates its own members/methods
+// with the macros below.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TLP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TLP_THREAD_ANNOTATION
+#define TLP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lock capability ("mutex" names it in
+/// diagnostics). Applied to tlp::Mutex.
+#define TLP_CAPABILITY(x) TLP_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor. Applied to tlp::MutexLock.
+#define TLP_SCOPED_CAPABILITY TLP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member annotation: reads/writes require holding the given mutex.
+///   std::size_t in_flight_ TLP_GUARDED_BY(mu_) = 0;
+#define TLP_GUARDED_BY(x) TLP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-member annotation: the *pointee* (not the pointer) is guarded.
+#define TLP_PT_GUARDED_BY(x) TLP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotation: callers must hold the mutex(es) exclusively.
+///   void AppendLocked(const DeltaOp& op) TLP_REQUIRES(writer_mu_);
+#define TLP_REQUIRES(...) \
+  TLP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: callers must hold the mutex(es) at least shared.
+#define TLP_REQUIRES_SHARED(...) \
+  TLP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: the call acquires the mutex(es) (caller must not
+/// already hold them). On a scoped type's member, (re)locks the scope.
+#define TLP_ACQUIRE(...) \
+  TLP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the call releases the mutex(es).
+#define TLP_RELEASE(...) \
+  TLP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the mutex iff the return value equals the
+/// first argument. `bool TryLock() TLP_TRY_ACQUIRE(true);`
+#define TLP_TRY_ACQUIRE(...) \
+  TLP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: callers must NOT hold the mutex(es) — deadlock
+/// prevention for self-locking public entry points.
+#define TLP_EXCLUDES(...) TLP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations on mutex members.
+#define TLP_ACQUIRED_BEFORE(...) \
+  TLP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TLP_ACQUIRED_AFTER(...) \
+  TLP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability
+/// (lets wrappers expose the underlying mutex without losing the proof).
+#define TLP_RETURN_CAPABILITY(x) TLP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Reserved for the
+/// wrapper internals (mutex.h) and for code whose safety argument the
+/// analysis cannot express; the suppression policy in
+/// docs/STATIC_ANALYSIS.md requires an adjacent comment saying why.
+#define TLP_NO_THREAD_SAFETY_ANALYSIS \
+  TLP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TLP_COMMON_THREAD_ANNOTATIONS_H_

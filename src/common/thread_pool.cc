@@ -15,33 +15,33 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
     // An unconsumed error dies with the pool: rethrowing from a destructor
     // would terminate, which is exactly what this pool exists to prevent.
     first_error_ = nullptr;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
   if (first_error_ != nullptr) {
     // Consume before rethrowing so the error surfaces exactly once and the
     // pool is reusable afterwards.
     std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
+    lock.Unlock();  // rethrow outside the critical section
     std::rethrow_exception(error);
   }
 }
@@ -51,9 +51,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     bool discard;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && tasks_.empty()) task_ready_.Wait(mutex_);
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -69,7 +68,7 @@ void ThreadPool::WorkerLoop() {
       try {
         task();
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (first_error_ == nullptr) {
           first_error_ = std::current_exception();
         }
@@ -77,8 +76,8 @@ void ThreadPool::WorkerLoop() {
     }
     task = nullptr;  // run destructors of captures outside the lock
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -1,14 +1,15 @@
 #ifndef TLP_COMMON_THREAD_POOL_H_
 #define TLP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tlp {
 
@@ -42,29 +43,29 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not themselves block on Wait(). A task
   /// submitted while a captured exception is pending joins the poisoned
   /// batch: it may be discarded unrun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) TLP_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing (or was
   /// discarded after a failure), then rethrows the first exception any
   /// task of the batch threw. Returns normally when no task threw. Safe to
   /// call with zero submitted tasks.
-  void Wait();
+  void Wait() TLP_EXCLUDES(mutex_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TLP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  /// First exception thrown by a task since the last Wait(); guarded by
-  /// mutex_. Non-null also serves as the "discard queued work" flag.
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ TLP_GUARDED_BY(mutex_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::size_t in_flight_ TLP_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ TLP_GUARDED_BY(mutex_) = false;
+  /// First exception thrown by a task since the last Wait(). Non-null also
+  /// serves as the "discard queued work" flag.
+  std::exception_ptr first_error_ TLP_GUARDED_BY(mutex_);
 };
 
 /// Splits [0, count) into contiguous chunks and runs `body(begin, end)` for

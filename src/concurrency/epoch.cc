@@ -41,7 +41,7 @@ EpochDomain::Guard EpochDomain::Pin() {
 }
 
 void EpochDomain::Retire(std::function<void()> garbage) {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(retire_mu_);
   // Read the epoch under the mutex: the tag must not lag the true retire
   // epoch by more than the one benign step the safety argument absorbs
   // (docs/CONCURRENCY.md "Reclamation safety").
@@ -55,7 +55,7 @@ bool EpochDomain::TryAdvance() {
     // would succeed unconditionally (no pinned reader can be "behind"
     // forever) and turn the callers' `while (TryAdvance()) {}` drain loops
     // into livelocks. Refuse instead.
-    std::lock_guard<std::mutex> lock(retire_mu_);
+    MutexLock lock(retire_mu_);
     if (buckets_[0].empty() && buckets_[1].empty() && buckets_[2].empty()) {
       return false;
     }
@@ -71,7 +71,7 @@ bool EpochDomain::TryAdvance() {
   // such an object has unpinned.
   std::vector<std::function<void()>> dead;
   {
-    std::lock_guard<std::mutex> lock(retire_mu_);
+    MutexLock lock(retire_mu_);
     dead.swap(buckets_[(g + 2) % 3]);  // ((G - 2) % 3) == ((g + 2) % 3)
   }
   for (auto& fn : dead) fn();
@@ -81,7 +81,7 @@ bool EpochDomain::TryAdvance() {
 void EpochDomain::ReclaimAll() {
   std::vector<std::function<void()>> dead;
   {
-    std::lock_guard<std::mutex> lock(retire_mu_);
+    MutexLock lock(retire_mu_);
     for (auto& bucket : buckets_) {
       for (auto& fn : bucket) dead.push_back(std::move(fn));
       bucket.clear();
@@ -91,7 +91,7 @@ void EpochDomain::ReclaimAll() {
 }
 
 std::size_t EpochDomain::retired_count() const {
-  std::lock_guard<std::mutex> lock(retire_mu_);
+  MutexLock lock(retire_mu_);
   return buckets_[0].size() + buckets_[1].size() + buckets_[2].size();
 }
 

@@ -5,8 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace tlp {
 
@@ -68,7 +70,7 @@ class EpochDomain {
     Guard& operator=(const Guard&) = delete;
     ~Guard() { Release(); }
 
-    bool pinned() const { return domain_ != nullptr; }
+    [[nodiscard]] bool pinned() const { return domain_ != nullptr; }
 
    private:
     friend class EpochDomain;
@@ -83,7 +85,7 @@ class EpochDomain {
   /// Pins the calling thread into the current epoch. After this returns,
   /// any pointer loaded from an epoch-protected atomic stays valid until
   /// the Guard is destroyed. Spins (with yield) when all slots are taken.
-  Guard Pin();
+  [[nodiscard]] Guard Pin();
 
   /// Hands `garbage` to the domain; it runs once no pin can still observe
   /// the object it frees (two epoch advances from now). Thread-safe.
@@ -94,17 +96,17 @@ class EpochDomain {
   /// newly unreachable bucket. Returns true if the epoch advanced. (The
   /// nothing-retired refusal is what makes the callers' drain loops
   /// `while (TryAdvance()) {}` terminate.) Thread-safe.
-  bool TryAdvance();
+  [[nodiscard]] bool TryAdvance();
 
   /// Frees every retired bucket unconditionally. Caller must guarantee no
   /// pins are active (destructor path / single-threaded teardown).
   void ReclaimAll();
 
-  std::uint64_t global_epoch() const { return global_.load(); }
+  [[nodiscard]] std::uint64_t global_epoch() const { return global_.load(); }
   /// Callbacks handed to Retire() and not yet run; for leak tests.
-  std::size_t retired_count() const;
+  [[nodiscard]] std::size_t retired_count() const;
   /// Pinned slots right now; for tests.
-  std::size_t active_pins() const;
+  [[nodiscard]] std::size_t active_pins() const;
 
  private:
   /// One announcement slot per cache line so pins on different cores do
@@ -118,8 +120,8 @@ class EpochDomain {
   Slot slots_[kMaxSlots];
   std::atomic<std::uint64_t> global_{0};
   /// Buckets of retired callbacks, indexed by (retire epoch % 3).
-  mutable std::mutex retire_mu_;
-  std::vector<std::function<void()>> buckets_[3];
+  mutable Mutex retire_mu_;
+  std::vector<std::function<void()>> buckets_[3] TLP_GUARDED_BY(retire_mu_);
 };
 
 }  // namespace tlp

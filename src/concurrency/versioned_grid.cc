@@ -86,7 +86,7 @@ bool ConcurrentTwoLayerGrid::Delete(ObjectId id, const Box& box) {
 }
 
 void ConcurrentTwoLayerGrid::AttachWal(DurableLog* wal) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (total_ops_ != 0) {
     throw std::logic_error(
         "AttachWal: updates already applied without a log; the WAL history "
@@ -100,15 +100,17 @@ Status ConcurrentTwoLayerGrid::InsertDurable(const BoxEntry& entry,
                                              bool* applied) {
   *applied = false;
   std::uint64_t seq = 0;
+  DurableLog* wal = nullptr;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     if (live_ids_.count(entry.id) != 0) return Status::OK();  // duplicate
-    if (wal_ != nullptr) {
+    wal = wal_;
+    if (wal != nullptr) {
       // Log before entering the delta log: an op a reader could ever see
       // must be on the path to durability. Append only buffers — failure
       // here leaves both log and index untouched.
       seq = wal_base_ + total_ops_ + 1;
-      Status s = wal_->Append(wal::MakeOp(/*insert=*/true, seq, entry));
+      Status s = wal->Append(wal::MakeOp(/*insert=*/true, seq, entry));
       if (!s.ok()) return s;
     }
     live_ids_.insert(entry.id);
@@ -118,7 +120,7 @@ Status ConcurrentTwoLayerGrid::InsertDurable(const BoxEntry& entry,
   *applied = true;
   // Group commit outside the writer mutex: concurrent writers keep
   // appending while one leader fsyncs a batch covering all of them.
-  if (wal_ != nullptr) return wal_->Sync(seq);
+  if (wal != nullptr) return wal->Sync(seq);
   return Status::OK();
 }
 
@@ -126,13 +128,15 @@ Status ConcurrentTwoLayerGrid::DeleteDurable(ObjectId id, const Box& box,
                                              bool* applied) {
   *applied = false;
   std::uint64_t seq = 0;
+  DurableLog* wal = nullptr;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     if (live_ids_.count(id) == 0) return Status::OK();  // not live
-    if (wal_ != nullptr) {
+    wal = wal_;
+    if (wal != nullptr) {
       seq = wal_base_ + total_ops_ + 1;
       Status s =
-          wal_->Append(wal::MakeOp(/*insert=*/false, seq, BoxEntry{box, id}));
+          wal->Append(wal::MakeOp(/*insert=*/false, seq, BoxEntry{box, id}));
       if (!s.ok()) return s;
     }
     live_ids_.erase(id);
@@ -140,22 +144,24 @@ Status ConcurrentTwoLayerGrid::DeleteDurable(ObjectId id, const Box& box,
     live_count_.store(live_ids_.size(), std::memory_order_relaxed);
   }
   *applied = true;
-  if (wal_ != nullptr) return wal_->Sync(seq);
+  if (wal != nullptr) return wal->Sync(seq);
   return Status::OK();
 }
 
 Status ConcurrentTwoLayerGrid::CheckpointWal() {
-  if (wal_ == nullptr) return Status::OK();
-  return wal_->WriteDeltaSnapshot(wal_->durable_seq());
+  DurableLog* log = wal();
+  if (log == nullptr) return Status::OK();
+  return log->WriteDeltaSnapshot(log->durable_seq());
 }
 
 Status ConcurrentTwoLayerGrid::CompactWal() {
-  if (wal_ == nullptr) return Status::OK();
+  if (wal() == nullptr) return Status::OK();
   Flush();
   std::shared_ptr<const TwoLayerGrid> base;
   std::uint64_t seq = 0;
+  DurableLog* log = nullptr;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     const Version& cur = *published_.load();
     if (cur.delta_begin != cur.delta_end) {
       return Status::InvalidArgument(
@@ -163,10 +169,11 @@ Status ConcurrentTwoLayerGrid::CompactWal() {
     }
     base = cur.base;
     seq = wal_base_ + cur.delta_end;
+    log = wal_;
   }
   // `base` is immutable by protocol and the shared_ptr keeps it alive even
   // if another version publishes meanwhile.
-  return wal_->Compact(*base, seq);
+  return log->Compact(*base, seq);
 }
 
 void ConcurrentTwoLayerGrid::AppendLocked(const DeltaOp& op) {
@@ -213,14 +220,16 @@ void ConcurrentTwoLayerGrid::RunMerge() {
   std::uint64_t chunk_base = 0;
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
+  DurableLog* log = nullptr;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     const Version& cur = *published_.load();
     base = cur.base;
     chunk = cur.delta_head;
     chunk_base = cur.head_base;
     begin = cur.delta_begin;
     end = cur.delta_end;
+    log = wal_;
   }
   try {
     // Clone and fold outside the mutex: ops [begin, end) and the base grid
@@ -239,7 +248,7 @@ void ConcurrentTwoLayerGrid::RunMerge() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(writer_mu_);
+      MutexLock lock(writer_mu_);
       const Version& cur = *published_.load();
       std::shared_ptr<const DeltaChunk> head = cur.delta_head;
       std::uint64_t head_base = cur.head_base;
@@ -251,30 +260,30 @@ void ConcurrentTwoLayerGrid::RunMerge() {
       // Appends during the merge may already exceed the threshold again.
       MaybeScheduleMergeLocked();
     }
-    merged_cv_.notify_all();
+    merged_cv_.NotifyAll();
     // Checkpoint cadence rides on the merge thread — the one background
     // thread this index owns — so delta snapshots never block a writer or
     // a reader. A failed checkpoint only leaves the low-water mark where
     // it was (recovery replays more log); persistent I/O failures surface
     // through the writers' own appends.
-    if (wal_ != nullptr && options_.wal_delta_every > 0) {
-      const std::uint64_t durable = wal_->durable_seq();
-      if (durable >= wal_->low_water_mark() + options_.wal_delta_every) {
-        (void)wal_->WriteDeltaSnapshot(durable);
+    if (log != nullptr && options_.wal_delta_every > 0) {
+      const std::uint64_t durable = log->durable_seq();
+      if (durable >= log->low_water_mark() + options_.wal_delta_every) {
+        (void)log->WriteDeltaSnapshot(durable);
       }
     }
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(writer_mu_);
+      MutexLock lock(writer_mu_);
       merge_scheduled_ = false;
     }
-    merged_cv_.notify_all();
+    merged_cv_.NotifyAll();
     throw;  // surfaces through ThreadPool::Wait in the destructor
   }
 }
 
 void ConcurrentTwoLayerGrid::Flush() {
-  std::unique_lock<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   for (;;) {
     const Version& cur = *published_.load();
     if (cur.delta_begin == cur.delta_end && !merge_scheduled_) return;
@@ -282,7 +291,7 @@ void ConcurrentTwoLayerGrid::Flush() {
       merge_scheduled_ = true;
       merge_pool_.Submit([this] { RunMerge(); });
     }
-    merged_cv_.wait(lock);
+    merged_cv_.Wait(writer_mu_);
   }
 }
 
@@ -298,7 +307,7 @@ ConcurrentTwoLayerGrid::Snapshot ConcurrentTwoLayerGrid::Acquire() const {
 std::uint64_t ConcurrentTwoLayerGrid::published_seq() const {
   // Under the writer mutex the current version cannot retire (retirement
   // only happens in PublishLocked).
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return published_.load()->delta_end;
 }
 

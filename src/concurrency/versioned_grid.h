@@ -3,16 +3,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "concurrency/epoch.h"
 #include "core/diversified_knn.h"
@@ -110,11 +110,11 @@ class ConcurrentTwoLayerGrid {
   /// with this id is already live — the sequential index's "ids are
   /// unique" contract, enforced here so delta overlay semantics stay
   /// well-defined.
-  bool Insert(const BoxEntry& entry);
+  [[nodiscard]] bool Insert(const BoxEntry& entry);
 
   /// Deletes object `id` (with the box it was inserted with, as in
   /// TwoLayerGrid::Delete). Returns false when no such object is live.
-  bool Delete(ObjectId id, const Box& box);
+  [[nodiscard]] bool Delete(ObjectId id, const Box& box);
 
   /// Attaches the write-ahead log every subsequent update appends to
   /// before entering the delta log (docs/DURABILITY.md). Must be called
@@ -149,11 +149,16 @@ class ConcurrentTwoLayerGrid {
   [[nodiscard]] Status CompactWal();
 
   /// The attached log (null when none) — for stats surfaces (WALSTATS).
-  DurableLog* wal() const { return wal_; }
+  /// Takes the writer mutex briefly (the pointer itself is guarded; the
+  /// log's own surfaces are internally synchronized).
+  [[nodiscard]] DurableLog* wal() const TLP_EXCLUDES(writer_mu_) {
+    MutexLock lock(writer_mu_);
+    return wal_;
+  }
 
   /// Blocks until every op published before the call is merged into the
   /// base grid (the published delta window is empty).
-  void Flush();
+  void Flush() TLP_EXCLUDES(writer_mu_);
 
   /// A pinned, immutable view: epoch guard + Version + materialized
   /// last-op-wins overlay of the version's delta window. Queries mirror
@@ -168,11 +173,11 @@ class ConcurrentTwoLayerGrid {
     Snapshot& operator=(const Snapshot&) = delete;
 
     /// Logical sequence number: total update ops visible to this view.
-    std::uint64_t seq() const { return version_->delta_end; }
+    [[nodiscard]] std::uint64_t seq() const { return version_->delta_end; }
     /// The published base grid (excludes the delta overlay).
-    const TwoLayerGrid& base() const { return *version_->base; }
+    [[nodiscard]] const TwoLayerGrid& base() const { return *version_->base; }
     /// Distinct object ids touched by the unmerged delta window.
-    std::size_t overlay_size() const { return overlay_.size(); }
+    [[nodiscard]] std::size_t overlay_size() const { return overlay_.size(); }
 
     /// Ids of live objects intersecting `w`, sorted ascending.
     void WindowQuery(const Box& w, std::vector<ObjectId>* out) const;
@@ -184,15 +189,15 @@ class ConcurrentTwoLayerGrid {
                           std::vector<BoxEntry>* out) const;
     /// The k nearest live entries matching `keep`, sorted by
     /// (distance, id) — same contract as tlp::KnnEntries.
-    std::vector<RankedEntry> KnnEntries(const Point& q, std::size_t k,
+    [[nodiscard]] std::vector<RankedEntry> KnnEntries(const Point& q, std::size_t k,
                                         const EntryPredicate& keep = {}) const;
     /// Skyline of the live set — same contract as tlp::SkylineQuery.
-    std::vector<SkylineEntry> SkylineQuery(
+    [[nodiscard]] std::vector<SkylineEntry> SkylineQuery(
         const Point& q, const Box* region = nullptr,
         const EntryPredicate& keep = {}) const;
     /// Diversified kNN over the live set — same contract as
     /// tlp::DiversifiedKnnQuery.
-    std::vector<RankedEntry> DiversifiedKnnQuery(
+    [[nodiscard]] std::vector<RankedEntry> DiversifiedKnnQuery(
         const Point& q, const DivKnnOptions& opts,
         const EntryPredicate& keep = {}) const;
 
@@ -222,25 +227,25 @@ class ConcurrentTwoLayerGrid {
 
   /// Pins the current published version. Cheap-ish: O(delta window) to
   /// materialize the overlay map, which the merge threshold bounds.
-  Snapshot Acquire() const;
+  [[nodiscard]] Snapshot Acquire() const;
 
   /// Sequence number of the currently published version (test/monitoring
   /// aid; racy by nature).
-  std::uint64_t published_seq() const;
+  [[nodiscard]] std::uint64_t published_seq() const;
   /// Live objects (base + delta). Lock-free: reads an atomic counter the
   /// writer maintains, so monitoring surfaces (WALSTATS, the serve
   /// counters) never contend with the update path. Exact once writers
   /// quiesce; during concurrent updates it lags by at most the in-flight
   /// op.
-  std::size_t live_count() const {
+  [[nodiscard]] std::size_t live_count() const {
     return live_count_.load(std::memory_order_relaxed);
   }
   /// Completed background merges (test/monitoring aid).
-  std::uint64_t merges_completed() const {
+  [[nodiscard]] std::uint64_t merges_completed() const {
     return merges_completed_.load();
   }
   /// Epoch domain, exposed for leak/retirement tests.
-  EpochDomain& epoch_domain() const { return epoch_; }
+  [[nodiscard]] EpochDomain& epoch_domain() const { return epoch_; }
 
   /// The raw published Version pointer WITHOUT pinning an epoch. The
   /// pointee may be retired and freed at any moment; only the concurrency
@@ -249,41 +254,41 @@ class ConcurrentTwoLayerGrid {
   /// tools/tlp_lint.py rule TLP005 rejects any use outside
   /// src/concurrency/ — everyone else must hold versions through a
   /// Snapshot.
-  const Version* unsafe_published_version() const {
+  [[nodiscard]] const Version* unsafe_published_version() const {
     return published_.load();
   }
 
  private:
-  /// Appends one op and publishes a Version exposing it. Caller holds
-  /// writer_mu_.
-  void AppendLocked(const DeltaOp& op);
+  /// Appends one op and publishes a Version exposing it (compiler-checked
+  /// caller-holds-writer_mu_ contract).
+  void AppendLocked(const DeltaOp& op) TLP_REQUIRES(writer_mu_);
   /// Publishes `v` (heap-allocated, ownership taken) and retires the
-  /// previous version. Caller holds writer_mu_.
-  void PublishLocked(const Version* v);
+  /// previous version.
+  void PublishLocked(const Version* v) TLP_REQUIRES(writer_mu_);
   /// Schedules a background merge if one is warranted and none is queued.
-  /// Caller holds writer_mu_.
-  void MaybeScheduleMergeLocked();
-  /// The background merge task body.
-  void RunMerge();
+  void MaybeScheduleMergeLocked() TLP_REQUIRES(writer_mu_);
+  /// The background merge task body. Takes writer_mu_ itself (twice,
+  /// briefly); the clone-and-fold runs unlocked.
+  void RunMerge() TLP_EXCLUDES(writer_mu_);
 
   const Options options_;
 
-  mutable std::mutex writer_mu_;
+  mutable Mutex writer_mu_;
   /// Ids currently live (base + appended delta); gives Insert/Delete their
   /// found/duplicate return values without consulting the index.
-  std::unordered_set<ObjectId> live_ids_;
+  std::unordered_set<ObjectId> live_ids_ TLP_GUARDED_BY(writer_mu_);
   /// live_ids_.size(), mirrored for lock-free live_count().
   std::atomic<std::size_t> live_count_{0};
   /// Durability (null = not durable). wal_base_ + op index = WAL sequence;
   /// both set once by AttachWal before any update.
-  DurableLog* wal_ = nullptr;
-  std::uint64_t wal_base_ = 0;
+  DurableLog* wal_ TLP_GUARDED_BY(writer_mu_) = nullptr;
+  std::uint64_t wal_base_ TLP_GUARDED_BY(writer_mu_) = 0;
   /// Chunk receiving the next append and the global index of its ops[0].
-  std::shared_ptr<DeltaChunk> tail_;
-  std::uint64_t tail_base_ = 0;
-  std::uint64_t total_ops_ = 0;
-  bool merge_scheduled_ = false;
-  std::condition_variable merged_cv_;
+  std::shared_ptr<DeltaChunk> tail_ TLP_GUARDED_BY(writer_mu_);
+  std::uint64_t tail_base_ TLP_GUARDED_BY(writer_mu_) = 0;
+  std::uint64_t total_ops_ TLP_GUARDED_BY(writer_mu_) = 0;
+  bool merge_scheduled_ TLP_GUARDED_BY(writer_mu_) = false;
+  CondVar merged_cv_;
 
   std::atomic<const Version*> published_{nullptr};
   mutable EpochDomain epoch_;

@@ -22,7 +22,7 @@ class QueryClient {
   /// Connects to `host:port` (IPv4 dotted quad).
   [[nodiscard]] Status Connect(const std::string& host, std::uint16_t port);
 
-  bool connected() const { return fd_.valid(); }
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
 
   /// Sends one query and blocks for its reply. A BUSY or ERR reply is a
   /// SUCCESSFUL round-trip (inspect reply->kind); a failed Status means

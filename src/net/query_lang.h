@@ -123,15 +123,15 @@ struct ParseError {
 /// Parses one query. On success fills `*out` and returns true; on failure
 /// fills `*err` and returns false. Never throws on malformed input — the
 /// fuzz corpus in tests/query_lang_test.cc holds it to that.
-bool ParseQuery(std::string_view text, Query* out, ParseError* err);
+[[nodiscard]] bool ParseQuery(std::string_view text, Query* out, ParseError* err);
 
 /// Canonical text form of a parsed query (see fixed-point property above).
-std::string PrintQuery(const Query& q);
+[[nodiscard]] std::string PrintQuery(const Query& q);
 
 /// Shortest round-trip decimal formatting of a double (std::to_chars); the
 /// printer and the result-row formatting share this so values survive a
 /// print -> parse cycle bit-identically.
-std::string FormatNumber(double value);
+[[nodiscard]] std::string FormatNumber(double value);
 
 }  // namespace tlp::net
 

@@ -92,7 +92,7 @@ void QueryServer::Shutdown() {
 }
 
 QueryServer::Counters QueryServer::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 
@@ -170,7 +170,7 @@ void QueryServer::ReactorLoop() {
       }
     }
     if (!to_close.empty()) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       counters_.idle_disconnects += to_close.size();
     }
     for (const int fd : to_close) CloseConn(fd);
@@ -216,7 +216,7 @@ void QueryServer::AcceptNewConnections() {
     conn->fd = std::move(owned);
     RefreshIdleDeadline(conn.get());
     conns_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++counters_.connections_accepted;
   }
 }
@@ -238,7 +238,7 @@ void QueryServer::MaybeDispatch(Conn* c) {
   if (c->state != Conn::State::kReading) return;
   if (c->decoder.overflowed()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++counters_.protocol_errors;
     }
     CloseConn(c->fd.get());
@@ -256,7 +256,7 @@ void QueryServer::MaybeDispatch(Conn* c) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++counters_.busy_rejected;
     }
     if (!WriteFrameBounded(c->fd.get(), EncodeFrame(EncodeBusyReply()),
@@ -304,7 +304,7 @@ void QueryServer::ExecuteOnWorker(Conn* c, std::string payload) {
       c->dead.store(true, std::memory_order_relaxed);
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (ok_reply) {
         ++counters_.queries_ok;
         if (update_applied) ++counters_.updates_applied;
@@ -320,7 +320,7 @@ void QueryServer::ExecuteOnWorker(Conn* c, std::string payload) {
 void QueryServer::ProcessCompletions() {
   std::vector<int> done;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     done.swap(completed_fds_);
   }
   for (const int fd : done) {

@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "concurrency/versioned_grid.h"
 #include "core/two_layer_grid.h"
@@ -89,7 +90,7 @@ class QueryServer {
   [[nodiscard]] Status Start();
 
   /// The bound port (after a successful Start()).
-  std::uint16_t port() const { return bound_port_; }
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
 
   /// Triggers a graceful shutdown without blocking. Callable from any
   /// thread and from signal handlers (atomic store + pipe write).
@@ -99,7 +100,7 @@ class QueryServer {
   /// thread is joined. Idempotent.
   void Shutdown();
 
-  Counters counters() const;
+  [[nodiscard]] Counters counters() const;
 
   /// Test seam: when set (before Start()), runs on the worker thread
   /// right before a query is parsed/evaluated. Lets tests hold queries
@@ -122,7 +123,7 @@ class QueryServer {
   void ReactorLoop();
   void AcceptNewConnections();
   /// Reads available bytes; returns false when the connection died.
-  bool ReadFromConn(Conn* c);
+  [[nodiscard]] bool ReadFromConn(Conn* c);
   /// Dispatches the next buffered frame (if any, and admission allows).
   void MaybeDispatch(Conn* c);
   void ExecuteOnWorker(Conn* c, std::string payload);
@@ -144,14 +145,15 @@ class QueryServer {
   bool started_ = false;
   bool joined_ = false;
 
-  /// Reactor-thread-only state.
+  /// Reactor-thread-only state (a thread-ownership invariant the
+  /// capability analysis cannot express — TSan covers it dynamically).
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   std::size_t inflight_ = 0;
 
   /// Shared worker/reactor state.
-  mutable std::mutex mutex_;
-  std::vector<int> completed_fds_;
-  Counters counters_;
+  mutable Mutex mutex_;
+  std::vector<int> completed_fds_ TLP_GUARDED_BY(mutex_);
+  Counters counters_ TLP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tlp::net

@@ -10,12 +10,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/env.h"
+
 namespace tlp::net {
 
 namespace {
 
 std::string Errno(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
+  return std::string(what) + ": " + ErrnoMessage(errno);
 }
 
 Status FillAddr(const std::string& host, std::uint16_t port,

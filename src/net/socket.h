@@ -30,11 +30,11 @@ class UniqueFd {
   UniqueFd& operator=(const UniqueFd&) = delete;
   ~UniqueFd() { reset(); }
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
   /// Releases ownership without closing.
-  int release() {
+  [[nodiscard]] int release() {
     const int fd = fd_;
     fd_ = -1;
     return fd;
@@ -80,8 +80,8 @@ class WakePipe {
   void Notify() const;
   /// Drains every pending byte (call after poll() reports readability).
   void Drain() const;
-  int read_fd() const { return read_end_.get(); }
-  bool valid() const { return read_end_.valid(); }
+  [[nodiscard]] int read_fd() const { return read_end_.get(); }
+  [[nodiscard]] bool valid() const { return read_end_.valid(); }
 
  private:
   UniqueFd read_end_;

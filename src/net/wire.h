@@ -30,7 +30,7 @@ namespace tlp::net {
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 
 /// Frames `payload` for the socket: 4-byte length prefix + bytes.
-std::string EncodeFrame(std::string_view payload);
+[[nodiscard]] std::string EncodeFrame(std::string_view payload);
 
 /// Incremental frame reassembly for one connection/stream. Feed raw bytes
 /// with Append; pull complete payloads with Next. Rejects oversized frames
@@ -41,14 +41,14 @@ class FrameDecoder {
 
   /// Extracts the next complete payload into `*payload`; false when no
   /// complete frame is buffered (or the stream overflowed).
-  bool Next(std::string* payload);
+  [[nodiscard]] bool Next(std::string* payload);
 
   /// True once a declared frame length exceeded kMaxFrameBytes. The
   /// stream is unrecoverable; the owner should close the connection.
-  bool overflowed() const { return overflowed_; }
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
 
   /// Bytes buffered but not yet returned (diagnostics/tests).
-  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+  [[nodiscard]] std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   std::string buffer_;
@@ -70,19 +70,19 @@ struct Reply {
 };
 
 /// Builds an OK reply payload. `stats_json` empty = no STATS line.
-std::string EncodeOkReply(const std::vector<std::string>& rows,
+[[nodiscard]] std::string EncodeOkReply(const std::vector<std::string>& rows,
                           std::string_view stats_json);
 
 /// Builds an ERR reply payload.
-std::string EncodeErrReply(std::string_view error_class, std::uint64_t offset,
+[[nodiscard]] std::string EncodeErrReply(std::string_view error_class, std::uint64_t offset,
                            std::string_view message);
 
 /// Builds the BUSY reply payload.
-std::string EncodeBusyReply();
+[[nodiscard]] std::string EncodeBusyReply();
 
 /// Parses a reply payload. Returns false on a malformed payload (wrong
 /// leader, bad counts, row count mismatch).
-bool ParseReply(std::string_view payload, Reply* out);
+[[nodiscard]] bool ParseReply(std::string_view payload, Reply* out);
 
 }  // namespace tlp::net
 

@@ -157,6 +157,9 @@ Status DurableLog::Open(const std::string& dir, const Options& options,
                         FileSystem* fs, std::unique_ptr<DurableLog>* out) {
   fs = ResolveFs(fs);
   std::unique_ptr<DurableLog> log(new DurableLog(dir, options, fs));
+  // The log is private to this function until *out is assigned; holding its
+  // mutex costs nothing and keeps the guarded-member proof airtight.
+  MutexLock setup_lock(log->mu_);
   DirListing listing;
   Status s = ListWalDir(dir, fs, &listing);
   if (!s.ok()) return s;
@@ -276,27 +279,27 @@ Status DurableLog::Inspect(const std::string& dir, FileSystem* fs,
 }
 
 std::uint64_t DurableLog::next_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return appended_seq_ + 1;
 }
 
 std::uint64_t DurableLog::durable_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return durable_seq_;
 }
 
 std::uint64_t DurableLog::low_water_mark() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return low_water_;
 }
 
 WalStats DurableLog::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 Status DurableLog::Append(const WalRecord& rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!failed_.ok()) return failed_;
   if (rec.kind != RecordKind::kInsert && rec.kind != RecordKind::kDelete) {
     return Status::InvalidArgument("wal append: not an op record");
@@ -317,7 +320,7 @@ Status DurableLog::Append(const WalRecord& rec) {
 }
 
 Status DurableLog::Sync(std::uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (!failed_.ok()) return failed_;
     if (durable_seq_ >= seq) return Status::OK();
@@ -325,7 +328,7 @@ Status DurableLog::Sync(std::uint64_t seq) {
       return Status::InvalidArgument("wal sync: sequence not yet appended");
     }
     if (!flush_in_progress_) break;
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(mu_);
   }
   // This thread is the flush leader: take the whole pending batch (group
   // commit — one fsync covers every record appended so far, including
@@ -335,13 +338,13 @@ Status DurableLog::Sync(std::uint64_t seq) {
   pending_.clear();
   const std::uint64_t batch_first = pending_first_;
   const std::uint64_t batch_end = appended_seq_;
-  lock.unlock();
+  lock.Unlock();  // the leader flushes outside mu_; followers keep appending
 
   bool created = false;
   bool rotated = false;
   Status s = FlushBatch(batch, batch_first, &created, &rotated);
 
-  lock.lock();
+  lock.Lock();
   flush_in_progress_ = false;
   if (!s.ok()) {
     failed_ = s;
@@ -360,7 +363,7 @@ Status DurableLog::Sync(std::uint64_t seq) {
       active_present_ = false;
     }
   }
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
   return s;
 }
 
@@ -407,7 +410,7 @@ Status DurableLog::CollectOps(std::uint64_t after, std::uint64_t upto,
   // complete even while the leader keeps appending behind us.
   std::vector<SegmentInfo> files;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     files = sealed_;
     if (active_present_) files.push_back(active_mirror_);
   }
@@ -463,10 +466,10 @@ Status DurableLog::CollectOps(std::uint64_t after, std::uint64_t upto,
 }
 
 Status DurableLog::WriteDeltaSnapshot(std::uint64_t upto) {
-  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  MutexLock checkpoint_lock(checkpoint_mu_);
   std::uint64_t from = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     from = low_water_;
     upto = std::min(upto, durable_seq_);
   }
@@ -522,7 +525,7 @@ Status DurableLog::WriteDeltaSnapshot(std::uint64_t upto) {
     return s;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     low_water_ = upto;
     ++stats_.delta_snapshots;
   }
@@ -531,9 +534,9 @@ Status DurableLog::WriteDeltaSnapshot(std::uint64_t upto) {
 }
 
 Status DurableLog::Compact(const TwoLayerGrid& base, std::uint64_t seq) {
-  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  MutexLock checkpoint_lock(checkpoint_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (seq < low_water_ || seq > durable_seq_) {
       return Status::InvalidArgument(
           "wal compact: sequence " + std::to_string(seq) +
@@ -544,7 +547,7 @@ Status DurableLog::Compact(const TwoLayerGrid& base, std::uint64_t seq) {
   Status s = base.Save(PathOf(wal::FullFileName(seq)), fs_);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     low_water_ = seq;
     ++stats_.compactions;
   }
@@ -559,7 +562,7 @@ void DurableLog::CollectStale(std::uint64_t bound,
   std::vector<SegmentInfo> keep;
   std::vector<std::string> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const SegmentInfo& seg : sealed_) {
       if (seg.last_seq <= bound && seg.first_seq <= bound) {
         victims.push_back(seg.name);
@@ -587,9 +590,9 @@ void DurableLog::CollectStale(std::uint64_t bound,
 
 Status DurableLog::RecoverIndex(std::unique_ptr<TwoLayerGrid>* grid,
                                 std::uint64_t* seq) {
-  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  MutexLock checkpoint_lock(checkpoint_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (recovered_) {
       return Status::InvalidArgument(
           "wal recover: log already appended to; recovery must come first");
@@ -675,7 +678,7 @@ Status DurableLog::RecoverIndex(std::unique_ptr<TwoLayerGrid>* grid,
   // re-application), ops beyond it must be contiguous.
   std::vector<SegmentInfo> chain;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     chain = sealed_;
   }
   for (const SegmentInfo& seg : chain) {
@@ -719,7 +722,7 @@ Status DurableLog::RecoverIndex(std::unique_ptr<TwoLayerGrid>* grid,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.records_replayed += replayed;
     stats_.records_skipped += skipped;
   }

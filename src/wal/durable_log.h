@@ -9,15 +9,15 @@
 // delta-snapshot, and compaction operation and prove recovery reaches a
 // consistent prefix of the committed history.
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/file_system.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/two_layer_grid.h"
 #include "wal/wal_format.h"
 
@@ -84,11 +84,11 @@ class DurableLog {
   /// append always starts a fresh segment (the FileSystem seam's
   /// NewWritableFile truncates, so a recovered segment is never reopened
   /// for append).
-  static Status Open(const std::string& dir, const Options& options,
+  [[nodiscard]] static Status Open(const std::string& dir, const Options& options,
                      FileSystem* fs, std::unique_ptr<DurableLog>* out);
 
   /// Read-only directory summary; never modifies disk state.
-  static Status Inspect(const std::string& dir, FileSystem* fs,
+  [[nodiscard]] static Status Inspect(const std::string& dir, FileSystem* fs,
                         WalDirInfo* out);
 
   ~DurableLog();
@@ -98,24 +98,26 @@ class DurableLog {
   /// Buffers one op record. `rec.seq` must be exactly `next_seq()`; the
   /// record is not durable until a Sync(rec.seq) call returns OK.
   /// External serialization required (see class comment).
-  [[nodiscard]] Status Append(const wal::WalRecord& rec);
+  [[nodiscard]] Status Append(const wal::WalRecord& rec) TLP_EXCLUDES(mu_);
 
   /// Group commit: returns OK once every record with sequence <= `seq` is
   /// on stable storage. Safe from any thread.
-  [[nodiscard]] Status Sync(std::uint64_t seq);
+  [[nodiscard]] Status Sync(std::uint64_t seq) TLP_EXCLUDES(mu_);
 
   /// Writes a delta snapshot covering ops (low_water_mark(), upto] —
   /// collapsed last-op-wins, atomic temp+rename — then advances the
   /// low-water mark and collects log segments that fell entirely below
   /// it. `upto` is clamped to durable_seq(); a no-op when nothing new is
   /// durable. O(ops in the window), not O(index).
-  [[nodiscard]] Status WriteDeltaSnapshot(std::uint64_t upto);
+  [[nodiscard]] Status WriteDeltaSnapshot(std::uint64_t upto)
+      TLP_EXCLUDES(checkpoint_mu_, mu_);
 
   /// Folds everything up to `seq` into a full snapshot of `base` (which
   /// must be the index state after ops [1, seq]), then collects every
   /// older full snapshot, all delta snapshots, and all sealed segments at
   /// or below `seq`. Also used with seq = 0 to seed a fresh directory.
-  [[nodiscard]] Status Compact(const TwoLayerGrid& base, std::uint64_t seq);
+  [[nodiscard]] Status Compact(const TwoLayerGrid& base, std::uint64_t seq)
+      TLP_EXCLUDES(checkpoint_mu_, mu_);
 
   /// Rebuilds the index: loads the newest full snapshot, applies the
   /// contiguous delta-snapshot chain, then replays log records — skipping
@@ -124,16 +126,17 @@ class DurableLog {
   /// Fails with kInvalidArgument when the directory has no full snapshot
   /// yet (seed one with Compact).
   [[nodiscard]] Status RecoverIndex(std::unique_ptr<TwoLayerGrid>* grid,
-                                    std::uint64_t* seq);
+                                    std::uint64_t* seq)
+      TLP_EXCLUDES(checkpoint_mu_, mu_);
 
   /// Sequence number the next Append must carry.
-  std::uint64_t next_seq() const;
+  [[nodiscard]] std::uint64_t next_seq() const;
   /// Last sequence known durable (acknowledged by a Sync).
-  std::uint64_t durable_seq() const;
+  [[nodiscard]] std::uint64_t durable_seq() const;
   /// Last sequence covered by checkpoints (full + delta chain).
-  std::uint64_t low_water_mark() const;
-  WalStats stats() const;
-  const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::uint64_t low_water_mark() const;
+  [[nodiscard]] WalStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
 
  private:
   struct SegmentInfo {
@@ -144,46 +147,53 @@ class DurableLog {
 
   DurableLog(std::string dir, const Options& options, FileSystem* fs);
 
-  std::string PathOf(const std::string& name) const;
+  [[nodiscard]] std::string PathOf(const std::string& name) const;
   /// Flush leader body: writes `batch` (first record sequence
   /// `batch_first`) to the active segment, creating one when needed, and
   /// fsyncs. Called with flush_in_progress_ set, outside mu_; touches only
   /// the leader-owned members. Sets *created when a segment was opened and
   /// *rotated when the segment was sealed afterwards.
-  Status FlushBatch(const std::string& batch, std::uint64_t batch_first,
-                    bool* created, bool* rotated);
+  [[nodiscard]] Status FlushBatch(const std::string& batch, std::uint64_t batch_first,
+                    bool* created, bool* rotated) TLP_EXCLUDES(mu_);
   /// Reads op records in (after, upto] from the segment chain into *ops.
-  Status CollectOps(std::uint64_t after, std::uint64_t upto,
-                    std::vector<wal::WalRecord>* ops);
+  [[nodiscard]] Status CollectOps(std::uint64_t after, std::uint64_t upto,
+                    std::vector<wal::WalRecord>* ops) TLP_EXCLUDES(mu_);
   /// Removes sealed segments with last_seq <= bound (best effort) plus,
   /// when `everything_below` is set, delta files with to <= bound and
-  /// full snapshots older than bound. Caller holds checkpoint_mu_ (not
-  /// mu_ — this takes mu_ internally).
-  void CollectStale(std::uint64_t bound, bool everything_below);
+  /// full snapshots older than bound. Caller holds checkpoint_mu_ (the
+  /// compiler-checked contract); this takes mu_ internally.
+  void CollectStale(std::uint64_t bound, bool everything_below)
+      TLP_REQUIRES(checkpoint_mu_) TLP_EXCLUDES(mu_);
 
   const std::string dir_;
   const Options options_;
   FileSystem* const fs_;
 
-  mutable std::mutex mu_;
-  std::condition_variable sync_cv_;
-  Status failed_;                   // sticky append/flush failure
-  std::string pending_;             // encoded records not yet flushed
-  std::uint64_t pending_first_ = 0; // seq of pending_'s first record
-  std::uint64_t appended_seq_ = 0;
-  std::uint64_t durable_seq_ = 0;
-  std::uint64_t low_water_ = 0;
-  bool flush_in_progress_ = false;
-  bool recovered_ = false;          // RecoverIndex no longer allowed
-  std::vector<SegmentInfo> sealed_; // ascending first_seq, on disk
-  /// mu_-guarded mirror of the active (not yet sealed) segment, for
-  /// readers (CollectOps): present once its first flush committed.
-  SegmentInfo active_mirror_;
-  bool active_present_ = false;
-  WalStats stats_;
+  mutable Mutex mu_;
+  CondVar sync_cv_;
+  /// Sticky append/flush failure.
+  Status failed_ TLP_GUARDED_BY(mu_);
+  /// Encoded records not yet flushed.
+  std::string pending_ TLP_GUARDED_BY(mu_);
+  /// Seq of pending_'s first record.
+  std::uint64_t pending_first_ TLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t appended_seq_ TLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t durable_seq_ TLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t low_water_ TLP_GUARDED_BY(mu_) = 0;
+  bool flush_in_progress_ TLP_GUARDED_BY(mu_) = false;
+  /// RecoverIndex no longer allowed.
+  bool recovered_ TLP_GUARDED_BY(mu_) = false;
+  /// Ascending first_seq, on disk.
+  std::vector<SegmentInfo> sealed_ TLP_GUARDED_BY(mu_);
+  /// Mirror of the active (not yet sealed) segment, for readers
+  /// (CollectOps): present once its first flush committed.
+  SegmentInfo active_mirror_ TLP_GUARDED_BY(mu_);
+  bool active_present_ TLP_GUARDED_BY(mu_) = false;
+  WalStats stats_ TLP_GUARDED_BY(mu_);
 
-  /// Serializes WriteDeltaSnapshot/Compact against each other.
-  std::mutex checkpoint_mu_;
+  /// Serializes WriteDeltaSnapshot/Compact against each other. Always
+  /// acquired before mu_ (those paths take mu_ internally).
+  Mutex checkpoint_mu_ TLP_ACQUIRED_BEFORE(mu_);
 
   /// Leader-owned (touched only while this thread holds flush leadership
   /// — flush_in_progress_ set by it — or externally quiesced): the active
@@ -197,12 +207,12 @@ class DurableLog {
 /// (id, box) entries. Two indexes with equal digests hold the same live
 /// objects — used by `tlp_snapshot wal-replay` and the crash tests to
 /// compare recovered states across restarts and compactions.
-std::uint32_t LiveSetDigest(const TwoLayerGrid& grid);
+[[nodiscard]] std::uint32_t LiveSetDigest(const TwoLayerGrid& grid);
 
 /// Number of live objects in the grid: class-A entries only, i.e. one per
 /// object. `TwoLayerGrid::entry_count()` counts replicas too, so it is NOT
 /// comparable to `ConcurrentTwoLayerGrid::live_count()`; this is.
-std::size_t LiveObjectCount(const TwoLayerGrid& grid);
+[[nodiscard]] std::size_t LiveObjectCount(const TwoLayerGrid& grid);
 
 }  // namespace tlp
 

@@ -63,7 +63,7 @@ struct WalRecord {
   BoxEntry entry{Box{0, 0, 0, 0}, 0};
 };
 
-inline WalRecord MakeSegmentHeader(std::uint64_t first_seq) {
+[[nodiscard]] inline WalRecord MakeSegmentHeader(std::uint64_t first_seq) {
   WalRecord r;
   r.kind = RecordKind::kSegmentHeader;
   r.seq = first_seq;
@@ -71,7 +71,7 @@ inline WalRecord MakeSegmentHeader(std::uint64_t first_seq) {
   return r;
 }
 
-inline WalRecord MakeDeltaHeader(std::uint64_t from, std::uint64_t to,
+[[nodiscard]] inline WalRecord MakeDeltaHeader(std::uint64_t from, std::uint64_t to,
                                  std::uint64_t count) {
   WalRecord r;
   r.kind = RecordKind::kDeltaHeader;
@@ -81,7 +81,7 @@ inline WalRecord MakeDeltaHeader(std::uint64_t from, std::uint64_t to,
   return r;
 }
 
-inline WalRecord MakeOp(bool insert, std::uint64_t seq, const BoxEntry& e) {
+[[nodiscard]] inline WalRecord MakeOp(bool insert, std::uint64_t seq, const BoxEntry& e) {
   WalRecord r;
   r.kind = insert ? RecordKind::kInsert : RecordKind::kDelete;
   r.seq = seq;
@@ -121,24 +121,24 @@ struct ByteReader {
   std::size_t size;
   std::size_t pos = 0;
 
-  bool U8(std::uint8_t* v) {
+  [[nodiscard]] bool U8(std::uint8_t* v) {
     if (size - pos < 1) return false;
     *v = data[pos++];
     return true;
   }
-  bool U32(std::uint32_t* v) {
+  [[nodiscard]] bool U32(std::uint32_t* v) {
     if (size - pos < sizeof *v) return false;
     std::memcpy(v, data + pos, sizeof *v);
     pos += sizeof *v;
     return true;
   }
-  bool U64(std::uint64_t* v) {
+  [[nodiscard]] bool U64(std::uint64_t* v) {
     if (size - pos < sizeof *v) return false;
     std::memcpy(v, data + pos, sizeof *v);
     pos += sizeof *v;
     return true;
   }
-  bool F64(double* v) {
+  [[nodiscard]] bool F64(double* v) {
     if (size - pos < sizeof *v) return false;
     std::memcpy(v, data + pos, sizeof *v);
     pos += sizeof *v;
@@ -192,7 +192,7 @@ enum class DecodeResult {
 /// sets `*rec` and `*consumed`; on kTruncated/kCorrupt both outputs are
 /// unspecified. A frame whose bytes are intact but whose payload does not
 /// parse for its kind is kCorrupt (never silently skipped).
-inline DecodeResult DecodeRecord(const unsigned char* data, std::size_t size,
+[[nodiscard]] inline DecodeResult DecodeRecord(const unsigned char* data, std::size_t size,
                                  WalRecord* rec, std::size_t* consumed) {
   if (size < kFrameHeaderBytes) return DecodeResult::kTruncated;
   std::uint32_t crc = 0;
@@ -247,27 +247,27 @@ inline DecodeResult DecodeRecord(const unsigned char* data, std::size_t size,
 
 /// Zero-padded 20-digit decimal of `v` — fixed width so lexicographic name
 /// order equals numeric sequence order.
-inline std::string SeqToken(std::uint64_t v) {
+[[nodiscard]] inline std::string SeqToken(std::uint64_t v) {
   std::string digits = std::to_string(v);
   return std::string(20 - digits.size(), '0') + digits;
 }
 
-inline std::string SegmentFileName(std::uint64_t first_seq) {
+[[nodiscard]] inline std::string SegmentFileName(std::uint64_t first_seq) {
   return "wal-" + SeqToken(first_seq) + ".tlpw";
 }
 
-inline std::string DeltaFileName(std::uint64_t from, std::uint64_t to) {
+[[nodiscard]] inline std::string DeltaFileName(std::uint64_t from, std::uint64_t to) {
   return "delta-" + SeqToken(from) + "-" + SeqToken(to) + ".tlpd";
 }
 
-inline std::string FullFileName(std::uint64_t seq) {
+[[nodiscard]] inline std::string FullFileName(std::uint64_t seq) {
   return "full-" + SeqToken(seq) + ".tlps";
 }
 
 namespace detail {
 
 /// Parses a zero-padded SeqToken at `s[pos, pos+20)`.
-inline bool ParseSeqToken(const std::string& s, std::size_t pos,
+[[nodiscard]] inline bool ParseSeqToken(const std::string& s, std::size_t pos,
                           std::uint64_t* out) {
   if (s.size() < pos + 20) return false;
   std::uint64_t v = 0;
@@ -283,7 +283,7 @@ inline bool ParseSeqToken(const std::string& s, std::size_t pos,
 }  // namespace detail
 
 /// True when `name` is `wal-<seq:020>.tlpw`; sets *first_seq.
-inline bool ParseSegmentFileName(const std::string& name,
+[[nodiscard]] inline bool ParseSegmentFileName(const std::string& name,
                                  std::uint64_t* first_seq) {
   if (name.size() != 4 + 20 + 5 || name.compare(0, 4, "wal-") != 0 ||
       name.compare(24, 5, ".tlpw") != 0) {
@@ -293,7 +293,7 @@ inline bool ParseSegmentFileName(const std::string& name,
 }
 
 /// True when `name` is `delta-<from:020>-<to:020>.tlpd`; sets *from/*to.
-inline bool ParseDeltaFileName(const std::string& name, std::uint64_t* from,
+[[nodiscard]] inline bool ParseDeltaFileName(const std::string& name, std::uint64_t* from,
                                std::uint64_t* to) {
   if (name.size() != 6 + 20 + 1 + 20 + 5 || name.compare(0, 6, "delta-") != 0 ||
       name[26] != '-' || name.compare(47, 5, ".tlpd") != 0) {
@@ -304,7 +304,7 @@ inline bool ParseDeltaFileName(const std::string& name, std::uint64_t* from,
 }
 
 /// True when `name` is `full-<seq:020>.tlps`; sets *seq.
-inline bool ParseFullFileName(const std::string& name, std::uint64_t* seq) {
+[[nodiscard]] inline bool ParseFullFileName(const std::string& name, std::uint64_t* seq) {
   if (name.size() != 5 + 20 + 5 || name.compare(0, 5, "full-") != 0 ||
       name.compare(25, 5, ".tlps") != 0) {
     return false;

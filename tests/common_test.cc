@@ -262,11 +262,12 @@ TEST(ParallelForChunksTest, ZeroChunksIsNoop) {
 TEST(EnvTest, FallbacksAndParsing) {
   EXPECT_EQ(EnvInt64("TLP_SURELY_UNSET_VAR", 123), 123);
   EXPECT_DOUBLE_EQ(EnvDouble("TLP_SURELY_UNSET_VAR", 2.5), 2.5);
-  setenv("TLP_TEST_INT", "77", 1);
+  // setenv is legal here: the GTest main is still single-threaded.
+  setenv("TLP_TEST_INT", "77", 1);    // NOLINT(concurrency-mt-unsafe)
   EXPECT_EQ(EnvInt64("TLP_TEST_INT", 0), 77);
-  setenv("TLP_TEST_BAD", "xyz", 1);
+  setenv("TLP_TEST_BAD", "xyz", 1);   // NOLINT(concurrency-mt-unsafe)
   EXPECT_EQ(EnvInt64("TLP_TEST_BAD", 9), 9);
-  setenv("TLP_TEST_DBL", "0.125", 1);
+  setenv("TLP_TEST_DBL", "0.125", 1); // NOLINT(concurrency-mt-unsafe)
   EXPECT_DOUBLE_EQ(EnvDouble("TLP_TEST_DBL", 0), 0.125);
 }
 

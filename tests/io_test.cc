@@ -20,6 +20,7 @@ std::string TempPath(const char* name) {
 TEST(WktTest, ParsePoint) {
   const auto g = ParseWkt("POINT (0.5 0.25)");
   ASSERT_TRUE(g.has_value());
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access) ASSERT above guards
   const auto* p = std::get_if<Point>(&*g);
   ASSERT_NE(p, nullptr);
   EXPECT_DOUBLE_EQ(p->x, 0.5);
@@ -29,6 +30,7 @@ TEST(WktTest, ParsePoint) {
 TEST(WktTest, ParseLineString) {
   const auto g = ParseWkt("linestring(0 0, 0.5 0.5, 1 0)");
   ASSERT_TRUE(g.has_value());
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access) ASSERT above guards
   const auto* ls = std::get_if<LineString>(&*g);
   ASSERT_NE(ls, nullptr);
   ASSERT_EQ(ls->vertices.size(), 3u);
@@ -38,6 +40,7 @@ TEST(WktTest, ParseLineString) {
 TEST(WktTest, ParsePolygonDropsClosingVertex) {
   const auto g = ParseWkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
   ASSERT_TRUE(g.has_value());
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access) ASSERT above guards
   const auto* poly = std::get_if<Polygon>(&*g);
   ASSERT_NE(poly, nullptr);
   EXPECT_EQ(poly->ring.size(), 4u);  // explicit closure removed
@@ -46,6 +49,7 @@ TEST(WktTest, ParsePolygonDropsClosingVertex) {
 TEST(WktTest, ParseWithScientificNotationAndWhitespace) {
   const auto g = ParseWkt("  POINT (  1e-3   -2.5E2 ) ");
   ASSERT_TRUE(g.has_value());
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access) ASSERT above guards
   const auto* p = std::get_if<Point>(&*g);
   EXPECT_DOUBLE_EQ(p->x, 1e-3);
   EXPECT_DOUBLE_EQ(p->y, -250);
@@ -74,6 +78,7 @@ TEST(WktTest, RoundTripAllKinds) {
   for (const Geometry& g : geometries) {
     const auto parsed = ParseWkt(ToWkt(g));
     ASSERT_TRUE(parsed.has_value());
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access) ASSERT above guards
     EXPECT_EQ(ComputeMbr(*parsed), ComputeMbr(g));
   }
 }

@@ -6,15 +6,15 @@
 // ephemeral ports) keep every scenario deterministic.
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 
+#include "common/mutex.h"
 #include "common/query_stats.h"
+#include "common/thread_annotations.h"
 #include "concurrency/versioned_grid.h"
 #include "core/two_layer_grid.h"
 #include "grid/grid_layout.h"
@@ -236,22 +236,22 @@ TEST_F(ServerTest, WithStatsAttachesPerQueryCounters) {
 
 /// Gate that lets tests hold queries inside the worker until released.
 struct WorkerGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool open = false;
+  tlp::Mutex mu;
+  tlp::CondVar cv;
+  bool open TLP_GUARDED_BY(mu) = false;
   std::atomic<int> entered{0};
 
   void Block() {
     entered.fetch_add(1);
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return open; });
+    tlp::MutexLock lock(mu);
+    while (!open) cv.Wait(mu);
   }
   void Release() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      tlp::MutexLock lock(mu);
       open = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void AwaitEntered(int n) {
     while (entered.load() < n) std::this_thread::yield();
@@ -394,23 +394,23 @@ TEST_F(ServerTest, OversizedRequestFrameDropsTheConnection) {
 /// Gate where each Block() waits for its own ReleaseOne() ticket, so a
 /// test can hold several queries in sequence through one hook.
 struct TicketGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  int tickets = 0;
+  tlp::Mutex mu;
+  tlp::CondVar cv;
+  int tickets TLP_GUARDED_BY(mu) = 0;
   std::atomic<int> entered{0};
 
   void Block() {
     entered.fetch_add(1);
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return tickets > 0; });
+    tlp::MutexLock lock(mu);
+    while (tickets <= 0) cv.Wait(mu);
     --tickets;
   }
   void ReleaseOne() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      tlp::MutexLock lock(mu);
       ++tickets;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void AwaitEntered(int n) {
     while (entered.load() < n) std::this_thread::yield();

@@ -1,0 +1,49 @@
+// Positive control for the negative-compilation harness
+// (tests/thread_safety_compile_test.cmake): correct lock discipline over
+// the annotated wrappers. This TU must compile warning-free under
+// -Wthread-safety -Wthread-safety-beta -Werror; if it ever stops, the
+// wrapper annotations themselves regressed.
+
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(std::size_t n) {
+    tlp::MutexLock lock(mu_);
+    AddLocked(n);
+  }
+
+  std::size_t Get() const {
+    tlp::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void WaitForNonZero() {
+    tlp::MutexLock lock(mu_);
+    while (value_ == 0) changed_.Wait(mu_);
+  }
+
+ private:
+  void AddLocked(std::size_t n) TLP_REQUIRES(mu_) {
+    value_ += n;
+    changed_.NotifyAll();
+  }
+
+  mutable tlp::Mutex mu_;
+  tlp::CondVar changed_;
+  std::size_t value_ TLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  c.WaitForNonZero();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// Seeded violation for the negative-compilation harness
+// (tests/thread_safety_compile_test.cmake): writes a TLP_GUARDED_BY
+// member without holding its mutex. Clang's thread safety analysis MUST
+// reject this TU; if it compiles, the annotation macros have rotted into
+// no-ops and the compile-time lock-discipline gate is dead.
+
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(std::size_t n) {
+    value_ += n;  // BUG (on purpose): guarded member touched without mu_
+  }
+
+ private:
+  tlp::Mutex mu_;
+  std::size_t value_ TLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Seeded violation for the negative-compilation harness
+// (tests/thread_safety_compile_test.cmake): calls a TLP_REQUIRES method
+// without holding the demanded capability. Clang's thread safety
+// analysis MUST reject this TU; if it compiles, the annotation macros
+// have rotted into no-ops and the compile-time lock-discipline gate is
+// dead.
+
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(std::size_t n) {
+    AddLocked(n);  // BUG (on purpose): TLP_REQUIRES(mu_) call, no lock held
+  }
+
+ private:
+  void AddLocked(std::size_t n) TLP_REQUIRES(mu_) { value_ += n; }
+
+  tlp::Mutex mu_;
+  std::size_t value_ TLP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

@@ -1,0 +1,82 @@
+# Negative-compilation harness for the Clang Thread Safety Analysis gate
+# (docs/STATIC_ANALYSIS.md "Thread-safety annotations"). Run as a ctest:
+#
+#   cmake -DCOMPILER=<c++ compiler> -DSRC_DIR=<repo>/src
+#         -DTEST_DIR=<repo>/tests/thread_safety -DWORK_DIR=<scratch>
+#         -P thread_safety_compile_test.cmake
+#
+# Proves three things, so the gate can never silently rot into no-ops:
+#   1. clean.cc (correct lock discipline) compiles warning-free with the
+#      analysis on — the wrapper annotations themselves are valid;
+#   2. guarded_member_violation.cc (guarded member touched without the
+#      lock) FAILS to compile, with a thread-safety diagnostic;
+#   3. requires_violation.cc (TLP_REQUIRES call without the capability)
+#      FAILS to compile, with a thread-safety diagnostic.
+#
+# The analysis exists only in Clang. With any other compiler the macros
+# expand to nothing and none of this is provable: the script prints a
+# "SKIP:" line and returns, which the ctest registration's
+# SKIP_REGULAR_EXPRESSION maps to SKIPPED (the Clang CI legs are where
+# the test bites). A FATAL_ERROR anywhere below is a real failure.
+
+foreach(var COMPILER SRC_DIR TEST_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "thread_safety_compile_test: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Probe: is this Clang? (__clang__ is the one reliable signal; gcc accepts
+# unknown -W flags silently in some versions and errors in others, so
+# probing the flag itself is not portable.)
+file(WRITE "${WORK_DIR}/probe_clang.cc" [[
+#ifndef __clang__
+#error "not clang"
+#endif
+int main() { return 0; }
+]])
+execute_process(
+  COMMAND "${COMPILER}" -fsyntax-only "${WORK_DIR}/probe_clang.cc"
+  RESULT_VARIABLE probe_rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT probe_rc EQUAL 0)
+  message(STATUS "SKIP: ${COMPILER} is not Clang; the thread safety "
+                 "analysis is unavailable (annotation macros are no-ops)")
+  return()
+endif()
+
+set(flags -std=c++20 -fsyntax-only -I "${SRC_DIR}"
+    -Wthread-safety -Wthread-safety-beta -Werror)
+
+# 1. Positive control: correct discipline must pass.
+execute_process(
+  COMMAND "${COMPILER}" ${flags} "${TEST_DIR}/clean.cc"
+  RESULT_VARIABLE clean_rc
+  OUTPUT_VARIABLE clean_out ERROR_VARIABLE clean_out)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR "thread_safety_compile_test: clean.cc (correct lock "
+      "discipline) failed to compile with the analysis on — the wrapper "
+      "annotations regressed:\n${clean_out}")
+endif()
+
+# 2./3. Seeded violations must be rejected, each with a diagnostic from
+# the thread-safety analysis (not some unrelated compile error).
+foreach(tu guarded_member_violation requires_violation)
+  execute_process(
+    COMMAND "${COMPILER}" ${flags} "${TEST_DIR}/${tu}.cc"
+    RESULT_VARIABLE bad_rc
+    OUTPUT_VARIABLE bad_out ERROR_VARIABLE bad_out)
+  if(bad_rc EQUAL 0)
+    message(FATAL_ERROR "thread_safety_compile_test: ${tu}.cc compiled "
+        "cleanly — the thread safety analysis did not fire; the "
+        "TLP_* annotation macros have rotted into no-ops")
+  endif()
+  if(NOT bad_out MATCHES "-Wthread-safety")
+    message(FATAL_ERROR "thread_safety_compile_test: ${tu}.cc was rejected "
+        "but not by the thread safety analysis; diagnostics were:\n${bad_out}")
+  endif()
+endforeach()
+
+message(STATUS "thread_safety_compile_test: analysis fires on both seeded "
+               "violations and accepts the clean control")

@@ -252,6 +252,100 @@ class LintHarness(unittest.TestCase):
         proc = self.lint("--skip-headers")
         self.assertEqual(proc.returncode, 0, proc.stdout)
 
+    # ---- TLP006/TLP007: lock primitives stay behind common/mutex.h ----
+
+    def test_raw_std_mutex_is_tlp006(self):
+        self.write("src/fake/bad_mutex.cc",
+                   "#include <mutex>\n"
+                   "struct S {\n"
+                   "  std::mutex mu;\n"
+                   "  std::condition_variable cv;\n"
+                   "};\n")
+        proc = self.lint("--skip-headers")
+        # The <mutex> include and both primitive uses are flagged.
+        self.assertGreaterEqual(
+            len(self.assert_flags(proc, "TLP006", "bad_mutex.cc")), 3)
+
+    def test_raw_lock_guard_is_tlp006(self):
+        self.write("src/fake/bad_guard.cc",
+                   "namespace std { struct mutex; template <class M>"
+                   " struct lock_guard; }\n"
+                   "void Touch(std::mutex& m) {"
+                   " std::lock_guard<std::mutex> g(m); }\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP006",
+                          "bad_guard.cc")
+
+    def test_mutex_seam_itself_is_exempt_from_tlp006_and_tlp007(self):
+        # src/common/mutex.h IS the seam: the one file where the raw
+        # primitives and manual lock calls are legal (the wrappers have to
+        # be built out of something).
+        self.write("src/common/mutex.h",
+                   "#include <mutex>\n"
+                   "namespace tlp {\n"
+                   "class Mutex {\n"
+                   " public:\n"
+                   "  void Lock() { mu_.lock(); }\n"
+                   "  void Unlock() { mu_.unlock(); }\n"
+                   " private:\n"
+                   "  std::mutex mu_;\n"
+                   "};\n"
+                   "}  // namespace tlp\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_manual_lock_unlock_is_tlp007(self):
+        self.write("src/fake/bad_manual.cc",
+                   "namespace tlp { struct Mutex {"
+                   " void lock(); void unlock(); }; }\n"
+                   "void Risky(tlp::Mutex& m) {\n"
+                   "  m.lock();\n"
+                   "  m.unlock();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assert_flags(proc, "TLP007", "bad_manual.cc:3")
+        self.assert_flags(proc, "TLP007", "bad_manual.cc:4")
+
+    def test_manual_try_lock_through_pointer_is_tlp007(self):
+        self.write("src/fake/bad_trylock.cc",
+                   "struct M { bool try_lock(); };\n"
+                   "bool Probe(M* m) { return m->try_lock(); }\n")
+        self.assert_flags(self.lint("--skip-headers"), "TLP007",
+                          "bad_trylock.cc")
+
+    def test_wrapper_capitalized_lock_calls_are_not_tlp007(self):
+        # The sanctioned surface: tlp::MutexLock's capitalized
+        # Lock()/Unlock() members (drop-the-lock-mid-scope protocol) must
+        # not trip the lowercase manual-call rule.
+        self.write("src/fake/ok_wrapper.cc",
+                   "namespace tlp { struct MutexLock {"
+                   " void Lock(); void Unlock(); }; }\n"
+                   "void Drop(tlp::MutexLock& l) {\n"
+                   "  l.Unlock();\n"
+                   "  l.Lock();\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_mutex_tokens_in_prose_are_ignored(self):
+        self.write("src/fake/ok_mutex_prose.cc",
+                   "// Never hold std::mutex directly; m.lock() leaks on\n"
+                   "// early return. See docs/CONCURRENCY.md.\n"
+                   "const char* kDoc = \"std::mutex and .unlock() banned\";\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_tlp007_suppression_with_reason_is_honoured(self):
+        # The documented false positive: std::weak_ptr::lock() is not a
+        # mutex operation, so a reasoned suppression is the escape hatch.
+        self.write("src/fake/weak_cache.cc",
+                   "#include <memory>\n"
+                   "std::shared_ptr<int> Pin(const std::weak_ptr<int>& w) {\n"
+                   "  return w.lock();"
+                   "  // tlp-lint: allow(TLP007) weak_ptr::lock, not a mutex\n"
+                   "}\n")
+        proc = self.lint("--skip-headers")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
     # ---- suppression policy ----
 
     def test_suppression_with_reason_is_honoured(self):
@@ -292,7 +386,7 @@ class LintHarness(unittest.TestCase):
                               capture_output=True, text=True)
         self.assertEqual(proc.returncode, 0)
         for rule in ("TLP000", "TLP001", "TLP002", "TLP003", "TLP004",
-                     "TLP005"):
+                     "TLP005", "TLP006", "TLP007"):
             self.assertIn(rule, proc.stdout)
 
 

@@ -629,7 +629,7 @@ TEST(LiveCountTest, ReadableWhileAWriterHoldsTheMutex) {
     }
   });
   for (std::uint32_t k = 0; k < 2000; ++k) {
-    live.Insert(BoxEntry{BoxFor(k % 97), 10'000 + k});
+    ASSERT_TRUE(live.Insert(BoxEntry{BoxFor(k % 97), 10'000 + k}));
   }
   // The writer can outrun thread start-up; hold the index live until the
   // reader has demonstrably polled the count at least once.

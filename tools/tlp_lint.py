@@ -59,6 +59,27 @@ allowed to do something, not *how* it does it:
       ConcurrentTwoLayerGrid::Acquire(), whose Snapshot holds the epoch
       Guard for exactly the pointer's lifetime.
 
+  TLP006 raw-mutex
+      std::mutex, std::condition_variable, std::lock_guard,
+      std::unique_lock and their relatives (plus the <mutex>,
+      <condition_variable>, <shared_mutex> headers) are confined to
+      src/common/mutex.h, the annotated lock seam. A raw primitive
+      anywhere else is invisible to the Clang Thread Safety Analysis —
+      its guarded members cannot carry TLP_GUARDED_BY, so the compile-
+      time lock-discipline proof (docs/STATIC_ANALYSIS.md) silently
+      stops covering that code. Use tlp::Mutex/tlp::CondVar/
+      tlp::MutexLock instead.
+
+  TLP007 manual-lock-call
+      Manual `.lock()` / `.unlock()` / `.try_lock()` calls outside
+      src/common/mutex.h bypass RAII: an early return or exception
+      between the pair leaves the mutex held forever, and the thread
+      safety analysis cannot track the capability through free-form
+      call sites. Hold locks through tlp::MutexLock (its Lock()/Unlock()
+      members cover the drop-the-lock-mid-scope protocols). Known
+      false positive: std::weak_ptr::lock() — suppress with a reason if
+      the tree ever needs it.
+
 Suppressions: append `// tlp-lint: allow(TLPnnn) <reason>` to the
 offending line. The reason is mandatory; a bare allow() is itself a
 violation (TLP000). Suppressions are for the seam files themselves and
@@ -96,6 +117,12 @@ RULE_EXEMPT = {
         "src/common/timer.h",        # the timing wrapper
         "src/common/query_stats.h",  # the RAII per-query timer (stats only)
         "src/common/deadline.h",     # the monotonic-clock deadline seam
+    },
+    "TLP006": {
+        "src/common/mutex.h",        # the annotated lock seam itself
+    },
+    "TLP007": {
+        "src/common/mutex.h",        # the seam implements the RAII surface
     },
 }
 
@@ -155,6 +182,25 @@ NONDET_RE = re.compile(
 # prefix) and prose mentions (stripped) stay silent.
 UNSAFE_VERSION_RE = re.compile(r"\bunsafe_published_version\s*\(")
 
+# TLP006: raw lock primitives and their headers. Everything here has an
+# annotated wrapper in src/common/mutex.h; a raw one is invisible to the
+# thread safety analysis.
+RAW_MUTEX_RE = re.compile(
+    r"""(?x)
+    \bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex
+            |shared_mutex|shared_timed_mutex
+            |condition_variable(?:_any)?
+            |lock_guard|unique_lock|scoped_lock|shared_lock)\b
+  | ^\s*\#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>
+    """,
+    re.M,
+)
+
+# TLP007: manual lock management. Matches the member-call spelling
+# (`x.lock()`, `p->unlock()`) so the wrapper's own capitalized
+# Lock()/Unlock() and plain functions named lock() do not trip it.
+MANUAL_LOCK_RE = re.compile(r"(?:\.|->)\s*(?:lock|unlock|try_lock)\s*\(")
+
 SUPPRESS_RE = re.compile(r"//\s*tlp-lint:\s*allow\((TLP\d{3})\)\s*(\S?.*)$")
 
 RULES = {
@@ -164,6 +210,8 @@ RULES = {
     "TLP003": "ambient randomness or wall-clock outside rng.h/timer.h",
     "TLP004": "header is not self-contained",
     "TLP005": "epoch-free published-Version access outside src/concurrency",
+    "TLP006": "raw std lock primitive outside the src/common/mutex.h seam",
+    "TLP007": "manual .lock()/.unlock() outside the seam (RAII only)",
 }
 
 
@@ -289,6 +337,12 @@ def scan_text_rules(repo):
             check("TLP003", NONDET_RE,
                   "— use tlp::Rng (common/rng.h), Stopwatch (common/timer.h)"
                   " or Deadline (common/deadline.h)")
+            check("TLP006", RAW_MUTEX_RE,
+                  "— use the annotated tlp::Mutex/CondVar/MutexLock wrappers"
+                  " (common/mutex.h); raw primitives defeat -Wthread-safety")
+            check("TLP007", MANUAL_LOCK_RE,
+                  "— hold the lock through a tlp::MutexLock scope; manual"
+                  " lock calls leak on early return and defeat the analysis")
     return violations
 
 

@@ -183,6 +183,8 @@ bool ParseArgs(int argc, char** argv, Options* out) {
 bool SaveFileSystem(std::unique_ptr<tlp::FaultInjectingFs>* holder,
                     tlp::FileSystem** out) {
   *out = nullptr;  // library default
+  // Single-threaded CLI startup; no setenv anywhere in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* knob = std::getenv("TLP_SNAPSHOT_FAULT_OP");
   if (knob == nullptr || *knob == '\0') return true;
   auto fs = std::make_unique<tlp::FaultInjectingFs>();
